@@ -1,0 +1,38 @@
+// Shared formatting helpers for the paper-reproduction bench harnesses.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "sim/split_sim.h"
+#include "util/bytes.h"
+
+namespace menos::bench {
+
+inline void print_header(const std::string& title, const std::string& paper) {
+  std::printf("==========================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Paper reference: %s\n", paper.c_str());
+  std::printf("==========================================================\n");
+}
+
+/// Render "N/A" the way the paper's tables do for infeasible points.
+inline std::string cell(const sim::SimResult& r, double value) {
+  if (!r.feasible) return "N/A";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", value);
+  return buf;
+}
+
+inline sim::SimConfig make_config(const sim::ModelSpec& spec,
+                                  core::ServingMode mode, int clients,
+                                  int iterations = 15) {
+  sim::SimConfig c;
+  c.spec = spec;
+  c.mode = mode;
+  c.num_clients = clients;
+  c.iterations = iterations;
+  return c;
+}
+
+}  // namespace menos::bench

@@ -1,0 +1,40 @@
+// Figure 10: fine-tuning time with a multi-GPU server and scaling CPU-only
+// clients (Llama-2-7B). The dashed baseline is 2 GPU clients.
+#include "bench_common.h"
+
+using namespace menos;
+
+int main() {
+  bench::print_header(
+      "Fig 10 — multi-GPU server with CPU-only clients (Llama 2)",
+      "2 CPU clients: 5.3 s (vs 4.5 s for GPU clients). 10 clients: 11.2 s "
+      "on 1 GPU, 6.6 s on 4 GPUs");
+
+  // Dashed baseline: 2 clients with their own GPUs.
+  auto baseline = sim::run_split_finetune(bench::make_config(
+      sim::ModelSpec::llama2_7b(), core::ServingMode::MenosOnDemand, 2));
+  std::printf("baseline (2 GPU clients): %.2f s/iter (paper: ~4.5 s)\n\n",
+              baseline.avg_iteration_s);
+
+  std::printf("%-8s", "clients");
+  for (int gpus : {1, 2, 4}) std::printf("  %d GPU%s (s)", gpus, gpus > 1 ? "s" : " ");
+  std::printf("\n");
+  for (int clients : {2, 4, 6, 8, 10}) {
+    std::printf("%-8d", clients);
+    for (int gpus : {1, 2, 4}) {
+      sim::SimConfig c = bench::make_config(
+          sim::ModelSpec::llama2_7b(), core::ServingMode::MenosOnDemand,
+          clients);
+      c.cpu_clients = true;
+      c.num_gpus = gpus;
+      auto r = sim::run_split_finetune(c);
+      std::printf("  %-10s", bench::cell(r, r.avg_iteration_s).c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nShape check: CPU clients only slightly slower than GPU clients "
+      "(most layers are on the server); 1-GPU times grow ~linearly with "
+      "clients once memory swaps, and extra GPUs restore the baseline.\n");
+  return 0;
+}

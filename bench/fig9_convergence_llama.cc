@@ -1,0 +1,16 @@
+// Figure 9: convergence of the Llama-family model under split fine-tuning.
+#include "bench_common.h"
+#include "convergence_common.h"
+
+using namespace menos;
+
+int main() {
+  bench::print_header(
+      "Fig 9 — convergence of Llama 2 under split fine-tuning",
+      "all clients reach the same final perplexity as local fine-tuning");
+  bench::ConvergenceSettings s;
+  s.model = nn::TransformerConfig::tiny_llama();
+  s.use_wikitext = true;
+  bench::run_convergence(s, "Fig 9");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Microbenchmark of the scheduler decision path (google-benchmark).
+// §4.2 claim: "the scheduler takes less than 0.1 milliseconds to make a
+// decision".
+#include <benchmark/benchmark.h>
+
+#include "sched/scheduler.h"
+
+namespace {
+
+using menos::sched::ClientDemands;
+using menos::sched::Grant;
+using menos::sched::OpKind;
+using menos::sched::Scheduler;
+
+/// One request->grant->complete decision cycle with a populated client set.
+void BM_ScheduleDecision(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  Scheduler s(1u << 30);
+  int granted = 0;
+  s.set_grant_callback([&](const Grant&) { ++granted; });
+  for (int i = 0; i < clients; ++i) {
+    s.register_client(i, ClientDemands{1 << 10, 1 << 12});
+  }
+  int next = 0;
+  for (auto _ : state) {
+    const int c = next;
+    next = (next + 1) % clients;
+    s.on_request(c, OpKind::Backward);
+    s.on_complete(c);
+  }
+  benchmark::DoNotOptimize(granted);
+  state.SetLabel("paper claim: < 0.1 ms per decision");
+}
+BENCHMARK(BM_ScheduleDecision)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+/// Decision latency with a deep waiting list (the backfilling scan).
+void BM_ScheduleWithWaitingList(benchmark::State& state) {
+  const int waiters = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Scheduler s(1u << 20);
+    int granted = 0;
+    s.set_grant_callback([&](const Grant&) { ++granted; });
+    // Client 0 consumes everything; the rest queue behind it.
+    s.register_client(0, ClientDemands{1u << 20, 1u << 20});
+    for (int i = 1; i <= waiters; ++i) {
+      s.register_client(i, ClientDemands{1 << 8, 1 << 10});
+    }
+    s.on_request(0, OpKind::Backward);
+    for (int i = 1; i <= waiters; ++i) s.on_request(i, OpKind::Backward);
+    state.ResumeTiming();
+    // The measured decision: one release that must scan all waiters.
+    s.on_complete(0);
+    benchmark::DoNotOptimize(granted);
+  }
+}
+BENCHMARK(BM_ScheduleWithWaitingList)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,40 @@
+// Table 1: average communication time (s) per fine-tuning iteration.
+#include "bench_common.h"
+
+using namespace menos;
+
+namespace {
+
+void row(const char* label, const sim::ModelSpec& spec,
+         core::ServingMode mode, int max_clients) {
+  std::printf("%-8s  %-8s", spec.name.c_str(), label);
+  for (int n = 1; n <= 6; ++n) {
+    if (n > max_clients) {
+      std::printf("  %-7s", "N/A");
+      continue;
+    }
+    auto r = sim::run_split_finetune(bench::make_config(spec, mode, n));
+    std::printf("  %-7s", bench::cell(r, r.avg_comm_s).c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Table 1 — average communication time (s) per iteration",
+      "OPT vanilla 6.37-6.84, Menos 5.93-7.10; Llama vanilla 3.23-3.91, "
+      "Menos 3.11-3.55 (N/A beyond 4 clients for vanilla Llama)");
+  std::printf("%-8s  %-8s  %-7s  %-7s  %-7s  %-7s  %-7s  %-7s\n", "model",
+              "method", "1", "2", "3", "4", "5", "6");
+  row("vanilla", sim::ModelSpec::opt_1_3b(),
+      core::ServingMode::VanillaTaskSwap, 6);
+  row("menos", sim::ModelSpec::opt_1_3b(), core::ServingMode::MenosOnDemand,
+      6);
+  row("vanilla", sim::ModelSpec::llama2_7b(),
+      core::ServingMode::VanillaTaskSwap, 4);
+  row("menos", sim::ModelSpec::llama2_7b(), core::ServingMode::MenosOnDemand,
+      4);
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Table 2: average computation time (s) per fine-tuning iteration.
+// Vanilla stays flat; Menos grows with clients (re-forward + release
+// overhead / fragmentation).
+#include "bench_common.h"
+
+using namespace menos;
+
+namespace {
+
+void row(const char* label, const sim::ModelSpec& spec,
+         core::ServingMode mode, int max_clients) {
+  std::printf("%-8s  %-8s", spec.name.c_str(), label);
+  for (int n = 1; n <= 6; ++n) {
+    if (n > max_clients) {
+      std::printf("  %-7s", "N/A");
+      continue;
+    }
+    auto r = sim::run_split_finetune(bench::make_config(spec, mode, n));
+    std::printf("  %-7s", bench::cell(r, r.avg_compute_s).c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Table 2 — average computation time (s) per iteration",
+      "OPT vanilla 0.41-0.54 flat, Menos 0.71 -> 1.68; Llama vanilla "
+      "0.46-0.55 flat, Menos 1.15 -> 2.16");
+  std::printf("%-8s  %-8s  %-7s  %-7s  %-7s  %-7s  %-7s  %-7s\n", "model",
+              "method", "1", "2", "3", "4", "5", "6");
+  row("vanilla", sim::ModelSpec::opt_1_3b(),
+      core::ServingMode::VanillaTaskSwap, 6);
+  row("menos", sim::ModelSpec::opt_1_3b(), core::ServingMode::MenosOnDemand,
+      6);
+  row("vanilla", sim::ModelSpec::llama2_7b(),
+      core::ServingMode::VanillaTaskSwap, 4);
+  row("menos", sim::ModelSpec::llama2_7b(), core::ServingMode::MenosOnDemand,
+      4);
+  return 0;
+}

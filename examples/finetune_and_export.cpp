@@ -1,0 +1,96 @@
+// Fine-tune, export the adapter, reload it elsewhere, and generate text.
+//
+// This is the full product loop of split fine-tuning: the client never
+// sees the server's base parameters, fine-tunes its adapter over the
+// private corpus, exports ONLY the adapter (a few KB), and any client with
+// the same base model + adapter file reproduces the fine-tuned behaviour.
+#include <cstdio>
+
+#include "core/checkpoint.h"
+#include "core/client.h"
+#include "core/server.h"
+#include "net/transport.h"
+#include "util/bytes.h"
+
+using namespace menos;
+
+namespace {
+
+core::ClientOptions make_options(const nn::TransformerConfig& model,
+                                 std::uint64_t adapter_seed) {
+  core::ClientOptions options;
+  options.finetune.client_name = "exporter";
+  options.finetune.model = model;
+  options.finetune.adapter.rank = 8;
+  options.finetune.adapter.alpha = 16.0f;
+  options.finetune.adapter.target_lm_head = true;
+  options.finetune.batch_size = 4;
+  options.finetune.seq_len = 24;
+  options.finetune.lr = 1e-2f;
+  options.finetune.adapter_seed = adapter_seed;
+  options.base_seed = 42;
+  return options;
+}
+
+}  // namespace
+
+int main() {
+  nn::TransformerConfig model = nn::TransformerConfig::tiny_opt();
+  gpusim::DeviceManager devices(1, 1u << 30);
+  core::ServerConfig config;
+  config.mode = core::ServingMode::MenosOnDemand;
+  config.base_seed = 42;
+  core::Server server(config, devices, model);
+  net::InprocAcceptor acceptor;
+  server.start(acceptor);
+
+  data::CharTokenizer tokenizer;
+  data::Corpus corpus = data::make_shakespeare_like(8000, 21);
+  data::DataLoader loader(tokenizer.encode(corpus.text), 4, 24, 5);
+  data::Batch eval_batch = loader.next();
+
+  gpusim::DeviceManager client_devices(1, 1u << 30);
+  std::vector<std::uint8_t> adapter_blob;
+  double trained_eval = 0.0;
+  {
+    core::Client client(make_options(model, /*adapter_seed=*/7),
+                        acceptor.connect(), client_devices.gpu(0));
+    client.connect();
+    std::printf("before fine-tuning: eval loss %.4f\n",
+                client.evaluate(eval_batch));
+    for (int step = 0; step < 60; ++step) client.train_step(loader.next());
+    trained_eval = client.evaluate(eval_batch);
+    std::printf("after 60 steps:     eval loss %.4f\n", trained_eval);
+
+    adapter_blob = client.export_adapter();
+    std::printf("exported adapter: %s (the base model stays with its owner)\n",
+                util::format_bytes(adapter_blob.size()).c_str());
+
+    // Generate a sample through the split stack.
+    const std::string seed_text = "the king";
+    auto ids = client.generate(tokenizer.encode(seed_text), 48);
+    std::printf("sample: \"%s\"\n", tokenizer.decode(ids).c_str());
+    client.disconnect();
+  }
+
+  // A fresh client (same base + adapter structure) imports the blob and
+  // immediately reproduces the fine-tuned model.
+  {
+    core::Client fresh(make_options(model, /*adapter_seed=*/7),
+                       acceptor.connect(), client_devices.gpu(0));
+    fresh.connect();
+    std::printf("\nfresh client before import: eval loss %.4f\n",
+                fresh.evaluate(eval_batch));
+    const std::size_t loaded =
+        fresh.import_adapter(adapter_blob.data(), adapter_blob.size());
+    std::printf("imported %zu adapter tensors\n", loaded);
+    const double imported_eval = fresh.evaluate(eval_batch);
+    std::printf("fresh client after import:  eval loss %.4f "
+                "(trained client had %.4f)\n",
+                imported_eval, trained_eval);
+    fresh.disconnect();
+  }
+
+  server.stop();
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Heterogeneous clients over one shared base model (§3.1): different cut
+// points (privacy vs efficiency), different adapter types (LoRA, BitFit,
+// prefix-tuning), different optimizers — all safely sharing the single
+// read-only parameter copy because Menos separates model structure from
+// model parameters.
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "core/client.h"
+#include "core/server.h"
+#include "net/transport.h"
+#include "util/bytes.h"
+
+using namespace menos;
+
+namespace {
+
+struct Tenant {
+  const char* name;
+  nn::AdapterType adapter;
+  int front_blocks;  ///< deeper cut = more privacy, less server help
+  optim::OptimizerKind optimizer;
+};
+
+}  // namespace
+
+int main() {
+  nn::TransformerConfig model = nn::TransformerConfig::tiny_llama();
+  gpusim::DeviceManager devices(1, 1u << 30);
+  core::ServerConfig config;
+  config.mode = core::ServingMode::MenosOnDemand;
+  config.base_seed = 42;
+  core::Server server(config, devices, model);
+  net::InprocAcceptor acceptor;
+  server.start(acceptor);
+
+  const Tenant tenants[] = {
+      {"lora-efficiency", nn::AdapterType::Lora, 1, optim::OptimizerKind::Adam},
+      {"prefix-tuning", nn::AdapterType::Prefix, 1, optim::OptimizerKind::AdamW},
+      {"privacy-deep-cut", nn::AdapterType::Lora, 2, optim::OptimizerKind::Sgd},
+  };
+
+  std::printf("%-18s  %-8s  %-10s  %-10s  %-22s\n", "client", "adapter",
+              "cut", "optimizer", "loss trajectory");
+  std::vector<std::thread> threads;
+  std::uint64_t seed = 400;
+  for (const Tenant& t : tenants) {
+    const std::uint64_t adapter_seed = seed++;
+    threads.emplace_back([&, t, adapter_seed] {
+      gpusim::DeviceManager client_devices(1, 1u << 30);
+      core::ClientOptions options;
+      options.finetune.client_name = t.name;
+      options.finetune.model = model;
+      options.finetune.adapter.type = t.adapter;
+      options.finetune.adapter.rank = 8;
+      options.finetune.adapter.alpha = 16.0f;
+      options.finetune.adapter.prefix_len = 4;
+      options.finetune.split.front_blocks = t.front_blocks;
+      options.finetune.optimizer = t.optimizer;
+      options.finetune.lr =
+          t.optimizer == optim::OptimizerKind::Sgd ? 5e-2f : 5e-3f;
+      options.finetune.batch_size = 2;
+      options.finetune.seq_len = 16;
+      options.finetune.adapter_seed = adapter_seed;
+      options.base_seed = 42;
+
+      core::Client client(options, acceptor.connect(),
+                          client_devices.gpu(0));
+      client.connect();
+      data::CharTokenizer tok;
+      data::Corpus corpus = data::make_shakespeare_like(4000, adapter_seed);
+      data::DataLoader loader(tok.encode(corpus.text), 2, 16, adapter_seed);
+      std::string trajectory;
+      for (int s = 0; s < 8; ++s) {
+        char buf[16];
+        std::snprintf(buf, sizeof(buf), "%.2f ",
+                      client.train_step(loader.next()).loss);
+        trajectory += buf;
+      }
+      std::printf("%-18s  %-8s  %-10d  %-10s  %s\n", t.name,
+                  nn::adapter_type_name(t.adapter), t.front_blocks,
+                  optim::optimizer_kind_name(t.optimizer),
+                  trajectory.c_str());
+      client.disconnect();
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  std::printf(
+      "\nAll three structures pointed at ONE copy of the base parameters "
+      "(%s); per-client cost was only each adapter + optimizer state.\n",
+      util::format_bytes(server.store()->bytes()).c_str());
+  server.stop();
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Multi-tenant serving: six clients fine-tune concurrently against one
+// server, demonstrating the memory behaviour of Fig 5 on the real runtime:
+// persistent GPU memory grows by only (A + O) per client because the base
+// model is shared, and the scheduler time-shares the transient pool.
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "core/client.h"
+#include "core/server.h"
+#include "net/transport.h"
+#include "util/bytes.h"
+
+using namespace menos;
+
+int main() {
+  constexpr int kClients = 6;
+  constexpr int kSteps = 5;
+
+  nn::TransformerConfig model = nn::TransformerConfig::tiny_opt();
+  // A deliberately tight GPU: big enough for the shared base and adapters,
+  // but only ~2 concurrent backward working sets — so the on-demand
+  // scheduler actually has to interleave clients.
+  gpusim::DeviceManager devices(1, 48u << 20);
+  core::ServerConfig config;
+  config.mode = core::ServingMode::MenosOnDemand;
+  config.base_seed = 42;
+  core::Server server(config, devices, model);
+  net::InprocAcceptor acceptor;
+  server.start(acceptor);
+
+  const std::size_t base_bytes = server.persistent_gpu_bytes();
+  std::printf("shared base model resident: %s\n",
+              util::format_bytes(base_bytes).c_str());
+
+  std::vector<std::thread> workers;
+  std::vector<double> losses(kClients, 0.0);
+  for (int i = 0; i < kClients; ++i) {
+    workers.emplace_back([&, i] {
+      gpusim::DeviceManager client_devices(1, 1u << 30);
+      core::ClientOptions options;
+      options.finetune.client_name = "tenant" + std::to_string(i);
+      options.finetune.model = model;
+      options.finetune.batch_size = 2;
+      options.finetune.seq_len = 16;
+      options.finetune.lr = 5e-3f;
+      options.finetune.adapter_seed = 100 + static_cast<std::uint64_t>(i);
+      options.base_seed = 42;
+      core::Client client(options, acceptor.connect(),
+                          client_devices.gpu(0));
+      client.connect();
+
+      data::CharTokenizer tok;
+      // Each tenant fine-tunes its own private corpus.
+      data::Corpus corpus = data::make_wikitext_like(
+          4000, 900 + static_cast<std::uint64_t>(i));
+      data::DataLoader loader(tok.encode(corpus.text), 2, 16,
+                              static_cast<std::uint64_t>(i));
+      for (int s = 0; s < kSteps; ++s) {
+        losses[static_cast<std::size_t>(i)] =
+            client.train_step(loader.next()).loss;
+      }
+      client.disconnect();
+    });
+    // Staggered arrivals, like real tenants.
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    const std::size_t now = server.persistent_gpu_bytes();
+    std::printf("after tenant %d connected: persistent GPU = %s "
+                "(+%s for this tenant's A+O)\n",
+                i, util::format_bytes(now).c_str(),
+                util::format_bytes(now > base_bytes ? now - base_bytes : 0)
+                    .c_str());
+  }
+  for (auto& w : workers) w.join();
+
+  std::printf("\nfinal losses per tenant:");
+  for (double l : losses) std::printf(" %.3f", l);
+  const auto sched_stats = server.scheduler().stats();
+  std::printf("\nscheduler: %llu requests, %llu grants, %llu backfills\n",
+              static_cast<unsigned long long>(sched_stats.requests),
+              static_cast<unsigned long long>(sched_stats.grants),
+              static_cast<unsigned long long>(sched_stats.backfill_grants));
+  std::printf("GPU peak during the run: %s of %s capacity (never OOM)\n",
+              util::format_bytes(devices.gpu(0).stats().peak).c_str(),
+              util::format_bytes(devices.gpu(0).stats().capacity).c_str());
+  server.stop();
+  return 0;
+}

@@ -1,0 +1,299 @@
+#include "core/client.h"
+
+#include <algorithm>
+
+#include "core/checkpoint.h"
+#include "net/wire.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace menos::core {
+
+Client::Client(const ClientOptions& options,
+               std::unique_ptr<net::Connection> connection,
+               gpusim::Device& device)
+    : options_(options), connection_(std::move(connection)), device_(&device) {
+  const net::FinetuneConfig& ft = options_.finetune;
+  ft.model.validate();
+  ft.split.validate(ft.model);
+  // Adapter stream derivation shared with nn::LocalModel and the serving
+  // session: #1 input, #2 server (skipped here), #3 output.
+  util::Rng root(ft.adapter_seed);
+  util::Rng rng_in = root.fork();
+  (void)root.fork();
+  util::Rng rng_out = root.fork();
+  nn::FreshInit init(options_.base_seed);
+  input_ = std::make_unique<nn::InputSection>(ft.model, ft.split, ft.adapter,
+                                              init, device, rng_in);
+  output_ = std::make_unique<nn::OutputSection>(ft.model, ft.split, ft.adapter,
+                                                init, device, rng_out);
+  std::vector<nn::Parameter> trainable = input_->trainable_parameters();
+  for (nn::Parameter& p : output_->trainable_parameters()) {
+    trainable.push_back(std::move(p));
+  }
+  optimizer_ = optim::make_optimizer(ft.optimizer, std::move(trainable), ft.lr);
+}
+
+Client::~Client() {
+  if (connected_) disconnect();
+}
+
+void Client::connect() {
+  MENOS_CHECK_MSG(!connected_, "client already connected");
+  if (!connection_->send(net::Message::hello(options_.finetune))) {
+    throw StateError("connection closed before handshake");
+  }
+  auto reply = connection_->receive();
+  if (!reply.has_value()) {
+    throw StateError("server closed the connection during handshake");
+  }
+  if (reply->type == net::MessageType::Error) {
+    throw StateError("server rejected client: " + reply->text);
+  }
+  MENOS_CHECK_MSG(reply->type == net::MessageType::HelloAck,
+                  "unexpected handshake reply: "
+                      << net::message_type_name(reply->type));
+  fwd_bytes_ = reply->forward_bytes;
+  bwd_bytes_ = reply->backward_bytes;
+  connected_ = true;
+}
+
+tensor::Tensor Client::input_forward(const data::Batch& batch) {
+  MENOS_CHECK_MSG(batch.batch_size == options_.finetune.batch_size &&
+                      batch.seq_len == options_.finetune.seq_len,
+                  "batch geometry differs from the profiled configuration");
+  return input_->forward(batch.inputs, batch.batch_size, batch.seq_len);
+}
+
+StepStats Client::train_step(const data::Batch& batch) {
+  return run_round(batch, /*defer_update=*/false, /*loss_scale=*/1.0f);
+}
+
+StepStats Client::train_step_accumulated(
+    const std::vector<data::Batch>& micro) {
+  MENOS_CHECK_MSG(!micro.empty(), "need at least one micro-batch");
+  const float scale = 1.0f / static_cast<float>(micro.size());
+  StepStats total;
+  for (std::size_t i = 0; i < micro.size(); ++i) {
+    const bool last = i + 1 == micro.size();
+    const StepStats s = run_round(micro[i], /*defer_update=*/!last, scale);
+    total.loss += s.loss * scale;
+    total.total_s += s.total_s;
+    total.comm_s += s.comm_s;
+    total.client_compute_s += s.client_compute_s;
+    total.server_compute_s += s.server_compute_s;
+    total.server_wait_s += s.server_wait_s;
+    total.iteration = s.iteration;
+  }
+  return total;
+}
+
+StepStats Client::run_round(const data::Batch& batch, bool defer_update,
+                            float loss_scale) {
+  MENOS_CHECK_MSG(connected_, "train_step before connect()");
+  using tensor::Tensor;
+  StepStats stats;
+  stats.iteration = iteration_;
+  util::Stopwatch total_sw;
+
+  // Step 1: local input-section forward (grad-tracked for the adapters).
+  util::Stopwatch client_sw;
+  Tensor x_c = input_forward(batch);
+  net::WireTensor x_c_wire = to_wire(x_c);
+  stats.client_compute_s += client_sw.elapsed_seconds();
+
+  if (!connection_->send(net::Message::forward(std::move(x_c_wire),
+                                               iteration_))) {
+    throw StateError("connection lost sending activations");
+  }
+  auto fwd_reply = connection_->receive();
+  if (!fwd_reply.has_value()) throw StateError("connection lost awaiting x_s");
+  if (fwd_reply->type == net::MessageType::Error) {
+    throw StateError("server error: " + fwd_reply->text);
+  }
+  MENOS_CHECK_MSG(fwd_reply->type == net::MessageType::ForwardResult,
+                  "expected ForwardResult");
+  stats.server_compute_s += fwd_reply->compute_seconds;
+  stats.server_wait_s += fwd_reply->schedule_wait_seconds;
+
+  // Steps 2-3: output section, loss, local backward down to g_c.
+  client_sw.reset();
+  Tensor x_s = from_wire(fwd_reply->tensor, *device_, /*requires_grad=*/true);
+  Tensor loss = output_->loss(x_s, input_->prefix_len(), batch.targets);
+  stats.loss = loss.item();
+  tensor::backward(tensor::scale(loss, loss_scale));
+  Tensor g_c = x_s.grad();
+  MENOS_CHECK_MSG(g_c.defined(), "no gradient reached the cut point x_s");
+  net::WireTensor g_c_wire = to_wire(g_c);
+  stats.client_compute_s += client_sw.elapsed_seconds();
+
+  const float step_lr =
+      options_.finetune.lr *
+      options_.schedule.factor_at(static_cast<std::int64_t>(iteration_));
+  net::Message backward_msg =
+      net::Message::backward(std::move(g_c_wire), iteration_);
+  backward_msg.defer_update = defer_update;
+  backward_msg.lr_override = step_lr;
+  if (!connection_->send(backward_msg)) {
+    throw StateError("connection lost sending gradients");
+  }
+  auto bwd_reply = connection_->receive();
+  if (!bwd_reply.has_value()) throw StateError("connection lost awaiting g_s");
+  if (bwd_reply->type == net::MessageType::Error) {
+    throw StateError("server error: " + bwd_reply->text);
+  }
+  MENOS_CHECK_MSG(bwd_reply->type == net::MessageType::BackwardResult,
+                  "expected BackwardResult");
+  stats.server_compute_s += bwd_reply->compute_seconds;
+  stats.server_wait_s += bwd_reply->schedule_wait_seconds;
+
+  // Step 4: finish back-propagation through the input section and update
+  // the client-side adapters.
+  client_sw.reset();
+  Tensor g_s = from_wire(bwd_reply->tensor, *device_);
+  tensor::backward(x_c, g_s);
+  if (!defer_update) {
+    optimizer_->set_lr(step_lr);
+    optimizer_->step();
+    optimizer_->zero_grad();
+  }
+  x_s.zero_grad();
+  stats.client_compute_s += client_sw.elapsed_seconds();
+
+  stats.total_s = total_sw.elapsed_seconds();
+  stats.comm_s = stats.total_s - stats.client_compute_s -
+                 stats.server_compute_s - stats.server_wait_s;
+  if (stats.comm_s < 0.0) stats.comm_s = 0.0;
+  ++iteration_;
+  return stats;
+}
+
+double Client::evaluate(const data::Batch& batch) {
+  MENOS_CHECK_MSG(connected_, "evaluate before connect()");
+  using tensor::Tensor;
+  tensor::NoGradGuard no_grad;
+  Tensor x_c = input_forward(batch);
+  net::Message msg = net::Message::forward(to_wire(x_c), iteration_);
+  msg.eval_only = true;
+  if (!connection_->send(msg)) {
+    throw StateError("connection lost sending eval activations");
+  }
+  auto reply = connection_->receive();
+  if (!reply.has_value()) throw StateError("connection lost awaiting eval x_s");
+  if (reply->type == net::MessageType::Error) {
+    throw StateError("server error: " + reply->text);
+  }
+  MENOS_CHECK_MSG(reply->type == net::MessageType::ForwardResult,
+                  "expected ForwardResult");
+  Tensor x_s = from_wire(reply->tensor, *device_);
+  return output_->loss(x_s, input_->prefix_len(), batch.targets).item();
+}
+
+std::vector<std::int32_t> Client::generate(std::vector<std::int32_t> prompt,
+                                           int n_new) {
+  MENOS_CHECK_MSG(connected_, "generate before connect()");
+  MENOS_CHECK_MSG(!prompt.empty(), "generation needs a non-empty prompt");
+  using tensor::Tensor;
+  tensor::NoGradGuard no_grad;
+  const tensor::Index max_seq = options_.finetune.model.max_seq;
+  for (int step = 0; step < n_new; ++step) {
+    const std::size_t window = std::min<std::size_t>(
+        prompt.size(), static_cast<std::size_t>(max_seq));
+    const std::vector<std::int32_t> context(prompt.end() - window,
+                                            prompt.end());
+    Tensor x_c =
+        input_->forward(context, 1, static_cast<tensor::Index>(window));
+    net::Message msg = net::Message::forward(to_wire(x_c), iteration_);
+    msg.eval_only = true;
+    if (!connection_->send(msg)) {
+      throw StateError("connection lost during generation");
+    }
+    auto reply = connection_->receive();
+    if (!reply.has_value()) throw StateError("connection lost during generation");
+    if (reply->type == net::MessageType::Error) {
+      throw StateError("server error: " + reply->text);
+    }
+    MENOS_CHECK_MSG(reply->type == net::MessageType::ForwardResult,
+                    "expected ForwardResult");
+    Tensor x_s = from_wire(reply->tensor, *device_);
+    Tensor logits = output_->logits(x_s, input_->prefix_len());
+    prompt.push_back(tensor::argmax_lastdim(logits).back());
+  }
+  return prompt;
+}
+
+namespace {
+
+std::vector<nn::Parameter> local_adapter_params(nn::InputSection& input,
+                                                nn::OutputSection& output) {
+  std::vector<nn::Parameter> params = input.trainable_parameters();
+  for (nn::Parameter& p : output.trainable_parameters()) {
+    params.push_back(std::move(p));
+  }
+  return params;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> Client::export_adapter() {
+  MENOS_CHECK_MSG(connected_, "export_adapter before connect()");
+  // Fetch the server-side adapter phi_s.
+  if (!connection_->send(net::Message::fetch_adapter())) {
+    throw StateError("connection lost fetching the server adapter");
+  }
+  auto reply = connection_->receive();
+  if (!reply.has_value()) throw StateError("connection lost fetching adapter");
+  if (reply->type == net::MessageType::Error) {
+    throw StateError("server error: " + reply->text);
+  }
+  MENOS_CHECK_MSG(reply->type == net::MessageType::AdapterBlob,
+                  "expected AdapterBlob");
+
+  const std::vector<std::uint8_t> local =
+      serialize_adapter(local_adapter_params(*input_, *output_));
+  net::Writer w;
+  w.put_bytes(local);
+  w.put_bytes(reply->blob);
+  return w.take();
+}
+
+std::size_t Client::import_adapter(const std::uint8_t* data,
+                                   std::size_t size) {
+  MENOS_CHECK_MSG(connected_, "import_adapter before connect()");
+  net::Reader r(data, size);
+  const std::vector<std::uint8_t> local = r.get_bytes();
+  const std::vector<std::uint8_t> remote = r.get_bytes();
+  if (!r.exhausted()) throw ProtocolError("trailing bytes in adapter export");
+
+  const std::size_t loaded = deserialize_adapter(
+      local.data(), local.size(), local_adapter_params(*input_, *output_));
+
+  if (!connection_->send(net::Message::push_adapter(remote))) {
+    throw StateError("connection lost pushing the server adapter");
+  }
+  auto ack = connection_->receive();
+  if (!ack.has_value()) throw StateError("connection lost pushing adapter");
+  if (ack->type == net::MessageType::Error) {
+    throw StateError("server rejected adapter: " + ack->text);
+  }
+  MENOS_CHECK_MSG(ack->type == net::MessageType::PushAck, "expected PushAck");
+  return loaded;
+}
+
+void Client::disconnect() {
+  if (!connected_) return;
+  connection_->send(net::Message::bye());
+  connection_->close();
+  connected_ = false;
+}
+
+std::size_t Client::parameter_bytes() const {
+  return input_->parameter_bytes() + output_->parameter_bytes();
+}
+
+std::size_t Client::adapter_bytes() const {
+  return input_->trainable_parameter_bytes() +
+         output_->trainable_parameter_bytes();
+}
+
+}  // namespace menos::core

@@ -1,0 +1,42 @@
+#include "core/runtime.h"
+
+#include <cstring>
+
+namespace menos::core {
+
+const char* serving_mode_name(ServingMode mode) noexcept {
+  switch (mode) {
+    case ServingMode::MenosOnDemand:            return "menos-on-demand";
+    case ServingMode::MenosReleaseEarly:        return "menos-release-early";
+    case ServingMode::MenosReleaseAfterBackward:return "menos-release-after-backward";
+    case ServingMode::MenosPreserveAll:         return "menos-preserve-all";
+    case ServingMode::VanillaTaskSwap:          return "vanilla-task-swap";
+  }
+  return "?";
+}
+
+bool shares_base_model(ServingMode mode) noexcept {
+  return mode != ServingMode::VanillaTaskSwap;
+}
+
+bool holds_across_iteration(ServingMode mode) noexcept {
+  return mode == ServingMode::MenosReleaseAfterBackward ||
+         mode == ServingMode::MenosPreserveAll ||
+         mode == ServingMode::VanillaTaskSwap;
+}
+
+net::WireTensor to_wire(const tensor::Tensor& t) {
+  net::WireTensor w;
+  w.shape.assign(t.shape().begin(), t.shape().end());
+  w.data = t.to_vector();
+  return w;
+}
+
+tensor::Tensor from_wire(const net::WireTensor& w, gpusim::Device& device,
+                         bool requires_grad) {
+  tensor::Shape shape(w.shape.begin(), w.shape.end());
+  return tensor::Tensor::from_vector(w.data, std::move(shape), device,
+                                     requires_grad);
+}
+
+}  // namespace menos::core

@@ -1,0 +1,65 @@
+// Shared runtime definitions: serving modes, server configuration, and
+// tensor<->wire conversion helpers.
+#pragma once
+
+#include <cstdint>
+
+#include "gpusim/device.h"
+#include "net/message.h"
+#include "sched/scheduler.h"
+#include "tensor/tensor.h"
+#include "util/trace.h"
+
+namespace menos::core {
+
+/// How a serving session manages GPU memory across the four-step loop of
+/// §2.2. The first four are the optimization ladder of Fig 3; the last is
+/// the task-level-sharing vanilla baseline of §5.1.
+enum class ServingMode : std::uint8_t {
+  /// Fig 3(d) — the Menos default: no-grad first forward, release, then
+  /// re-forward with gradients when g_c arrives.
+  MenosOnDemand,
+  /// Fig 3(c): full (gradient-tracking) first forward, but intermediates
+  /// are released while waiting for g_c, requiring a re-forward.
+  MenosReleaseEarly,
+  /// Fig 3(b): intermediates held from forward to backward, released only
+  /// after the backward pass completes.
+  MenosReleaseAfterBackward,
+  /// Fig 3(a): memory preserved across the whole fine-tuning lifetime.
+  MenosPreserveAll,
+  /// §5.1 baseline: per-client copy of the base model (no sharing); the
+  /// whole task swaps between GPU and host memory when capacity is
+  /// exceeded.
+  VanillaTaskSwap,
+};
+
+const char* serving_mode_name(ServingMode mode) noexcept;
+
+/// True for modes that keep the shared base model (everything but vanilla).
+bool shares_base_model(ServingMode mode) noexcept;
+
+/// True for modes whose scheduler allocation spans forward -> backward.
+bool holds_across_iteration(ServingMode mode) noexcept;
+
+struct ServerConfig {
+  ServingMode mode = ServingMode::MenosOnDemand;
+  sched::Policy sched_policy = sched::Policy::FcfsBackfill;
+  /// Seed standing in for the base-model checkpoint contents.
+  std::uint64_t base_seed = 42;
+  /// Safety margin subtracted from the schedulable partition capacity, as
+  /// headroom for serialization scratch.
+  std::size_t reserve_bytes = 0;
+
+  /// Optional event trace (not owned; must outlive the server). Sessions
+  /// record lifecycle, scheduling-wait, compute, and swap events into it.
+  util::EventTrace* trace = nullptr;
+};
+
+/// Copy a device tensor into a wire carrier.
+net::WireTensor to_wire(const tensor::Tensor& t);
+
+/// Materialize a wire tensor on `device`.
+tensor::Tensor from_wire(const net::WireTensor& w, gpusim::Device& device,
+                         bool requires_grad = false);
+
+}  // namespace menos::core

@@ -1,0 +1,114 @@
+#include "core/server.h"
+
+#include "util/logging.h"
+
+namespace menos::core {
+
+Server::Server(const ServerConfig& config, gpusim::DeviceManager& devices,
+               const nn::TransformerConfig& model)
+    : config_(config), devices_(&devices), model_(model) {
+  MENOS_CHECK_MSG(devices.gpu_count() >= 1, "server needs at least one GPU");
+  model_.validate();
+  if (shares_base_model(config_.mode)) {
+    // Load the single shared copy up front ("only one copy of the base
+    // model is preloaded into the GPU memory in advance" — §3.1). With
+    // several GPUs the layers are split contiguously across them.
+    store_ = std::make_unique<ParameterStore>(model_, devices,
+                                              config_.base_seed);
+  }
+  // One scheduling pool over the union of all GPUs (Fig 2's "GPU memory"
+  // abstraction); the devices themselves remain the hard per-GPU backstop.
+  const std::size_t available = devices.total_gpu_available();
+  MENOS_CHECK_MSG(available > config_.reserve_bytes,
+                  "GPU capacity exhausted by the base model");
+  scheduler_ = std::make_unique<sched::Scheduler>(
+      available - config_.reserve_bytes, config_.sched_policy);
+  scheduler_->set_grant_callback([this](const sched::Grant& grant) {
+    // Sessions never vanish while registered (cleanup unregisters before
+    // the session object dies), so the lookup here is safe.
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    for (auto& session : sessions_) {
+      if (session->id() == grant.client_id) {
+        session->on_grant(grant);
+        return;
+      }
+    }
+  });
+}
+
+Server::~Server() { stop(); }
+
+void Server::start(net::Acceptor& acceptor) {
+  MENOS_CHECK_MSG(!accept_thread_.joinable(), "server already started");
+  acceptor_ = &acceptor;
+  accept_thread_ = std::thread([this] { accept_loop(acceptor_); });
+}
+
+void Server::stop() {
+  if (stopping_.exchange(true)) {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  if (acceptor_ != nullptr) acceptor_->close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::unique_ptr<ServingSession>> sessions;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    sessions.swap(sessions_);
+  }
+  for (auto& session : sessions) session->request_stop();
+  for (auto& session : sessions) session->join();
+}
+
+void Server::accept_loop(net::Acceptor* acceptor) {
+  while (true) {
+    std::unique_ptr<net::Connection> connection = acceptor->accept();
+    if (connection == nullptr) return;  // acceptor closed
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    reap_finished_locked();
+    auto session = std::make_unique<ServingSession>(
+        next_client_id_++, std::move(connection), config_, store_.get(),
+        model_, *scheduler_, *devices_, profiling_mutex_, profile_cache_);
+    session->start();
+    sessions_.push_back(std::move(session));
+  }
+}
+
+void Server::reap_finished_locked() {
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if ((*it)->finished()) {
+      (*it)->join();
+      it = sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::size_t Server::persistent_gpu_bytes() const {
+  std::size_t total = store_ != nullptr ? store_->bytes() : 0;
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  for (const auto& session : sessions_) {
+    total += session->persistent_gpu_bytes();
+  }
+  return total;
+}
+
+int Server::session_count() const {
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  int live = 0;
+  for (const auto& session : sessions_) {
+    if (!session->finished()) ++live;
+  }
+  return live;
+}
+
+std::vector<SessionStats> Server::session_stats() const {
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  std::vector<SessionStats> out;
+  out.reserve(sessions_.size());
+  for (const auto& session : sessions_) out.push_back(session->stats());
+  return out;
+}
+
+}  // namespace menos::core

@@ -1,0 +1,66 @@
+// The Menos server (Fig 4): accepts clients, profiles them, and serves
+// forward/backward computation under the operation-level scheduler.
+#pragma once
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/session.h"
+
+namespace menos::core {
+
+class Server {
+ public:
+  /// The server hosts exactly one base model (`model`) on
+  /// `devices.gpu(0)`. In shared modes the ParameterStore is preloaded
+  /// here; the schedulable capacity is whatever the GPU has left.
+  Server(const ServerConfig& config, gpusim::DeviceManager& devices,
+         const nn::TransformerConfig& model);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Start accepting clients on `acceptor` (runs on a background thread).
+  void start(net::Acceptor& acceptor);
+
+  /// Stop accepting, close all sessions, join all threads.
+  void stop();
+
+  // ----- introspection for tests/benches -----
+
+  /// GPU bytes that persist across iterations: shared base model + every
+  /// client's adapter and optimizer state (the Fig 5 metric). In vanilla
+  /// mode: the sum of resident per-client task copies.
+  std::size_t persistent_gpu_bytes() const;
+
+  sched::Scheduler& scheduler() noexcept { return *scheduler_; }
+  const ParameterStore* store() const noexcept { return store_.get(); }
+  int session_count() const;
+
+  /// Aggregate stats across sessions (live ones only).
+  std::vector<SessionStats> session_stats() const;
+
+ private:
+  void accept_loop(net::Acceptor* acceptor);
+  void reap_finished_locked();
+
+  ServerConfig config_;
+  gpusim::DeviceManager* devices_;
+  nn::TransformerConfig model_;
+  std::unique_ptr<ParameterStore> store_;  // null in vanilla mode
+  std::unique_ptr<sched::Scheduler> scheduler_;
+  std::mutex profiling_mutex_;
+  ProfileCache profile_cache_;
+
+  mutable std::mutex sessions_mutex_;
+  std::vector<std::unique_ptr<ServingSession>> sessions_;
+  int next_client_id_ = 0;
+
+  net::Acceptor* acceptor_ = nullptr;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace menos::core

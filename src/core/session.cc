@@ -1,0 +1,557 @@
+#include "core/session.h"
+
+#include <sstream>
+
+#include "core/checkpoint.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace menos::core {
+
+std::optional<sched::ClientDemands> ProfileCache::find(
+    const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) return std::nullopt;
+  return it->second;
+}
+
+void ProfileCache::insert(const std::string& key,
+                          const sched::ClientDemands& demands) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  cache_[key] = demands;
+}
+
+ServingSession::ServingSession(int id,
+                               std::unique_ptr<net::Connection> connection,
+                               const ServerConfig& config,
+                               const ParameterStore* store,
+                               const nn::TransformerConfig& model,
+                               sched::Scheduler& scheduler,
+                               gpusim::DeviceManager& devices,
+                               std::mutex& profiling_mutex,
+                               ProfileCache& profile_cache)
+    : id_(id),
+      connection_(std::move(connection)),
+      config_(config),
+      store_(store),
+      model_(model),
+      scheduler_(&scheduler),
+      devices_(&devices),
+      gpu_(&devices.gpu(0)),
+      host_(&devices.host()),
+      profiling_mutex_(&profiling_mutex),
+      profile_cache_(&profile_cache) {
+  MENOS_CHECK_MSG(!shares_base_model(config.mode) || store_ != nullptr,
+                  "shared serving modes require a ParameterStore");
+}
+
+ServingSession::~ServingSession() {
+  request_stop();
+  join();
+}
+
+void ServingSession::start() {
+  thread_ = std::thread([this] { run(); });
+}
+
+void ServingSession::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void ServingSession::request_stop() {
+  stop_requested_.store(true);
+  connection_->close();
+  grant_.notify();  // unblock a session parked in acquire()
+}
+
+void ServingSession::on_grant(const sched::Grant& grant) {
+  (void)grant;  // single-GPU runtime: partition is always 0
+  granted_.store(true);
+  grant_.notify();
+}
+
+std::size_t ServingSession::persistent_gpu_bytes() const {
+  if (config_.mode == ServingMode::VanillaTaskSwap) {
+    return on_gpu_ ? task_bytes_ : 0;
+  }
+  return persistent_bytes_;
+}
+
+SessionStats ServingSession::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+void ServingSession::run() {
+  bool registered = false;
+  try {
+    auto first = connection_->receive();
+    if (!first.has_value()) {
+      finished_.store(true);
+      return;
+    }
+    if (first->type != net::MessageType::Hello) {
+      connection_->send(net::Message::error("expected Hello, got " +
+                                            std::string(net::message_type_name(
+                                                first->type))));
+      finished_.store(true);
+      return;
+    }
+    handshake(*first);
+    registered = true;
+    serve_loop();
+  } catch (const Error& e) {
+    MENOS_LOG(Warn) << "session " << id_ << " failed: " << e.what();
+    connection_->send(net::Message::error(e.what()));
+  }
+  cleanup(/* registered deduced from state below */);
+  (void)registered;
+}
+
+void ServingSession::handshake(const net::Message& hello) {
+  client_config_ = hello.config;
+  client_config_.model.validate();
+  client_config_.split.validate(client_config_.model);
+  if (!same_model(client_config_.model, model_)) {
+    throw InvalidArgument("client requested a model this server does not host");
+  }
+  MENOS_CHECK_MSG(client_config_.batch_size > 0 &&
+                      client_config_.seq_len > 0 &&
+                      client_config_.seq_len <= model_.max_seq,
+                  "invalid batch/sequence configuration");
+
+  // Adapter RNG derivation shared with nn::LocalModel: stream #1 is the
+  // client's input section, #2 ours, #3 the client's output section.
+  util::Rng root(client_config_.adapter_seed);
+  (void)root.fork();
+  util::Rng server_rng = root.fork();
+
+  const bool vanilla = config_.mode == ServingMode::VanillaTaskSwap;
+  if (vanilla) {
+    // Vanilla duplicates the base parameters per client. Build on the host
+    // and swap in for profiling so an occupied GPU cannot OOM mid-build.
+    // (Vanilla is single-GPU: it swaps whole tasks through gpu(0).)
+    nn::FreshInit init(config_.base_seed);
+    section_ = std::make_unique<nn::ServerSection>(
+        client_config_.model, client_config_.split, client_config_.adapter,
+        init, *host_, server_rng);
+    gpu_ = &devices_->gpu(0);
+    on_gpu_ = false;
+  } else {
+    // The structure follows the store's block-to-GPU layer assignment, so
+    // a multi-GPU server splits every client's section the same way.
+    nn::SharedSource source = store_->source();
+    const std::function<gpusim::Device&(int)> device_for =
+        [this](int block) -> gpusim::Device& {
+      return store_->device_for_block(block);
+    };
+    section_ = std::make_unique<nn::ServerSection>(
+        client_config_.model, client_config_.split, client_config_.adapter,
+        source, device_for, server_rng);
+    gpu_ = &section_->entry_device();
+    on_gpu_ = true;
+  }
+
+  optimizer_ = optim::make_optimizer(client_config_.optimizer,
+                                     section_->trainable_parameters(),
+                                     client_config_.lr);
+
+  if (vanilla) {
+    task_bytes_ = section_->parameter_bytes() + optimizer_->state_bytes();
+  } else {
+    const std::size_t wanted =
+        section_->trainable_parameter_bytes() + optimizer_->state_bytes();
+    scheduler_->reserve_persistent(0, wanted);  // throws OutOfMemory if full
+    persistent_bytes_ = wanted;
+  }
+
+  demands_ = profile();
+  scheduler_->register_client(id_, demands_);
+  if (config_.trace != nullptr) {
+    config_.trace->record(util::TraceCategory::Session, "handshake", id_);
+    config_.trace->record(util::TraceCategory::Memory, "profile.forward",
+                          id_, demands_.forward_bytes);
+    config_.trace->record(util::TraceCategory::Memory, "profile.backward",
+                          id_, demands_.backward_bytes);
+  }
+  connection_->send(net::Message::hello_ack(demands_.forward_bytes,
+                                            demands_.backward_bytes));
+}
+
+std::string ServingSession::profile_key() const {
+  std::ostringstream os;
+  const auto& c = client_config_;
+  os << serving_mode_name(config_.mode) << '|'
+     << nn::model_family_name(c.model.family) << '|' << c.model.dim << 'x'
+     << c.model.n_layers << 'h' << c.model.n_heads << 'f'
+     << c.model.ffn_hidden << 'v' << c.model.vocab_size << '|'
+     << c.split.front_blocks << '-' << c.split.back_blocks << '|'
+     << nn::adapter_type_name(c.adapter.type) << 'r' << c.adapter.rank << 'p'
+     << c.adapter.prefix_len << '|'
+     << optim::optimizer_kind_name(c.optimizer) << '|' << c.batch_size << 'x'
+     << c.seq_len;
+  return os.str();
+}
+
+sched::ClientDemands ServingSession::profile() {
+  using tensor::Index;
+  using tensor::Tensor;
+
+  const bool vanilla = config_.mode == ServingMode::VanillaTaskSwap;
+  const std::string key = profile_key();
+  if (auto cached = profile_cache_->find(key)) {
+    if (vanilla) {
+      // Activation demands transfer between identical configs; the task
+      // residency component is this session's own.
+      sched::ClientDemands d = *cached;
+      d.forward_bytes += task_bytes_;
+      d.backward_bytes += task_bytes_;
+      return d;
+    }
+    return *cached;
+  }
+
+  // §3.3: "the server generates random input sequences based on the
+  // reported configurations ... passed through forward and backward
+  // computations to measure the GPU memory demands."
+  std::lock_guard<std::mutex> lock(*profiling_mutex_);
+  if (vanilla) swap_to(*gpu_);
+
+  const Index batch = client_config_.batch_size;
+  const Index prefix = client_config_.adapter.type == nn::AdapterType::Prefix
+                           ? client_config_.adapter.prefix_len
+                           : 0;
+  const Index seq = client_config_.seq_len + prefix;
+  const Index dim = client_config_.model.dim;
+  util::Rng rng(0x9ec0ffee ^ static_cast<std::uint64_t>(id_));
+
+  const auto make_input = [&](bool requires_grad) {
+    Tensor x = Tensor::empty({batch, seq, dim}, *gpu_);
+    rng.fill_normal(x.data(), static_cast<std::size_t>(x.numel()), 0.5f);
+    x.set_requires_grad(requires_grad);
+    return x;
+  };
+
+  // Demands aggregate across every GPU the section's layers touch (the
+  // scheduler manages the Fig 2 "GPU memory" abstraction — the union of
+  // all GPUs).
+  const int gpus = devices_->gpu_count();
+  std::vector<std::size_t> bases(static_cast<std::size_t>(gpus));
+  const auto mark = [&] {
+    for (int g = 0; g < gpus; ++g) {
+      bases[static_cast<std::size_t>(g)] = devices_->gpu(g).allocated();
+      devices_->gpu(g).reset_peak();
+    }
+  };
+  const auto measure = [&] {
+    std::size_t total = 0;
+    for (int g = 0; g < gpus; ++g) {
+      total += devices_->gpu(g).stats().peak -
+               bases[static_cast<std::size_t>(g)];
+    }
+    return total;
+  };
+
+  sched::ClientDemands d;
+  {
+    mark();
+    if (config_.mode == ServingMode::MenosOnDemand) {
+      tensor::NoGradGuard no_grad;
+      Tensor x = make_input(false);
+      Tensor y = section_->forward(x);
+    } else {
+      Tensor x = make_input(true);
+      Tensor y = section_->forward(x);
+    }
+    d.forward_bytes = measure();
+  }
+  {
+    mark();
+    {
+      Tensor x = make_input(true);
+      Tensor y = section_->forward(x);
+      Tensor seed;
+      {
+        tensor::NoGradGuard no_grad;
+        seed = Tensor::zeros(y.shape(), *gpu_);
+      }
+      // Optimizer.step() allocates nothing (state is pre-allocated), so the
+      // peak here covers the full backward path. No step is taken: profiling
+      // must not perturb the adapter.
+      tensor::backward(y, seed);
+      optimizer_->zero_grad();
+      x.zero_grad();
+    }
+    d.backward_bytes = measure();
+  }
+
+  if (holds_across_iteration(config_.mode)) {
+    // The allocation spans forward -> backward, so its size must cover the
+    // backward peak from the start.
+    d.forward_bytes = d.backward_bytes;
+  }
+
+  profile_cache_->insert(key, d);
+  if (vanilla) {
+    swap_to(*host_);
+    d.forward_bytes += task_bytes_;
+    d.backward_bytes += task_bytes_;
+  }
+  return d;
+}
+
+double ServingSession::acquire(sched::OpKind kind) {
+  if (holding_allocation_) return 0.0;
+  util::Stopwatch sw;
+  granted_.store(false);
+  scheduler_->on_request(id_, kind);
+  grant_.wait_and_reset();
+  if (!granted_.load()) {
+    // Woken by request_stop, not by a grant; the pending request is removed
+    // by cleanup()'s unregister.
+    throw StateError("session stopped while waiting to be scheduled");
+  }
+  holding_allocation_ = true;
+  return sw.elapsed_seconds();
+}
+
+void ServingSession::release() {
+  if (!holding_allocation_) return;
+  scheduler_->on_complete(id_);
+  holding_allocation_ = false;
+}
+
+void ServingSession::swap_to(gpusim::Device& device) {
+  const bool to_gpu = &device == gpu_;
+  if (on_gpu_ == to_gpu) return;
+  if (config_.trace != nullptr) {
+    config_.trace->record(util::TraceCategory::Memory,
+                          to_gpu ? "swap.in" : "swap.out", id_, task_bytes_);
+  }
+  for (nn::Parameter& p : section_->parameters()) {
+    p.value.migrate(device);
+  }
+  for (tensor::Tensor t : optimizer_->state_tensors()) {
+    t.migrate(device);
+  }
+  on_gpu_ = to_gpu;
+}
+
+void ServingSession::serve_loop() {
+  while (auto msg = connection_->receive()) {
+    switch (msg->type) {
+      case net::MessageType::Forward:
+        handle_forward(*msg);
+        break;
+      case net::MessageType::Backward:
+        handle_backward(*msg);
+        break;
+      case net::MessageType::FetchAdapter:
+        // The server-side adapter phi_s belongs to the client: hand over a
+        // serialized copy (never the frozen base parameters).
+        connection_->send(net::Message::adapter_blob(
+            serialize_adapter(*section_)));
+        break;
+      case net::MessageType::PushAdapter:
+        deserialize_adapter(msg->blob.data(), msg->blob.size(), *section_);
+        connection_->send(net::Message::push_ack());
+        break;
+      case net::MessageType::Bye:
+        return;
+      default:
+        throw ProtocolError("unexpected message in serve loop: " +
+                            std::string(net::message_type_name(msg->type)));
+    }
+  }
+}
+
+void ServingSession::handle_forward(const net::Message& msg) {
+  using tensor::Tensor;
+  const bool eval = msg.eval_only;
+  const bool keep = !eval && holds_across_iteration(config_.mode);
+  const double wait_s = acquire(sched::OpKind::Forward);
+
+  util::Stopwatch compute_sw;
+  if (!on_gpu_) {
+    swap_to(*gpu_);
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.swaps;
+  }
+
+  net::WireTensor result;
+  if (keep) {
+    // Fig 3(a)/(b) + vanilla: gradient-tracking forward, graph retained
+    // until the matching Backward. PreserveAll may still be holding last
+    // iteration's graph; drop it now, at the last possible moment.
+    held_input_ = tensor::Tensor();
+    held_output_ = tensor::Tensor();
+    held_input_ = from_wire(msg.tensor, *gpu_, /*requires_grad=*/true);
+    held_output_ = section_->forward(held_input_);
+    result = to_wire(held_output_);
+  } else if (!eval && config_.mode == ServingMode::MenosReleaseEarly) {
+    // Fig 3(c): full forward, but the graph is dropped right away (scope
+    // exit) and a re-forward happens at Backward.
+    cached_activation_ = msg.tensor;
+    Tensor x = from_wire(msg.tensor, *gpu_, /*requires_grad=*/true);
+    Tensor y = section_->forward(x);
+    result = to_wire(y);
+  } else {
+    // Fig 3(d) / evaluation: non-gradient environment — the activation
+    // cache (I) is never materialized (Algorithm 1 line 6).
+    if (!eval) cached_activation_ = msg.tensor;
+    tensor::NoGradGuard no_grad;
+    Tensor x = from_wire(msg.tensor, *gpu_, /*requires_grad=*/false);
+    Tensor y = section_->forward(x);
+    result = to_wire(y);
+  }
+  const double compute_s = compute_sw.elapsed_seconds();
+
+  if (!keep && config_.mode != ServingMode::MenosPreserveAll) {
+    // Release GPU memory (Algorithm 1 line 7): vanilla additionally swaps
+    // the task out when other clients are queued for the capacity.
+    if (config_.mode == ServingMode::VanillaTaskSwap &&
+        scheduler_->waiting_count() > 0) {
+      swap_to(*host_);
+    }
+    release();
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.schedule_wait_s.add(wait_s);
+    stats_.compute_s.add(compute_s);
+  }
+  if (config_.trace != nullptr) {
+    config_.trace->record(util::TraceCategory::Scheduler, "forward.wait",
+                          id_, static_cast<std::uint64_t>(wait_s * 1e6));
+    config_.trace->record(util::TraceCategory::Session, "forward.compute",
+                          id_, static_cast<std::uint64_t>(compute_s * 1e6));
+  }
+  net::Message reply = net::Message::forward_result(std::move(result),
+                                                    msg.iteration);
+  reply.compute_seconds = compute_s;
+  reply.schedule_wait_seconds = wait_s;
+  connection_->send(reply);
+}
+
+void ServingSession::handle_backward(const net::Message& msg) {
+  using tensor::Tensor;
+  const double wait_s = acquire(sched::OpKind::Backward);
+
+  util::Stopwatch compute_sw;
+  if (!on_gpu_) {
+    swap_to(*gpu_);
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.swaps;
+  }
+
+  Tensor x_in;
+  Tensor x_out;
+  if (held_output_.defined()) {
+    x_in = held_input_;
+    x_out = held_output_;
+  } else {
+    if (cached_activation_.data.empty()) {
+      throw ProtocolError("Backward with no preceding Forward");
+    }
+    // The on-demand re-forward (Algorithm 1 line 10).
+    x_in = from_wire(cached_activation_, *gpu_, /*requires_grad=*/true);
+    x_out = section_->forward(x_in);
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.reforwards;
+  }
+
+  Tensor g_c = from_wire(msg.tensor, *gpu_);
+  MENOS_CHECK_MSG(g_c.numel() == x_out.numel(),
+                  "gradient size does not match server activations");
+  tensor::backward(x_out, g_c);
+  // Algorithm 1 line 12: optimize the server adapter. Under gradient
+  // accumulation the client defers the step: gradients keep accumulating
+  // in the adapter's .grad buffers (A-sized, negligible) until a
+  // non-deferred Backward applies them. A client-evaluated LR schedule
+  // rides along in the message so both halves of the adapter step at the
+  // same rate.
+  if (msg.lr_override > 0.0f) optimizer_->set_lr(msg.lr_override);
+  if (!msg.defer_update) optimizer_->step();
+
+  Tensor g_s = x_in.grad();
+  MENOS_CHECK_MSG(g_s.defined(), "no gradient reached the cut point");
+  net::WireTensor result = to_wire(g_s);
+
+  // Release GPU memory (Algorithm 1 line 13): dropping every tensor and
+  // graph reference frees the intermediate results I. PreserveAll is the
+  // exception (Fig 3(a)): it keeps the graph allocated through the waiting
+  // phases and only replaces it at the next forward.
+  if (!msg.defer_update) optimizer_->zero_grad();
+  x_in.zero_grad();
+  if (config_.mode != ServingMode::MenosPreserveAll) {
+    held_input_ = Tensor();
+    held_output_ = Tensor();
+  }
+  x_in = Tensor();
+  x_out = Tensor();
+  g_c = Tensor();
+  g_s = Tensor();
+  const double compute_s = compute_sw.elapsed_seconds();
+
+  if (config_.mode != ServingMode::MenosPreserveAll) {
+    if (config_.mode == ServingMode::VanillaTaskSwap &&
+        scheduler_->waiting_count() > 0) {
+      swap_to(*host_);
+    }
+    release();
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.schedule_wait_s.add(wait_s);
+    stats_.compute_s.add(compute_s);
+    ++stats_.iterations;
+  }
+  if (config_.trace != nullptr) {
+    config_.trace->record(util::TraceCategory::Scheduler, "backward.wait",
+                          id_, static_cast<std::uint64_t>(wait_s * 1e6));
+    config_.trace->record(util::TraceCategory::Session, "backward.compute",
+                          id_, static_cast<std::uint64_t>(compute_s * 1e6));
+  }
+  net::Message reply = net::Message::backward_result(std::move(result),
+                                                     msg.iteration);
+  reply.compute_seconds = compute_s;
+  reply.schedule_wait_seconds = wait_s;
+  connection_->send(reply);
+}
+
+void ServingSession::cleanup() {
+  // A grant may have raced the stop notification; reclaim it either way.
+  if (!holding_allocation_ && scheduler_->allocated_to(id_) > 0) {
+    holding_allocation_ = true;
+  }
+  release();
+  if (section_ != nullptr) {
+    // Only registered sessions appear in the scheduler; a failed handshake
+    // may not have gotten that far.
+    try {
+      scheduler_->unregister_client(id_);
+    } catch (const Error&) {
+      // Never registered — nothing to undo.
+    }
+  }
+  if (persistent_bytes_ != 0) {
+    scheduler_->release_persistent(0, persistent_bytes_);
+    persistent_bytes_ = 0;
+  }
+  // Free the client's GPU state promptly.
+  held_input_ = tensor::Tensor();
+  held_output_ = tensor::Tensor();
+  cached_activation_ = net::WireTensor();
+  section_.reset();
+  optimizer_.reset();
+  connection_->close();
+  if (config_.trace != nullptr) {
+    config_.trace->record(util::TraceCategory::Session, "disconnect", id_);
+  }
+  finished_.store(true);
+}
+
+}  // namespace menos::core

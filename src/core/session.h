@@ -1,0 +1,133 @@
+// Per-client serving session (Algorithm 1 + Fig 4's "serving processes").
+//
+// Each connected client gets one session running on its own thread. The
+// session owns the client's model *structure* (built over the shared
+// ParameterStore in Menos modes, or over a private copy in the vanilla
+// baseline), the client's adapter + optimizer state, and drives the
+// four-step loop of §2.2 under the memory policy of its ServingMode.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "core/parameter_store.h"
+#include "core/runtime.h"
+#include "net/transport.h"
+#include "optim/optimizer.h"
+#include "util/queue.h"
+#include "util/stopwatch.h"
+
+namespace menos::core {
+
+/// Cached profiling results shared across sessions with identical
+/// fine-tuning configurations (the paper profiles each *configuration*
+/// once; identical clients reuse the measurement).
+class ProfileCache {
+ public:
+  std::optional<sched::ClientDemands> find(const std::string& key) const;
+  void insert(const std::string& key, const sched::ClientDemands& demands);
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, sched::ClientDemands> cache_;
+};
+
+/// Aggregate per-session timing, mirroring the paper's Table 1-3 breakdown
+/// (as observed server-side).
+struct SessionStats {
+  util::RunningStat schedule_wait_s;  ///< request -> grant (Table 3)
+  util::RunningStat compute_s;        ///< forward+backward compute (Table 2)
+  std::uint64_t iterations = 0;
+  std::uint64_t reforwards = 0;  ///< extra forward passes paid by on-demand
+  std::uint64_t swaps = 0;       ///< vanilla task swaps (in+out pairs)
+};
+
+class ServingSession {
+ public:
+  ServingSession(int id, std::unique_ptr<net::Connection> connection,
+                 const ServerConfig& config, const ParameterStore* store,
+                 const nn::TransformerConfig& model,
+                 sched::Scheduler& scheduler,
+                 gpusim::DeviceManager& devices,
+                 std::mutex& profiling_mutex, ProfileCache& profile_cache);
+  ~ServingSession();
+
+  void start();        ///< spawn the session thread
+  void join();         ///< wait for the serve loop to finish
+  void request_stop(); ///< close the connection, unblocking receive()
+
+  /// Scheduler grant arrived for this session.
+  void on_grant(const sched::Grant& grant);
+
+  int id() const noexcept { return id_; }
+  bool finished() const noexcept { return finished_.load(); }
+
+  /// Persistent GPU bytes attributable to this client: A + O in shared
+  /// modes; the whole task copy in vanilla mode (0 while swapped out).
+  std::size_t persistent_gpu_bytes() const;
+
+  SessionStats stats() const;
+  const sched::ClientDemands& demands() const noexcept { return demands_; }
+
+ private:
+  void run();
+  void handshake(const net::Message& hello);
+  void serve_loop();
+  void handle_forward(const net::Message& msg);
+  void handle_backward(const net::Message& msg);
+  void cleanup();
+
+  /// Profile M_f / M_b (§3.3) with random inputs on the real device.
+  sched::ClientDemands profile();
+  std::string profile_key() const;
+
+  /// Scheduler interaction helpers.
+  double acquire(sched::OpKind kind);  ///< request + block; returns wait s
+  void release();
+
+  /// Vanilla task-swap helpers (migrate params + optimizer state).
+  void swap_to(gpusim::Device& device);
+
+  int id_;
+  std::unique_ptr<net::Connection> connection_;
+  ServerConfig config_;
+  const ParameterStore* store_;  // null in vanilla mode
+  nn::TransformerConfig model_;
+  sched::Scheduler* scheduler_;
+  gpusim::DeviceManager* devices_;
+  gpusim::Device* gpu_;   ///< entry device (first server block's GPU)
+  gpusim::Device* host_;
+  std::mutex* profiling_mutex_;
+  ProfileCache* profile_cache_;
+
+  net::FinetuneConfig client_config_;
+  std::unique_ptr<nn::ServerSection> section_;
+  std::unique_ptr<optim::Optimizer> optimizer_;
+  sched::ClientDemands demands_;
+  std::size_t persistent_bytes_ = 0;  ///< A + O reserved on the scheduler
+  std::size_t task_bytes_ = 0;        ///< vanilla: M_copy + A + O
+
+  util::Notification grant_;
+  std::atomic<bool> granted_{false};
+  std::atomic<bool> stop_requested_{false};
+  bool holding_allocation_ = false;
+  bool on_gpu_ = true;
+
+  // Iteration state for modes that hold the graph across fwd -> bwd.
+  tensor::Tensor held_input_;
+  tensor::Tensor held_output_;
+  // Cached activations x_c for the on-demand re-forward (host-side copy;
+  // "we just need to cache the forward activations for the re-forward
+  // computation, which is negligible" — §3.2).
+  net::WireTensor cached_activation_;
+
+  mutable std::mutex stats_mutex_;
+  SessionStats stats_;
+
+  std::thread thread_;
+  std::atomic<bool> finished_{false};
+};
+
+}  // namespace menos::core

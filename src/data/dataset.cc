@@ -1,0 +1,223 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+#include "util/check.h"
+
+namespace menos::data {
+
+CharTokenizer::CharTokenizer()
+    : alphabet_(
+          "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+          "0123456789 .,;:!?'\"-()\n"),
+      char_to_id_(256, -1) {
+  for (std::size_t i = 0; i < alphabet_.size(); ++i) {
+    char_to_id_[static_cast<unsigned char>(alphabet_[i])] =
+        static_cast<std::int32_t>(i);
+  }
+}
+
+std::int32_t CharTokenizer::vocab_size() const noexcept {
+  return static_cast<std::int32_t>(alphabet_.size());
+}
+
+std::vector<std::int32_t> CharTokenizer::encode(const std::string& text) const {
+  std::vector<std::int32_t> ids;
+  ids.reserve(text.size());
+  for (char c : text) {
+    std::int32_t id = char_to_id_[static_cast<unsigned char>(c)];
+    // Unknown characters map to space rather than being dropped, keeping
+    // encode length == text length.
+    ids.push_back(id >= 0 ? id : char_to_id_[static_cast<unsigned char>(' ')]);
+  }
+  return ids;
+}
+
+std::string CharTokenizer::decode(const std::vector<std::int32_t>& ids) const {
+  std::string text;
+  text.reserve(ids.size());
+  for (std::int32_t id : ids) {
+    MENOS_CHECK_MSG(id >= 0 && id < vocab_size(),
+                    "token id " << id << " outside vocab");
+    text.push_back(alphabet_[static_cast<std::size_t>(id)]);
+  }
+  return text;
+}
+
+std::vector<std::string> WordTokenizer::split(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::string word;
+  const auto flush = [&] {
+    if (!word.empty()) {
+      tokens.push_back(word);
+      word.clear();
+    }
+  };
+  for (char raw : text) {
+    const auto c = static_cast<unsigned char>(raw);
+    if (std::isalpha(c) != 0 || raw == '\'') {
+      word.push_back(static_cast<char>(std::tolower(c)));
+    } else if (std::isdigit(c) != 0) {
+      word.push_back(raw);
+    } else {
+      flush();
+      if (std::isspace(c) == 0) tokens.push_back(std::string(1, raw));
+    }
+  }
+  flush();
+  return tokens;
+}
+
+WordTokenizer::WordTokenizer(const std::string& corpus,
+                             std::size_t max_vocab) {
+  MENOS_CHECK_MSG(max_vocab >= 2, "vocabulary must hold <unk> plus a word");
+  std::unordered_map<std::string, std::size_t> counts;
+  for (const std::string& token : split(corpus)) ++counts[token];
+
+  std::vector<std::pair<std::string, std::size_t>> ranked(counts.begin(),
+                                                          counts.end());
+  // Frequency-descending, then lexicographic for determinism.
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+
+  id_to_word_.push_back("<unk>");
+  for (const auto& [word, count] : ranked) {
+    (void)count;
+    if (id_to_word_.size() >= max_vocab) break;
+    id_to_word_.push_back(word);
+  }
+  for (std::size_t i = 0; i < id_to_word_.size(); ++i) {
+    word_to_id_[id_to_word_[i]] = static_cast<std::int32_t>(i);
+  }
+}
+
+std::int32_t WordTokenizer::vocab_size() const noexcept {
+  return static_cast<std::int32_t>(id_to_word_.size());
+}
+
+std::vector<std::int32_t> WordTokenizer::encode(const std::string& text) const {
+  std::vector<std::int32_t> ids;
+  for (const std::string& token : split(text)) {
+    auto it = word_to_id_.find(token);
+    ids.push_back(it == word_to_id_.end() ? unk_id() : it->second);
+  }
+  return ids;
+}
+
+std::string WordTokenizer::decode(const std::vector<std::int32_t>& ids) const {
+  std::string out;
+  for (std::int32_t id : ids) {
+    MENOS_CHECK_MSG(id >= 0 && id < vocab_size(),
+                    "token id " << id << " outside vocab");
+    const std::string& word = id_to_word_[static_cast<std::size_t>(id)];
+    const bool punctuation =
+        word.size() == 1 &&
+        std::isalnum(static_cast<unsigned char>(word[0])) == 0;
+    if (!out.empty() && !punctuation) out.push_back(' ');
+    out += word;
+  }
+  return out;
+}
+
+namespace {
+
+const std::array<const char*, 24> kShakespeareWords = {
+    "thou",  "art",    "hath",  "doth",   "wherefore", "noble",
+    "king",  "crown",  "sword", "honour", "love",      "night",
+    "stars", "fortune", "grace", "mercy",  "tyrant",    "throne",
+    "blood", "ghost",  "storm", "heart",  "banish",    "exile"};
+
+const std::array<const char*, 20> kWikiWords = {
+    "the",     "system",   "model",    "memory",  "server",
+    "client",  "protocol", "network",  "process", "history",
+    "region",  "language", "structure", "record",  "design",
+    "science", "battle",   "century",  "station", "village"};
+
+std::string generate_word_text(std::size_t length, std::uint64_t seed,
+                               const char* const* words, std::size_t n_words,
+                               std::size_t sentence_min,
+                               std::size_t sentence_max) {
+  util::Rng rng(seed);
+  std::string text;
+  text.reserve(length + 16);
+  bool capitalize = true;
+  while (text.size() < length) {
+    const std::size_t sentence_len =
+        sentence_min + rng.next_below(sentence_max - sentence_min + 1);
+    for (std::size_t w = 0; w < sentence_len && text.size() < length; ++w) {
+      // Zipf-ish skew: square the uniform draw so low indices dominate.
+      const double u = rng.next_double();
+      const std::size_t idx =
+          static_cast<std::size_t>(u * u * static_cast<double>(n_words));
+      std::string word = words[idx < n_words ? idx : n_words - 1];
+      if (capitalize && !word.empty()) {
+        word[0] = static_cast<char>(word[0] - 'a' + 'A');
+        capitalize = false;
+      }
+      text += word;
+      text += w + 1 == sentence_len ? "" : " ";
+    }
+    text += ". ";
+    capitalize = true;
+    if (rng.next_below(8) == 0) text += "\n";
+  }
+  text.resize(length);
+  return text;
+}
+
+}  // namespace
+
+Corpus make_shakespeare_like(std::size_t length, std::uint64_t seed) {
+  Corpus c;
+  c.name = "shakespeare-like";
+  c.text = generate_word_text(length, seed, kShakespeareWords.data(),
+                              kShakespeareWords.size(), 3, 9);
+  return c;
+}
+
+Corpus make_wikitext_like(std::size_t length, std::uint64_t seed) {
+  Corpus c;
+  c.name = "wikitext-like";
+  c.text = generate_word_text(length, seed ^ 0x5bd1e995u, kWikiWords.data(),
+                              kWikiWords.size(), 5, 14);
+  return c;
+}
+
+DataLoader::DataLoader(std::vector<std::int32_t> tokens,
+                       std::int64_t batch_size, std::int64_t seq_len,
+                       std::uint64_t seed)
+    : tokens_(std::move(tokens)),
+      batch_size_(batch_size),
+      seq_len_(seq_len),
+      rng_(seed) {
+  MENOS_CHECK_MSG(batch_size > 0 && seq_len > 0,
+                  "batch size and sequence length must be positive");
+  MENOS_CHECK_MSG(static_cast<std::int64_t>(tokens_.size()) > seq_len,
+                  "corpus too short for sequence length " << seq_len);
+}
+
+Batch DataLoader::next() {
+  Batch b;
+  b.batch_size = batch_size_;
+  b.seq_len = seq_len_;
+  b.inputs.resize(static_cast<std::size_t>(batch_size_ * seq_len_));
+  b.targets.resize(static_cast<std::size_t>(batch_size_ * seq_len_));
+  const std::size_t max_start = tokens_.size() - static_cast<std::size_t>(seq_len_) - 1;
+  for (std::int64_t i = 0; i < batch_size_; ++i) {
+    const std::size_t start =
+        static_cast<std::size_t>(rng_.next_below(max_start + 1));
+    for (std::int64_t t = 0; t < seq_len_; ++t) {
+      b.inputs[static_cast<std::size_t>(i * seq_len_ + t)] =
+          tokens_[start + static_cast<std::size_t>(t)];
+      b.targets[static_cast<std::size_t>(i * seq_len_ + t)] =
+          tokens_[start + static_cast<std::size_t>(t) + 1];
+    }
+  }
+  return b;
+}
+
+}  // namespace menos::data

@@ -1,0 +1,150 @@
+#include "gpusim/device.h"
+
+#include <cstdlib>
+#include <limits>
+#include <mutex>
+#include <new>
+
+#include "util/check.h"
+
+namespace menos::gpusim {
+namespace {
+
+/// Shared accounting + heap-backed allocation. Host and SimGpu differ only
+/// in whether a capacity is enforced.
+class MeteredDevice final : public Device {
+ public:
+  MeteredDevice(DeviceKind kind, std::string name, std::size_t capacity)
+      : kind_(kind), name_(std::move(name)), capacity_(capacity) {}
+
+  DeviceKind kind() const noexcept override { return kind_; }
+  const std::string& name() const noexcept override { return name_; }
+
+  void* allocate(std::size_t bytes) override {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (capacity_ != 0 && allocated_ + bytes > capacity_) {
+        throw OutOfMemory("device '" + name_ + "' out of memory", bytes,
+                          capacity_ - allocated_);
+      }
+      allocated_ += bytes;
+      if (allocated_ > peak_) peak_ = allocated_;
+      ++lifetime_allocs_;
+      lifetime_bytes_ += bytes;
+    }
+    if (bytes == 0) {
+      // Distinct non-null sentinel; operator new(0) is legal and unique.
+      return ::operator new(1);
+    }
+    try {
+      return ::operator new(bytes);
+    } catch (const std::bad_alloc&) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      allocated_ -= bytes;
+      throw OutOfMemory("host heap exhausted backing device '" + name_ + "'",
+                        bytes, 0);
+    }
+  }
+
+  void deallocate(void* ptr, std::size_t bytes) noexcept override {
+    if (ptr == nullptr) return;
+    ::operator delete(ptr);
+    std::lock_guard<std::mutex> lock(mutex_);
+    allocated_ -= bytes;
+    ++lifetime_frees_;
+  }
+
+  MemoryStats stats() const override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    MemoryStats s;
+    s.capacity = capacity_;
+    s.allocated = allocated_;
+    s.peak = peak_;
+    s.lifetime_allocs = lifetime_allocs_;
+    s.lifetime_frees = lifetime_frees_;
+    s.lifetime_bytes = lifetime_bytes_;
+    return s;
+  }
+
+  void reset_peak() override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    peak_ = allocated_;
+  }
+
+ private:
+  DeviceKind kind_;
+  std::string name_;
+  std::size_t capacity_;  // 0 = unlimited
+
+  mutable std::mutex mutex_;
+  std::size_t allocated_ = 0;
+  std::size_t peak_ = 0;
+  std::size_t lifetime_allocs_ = 0;
+  std::size_t lifetime_frees_ = 0;
+  std::size_t lifetime_bytes_ = 0;
+};
+
+}  // namespace
+
+std::size_t Device::available() const {
+  const MemoryStats s = stats();
+  if (s.capacity == 0) return std::numeric_limits<std::size_t>::max();
+  return s.capacity - s.allocated;
+}
+
+std::unique_ptr<Device> make_host_device(std::string name) {
+  return std::make_unique<MeteredDevice>(DeviceKind::Host, std::move(name), 0);
+}
+
+std::unique_ptr<Device> make_sim_gpu(std::string name,
+                                     std::size_t capacity_bytes) {
+  MENOS_CHECK_MSG(capacity_bytes > 0, "SimGpu capacity must be positive");
+  return std::make_unique<MeteredDevice>(DeviceKind::SimGpu, std::move(name),
+                                         capacity_bytes);
+}
+
+DeviceManager::DeviceManager(int gpu_count, std::size_t gpu_capacity_bytes)
+    : host_(make_host_device()) {
+  MENOS_CHECK_MSG(gpu_count >= 0, "negative GPU count");
+  gpus_.reserve(static_cast<std::size_t>(gpu_count));
+  for (int i = 0; i < gpu_count; ++i) {
+    gpus_.push_back(make_sim_gpu("gpu" + std::to_string(i), gpu_capacity_bytes));
+  }
+}
+
+Device& DeviceManager::gpu(int index) {
+  MENOS_CHECK_MSG(index >= 0 && index < gpu_count(),
+                  "gpu index " << index << " out of range [0," << gpu_count()
+                               << ")");
+  return *gpus_[static_cast<std::size_t>(index)];
+}
+
+const Device& DeviceManager::gpu(int index) const {
+  MENOS_CHECK_MSG(index >= 0 && index < gpu_count(),
+                  "gpu index " << index << " out of range [0," << gpu_count()
+                               << ")");
+  return *gpus_[static_cast<std::size_t>(index)];
+}
+
+Device& DeviceManager::least_loaded_gpu() {
+  MENOS_CHECK_MSG(!gpus_.empty(), "DeviceManager has no GPUs");
+  Device* best = gpus_[0].get();
+  for (auto& g : gpus_) {
+    if (g->available() > best->available()) best = g.get();
+  }
+  return *best;
+}
+
+std::size_t DeviceManager::total_gpu_available() const {
+  std::size_t total = 0;
+  for (const auto& g : gpus_) total += g->available();
+  return total;
+}
+
+std::size_t DeviceManager::total_gpu_capacity() const {
+  std::size_t total = 0;
+  for (const auto& g : gpus_) total += g->stats().capacity;
+  return total;
+}
+
+}  // namespace menos::gpusim

@@ -1,0 +1,92 @@
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "net/transport.h"
+#include "util/queue.h"
+
+namespace menos::net {
+namespace {
+
+/// One direction of the duplex channel.
+struct Pipe {
+  util::BlockingQueue<Message> queue;
+};
+
+class InprocConnection final : public Connection {
+ public:
+  InprocConnection(std::shared_ptr<Pipe> out, std::shared_ptr<Pipe> in,
+                   NetworkConditioner conditioner)
+      : out_(std::move(out)), in_(std::move(in)), conditioner_(conditioner) {}
+
+  ~InprocConnection() override { close(); }
+
+  bool send(const Message& message) override {
+    if (out_->queue.closed()) return false;
+    // Wire-size accounting uses the real encoded size so the comm-time
+    // model sees exactly what TCP would carry.
+    const std::size_t frame_bytes =
+        frame_message(message).size();
+    bytes_sent_ += frame_bytes;
+    const double delay =
+        conditioner_.transfer_seconds(frame_bytes) * conditioner_.time_scale;
+    if (delay > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+    }
+    out_->queue.push(message);
+    return true;
+  }
+
+  std::optional<Message> receive() override { return in_->queue.pop(); }
+
+  void close() override {
+    out_->queue.close();
+    in_->queue.close();
+  }
+
+  std::uint64_t bytes_sent() const override { return bytes_sent_; }
+
+ private:
+  std::shared_ptr<Pipe> out_;
+  std::shared_ptr<Pipe> in_;
+  NetworkConditioner conditioner_;
+  std::atomic<std::uint64_t> bytes_sent_{0};
+};
+
+}  // namespace
+
+std::pair<std::unique_ptr<Connection>, std::unique_ptr<Connection>>
+make_inproc_pair(const NetworkConditioner& conditioner) {
+  auto a_to_b = std::make_shared<Pipe>();
+  auto b_to_a = std::make_shared<Pipe>();
+  auto a = std::make_unique<InprocConnection>(a_to_b, b_to_a, conditioner);
+  auto b = std::make_unique<InprocConnection>(b_to_a, a_to_b, conditioner);
+  return {std::move(a), std::move(b)};
+}
+
+struct InprocAcceptor::State {
+  util::BlockingQueue<std::unique_ptr<Connection>> pending;
+  NetworkConditioner conditioner;
+};
+
+InprocAcceptor::InprocAcceptor(const NetworkConditioner& conditioner)
+    : state_(std::make_shared<State>()) {
+  state_->conditioner = conditioner;
+}
+
+InprocAcceptor::~InprocAcceptor() { close(); }
+
+std::unique_ptr<Connection> InprocAcceptor::connect() {
+  auto [client_end, server_end] = make_inproc_pair(state_->conditioner);
+  state_->pending.push(std::move(server_end));
+  return std::move(client_end);
+}
+
+std::unique_ptr<Connection> InprocAcceptor::accept() {
+  auto conn = state_->pending.pop();
+  return conn.has_value() ? std::move(*conn) : nullptr;
+}
+
+void InprocAcceptor::close() { state_->pending.close(); }
+
+}  // namespace menos::net

@@ -1,0 +1,328 @@
+#include "net/message.h"
+
+#include "net/wire.h"
+#include "util/crc32.h"
+
+namespace menos::net {
+
+const char* message_type_name(MessageType type) noexcept {
+  switch (type) {
+    case MessageType::Hello:          return "Hello";
+    case MessageType::HelloAck:       return "HelloAck";
+    case MessageType::Forward:        return "Forward";
+    case MessageType::ForwardResult:  return "ForwardResult";
+    case MessageType::Backward:       return "Backward";
+    case MessageType::BackwardResult: return "BackwardResult";
+    case MessageType::Bye:            return "Bye";
+    case MessageType::Error:          return "Error";
+    case MessageType::FetchAdapter:   return "FetchAdapter";
+    case MessageType::AdapterBlob:    return "AdapterBlob";
+    case MessageType::PushAdapter:    return "PushAdapter";
+    case MessageType::PushAck:        return "PushAck";
+  }
+  return "?";
+}
+
+Message Message::hello(FinetuneConfig config) {
+  Message m;
+  m.type = MessageType::Hello;
+  m.config = std::move(config);
+  return m;
+}
+
+Message Message::hello_ack(std::uint64_t forward_bytes,
+                           std::uint64_t backward_bytes) {
+  Message m;
+  m.type = MessageType::HelloAck;
+  m.forward_bytes = forward_bytes;
+  m.backward_bytes = backward_bytes;
+  return m;
+}
+
+Message Message::forward(WireTensor tensor, std::uint64_t iteration) {
+  Message m;
+  m.type = MessageType::Forward;
+  m.tensor = std::move(tensor);
+  m.iteration = iteration;
+  return m;
+}
+
+Message Message::forward_result(WireTensor tensor, std::uint64_t iteration) {
+  Message m;
+  m.type = MessageType::ForwardResult;
+  m.tensor = std::move(tensor);
+  m.iteration = iteration;
+  return m;
+}
+
+Message Message::backward(WireTensor tensor, std::uint64_t iteration) {
+  Message m;
+  m.type = MessageType::Backward;
+  m.tensor = std::move(tensor);
+  m.iteration = iteration;
+  return m;
+}
+
+Message Message::backward_result(WireTensor tensor, std::uint64_t iteration) {
+  Message m;
+  m.type = MessageType::BackwardResult;
+  m.tensor = std::move(tensor);
+  m.iteration = iteration;
+  return m;
+}
+
+Message Message::bye() {
+  Message m;
+  m.type = MessageType::Bye;
+  return m;
+}
+
+Message Message::error(std::string text) {
+  Message m;
+  m.type = MessageType::Error;
+  m.text = std::move(text);
+  return m;
+}
+
+Message Message::fetch_adapter() {
+  Message m;
+  m.type = MessageType::FetchAdapter;
+  return m;
+}
+
+Message Message::adapter_blob(std::vector<std::uint8_t> blob) {
+  Message m;
+  m.type = MessageType::AdapterBlob;
+  m.blob = std::move(blob);
+  return m;
+}
+
+Message Message::push_adapter(std::vector<std::uint8_t> blob) {
+  Message m;
+  m.type = MessageType::PushAdapter;
+  m.blob = std::move(blob);
+  return m;
+}
+
+Message Message::push_ack() {
+  Message m;
+  m.type = MessageType::PushAck;
+  return m;
+}
+
+namespace {
+
+void put_tensor(Writer& w, const WireTensor& t) {
+  w.put_u64(t.shape.size());
+  for (std::int64_t d : t.shape) w.put_i64(d);
+  w.put_f32_array(t.data.data(), t.data.size());
+}
+
+WireTensor get_tensor(Reader& r) {
+  WireTensor t;
+  const std::uint64_t ndim = r.get_u64();
+  if (ndim > 8) throw ProtocolError("wire tensor rank too large");
+  t.shape.resize(ndim);
+  std::int64_t numel = 1;
+  for (auto& d : t.shape) {
+    d = r.get_i64();
+    if (d < 0) throw ProtocolError("negative wire tensor dimension");
+    numel *= d;
+  }
+  t.data = r.get_f32_array();
+  if (static_cast<std::int64_t>(t.data.size()) != numel) {
+    throw ProtocolError("wire tensor payload does not match shape");
+  }
+  return t;
+}
+
+void put_config(Writer& w, const FinetuneConfig& c) {
+  w.put_string(c.client_name);
+  w.put_u8(static_cast<std::uint8_t>(c.model.family));
+  w.put_i64(c.model.vocab_size);
+  w.put_i64(c.model.dim);
+  w.put_i64(c.model.n_layers);
+  w.put_i64(c.model.n_heads);
+  w.put_i64(c.model.n_kv_heads);
+  w.put_i64(c.model.ffn_hidden);
+  w.put_i64(c.model.max_seq);
+  w.put_i64(c.split.front_blocks);
+  w.put_i64(c.split.back_blocks);
+  w.put_u8(static_cast<std::uint8_t>(c.adapter.type));
+  w.put_i64(c.adapter.rank);
+  w.put_f32(c.adapter.alpha);
+  w.put_u8(c.adapter.target_q ? 1 : 0);
+  w.put_u8(c.adapter.target_v ? 1 : 0);
+  w.put_u8(c.adapter.target_lm_head ? 1 : 0);
+  w.put_i64(c.adapter.prefix_len);
+  w.put_u8(static_cast<std::uint8_t>(c.optimizer));
+  w.put_f32(c.lr);
+  w.put_i64(c.batch_size);
+  w.put_i64(c.seq_len);
+  w.put_u64(c.adapter_seed);
+}
+
+FinetuneConfig get_config(Reader& r) {
+  FinetuneConfig c;
+  c.client_name = r.get_string();
+  const std::uint8_t family = r.get_u8();
+  if (family > 1) throw ProtocolError("unknown model family on wire");
+  c.model.family = static_cast<nn::ModelFamily>(family);
+  c.model.vocab_size = r.get_i64();
+  c.model.dim = r.get_i64();
+  c.model.n_layers = static_cast<int>(r.get_i64());
+  c.model.n_heads = static_cast<int>(r.get_i64());
+  c.model.n_kv_heads = static_cast<int>(r.get_i64());
+  c.model.ffn_hidden = r.get_i64();
+  c.model.max_seq = r.get_i64();
+  c.split.front_blocks = static_cast<int>(r.get_i64());
+  c.split.back_blocks = static_cast<int>(r.get_i64());
+  const std::uint8_t adapter = r.get_u8();
+  if (adapter > 3) throw ProtocolError("unknown adapter type on wire");
+  c.adapter.type = static_cast<nn::AdapterType>(adapter);
+  c.adapter.rank = static_cast<int>(r.get_i64());
+  c.adapter.alpha = r.get_f32();
+  c.adapter.target_q = r.get_u8() != 0;
+  c.adapter.target_v = r.get_u8() != 0;
+  c.adapter.target_lm_head = r.get_u8() != 0;
+  c.adapter.prefix_len = static_cast<int>(r.get_i64());
+  const std::uint8_t opt = r.get_u8();
+  if (opt > 2) throw ProtocolError("unknown optimizer kind on wire");
+  c.optimizer = static_cast<optim::OptimizerKind>(opt);
+  c.lr = r.get_f32();
+  c.batch_size = r.get_i64();
+  c.seq_len = r.get_i64();
+  c.adapter_seed = r.get_u64();
+  return c;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_message(const Message& message) {
+  Writer w;
+  w.put_u8(static_cast<std::uint8_t>(message.type));
+  switch (message.type) {
+    case MessageType::Hello:
+      put_config(w, message.config);
+      break;
+    case MessageType::HelloAck:
+      w.put_u64(message.forward_bytes);
+      w.put_u64(message.backward_bytes);
+      break;
+    case MessageType::Forward:
+    case MessageType::ForwardResult:
+    case MessageType::Backward:
+    case MessageType::BackwardResult:
+      w.put_u64(message.iteration);
+      put_tensor(w, message.tensor);
+      w.put_f64(message.compute_seconds);
+      w.put_f64(message.schedule_wait_seconds);
+      w.put_u8(message.eval_only ? 1 : 0);
+      w.put_u8(message.defer_update ? 1 : 0);
+      w.put_f32(message.lr_override);
+      break;
+    case MessageType::Bye:
+    case MessageType::FetchAdapter:
+    case MessageType::PushAck:
+      break;
+    case MessageType::Error:
+      w.put_string(message.text);
+      break;
+    case MessageType::AdapterBlob:
+    case MessageType::PushAdapter:
+      w.put_bytes(message.blob);
+      break;
+  }
+  return w.take();
+}
+
+Message decode_message(const std::uint8_t* data, std::size_t size) {
+  Reader r(data, size);
+  const std::uint8_t raw_type = r.get_u8();
+  if (raw_type < 1 || raw_type > 12) {
+    throw ProtocolError("unknown message type " + std::to_string(raw_type));
+  }
+  Message m;
+  m.type = static_cast<MessageType>(raw_type);
+  switch (m.type) {
+    case MessageType::Hello:
+      m.config = get_config(r);
+      break;
+    case MessageType::HelloAck:
+      m.forward_bytes = r.get_u64();
+      m.backward_bytes = r.get_u64();
+      break;
+    case MessageType::Forward:
+    case MessageType::ForwardResult:
+    case MessageType::Backward:
+    case MessageType::BackwardResult:
+      m.iteration = r.get_u64();
+      m.tensor = get_tensor(r);
+      m.compute_seconds = r.get_f64();
+      m.schedule_wait_seconds = r.get_f64();
+      m.eval_only = r.get_u8() != 0;
+      m.defer_update = r.get_u8() != 0;
+      m.lr_override = r.get_f32();
+      break;
+    case MessageType::Bye:
+    case MessageType::FetchAdapter:
+    case MessageType::PushAck:
+      break;
+    case MessageType::Error:
+      m.text = r.get_string();
+      break;
+    case MessageType::AdapterBlob:
+    case MessageType::PushAdapter:
+      m.blob = r.get_bytes();
+      break;
+  }
+  if (!r.exhausted()) {
+    throw ProtocolError("trailing bytes after message payload");
+  }
+  return m;
+}
+
+std::vector<std::uint8_t> frame_message(const Message& message) {
+  const std::vector<std::uint8_t> payload = encode_message(message);
+  Writer w;
+  w.put_u32(kFrameMagic);
+  w.put_u64(payload.size());
+  std::vector<std::uint8_t> frame = w.take();
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  const std::uint32_t crc = util::crc32(payload.data(), payload.size());
+  frame.push_back(static_cast<std::uint8_t>(crc));
+  frame.push_back(static_cast<std::uint8_t>(crc >> 8));
+  frame.push_back(static_cast<std::uint8_t>(crc >> 16));
+  frame.push_back(static_cast<std::uint8_t>(crc >> 24));
+  return frame;
+}
+
+Message parse_frame(const std::uint8_t* data, std::size_t size) {
+  if (size < kFrameHeaderBytes + kFrameTrailerBytes) {
+    throw ProtocolError("truncated frame");
+  }
+  Reader header(data, kFrameHeaderBytes);
+  if (header.get_u32() != kFrameMagic) {
+    throw ProtocolError("bad frame magic");
+  }
+  const std::uint64_t payload_len = header.get_u64();
+  if (payload_len > kMaxFramePayload) {
+    throw ProtocolError("frame payload exceeds limit");
+  }
+  if (size != kFrameHeaderBytes + payload_len + kFrameTrailerBytes) {
+    throw ProtocolError("frame size mismatch");
+  }
+  const std::uint8_t* payload = data + kFrameHeaderBytes;
+  const std::uint8_t* trailer = payload + payload_len;
+  const std::uint32_t expected =
+      static_cast<std::uint32_t>(trailer[0]) |
+      static_cast<std::uint32_t>(trailer[1]) << 8 |
+      static_cast<std::uint32_t>(trailer[2]) << 16 |
+      static_cast<std::uint32_t>(trailer[3]) << 24;
+  if (util::crc32(payload, payload_len) != expected) {
+    throw ProtocolError("frame CRC mismatch");
+  }
+  return decode_message(payload, payload_len);
+}
+
+}  // namespace menos::net

@@ -1,0 +1,140 @@
+// The split fine-tuning protocol (§2.2 / Fig 4).
+//
+// Client -> server: Hello (fine-tuning configuration, triggers profiling),
+// Forward (intermediate activations x_c), Backward (gradients g_c), Bye.
+// Server -> client: HelloAck (profiled memory demands), ForwardResult (x_s),
+// BackwardResult (g_s), Error.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "nn/transformer.h"
+#include "optim/optimizer.h"
+
+namespace menos::net {
+
+enum class MessageType : std::uint8_t {
+  Hello = 1,
+  HelloAck = 2,
+  Forward = 3,
+  ForwardResult = 4,
+  Backward = 5,
+  BackwardResult = 6,
+  Bye = 7,
+  Error = 8,
+  // Adapter ownership: the server-side adapter phi_s belongs to the
+  // CLIENT (it is the product of the client's fine-tuning); these let the
+  // client check it out and restore it.
+  FetchAdapter = 9,
+  AdapterBlob = 10,
+  PushAdapter = 11,
+  PushAck = 12,
+};
+
+const char* message_type_name(MessageType type) noexcept;
+
+/// A tensor in transit: shape + host-side payload, no device affinity.
+struct WireTensor {
+  std::vector<std::int64_t> shape;
+  std::vector<float> data;
+
+  std::size_t payload_bytes() const noexcept {
+    return data.size() * sizeof(float);
+  }
+};
+
+/// Everything the server needs to build this client's serving session
+/// (§3.3: "the client sending the fine-tuning configurations to the server
+/// for profiling").
+struct FinetuneConfig {
+  std::string client_name;
+  nn::TransformerConfig model;
+  nn::SplitSpec split;
+  nn::AdapterSpec adapter;
+  optim::OptimizerKind optimizer = optim::OptimizerKind::Adam;
+  float lr = 1e-3f;
+  std::int64_t batch_size = 4;
+  std::int64_t seq_len = 32;
+  std::uint64_t adapter_seed = 1;
+};
+
+struct Message {
+  MessageType type = MessageType::Error;
+
+  // Hello
+  FinetuneConfig config;
+
+  // Forward / ForwardResult / Backward / BackwardResult
+  WireTensor tensor;
+  std::uint64_t iteration = 0;
+
+  /// Forward only: this is an evaluation pass — the client will not send a
+  /// matching Backward, so the session releases memory immediately in every
+  /// serving mode.
+  bool eval_only = false;
+
+  /// Backward only: accumulate gradients into the server-side adapter but
+  /// do NOT apply the optimizer step yet (client-driven gradient
+  /// accumulation across micro-batches; cited by §1 as a standard memory
+  /// technique, orthogonal to and composable with Menos).
+  bool defer_update = false;
+
+  /// Backward only: learning rate for this step (client-evaluated LR
+  /// schedule); 0 keeps the server optimizer's current rate.
+  float lr_override = 0.0f;
+
+  // HelloAck: profiled per-operation GPU memory demands (M_f, M_b of §4.2).
+  std::uint64_t forward_bytes = 0;
+  std::uint64_t backward_bytes = 0;
+
+  // ForwardResult / BackwardResult: server-side timing breakdown for this
+  // operation, so clients can assemble the Table 2/3 decomposition.
+  double compute_seconds = 0.0;
+  double schedule_wait_seconds = 0.0;
+
+  // Error
+  std::string text;
+
+  // AdapterBlob / PushAdapter: serialized adapter parameters (the
+  // CRC-protected format of core/checkpoint.h).
+  std::vector<std::uint8_t> blob;
+
+  static Message hello(FinetuneConfig config);
+  static Message hello_ack(std::uint64_t forward_bytes,
+                           std::uint64_t backward_bytes);
+  static Message forward(WireTensor tensor, std::uint64_t iteration);
+  static Message forward_result(WireTensor tensor, std::uint64_t iteration);
+  static Message backward(WireTensor tensor, std::uint64_t iteration);
+  static Message backward_result(WireTensor tensor, std::uint64_t iteration);
+  static Message bye();
+  static Message error(std::string text);
+  static Message fetch_adapter();
+  static Message adapter_blob(std::vector<std::uint8_t> blob);
+  static Message push_adapter(std::vector<std::uint8_t> blob);
+  static Message push_ack();
+};
+
+/// Encode the message payload (no frame header).
+std::vector<std::uint8_t> encode_message(const Message& message);
+
+/// Decode a payload produced by encode_message. Throws ProtocolError on any
+/// malformation.
+Message decode_message(const std::uint8_t* data, std::size_t size);
+
+/// Full frame: magic, payload length, payload, CRC-32 of the payload.
+std::vector<std::uint8_t> frame_message(const Message& message);
+
+/// Frame constants shared with the TCP reassembly loop.
+inline constexpr std::uint32_t kFrameMagic = 0x4d454e4fu;  // "MENO"
+inline constexpr std::size_t kFrameHeaderBytes = 4 + 8;    // magic + length
+inline constexpr std::size_t kFrameTrailerBytes = 4;       // crc32
+inline constexpr std::size_t kMaxFramePayload = 1ull << 30;
+
+/// Parse one full frame (header + payload + crc). Throws ProtocolError on
+/// bad magic, oversized length, or CRC mismatch.
+Message parse_frame(const std::uint8_t* data, std::size_t size);
+
+}  // namespace menos::net

@@ -1,0 +1,172 @@
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+
+#include "net/transport.h"
+#include "util/logging.h"
+
+namespace menos::net {
+namespace {
+
+/// Write the whole buffer; false on peer reset.
+bool write_all(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Read exactly `size` bytes; false on orderly close or reset.
+bool read_all(int fd, std::uint8_t* data, std::size_t size) {
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::recv(fd, data + got, size - got, 0);
+    if (n == 0) return false;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+class TcpConnection final : public Connection {
+ public:
+  explicit TcpConnection(int fd) : fd_(fd) {
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+
+  ~TcpConnection() override { close(); }
+
+  bool send(const Message& message) override {
+    const std::vector<std::uint8_t> frame = frame_message(message);
+    std::lock_guard<std::mutex> lock(send_mutex_);
+    if (fd_ < 0) return false;
+    if (!write_all(fd_, frame.data(), frame.size())) return false;
+    bytes_sent_ += frame.size();
+    return true;
+  }
+
+  std::optional<Message> receive() override {
+    std::uint8_t header[kFrameHeaderBytes];
+    if (fd_ < 0 || !read_all(fd_, header, sizeof(header))) return std::nullopt;
+    std::uint32_t magic = 0;
+    std::uint64_t payload_len = 0;
+    std::memcpy(&magic, header, 4);
+    std::memcpy(&payload_len, header + 4, 8);
+    if (magic != kFrameMagic) throw ProtocolError("bad frame magic on TCP");
+    if (payload_len > kMaxFramePayload) {
+      throw ProtocolError("oversized TCP frame");
+    }
+    std::vector<std::uint8_t> rest(
+        sizeof(header) + static_cast<std::size_t>(payload_len) +
+        kFrameTrailerBytes);
+    std::memcpy(rest.data(), header, sizeof(header));
+    if (!read_all(fd_, rest.data() + sizeof(header),
+                  rest.size() - sizeof(header))) {
+      return std::nullopt;  // peer vanished mid-frame
+    }
+    return parse_frame(rest.data(), rest.size());
+  }
+
+  void close() override {
+    const int fd = fd_.exchange(-1);
+    if (fd >= 0) {
+      ::shutdown(fd, SHUT_RDWR);
+      ::close(fd);
+    }
+  }
+
+  std::uint64_t bytes_sent() const override { return bytes_sent_; }
+
+ private:
+  std::atomic<int> fd_;
+  std::mutex send_mutex_;
+  std::atomic<std::uint64_t> bytes_sent_{0};
+};
+
+class TcpListenerImpl final : public TcpListener {
+ public:
+  TcpListenerImpl(int fd, int port) : fd_(fd), port_(port) {}
+  ~TcpListenerImpl() override { close(); }
+
+  std::unique_ptr<Connection> accept() override {
+    const int fd = fd_.load();
+    if (fd < 0) return nullptr;
+    const int client = ::accept(fd, nullptr, nullptr);
+    if (client < 0) return nullptr;
+    return std::make_unique<TcpConnection>(client);
+  }
+
+  void close() override {
+    const int fd = fd_.exchange(-1);
+    if (fd >= 0) {
+      ::shutdown(fd, SHUT_RDWR);
+      ::close(fd);
+    }
+  }
+
+  int port() const override { return port_; }
+
+ private:
+  std::atomic<int> fd_;
+  int port_;
+};
+
+}  // namespace
+
+std::unique_ptr<TcpListener> tcp_listen(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return nullptr;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 64) != 0) {
+    ::close(fd);
+    return nullptr;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    return nullptr;
+  }
+  return std::make_unique<TcpListenerImpl>(fd, ntohs(addr.sin_port));
+}
+
+std::unique_ptr<Connection> tcp_connect(const std::string& host, int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return nullptr;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return nullptr;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return nullptr;
+  }
+  return std::make_unique<TcpConnection>(fd);
+}
+
+}  // namespace menos::net

@@ -1,0 +1,101 @@
+// Transport abstraction between clients and the Menos server.
+//
+// Two implementations share the Connection interface:
+//  * In-process channels with an optional WAN conditioner (latency +
+//    bandwidth model calibrated to the paper's Toronto<->Vancouver link) —
+//    used by tests, benches and the multi-client examples.
+//  * Real TCP over POSIX sockets with length-prefixed CRC-checked frames —
+//    used by the tcp_demo example and the transport integration tests.
+//
+// Per the codebase error-handling policy, connection teardown is part of
+// normal operation and is reported via return values (send -> bool,
+// receive -> nullopt), while data corruption is exceptional and throws
+// ProtocolError.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "net/message.h"
+
+namespace menos::net {
+
+class Connection {
+ public:
+  virtual ~Connection() = default;
+
+  /// Deliver a message to the peer. Returns false if the connection is
+  /// closed (message dropped).
+  virtual bool send(const Message& message) = 0;
+
+  /// Block until a message arrives; nullopt once the peer closed and the
+  /// inbound queue drained. Throws ProtocolError on corrupted input.
+  virtual std::optional<Message> receive() = 0;
+
+  virtual void close() = 0;
+
+  /// Bytes sent so far on this endpoint (wire-level, for comm accounting).
+  virtual std::uint64_t bytes_sent() const = 0;
+};
+
+/// WAN conditioner for the in-process transport. Each send is delayed by
+/// latency + bytes/bandwidth, scaled by time_scale so tests can run the
+/// same code path at zero cost (time_scale = 0 -> no sleeping, accounting
+/// only).
+struct NetworkConditioner {
+  double latency_s = 0.0;
+  double bandwidth_bytes_per_s = 0.0;  ///< 0 = infinite
+  double time_scale = 1.0;
+
+  double transfer_seconds(std::size_t bytes) const noexcept {
+    double s = latency_s;
+    if (bandwidth_bytes_per_s > 0.0) {
+      s += static_cast<double>(bytes) / bandwidth_bytes_per_s;
+    }
+    return s;
+  }
+};
+
+/// Create a connected pair of in-process endpoints.
+std::pair<std::unique_ptr<Connection>, std::unique_ptr<Connection>>
+make_inproc_pair(const NetworkConditioner& conditioner = {});
+
+/// Source of inbound connections for a server. accept() blocks; returns
+/// nullptr once closed.
+class Acceptor {
+ public:
+  virtual ~Acceptor() = default;
+  virtual std::unique_ptr<Connection> accept() = 0;
+  virtual void close() = 0;
+};
+
+/// In-process acceptor: connect() mints a connected pair, hands the server
+/// end to the accept loop and returns the client end.
+class InprocAcceptor final : public Acceptor {
+ public:
+  explicit InprocAcceptor(const NetworkConditioner& conditioner = {});
+  ~InprocAcceptor() override;
+
+  std::unique_ptr<Connection> connect();
+  std::unique_ptr<Connection> accept() override;
+  void close() override;
+
+ private:
+  struct State;
+  std::shared_ptr<State> state_;
+};
+
+/// TCP listener. accept() blocks; returns nullptr after close().
+class TcpListener : public Acceptor {
+ public:
+  virtual int port() const = 0;
+};
+
+/// Bind on 127.0.0.1. Port 0 picks a free port (read it back via port()).
+std::unique_ptr<TcpListener> tcp_listen(int port);
+
+/// Connect to a listener. Returns nullptr on refusal.
+std::unique_ptr<Connection> tcp_connect(const std::string& host, int port);
+
+}  // namespace menos::net

@@ -1,0 +1,99 @@
+#include "nn/module.h"
+
+#include <functional>
+
+#include "util/check.h"
+
+namespace menos::nn {
+
+tensor::Tensor FreshInit::get(const std::string& name, tensor::Shape shape,
+                              gpusim::Device& device, float init_std) {
+  // Order-independent determinism: the stream depends only on (seed, name).
+  const std::uint64_t name_hash = std::hash<std::string>{}(name);
+  util::Rng rng(seed_ ^ (name_hash * 0x9e3779b97f4a7c15ULL));
+  tensor::Tensor t = tensor::Tensor::empty(std::move(shape), device);
+  if (init_std < 0.0f) {
+    float* p = t.data();
+    for (tensor::Index i = 0; i < t.numel(); ++i) p[i] = 1.0f;
+  } else if (init_std == 0.0f) {
+    float* p = t.data();
+    for (tensor::Index i = 0; i < t.numel(); ++i) p[i] = 0.0f;
+  } else {
+    rng.fill_normal(t.data(), static_cast<std::size_t>(t.numel()), init_std);
+  }
+  return t;
+}
+
+tensor::Tensor SharedSource::get(const std::string& name, tensor::Shape shape,
+                                 gpusim::Device& device, float init_std) {
+  (void)device;
+  (void)init_std;
+  auto it = table_->find(name);
+  if (it == table_->end()) {
+    throw StateError("shared parameter store has no entry for '" + name + "'");
+  }
+  MENOS_CHECK_MSG(it->second.shape() == shape,
+                  "shared parameter '" << name << "' has shape "
+                                       << tensor::shape_to_string(it->second.shape())
+                                       << ", structure expects "
+                                       << tensor::shape_to_string(shape));
+  return it->second;
+}
+
+std::vector<Parameter> Module::parameters() const {
+  std::vector<Parameter> out;
+  collect(out);
+  return out;
+}
+
+std::vector<Parameter> Module::trainable_parameters() const {
+  std::vector<Parameter> all = parameters();
+  std::vector<Parameter> out;
+  for (auto& p : all) {
+    if (p.trainable()) out.push_back(std::move(p));
+  }
+  return out;
+}
+
+std::size_t Module::parameter_bytes() const {
+  std::size_t bytes = 0;
+  for (const Parameter& p : parameters()) bytes += p.value.bytes();
+  return bytes;
+}
+
+std::size_t Module::trainable_parameter_bytes() const {
+  std::size_t bytes = 0;
+  for (const Parameter& p : parameters()) {
+    if (p.trainable()) bytes += p.value.bytes();
+  }
+  return bytes;
+}
+
+std::size_t Module::frozen_parameter_bytes() const {
+  std::size_t bytes = 0;
+  for (const Parameter& p : parameters()) {
+    if (!p.trainable()) bytes += p.value.bytes();
+  }
+  return bytes;
+}
+
+void Module::register_parameter(std::string name, tensor::Tensor value) {
+  MENOS_CHECK_MSG(value.defined(), "registering undefined parameter '" << name
+                                                                       << "'");
+  own_.push_back(Parameter{std::move(name), std::move(value)});
+}
+
+void Module::register_child(std::string name, Module* child) {
+  MENOS_CHECK_MSG(child != nullptr, "registering null child module");
+  children_.emplace_back(std::move(name), child);
+}
+
+void Module::collect(std::vector<Parameter>& out) const {
+  for (const Parameter& p : own_) out.push_back(p);
+  for (const auto& [name, child] : children_) {
+    (void)name;
+    child->collect(out);
+  }
+}
+
+}  // namespace menos::nn

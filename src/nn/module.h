@@ -1,0 +1,112 @@
+// Module tree and parameter sourcing.
+//
+// The pivotal abstraction for Menos §3.1 is ParameterSource: a module never
+// allocates its base parameters directly, it asks a source. FreshInit
+// creates and initializes new tensors (used when loading the one shared
+// copy, or when building a standalone local model). SharedSource hands out
+// tensors that already live in a ParameterStore — so a per-client model
+// *structure* is built over the single shared copy of the *parameters*,
+// exactly the "skip the reading step" interception the paper describes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace menos::nn {
+
+/// A named tensor inside a module tree. Trainability is carried by the
+/// tensor's requires_grad flag.
+struct Parameter {
+  std::string name;
+  tensor::Tensor value;
+
+  bool trainable() const { return value.requires_grad(); }
+};
+
+/// Where modules obtain their base parameters.
+class ParameterSource {
+ public:
+  virtual ~ParameterSource() = default;
+
+  /// Return the parameter `name` with the given shape on `device`.
+  /// `init_std` guides initialization when the source creates tensors
+  /// (<= 0 means "fill with ones", used by norm gains; exactly 0 bias
+  /// tensors pass 0 and get zeros — see FreshInit).
+  virtual tensor::Tensor get(const std::string& name, tensor::Shape shape,
+                             gpusim::Device& device, float init_std) = 0;
+};
+
+/// Creates parameters on first request. Initialization is derived from
+/// hash(name) ^ seed so that two models built from equal seeds have
+/// identical parameters regardless of construction order — the property the
+/// split-vs-local equivalence tests rely on.
+class FreshInit final : public ParameterSource {
+ public:
+  explicit FreshInit(std::uint64_t seed) : seed_(seed) {}
+
+  tensor::Tensor get(const std::string& name, tensor::Shape shape,
+                     gpusim::Device& device, float init_std) override;
+
+ private:
+  std::uint64_t seed_;
+};
+
+/// Hands out pre-loaded tensors by name; throws menos::StateError if a name
+/// is missing (the structure asked for a parameter the store never loaded).
+class SharedSource final : public ParameterSource {
+ public:
+  explicit SharedSource(
+      const std::unordered_map<std::string, tensor::Tensor>* table)
+      : table_(table) {}
+
+  tensor::Tensor get(const std::string& name, tensor::Shape shape,
+                     gpusim::Device& device, float init_std) override;
+
+ private:
+  const std::unordered_map<std::string, tensor::Tensor>* table_;
+};
+
+/// Base class for everything with parameters. Children register themselves
+/// and their own parameters; collection walks the tree.
+class Module {
+ public:
+  virtual ~Module() = default;
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All parameters in the subtree (base + adapters).
+  std::vector<Parameter> parameters() const;
+
+  /// Only the trainable ones (== the adapter parameters phi of Eq. 1).
+  std::vector<Parameter> trainable_parameters() const;
+
+  /// Byte footprints, split the way the paper's §2.3 accounting splits them.
+  std::size_t parameter_bytes() const;           ///< M + A
+  std::size_t trainable_parameter_bytes() const; ///< A
+  std::size_t frozen_parameter_bytes() const;    ///< M
+
+ protected:
+  /// Register a directly-owned parameter under its fully qualified name —
+  /// constructors receive their absolute prefix ("block3.attn.q"), so the
+  /// registered name is already canonical and doubles as the
+  /// ParameterSource lookup key.
+  void register_parameter(std::string name, tensor::Tensor value);
+
+  /// Register a child module; collection recurses into it.
+  void register_child(std::string name, Module* child);
+
+ private:
+  void collect(std::vector<Parameter>& out) const;
+
+  std::vector<Parameter> own_;
+  std::vector<std::pair<std::string, Module*>> children_;
+};
+
+}  // namespace menos::nn

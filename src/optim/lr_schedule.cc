@@ -1,0 +1,54 @@
+#include "optim/lr_schedule.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace menos::optim {
+
+float LrSchedule::factor_at(std::int64_t step) const {
+  MENOS_CHECK_MSG(step >= 0, "negative schedule step");
+  if (kind == Kind::Constant) return 1.0f;
+  MENOS_CHECK_MSG(total_steps > 0 && warmup_steps >= 0 &&
+                      warmup_steps <= total_steps,
+                  "invalid schedule horizon");
+  if (warmup_steps > 0 && step < warmup_steps) {
+    // Warm up from factor 0 at step 0 towards 1 (first step uses a small
+    // but non-zero rate).
+    return static_cast<float>(step + 1) / static_cast<float>(warmup_steps);
+  }
+  if (step >= total_steps) return min_factor;
+  const float progress =
+      static_cast<float>(step - warmup_steps) /
+      static_cast<float>(total_steps - warmup_steps);
+  if (kind == Kind::WarmupLinear) {
+    return min_factor + (1.0f - min_factor) * (1.0f - progress);
+  }
+  const float cosine = 0.5f * (1.0f + std::cos(3.14159265358979323846f *
+                                               progress));
+  return min_factor + (1.0f - min_factor) * cosine;
+}
+
+LrSchedule LrSchedule::constant() { return LrSchedule{}; }
+
+LrSchedule LrSchedule::warmup_linear(std::int64_t warmup, std::int64_t total,
+                                     float min_factor) {
+  LrSchedule s;
+  s.kind = Kind::WarmupLinear;
+  s.warmup_steps = warmup;
+  s.total_steps = total;
+  s.min_factor = min_factor;
+  return s;
+}
+
+LrSchedule LrSchedule::warmup_cosine(std::int64_t warmup, std::int64_t total,
+                                     float min_factor) {
+  LrSchedule s;
+  s.kind = Kind::WarmupCosine;
+  s.warmup_steps = warmup;
+  s.total_steps = total;
+  s.min_factor = min_factor;
+  return s;
+}
+
+}  // namespace menos::optim

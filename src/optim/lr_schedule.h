@@ -1,0 +1,36 @@
+// Learning-rate schedules for fine-tuning runs.
+//
+// The schedule is evaluated CLIENT-side (the client owns the adapter
+// optimization) and the resulting rate is carried to the server inside
+// each Backward message, so the server-side adapter steps with exactly the
+// same rate — split fine-tuning stays mathematically identical to local
+// fine-tuning even under warmup/decay.
+#pragma once
+
+#include <cstdint>
+
+namespace menos::optim {
+
+struct LrSchedule {
+  enum class Kind : std::uint8_t {
+    Constant,      ///< factor 1 forever
+    WarmupLinear,  ///< linear 0->1 over warmup, then linear 1->min_factor
+    WarmupCosine,  ///< linear 0->1 over warmup, then cosine 1->min_factor
+  };
+
+  Kind kind = Kind::Constant;
+  std::int64_t warmup_steps = 0;
+  std::int64_t total_steps = 0;  ///< decay horizon; beyond it, min_factor
+  float min_factor = 0.0f;       ///< floor as a fraction of the base lr
+
+  /// Multiplier on the base learning rate at `step` (0-indexed).
+  float factor_at(std::int64_t step) const;
+
+  static LrSchedule constant();
+  static LrSchedule warmup_linear(std::int64_t warmup, std::int64_t total,
+                                  float min_factor = 0.0f);
+  static LrSchedule warmup_cosine(std::int64_t warmup, std::int64_t total,
+                                  float min_factor = 0.0f);
+};
+
+}  // namespace menos::optim

@@ -1,0 +1,149 @@
+#include "optim/optimizer.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace menos::optim {
+
+Optimizer::Optimizer(std::vector<nn::Parameter> params)
+    : params_(std::move(params)) {
+  for (const nn::Parameter& p : params_) {
+    MENOS_CHECK_MSG(p.value.requires_grad(),
+                    "optimizer given frozen parameter '"
+                        << p.name
+                        << "' — only adapter parameters are trainable");
+  }
+}
+
+void Optimizer::zero_grad() {
+  for (nn::Parameter& p : params_) p.value.zero_grad();
+}
+
+Sgd::Sgd(std::vector<nn::Parameter> params, const SgdOptions& options)
+    : Optimizer(std::move(params)), options_(options) {
+  if (options_.momentum != 0.0f) {
+    velocity_.reserve(params_.size());
+    for (const nn::Parameter& p : params_) {
+      velocity_.push_back(
+          tensor::Tensor::zeros(p.value.shape(), p.value.device()));
+    }
+  }
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    tensor::Tensor& w = params_[i].value;
+    tensor::Tensor g = w.grad();
+    if (!g.defined()) continue;
+    float* pw = w.data();
+    const float* pg = g.data();
+    const tensor::Index n = w.numel();
+    if (options_.momentum != 0.0f) {
+      float* pv = velocity_[i].data();
+      for (tensor::Index j = 0; j < n; ++j) {
+        const float grad = pg[j] + options_.weight_decay * pw[j];
+        pv[j] = options_.momentum * pv[j] + grad;
+        pw[j] -= options_.lr * pv[j];
+      }
+    } else {
+      for (tensor::Index j = 0; j < n; ++j) {
+        const float grad = pg[j] + options_.weight_decay * pw[j];
+        pw[j] -= options_.lr * grad;
+      }
+    }
+  }
+}
+
+std::size_t Sgd::state_bytes() const {
+  std::size_t bytes = 0;
+  for (const tensor::Tensor& v : velocity_) bytes += v.bytes();
+  return bytes;
+}
+
+std::vector<tensor::Tensor> Sgd::state_tensors() const { return velocity_; }
+
+Adam::Adam(std::vector<nn::Parameter> params, const AdamOptions& options)
+    : Optimizer(std::move(params)), options_(options) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const nn::Parameter& p : params_) {
+    m_.push_back(tensor::Tensor::zeros(p.value.shape(), p.value.device()));
+    v_.push_back(tensor::Tensor::zeros(p.value.shape(), p.value.device()));
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(options_.beta1, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(options_.beta2, static_cast<float>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    tensor::Tensor& w = params_[i].value;
+    tensor::Tensor g = w.grad();
+    if (!g.defined()) continue;
+    float* pw = w.data();
+    const float* pg = g.data();
+    float* pm = m_[i].data();
+    float* pv = v_[i].data();
+    const tensor::Index n = w.numel();
+    for (tensor::Index j = 0; j < n; ++j) {
+      const float grad = pg[j];
+      pm[j] = options_.beta1 * pm[j] + (1.0f - options_.beta1) * grad;
+      pv[j] = options_.beta2 * pv[j] + (1.0f - options_.beta2) * grad * grad;
+      const float mhat = pm[j] / bc1;
+      const float vhat = pv[j] / bc2;
+      // Decoupled weight decay (AdamW); zero decay reduces to plain Adam.
+      pw[j] -= options_.lr *
+               (mhat / (std::sqrt(vhat) + options_.eps) +
+                options_.weight_decay * pw[j]);
+    }
+  }
+}
+
+std::size_t Adam::state_bytes() const {
+  std::size_t bytes = 0;
+  for (const tensor::Tensor& t : m_) bytes += t.bytes();
+  for (const tensor::Tensor& t : v_) bytes += t.bytes();
+  return bytes;
+}
+
+std::vector<tensor::Tensor> Adam::state_tensors() const {
+  std::vector<tensor::Tensor> all = m_;
+  all.insert(all.end(), v_.begin(), v_.end());
+  return all;
+}
+
+const char* optimizer_kind_name(OptimizerKind kind) noexcept {
+  switch (kind) {
+    case OptimizerKind::Sgd:   return "sgd";
+    case OptimizerKind::Adam:  return "adam";
+    case OptimizerKind::AdamW: return "adamw";
+  }
+  return "?";
+}
+
+std::unique_ptr<Optimizer> make_optimizer(OptimizerKind kind,
+                                          std::vector<nn::Parameter> params,
+                                          float lr) {
+  switch (kind) {
+    case OptimizerKind::Sgd: {
+      SgdOptions o;
+      o.lr = lr;
+      return std::make_unique<Sgd>(std::move(params), o);
+    }
+    case OptimizerKind::Adam: {
+      AdamOptions o;
+      o.lr = lr;
+      return std::make_unique<Adam>(std::move(params), o);
+    }
+    case OptimizerKind::AdamW: {
+      AdamOptions o;
+      o.lr = lr;
+      o.weight_decay = 0.01f;
+      return std::make_unique<Adam>(std::move(params), o);
+    }
+  }
+  throw InvalidArgument("unknown optimizer kind");
+}
+
+}  // namespace menos::optim

@@ -1,0 +1,100 @@
+// Optimizers over the trainable (adapter) parameters.
+//
+// State buffers (momentum, Adam moments) are allocated on the device that
+// holds the parameter, so the optimizer-state component O of the paper's
+// §2.3 memory accounting is metered by gpusim like everything else.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace menos::optim {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<nn::Parameter> params);
+  virtual ~Optimizer() = default;
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Apply one update from the accumulated gradients. Parameters with no
+  /// gradient (unreached by backward) are skipped.
+  virtual void step() = 0;
+
+  /// Drop all accumulated gradients.
+  void zero_grad();
+
+  /// Adjust the learning rate (for schedules). Other hyper-parameters are
+  /// fixed at construction.
+  virtual void set_lr(float lr) = 0;
+  virtual float lr() const = 0;
+
+  /// Bytes held by optimizer state buffers (the O term).
+  virtual std::size_t state_bytes() const = 0;
+
+  /// The state buffers themselves, for host<->GPU task-swap migration.
+  virtual std::vector<tensor::Tensor> state_tensors() const = 0;
+
+  const std::vector<nn::Parameter>& params() const noexcept { return params_; }
+
+ protected:
+  std::vector<nn::Parameter> params_;
+};
+
+struct SgdOptions {
+  float lr = 1e-2f;
+  float momentum = 0.0f;
+  float weight_decay = 0.0f;
+};
+
+class Sgd final : public Optimizer {
+ public:
+  Sgd(std::vector<nn::Parameter> params, const SgdOptions& options);
+  void step() override;
+  std::size_t state_bytes() const override;
+  std::vector<tensor::Tensor> state_tensors() const override;
+  void set_lr(float lr) override { options_.lr = lr; }
+  float lr() const override { return options_.lr; }
+
+ private:
+  SgdOptions options_;
+  std::vector<tensor::Tensor> velocity_;  // lazily sized; empty if momentum=0
+};
+
+struct AdamOptions {
+  float lr = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  float weight_decay = 0.0f;  ///< decoupled (AdamW) when non-zero
+};
+
+class Adam final : public Optimizer {
+ public:
+  Adam(std::vector<nn::Parameter> params, const AdamOptions& options);
+  void step() override;
+  std::size_t state_bytes() const override;
+  std::vector<tensor::Tensor> state_tensors() const override;
+  void set_lr(float lr) override { options_.lr = lr; }
+  float lr() const override { return options_.lr; }
+
+ private:
+  AdamOptions options_;
+  std::vector<tensor::Tensor> m_;
+  std::vector<tensor::Tensor> v_;
+  std::int64_t t_ = 0;
+};
+
+/// Named optimizer selection carried in client configs over the wire.
+enum class OptimizerKind { Sgd, Adam, AdamW };
+
+const char* optimizer_kind_name(OptimizerKind kind) noexcept;
+
+std::unique_ptr<Optimizer> make_optimizer(OptimizerKind kind,
+                                          std::vector<nn::Parameter> params,
+                                          float lr);
+
+}  // namespace menos::optim

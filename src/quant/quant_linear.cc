@@ -1,0 +1,57 @@
+#include "quant/quant_linear.h"
+
+namespace menos::quant {
+
+QuantizedLinear::QuantizedLinear(const std::string& name, tensor::Index in,
+                                 tensor::Index out, bool bias, Scheme scheme,
+                                 nn::ParameterSource& source,
+                                 gpusim::Device& device)
+    : in_(in), out_(out) {
+  MENOS_CHECK_MSG(in > 0 && out > 0, "QuantizedLinear dims must be positive");
+  {
+    // The float weight is transient: quantize, then let it go out of scope
+    // (for a shared store the float master copy stays with its owner; only
+    // the quantized form is resident here).
+    tensor::Tensor w = source.get(name + ".weight", {in, out}, device, 0.02f);
+    weight_q_ = QuantizedTensor::quantize(w, scheme, device);
+  }
+  if (bias) {
+    bias_ = source.get(name + ".bias", {out}, device, 0.0f);
+    register_parameter(name + ".bias", bias_);
+  }
+}
+
+tensor::Tensor QuantizedLinear::forward(const tensor::Tensor& x) {
+  tensor::Tensor y = quantized_matmul(x, weight_q_);
+  if (bias_.defined()) y = tensor::add_bias(y, bias_);
+  return y;
+}
+
+std::size_t QuantizedLinear::resident_bytes() const {
+  return weight_q_.bytes() + (bias_.defined() ? bias_.bytes() : 0);
+}
+
+QLoraLinear::QLoraLinear(const std::string& name, tensor::Index in,
+                         tensor::Index out, bool bias, Scheme scheme,
+                         int rank, float alpha, nn::ParameterSource& source,
+                         gpusim::Device& device, util::Rng& adapter_rng)
+    : QuantizedLinear(name, in, out, bias, scheme, source, device),
+      scale_(alpha / static_cast<float>(rank)) {
+  MENOS_CHECK_MSG(rank > 0, "LoRA rank must be positive");
+  a_ = tensor::Tensor::empty({in, rank}, device);
+  adapter_rng.fill_normal(a_.data(), static_cast<std::size_t>(a_.numel()),
+                          0.02f);
+  a_.set_requires_grad(true);
+  b_ = tensor::Tensor::zeros({rank, out}, device);
+  b_.set_requires_grad(true);
+  register_parameter(name + ".lora_a", a_);
+  register_parameter(name + ".lora_b", b_);
+}
+
+tensor::Tensor QLoraLinear::forward(const tensor::Tensor& x) {
+  tensor::Tensor base = QuantizedLinear::forward(x);
+  tensor::Tensor delta = tensor::matmul(tensor::matmul(x, a_), b_);
+  return tensor::add(base, tensor::scale(delta, scale_));
+}
+
+}  // namespace menos::quant

@@ -1,0 +1,54 @@
+// A Linear layer whose frozen weight lives in quantized form — the QLoRA
+// composition: quantized base + (optionally) a full-precision LoRA path.
+#pragma once
+
+#include "nn/adapters.h"
+#include "quant/quantize.h"
+
+namespace menos::quant {
+
+/// y = x @ dequant(W_q) (+ b). The float weight is obtained from the
+/// ParameterSource once, quantized onto `device`, and the float copy is
+/// released — the resident footprint is bytes()/scheme_bits of the
+/// original.
+class QuantizedLinear : public nn::Module {
+ public:
+  QuantizedLinear(const std::string& name, tensor::Index in,
+                  tensor::Index out, bool bias, Scheme scheme,
+                  nn::ParameterSource& source, gpusim::Device& device);
+
+  virtual tensor::Tensor forward(const tensor::Tensor& x);
+
+  const QuantizedTensor& weight() const noexcept { return weight_q_; }
+
+  /// Resident device bytes: quantized weight (codes + scales) + bias.
+  std::size_t resident_bytes() const;
+
+ protected:
+  tensor::Index in_;
+  tensor::Index out_;
+  QuantizedTensor weight_q_;
+  tensor::Tensor bias_;
+};
+
+/// QuantizedLinear with a parallel full-precision LoRA path — the QLoRA
+/// recipe: y = x @ dequant(W_q) + s * (x A) B (+ b).
+class QLoraLinear final : public QuantizedLinear {
+ public:
+  QLoraLinear(const std::string& name, tensor::Index in, tensor::Index out,
+              bool bias, Scheme scheme, int rank, float alpha,
+              nn::ParameterSource& source, gpusim::Device& device,
+              util::Rng& adapter_rng);
+
+  tensor::Tensor forward(const tensor::Tensor& x) override;
+
+  const tensor::Tensor& lora_a() const noexcept { return a_; }
+  const tensor::Tensor& lora_b() const noexcept { return b_; }
+
+ private:
+  tensor::Tensor a_;  // [in, r], trainable
+  tensor::Tensor b_;  // [r, out], trainable
+  float scale_;
+};
+
+}  // namespace menos::quant

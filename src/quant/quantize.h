@@ -1,0 +1,79 @@
+// Base-parameter quantization (the paper's §6 "orthogonal" optimization).
+//
+// The paper notes that quantization methods like QLoRA (4-bit NormalFloat)
+// and 8-bit matrix multiplication "could also be applied to the shared
+// model parameters in Menos". This module implements both mechanisms for
+// frozen weights:
+//
+//  * Int8Rowwise — symmetric absmax per output row, 8 bits per weight
+//    (the LLM.int8()-style scheme).
+//  * Nf4Block    — 4-bit codes against a normal-quantile codebook with a
+//    per-block absmax scale (the QLoRA NF4 scheme).
+//
+// Quantized tensors are metered on gpusim devices like everything else, so
+// the M/4 and M/8 footprint reductions are observable byte counts.
+// quantized_matmul supports the backward pass with respect to the
+// ACTIVATIONS only (dequantize-on-the-fly, exactly the QLoRA compute
+// trade) — frozen base weights never receive gradients, which is what
+// makes quantizing them safe in adapter-based fine-tuning.
+#pragma once
+
+#include <memory>
+
+#include "gpusim/device.h"
+#include "tensor/ops.h"
+
+namespace menos::quant {
+
+enum class Scheme : std::uint8_t { Int8Rowwise, Nf4Block };
+
+const char* scheme_name(Scheme scheme) noexcept;
+
+/// Bits per weight (excluding scales).
+int scheme_bits(Scheme scheme) noexcept;
+
+/// An immutable quantized 2-D weight on a metered device. Cheap to copy
+/// (shared payload), safe to share across clients like any frozen base
+/// parameter.
+class QuantizedTensor {
+ public:
+  QuantizedTensor() = default;
+
+  /// Quantize a float matrix [rows, cols].
+  static QuantizedTensor quantize(const tensor::Tensor& src, Scheme scheme,
+                                  gpusim::Device& device);
+
+  bool defined() const noexcept { return impl_ != nullptr; }
+  const tensor::Shape& shape() const;
+  tensor::Index rows() const;
+  tensor::Index cols() const;
+  Scheme scheme() const;
+
+  /// Device bytes held (codes + scales) — the quantized M footprint.
+  std::size_t bytes() const;
+
+  /// Materialize the float reconstruction (a fresh, transient tensor).
+  tensor::Tensor dequantize(gpusim::Device& device) const;
+
+  /// Reconstruct a single row into `out` (length cols). The building block
+  /// of the streaming matmul: only one row of floats is ever live.
+  void dequantize_row(tensor::Index row, float* out) const;
+
+ private:
+  struct Impl;
+  std::shared_ptr<Impl> impl_;
+};
+
+/// y = x @ W_q, streaming-dequantized: x [*, in], W_q [in, out].
+/// Differentiable with respect to x only (dx = g @ W_dq^T, recomputed by
+/// dequantizing again — compute traded for memory, like the re-forward of
+/// §3.2).
+tensor::Tensor quantized_matmul(const tensor::Tensor& x,
+                                const QuantizedTensor& w);
+
+/// Root-mean-square reconstruction error against the original, for tests
+/// and the quantization ablation.
+double reconstruction_rmse(const tensor::Tensor& original,
+                           const QuantizedTensor& quantized);
+
+}  // namespace menos::quant

@@ -1,0 +1,200 @@
+#include "sched/scheduler.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace menos::sched {
+
+const char* op_kind_name(OpKind kind) noexcept {
+  return kind == OpKind::Forward ? "forward" : "backward";
+}
+
+Scheduler::Scheduler(std::vector<std::size_t> partition_capacities,
+                     Policy policy)
+    : capacity_(std::move(partition_capacities)),
+      free_(capacity_),
+      policy_(policy) {
+  MENOS_CHECK_MSG(!capacity_.empty(), "scheduler needs at least one partition");
+}
+
+Scheduler::Scheduler(std::size_t capacity, Policy policy)
+    : Scheduler(std::vector<std::size_t>{capacity}, policy) {}
+
+void Scheduler::set_grant_callback(std::function<void(const Grant&)> callback) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  grant_callback_ = std::move(callback);
+}
+
+void Scheduler::register_client(int client_id, const ClientDemands& demands) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t largest =
+      *std::max_element(capacity_.begin(), capacity_.end());
+  const std::size_t worst =
+      std::max(demands.forward_bytes, demands.backward_bytes);
+  MENOS_CHECK_MSG(worst <= largest,
+                  "client " << client_id << " demands "
+                            << worst << " bytes, larger than any partition ("
+                            << largest << ") — rejected at profiling time");
+  MENOS_CHECK_MSG(demands_.find(client_id) == demands_.end(),
+                  "client " << client_id << " already registered");
+  demands_[client_id] = demands;
+}
+
+void Scheduler::unregister_client(int client_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (allocations_.find(client_id) != allocations_.end()) {
+    throw StateError("unregistering client " + std::to_string(client_id) +
+                     " with a live allocation");
+  }
+  waiting_.erase(std::remove_if(waiting_.begin(), waiting_.end(),
+                                [client_id](const Waiting& w) {
+                                  return w.client_id == client_id;
+                                }),
+                 waiting_.end());
+  demands_.erase(client_id);
+  // Departure frees nothing, but a slot may now be irrelevant to fairness
+  // ordering; re-run scheduling for uniformity.
+  schedule_locked();
+}
+
+void Scheduler::on_request(int client_id, OpKind kind) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MENOS_CHECK_MSG(demands_.find(client_id) != demands_.end(),
+                  "request from unregistered client " << client_id);
+  MENOS_CHECK_MSG(allocations_.find(client_id) == allocations_.end(),
+                  "client " << client_id
+                            << " requested while holding an allocation");
+  for (const Waiting& w : waiting_) {
+    MENOS_CHECK_MSG(w.client_id != client_id,
+                    "client " << client_id << " already has a pending request");
+  }
+  waiting_.push_back(Waiting{client_id, kind, next_seq_++});
+  ++stats_.requests;
+  schedule_locked();
+}
+
+void Scheduler::on_complete(int client_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = allocations_.find(client_id);
+  MENOS_CHECK_MSG(it != allocations_.end(),
+                  "completion from client " << client_id
+                                            << " with no allocation");
+  free_[static_cast<std::size_t>(it->second.partition)] += it->second.bytes;
+  allocations_.erase(it);
+  schedule_locked();
+}
+
+void Scheduler::reserve_persistent(int partition, std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MENOS_CHECK_MSG(partition >= 0 && partition < static_cast<int>(free_.size()),
+                  "partition " << partition << " out of range");
+  auto& free = free_[static_cast<std::size_t>(partition)];
+  if (bytes > free) {
+    throw OutOfMemory("persistent reservation exceeds free partition memory",
+                      bytes, free);
+  }
+  free -= bytes;
+  capacity_[static_cast<std::size_t>(partition)] -= bytes;
+}
+
+void Scheduler::release_persistent(int partition, std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MENOS_CHECK_MSG(partition >= 0 && partition < static_cast<int>(free_.size()),
+                  "partition " << partition << " out of range");
+  free_[static_cast<std::size_t>(partition)] += bytes;
+  capacity_[static_cast<std::size_t>(partition)] += bytes;
+  schedule_locked();
+}
+
+void Scheduler::schedule_locked() {
+  if (!grant_callback_) return;
+  bool head_blocked = false;
+  bool backward_blocked = false;  // an earlier backward is still waiting
+  // One pass in FCFS order; every grant frees no memory, so a single pass
+  // is complete (grants only shrink availability).
+  for (auto it = waiting_.begin(); it != waiting_.end();) {
+    const Waiting w = *it;
+    const std::size_t bytes = demands_[w.client_id].bytes_for(w.kind);
+
+    // Fairness gate (see header): a backward may not overtake an earlier
+    // still-waiting backward; under FcfsOnly nothing overtakes a blocked
+    // head at all.
+    const bool gated =
+        (policy_ == Policy::FcfsOnly && head_blocked) ||
+        (w.kind == OpKind::Backward && backward_blocked);
+    std::optional<int> partition;
+    if (!gated) partition = find_partition_locked(bytes);
+
+    if (partition.has_value()) {
+      free_[static_cast<std::size_t>(*partition)] -= bytes;
+      allocations_[w.client_id] = Allocation{bytes, *partition};
+      ++stats_.grants;
+      if (head_blocked || backward_blocked) ++stats_.backfill_grants;
+      const Grant grant{w.client_id, w.kind, *partition};
+      it = waiting_.erase(it);
+      grant_callback_(grant);
+      continue;
+    }
+
+    if (it == waiting_.begin()) head_blocked = true;
+    if (policy_ == Policy::FcfsOnly) {
+      ++stats_.blocked_cycles;
+      return;  // strict FCFS: quit the scheduling cycle (Alg 2 line 18)
+    }
+    if (w.kind == OpKind::Backward) backward_blocked = true;
+    ++it;
+  }
+  if (head_blocked) ++stats_.blocked_cycles;
+}
+
+std::optional<int> Scheduler::find_partition_locked(std::size_t bytes) const {
+  // Best fit: the partition with the least free memory that still fits, so
+  // large holes stay available for backward passes.
+  std::optional<int> best;
+  std::size_t best_free = std::numeric_limits<std::size_t>::max();
+  for (std::size_t i = 0; i < free_.size(); ++i) {
+    if (free_[i] >= bytes && free_[i] < best_free) {
+      best = static_cast<int>(i);
+      best_free = free_[i];
+    }
+  }
+  return best;
+}
+
+std::size_t Scheduler::available(int partition) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MENOS_CHECK_MSG(partition >= 0 &&
+                      partition < static_cast<int>(free_.size()),
+                  "partition " << partition << " out of range");
+  return free_[static_cast<std::size_t>(partition)];
+}
+
+std::size_t Scheduler::total_available() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (std::size_t f : free_) total += f;
+  return total;
+}
+
+std::size_t Scheduler::allocated_to(int client_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = allocations_.find(client_id);
+  return it == allocations_.end() ? 0 : it->second.bytes;
+}
+
+std::size_t Scheduler::waiting_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return waiting_.size();
+}
+
+SchedulerStats Scheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+int Scheduler::partition_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(capacity_.size());
+}
+
+}  // namespace menos::sched

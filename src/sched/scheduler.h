@@ -1,0 +1,160 @@
+// Operation-level GPU memory scheduler — Algorithm 2 of the paper.
+//
+// Event-driven: on_request(client, kind) when activations/gradients arrive
+// (lines 7-9), on_complete(client) when a computation finishes and frees
+// its memory (lines 10-13). Both trigger the SCHEDULE procedure, which
+// combines FCFS at the head with backfilling over the remainder, adapted
+// from the IBM SP2 backfilling scheduler the paper cites [Mu'alem &
+// Feitelson 2001].
+//
+// Interpretation of the paper's two fairness claims, which the raw
+// pseudo-code leaves ambiguous:
+//  * "the FCFS logic prevents long-waiting backward requests from being
+//    consistently bypassed by newer, smaller forward requests" — backward
+//    requests are served FCFS *among themselves*: a backward may never be
+//    granted while an earlier backward is still waiting.
+//  * "our scheduling algorithm can always select and parallelize
+//    [forwards] with the backward computations of other clients" — forward
+//    requests may backfill past a blocked backward head whenever they fit.
+// tests/sched_test.cc pins both properties down.
+//
+// Memory is tracked per partition (one partition per GPU): a request must
+// fit entirely inside one GPU, and the "GPU memory" of Fig 2 is the union
+// of partitions. Single-GPU setups use one partition.
+//
+// The scheduler is thread-safe. The grant callback fires synchronously
+// from inside on_request/on_complete while the scheduler lock is held;
+// callbacks must not re-enter the scheduler (sessions just signal their
+// worker, simulators just enqueue an event).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/check.h"
+
+namespace menos::sched {
+
+enum class OpKind : std::uint8_t { Forward, Backward };
+
+const char* op_kind_name(OpKind kind) noexcept;
+
+enum class Policy : std::uint8_t {
+  FcfsOnly,      ///< strict: first unsatisfiable request blocks everything
+  FcfsBackfill,  ///< the Menos scheduler (default)
+};
+
+/// Per-client memory demands measured during profiling (§3.3): M_f for the
+/// no-grad forward, M_b for the re-forward + backward.
+struct ClientDemands {
+  std::size_t forward_bytes = 0;
+  std::size_t backward_bytes = 0;
+
+  std::size_t bytes_for(OpKind kind) const noexcept {
+    return kind == OpKind::Forward ? forward_bytes : backward_bytes;
+  }
+};
+
+/// A grant: the request of `client_id` may run on partition (GPU)
+/// `partition`.
+struct Grant {
+  int client_id = -1;
+  OpKind kind = OpKind::Forward;
+  int partition = 0;
+};
+
+struct SchedulerStats {
+  std::uint64_t requests = 0;
+  std::uint64_t grants = 0;
+  std::uint64_t backfill_grants = 0;  ///< granted past a blocked earlier request
+  std::uint64_t blocked_cycles = 0;   ///< SCHEDULE passes that left the head waiting
+};
+
+class Scheduler {
+ public:
+  /// One partition per GPU with its schedulable capacity in bytes (i.e.
+  /// what remains after the shared base model and per-client persistent
+  /// adapter/optimizer state).
+  explicit Scheduler(std::vector<std::size_t> partition_capacities,
+                     Policy policy = Policy::FcfsBackfill);
+
+  /// Convenience: single partition.
+  Scheduler(std::size_t capacity, Policy policy = Policy::FcfsBackfill);
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Must be set before any request arrives.
+  void set_grant_callback(std::function<void(const Grant&)> callback);
+
+  /// Register a client and its profiled demands. Throws InvalidArgument if
+  /// a demand cannot fit in ANY partition (the profiling phase rejects the
+  /// client instead of OOMing at runtime — scheduler principle 1).
+  void register_client(int client_id, const ClientDemands& demands);
+
+  /// Remove a waiting/idle client. A client with a live allocation must
+  /// on_complete first (StateError otherwise).
+  void unregister_client(int client_id);
+
+  /// Event: data arrived from `client_id` — enqueue and run SCHEDULE.
+  /// A client may have at most one outstanding request or allocation.
+  void on_request(int client_id, OpKind kind);
+
+  /// Event: the client's computation finished; reclaim its memory and run
+  /// SCHEDULE.
+  void on_complete(int client_id);
+
+  /// Permanently shrink a partition's schedulable memory — used for the
+  /// per-client persistent adapter + optimizer state (A + O), which lives
+  /// outside the request/complete cycle. Throws OutOfMemory if the
+  /// partition cannot cover it right now.
+  void reserve_persistent(int partition, std::size_t bytes);
+
+  /// Return memory taken by reserve_persistent (client departure).
+  void release_persistent(int partition, std::size_t bytes);
+
+  // ----- introspection -----
+  std::size_t available(int partition = 0) const;
+  std::size_t total_available() const;
+  std::size_t allocated_to(int client_id) const;
+  std::size_t waiting_count() const;
+  SchedulerStats stats() const;
+  int partition_count() const;
+
+ private:
+  struct Waiting {
+    int client_id;
+    OpKind kind;
+    std::uint64_t seq;
+  };
+
+  struct Allocation {
+    std::size_t bytes = 0;
+    int partition = -1;
+  };
+
+  // SCHEDULE procedure (Algorithm 2 lines 14-24). Lock must be held.
+  void schedule_locked();
+
+  /// Best-fit partition for `bytes`, or nullopt.
+  std::optional<int> find_partition_locked(std::size_t bytes) const;
+
+  mutable std::mutex mutex_;
+  std::vector<std::size_t> capacity_;
+  std::vector<std::size_t> free_;
+  Policy policy_;
+  std::function<void(const Grant&)> grant_callback_;
+  std::deque<Waiting> waiting_;
+  std::unordered_map<int, ClientDemands> demands_;
+  std::unordered_map<int, Allocation> allocations_;  // live grants
+  std::uint64_t next_seq_ = 0;
+  SchedulerStats stats_;
+};
+
+}  // namespace menos::sched

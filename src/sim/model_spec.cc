@@ -1,0 +1,65 @@
+#include "sim/model_spec.h"
+
+#include "util/bytes.h"
+
+namespace menos::sim {
+
+using util::kMB;
+using util::kGB;
+
+ModelSpec ModelSpec::opt_1_3b() {
+  ModelSpec s;
+  s.name = "OPT-1.3B";
+  // Fig 5(a): vanilla grows 4.7 GB per client (params + context + A/O);
+  // Menos adds ~0.52 GB per client over a 4.62 GB shared base.
+  s.server_param_bytes = 4240 * kMB;
+  s.adapter_opt_bytes = 60 * kMB;   // LoRA r=8 on q/v + Adam moments
+  s.context_bytes = 375 * kMB;
+  // Batch 16: backward peak such that 3 vanilla tasks fit a V100 but 4 do
+  // not (Fig 6(a): "one V100 GPU can support 3 clients simultaneously").
+  s.bwd_bytes = 3500 * kMB;
+  s.fwd_nograd_bytes = 500 * kMB;
+  // Table 1: 13.1 MB of activations + 12.5 MB of gradients per iteration,
+  // split across the two directions.
+  s.activation_up_bytes = 6550 * 1000;
+  s.activation_down_bytes = 6550 * 1000;
+  s.gradient_up_bytes = 6250 * 1000;
+  s.gradient_down_bytes = 6250 * 1000;
+  // Table 2: vanilla ~0.45 s flat; Menos 0.71 s (1 client) -> 1.68 s (6).
+  s.fwd_seconds = 0.15;
+  s.nograd_fwd_seconds = 0.12;
+  s.bwd_seconds = 0.30;
+  s.release_overhead_base_s = 0.14;
+  s.release_overhead_per_client_s = 0.194;
+  s.client_gpu_seconds = 0.25;
+  s.client_cpu_seconds = 0.9;
+  return s;
+}
+
+ModelSpec ModelSpec::llama2_7b() {
+  ModelSpec s;
+  s.name = "Llama-2-7B";
+  // §2.3 measurement study: M = 23.8-24 GB, A+O = 246 MB, I = 4 GB, total
+  // ~28.7 GB at batch 4.
+  s.server_param_bytes = 23800 * kMB;
+  s.adapter_opt_bytes = 246 * kMB;
+  s.context_bytes = 375 * kMB;
+  s.bwd_bytes = 4 * kGB;
+  s.fwd_nograd_bytes = 600 * kMB;
+  // Table 1: 6.4 MB activations + 6.2 MB gradients per iteration.
+  s.activation_up_bytes = 3200 * 1000;
+  s.activation_down_bytes = 3200 * 1000;
+  s.gradient_up_bytes = 3100 * 1000;
+  s.gradient_down_bytes = 3100 * 1000;
+  // Table 2: vanilla ~0.5 s flat; Menos 1.15 s (1 client) -> 2.16 s (4).
+  s.fwd_seconds = 0.17;
+  s.nograd_fwd_seconds = 0.136;
+  s.bwd_seconds = 0.33;
+  s.release_overhead_base_s = 0.514;
+  s.release_overhead_per_client_s = 0.337;
+  s.client_gpu_seconds = 0.3;
+  s.client_cpu_seconds = 1.1;
+  return s;
+}
+
+}  // namespace menos::sim

@@ -1,0 +1,440 @@
+#include "sim/split_sim.h"
+
+#include <algorithm>
+
+namespace menos::sim {
+namespace {
+
+using core::ServingMode;
+using sched::OpKind;
+
+struct ClientState {
+  int id = 0;
+  int iterations_done = 0;
+  // Current-iteration accumulators.
+  double iter_start = 0.0;
+  double comm = 0.0;
+  double compute = 0.0;
+  double schedule = 0.0;
+  double request_time = 0.0;
+  bool resident = false;  ///< vanilla: task currently on the GPU
+  bool holding = false;   ///< a scheduler allocation is live
+  ClientResult result;
+};
+
+class Sim {
+ public:
+  explicit Sim(const SimConfig& config) : cfg_(config) {}
+
+  SimResult run() {
+    MENOS_CHECK_MSG(cfg_.client_scale.empty() ||
+                        static_cast<int>(cfg_.client_scale.size()) ==
+                            cfg_.num_clients,
+                    "client_scale size must match num_clients");
+    if (!check_feasibility()) return out_;
+    build_scheduler();
+    clients_.resize(static_cast<std::size_t>(cfg_.num_clients));
+    // Vanilla: tasks that fit at startup are loaded onto the GPU before
+    // fine-tuning begins (model load time is not iteration time); only
+    // overflow clients pay swap-ins.
+    std::size_t preload_budget =
+        vanilla() ? cfg_.env.gpu_capacity_bytes *
+                        static_cast<std::size_t>(cfg_.num_gpus)
+                  : 0;
+    for (int i = 0; i < cfg_.num_clients; ++i) {
+      ClientState& c = clients_[static_cast<std::size_t>(i)];
+      c.id = i;
+      const sched::ClientDemands d = demand_for(i);
+      if (vanilla() && preload_budget >= d.backward_bytes) {
+        c.resident = true;
+        preload_budget -= d.backward_bytes;
+      }
+      scheduler_->register_client(i, d);
+      const int client = i;
+      loop_.schedule(cfg_.client_stagger_s * i,
+                     [this, client] { begin_iteration(client); });
+    }
+    out_.makespan_s = loop_.run();
+    aggregate();
+    return out_;
+  }
+
+ private:
+  const ModelSpec& spec() const { return cfg_.spec; }
+  bool vanilla() const { return cfg_.mode == ServingMode::VanillaTaskSwap; }
+  bool holds() const { return core::holds_across_iteration(cfg_.mode); }
+
+  double client_compute_s() const {
+    return cfg_.cpu_clients ? spec().client_cpu_seconds
+                            : spec().client_gpu_seconds;
+  }
+
+  double scale_of(int id) const {
+    return cfg_.client_scale.empty()
+               ? 1.0
+               : cfg_.client_scale[static_cast<std::size_t>(id)];
+  }
+
+  double max_scale() const {
+    double m = 1.0;
+    for (double s : cfg_.client_scale) m = std::max(m, s);
+    return m;
+  }
+
+  /// Profiled per-client memory demands (M_f / M_b), scaled by the
+  /// client's workload.
+  sched::ClientDemands demand_for(int id) const {
+    const auto scaled = [&](std::size_t bytes) {
+      return static_cast<std::size_t>(static_cast<double>(bytes) *
+                                      scale_of(id));
+    };
+    sched::ClientDemands d;
+    switch (cfg_.mode) {
+      case ServingMode::MenosOnDemand:
+        d = {scaled(spec().fwd_nograd_bytes), scaled(spec().bwd_bytes)};
+        break;
+      case ServingMode::VanillaTaskSwap:
+        d.forward_bytes = spec().vanilla_task_bytes() + scaled(spec().bwd_bytes);
+        d.backward_bytes = d.forward_bytes;
+        break;
+      default:
+        // Gradient-tracking first forward caches activations: its peak is
+        // essentially the backward working set.
+        d = {scaled(spec().bwd_bytes), scaled(spec().bwd_bytes)};
+        break;
+    }
+    return d;
+  }
+
+  double forward_op_seconds(int id) const {
+    switch (cfg_.mode) {
+      case ServingMode::MenosOnDemand:
+        return spec().nograd_fwd_seconds * scale_of(id);
+      default:
+        return spec().fwd_seconds * scale_of(id);
+    }
+  }
+
+  /// Duration the backward op HOLDS the memory pool.
+  double backward_op_seconds(int id) const {
+    switch (cfg_.mode) {
+      case ServingMode::MenosOnDemand:
+      case ServingMode::MenosReleaseEarly:
+        // Re-forward + backward.
+        return (spec().fwd_seconds + spec().bwd_seconds) * scale_of(id);
+      default:
+        return spec().bwd_seconds * scale_of(id);
+    }
+  }
+
+  /// Extra compute paid after the pool is released: the constant
+  /// release/re-collection (fragmentation) cost of §3.2 — it is the cost
+  /// of freeing the memory, so by construction it does not occupy it.
+  double release_overhead_seconds() const {
+    // Fragmentation scales with the clients sharing ONE allocator, i.e.
+    // clients per GPU (adding GPUs in Fig 10 restores the single-digit
+    // overheads of Table 2).
+    const int clients_per_gpu =
+        (cfg_.num_clients + cfg_.num_gpus - 1) / cfg_.num_gpus;
+    switch (cfg_.mode) {
+      case ServingMode::MenosOnDemand:
+      case ServingMode::MenosReleaseEarly:
+        return spec().release_overhead(clients_per_gpu);
+      case ServingMode::MenosReleaseAfterBackward:
+        return spec().release_overhead_base_s;
+      default:
+        return 0.0;
+    }
+  }
+
+  bool check_feasibility() {
+    const auto& s = spec();
+    const int n = cfg_.num_clients;
+    const std::size_t worst_bwd = static_cast<std::size_t>(
+        static_cast<double>(s.bwd_bytes) * max_scale());
+    if (vanilla()) {
+      out_.persistent_bytes = s.vanilla_persistent_bytes(n);
+      const std::size_t per_task = s.vanilla_task_bytes() + worst_bwd;
+      if (per_task > cfg_.env.gpu_capacity_bytes) {
+        out_.feasible = false;
+        out_.infeasible_reason = "a single task exceeds GPU capacity";
+        return false;
+      }
+      if (s.vanilla_task_bytes() * static_cast<std::size_t>(n) >
+          cfg_.env.host_capacity_bytes) {
+        // Paper §5.2: "At 5 clients, even main memory is insufficient, so
+        // comparison stops at 4 clients."
+        out_.feasible = false;
+        out_.infeasible_reason = "swapped-out tasks exceed host memory";
+        return false;
+      }
+      schedulable_per_gpu_ = cfg_.env.gpu_capacity_bytes;
+      return true;
+    }
+
+    out_.persistent_bytes = s.menos_persistent_bytes(n);
+    // Base layers spread across GPUs; per-client state (A + O + context)
+    // stays resident only while it fits. Overflow states swap between host
+    // and GPU around each backward pass — the Fig 10 "GPU memory swapping
+    // inevitably slows down the fine-tuning speed" regime.
+    const std::size_t total_cap =
+        cfg_.env.gpu_capacity_bytes * static_cast<std::size_t>(cfg_.num_gpus);
+    const std::size_t base = s.server_param_bytes + s.context_bytes;
+    const std::size_t state = s.adapter_opt_bytes + s.context_bytes;
+    const std::size_t wanted_state = state * static_cast<std::size_t>(n);
+    if (base + worst_bwd + s.fwd_nograd_bytes > total_cap) {
+      out_.feasible = false;
+      out_.infeasible_reason =
+          "base model leaves no room for a backward pass";
+      return false;
+    }
+    const std::size_t state_budget =
+        total_cap - base - worst_bwd - s.fwd_nograd_bytes;
+    std::size_t resident_state = wanted_state;
+    if (wanted_state > state_budget) {
+      resident_state = state_budget;
+      const double fit_fraction = static_cast<double>(state_budget) /
+                                  static_cast<double>(wanted_state);
+      // Swap the overflow fraction of a client's state in and out around
+      // its backward pass.
+      state_swap_penalty_s_ =
+          2.0 * cfg_.env.swap_seconds(state) * (1.0 - fit_fraction);
+    }
+    const std::size_t persistent_per_gpu =
+        (base + resident_state) / static_cast<std::size_t>(cfg_.num_gpus);
+    schedulable_per_gpu_ = cfg_.env.gpu_capacity_bytes - persistent_per_gpu;
+    return true;
+  }
+
+  void build_scheduler() {
+    out_.schedulable_capacity = schedulable_per_gpu_;
+    std::vector<std::size_t> partitions(
+        static_cast<std::size_t>(cfg_.num_gpus), schedulable_per_gpu_);
+    scheduler_ =
+        std::make_unique<sched::Scheduler>(partitions, cfg_.sched_policy);
+    scheduler_->set_grant_callback(
+        [this](const sched::Grant& grant) { on_grant(grant); });
+  }
+
+  ClientState& client(int id) { return clients_[static_cast<std::size_t>(id)]; }
+
+  // ----- iteration state machine -----
+
+  void begin_iteration(int id) {
+    ClientState& c = client(id);
+    c.iter_start = loop_.now();
+    c.comm = c.compute = c.schedule = 0.0;
+    loop_.schedule(client_compute_s() * 0.4,
+                   [this, id] { send_activations(id); });
+  }
+
+  void send_activations(int id) {
+    ClientState& c = client(id);
+    const double t = cfg_.env.wan_seconds(spec().activation_up_bytes);
+    c.comm += t;
+    loop_.schedule(t, [this, id] { arrive_forward(id); });
+  }
+
+  void arrive_forward(int id) {
+    ClientState& c = client(id);
+    c.request_time = loop_.now();
+    if (c.holding) {
+      // PreserveAll after its initial admission: memory already held.
+      start_compute(id, OpKind::Forward, 0.0);
+      return;
+    }
+    scheduler_->on_request(id, OpKind::Forward);
+  }
+
+  void on_grant(const sched::Grant& grant) {
+    ClientState& c = client(grant.client_id);
+    const double waited = loop_.now() - c.request_time;
+    c.schedule += waited;
+    if (grant.kind == OpKind::Forward) {
+      c.result.forward_wait_s.add(waited);
+    } else {
+      c.result.backward_wait_s.add(waited);
+    }
+    c.holding = true;
+    double swap_delay = 0.0;
+    if (!vanilla() && grant.kind == OpKind::Backward &&
+        state_swap_penalty_s_ > 0.0) {
+      // Shared-mode over-commit: part of this client's adapter/optimizer
+      // state must be staged in from the host before the backward runs.
+      swap_delay += state_swap_penalty_s_;
+      c.schedule += state_swap_penalty_s_;
+      ++c.result.swaps;
+    }
+    if (vanilla() && !c.resident) {
+      // Swap-in delays the computation start; the paper counts it as
+      // scheduling time ("the time between when the server receives
+      // intermediate activations and starts computation").
+      swap_delay = cfg_.env.swap_seconds(spec().vanilla_task_bytes());
+      c.schedule += swap_delay;
+      c.resident = true;
+      ++c.result.swaps;
+    }
+    start_compute(grant.client_id, grant.kind, swap_delay);
+  }
+
+  void start_compute(int id, OpKind kind, double extra_delay) {
+    const double duration = kind == OpKind::Forward
+                                ? forward_op_seconds(id)
+                                : backward_op_seconds(id);
+    loop_.schedule(extra_delay + duration, [this, id, kind, duration] {
+      compute_done(id, kind, duration);
+    });
+  }
+
+  void compute_done(int id, OpKind kind, double duration) {
+    ClientState& c = client(id);
+    c.compute += duration;
+    if (kind == OpKind::Forward) {
+      if (!holds()) {
+        // Menos releases after the first forward (Fig 3(c)/(d)).
+        c.holding = false;
+        scheduler_->on_complete(id);
+      }
+      const double t = cfg_.env.wan_seconds(spec().activation_down_bytes);
+      c.comm += t;
+      loop_.schedule(t, [this, id] { client_midpoint(id); });
+      return;
+    }
+    // Backward finished. Ordering mirrors the runtime session:
+    //  * Menos modes release the pool immediately, then pay the
+    //    release/re-collection overhead (it is the cost of FREEING the
+    //    memory, so it cannot hold the pool), then return g_s.
+    //  * Vanilla must finish the swap-out transfer before its bytes become
+    //    schedulable, and only then returns g_s.
+    const double post_release = release_overhead_seconds();
+    c.compute += post_release;
+    double pre_release = 0.0;
+    bool swapping_out = false;
+    if (vanilla() && scheduler_->waiting_count() > 0) {
+      pre_release = cfg_.env.swap_seconds(spec().vanilla_task_bytes());
+      swapping_out = true;
+    }
+    loop_.schedule(pre_release, [this, id, swapping_out, post_release] {
+      ClientState& cc = client(id);
+      if (cfg_.mode != ServingMode::MenosPreserveAll) {
+        if (swapping_out) cc.resident = false;
+        cc.holding = false;
+        scheduler_->on_complete(id);
+      }
+      loop_.schedule(post_release, [this, id] {
+        ClientState& ccc = client(id);
+        const double t = cfg_.env.wan_seconds(spec().gradient_down_bytes);
+        ccc.comm += t;
+        loop_.schedule(t, [this, id] { client_finalize(id); });
+      });
+    });
+  }
+
+  void client_midpoint(int id) {
+    loop_.schedule(client_compute_s() * 0.4,
+                   [this, id] { send_gradients(id); });
+  }
+
+  void send_gradients(int id) {
+    ClientState& c = client(id);
+    const double t = cfg_.env.wan_seconds(spec().gradient_up_bytes);
+    c.comm += t;
+    loop_.schedule(t, [this, id] { arrive_backward(id); });
+  }
+
+  void arrive_backward(int id) {
+    ClientState& c = client(id);
+    c.request_time = loop_.now();
+    if (c.holding) {
+      // Hold-across-iteration modes kept the allocation from the forward.
+      start_compute(id, OpKind::Backward, 0.0);
+      return;
+    }
+    scheduler_->on_request(id, OpKind::Backward);
+  }
+
+  void client_finalize(int id) {
+    loop_.schedule(client_compute_s() * 0.2,
+                   [this, id] { finish_iteration(id); });
+  }
+
+  void finish_iteration(int id) {
+    ClientState& c = client(id);
+    c.result.iteration_s.add(loop_.now() - c.iter_start);
+    c.result.comm_s.add(c.comm);
+    c.result.compute_s.add(c.compute);
+    c.result.schedule_s.add(c.schedule);
+    ++c.result.iterations_completed;
+    ++c.iterations_done;
+    if (c.iterations_done < cfg_.iterations) {
+      begin_iteration(id);
+    } else if (c.holding) {
+      // Session departure: even PreserveAll releases at the very end.
+      c.holding = false;
+      scheduler_->on_complete(id);
+    }
+  }
+
+  void aggregate() {
+    double it = 0, co = 0, cp = 0, sc = 0, fw = 0, bw = 0;
+    int counted = 0;
+    for (ClientState& c : clients_) {
+      out_.clients.push_back(c.result);
+      if (c.result.iterations_completed == 0) {
+        ++out_.starved_clients;
+        continue;
+      }
+      if (c.iterations_done < cfg_.iterations) ++out_.starved_clients;
+      it += c.result.iteration_s.mean();
+      co += c.result.comm_s.mean();
+      cp += c.result.compute_s.mean();
+      sc += c.result.schedule_s.mean();
+      fw += c.result.forward_wait_s.mean();
+      bw += c.result.backward_wait_s.mean();
+      ++counted;
+    }
+    if (counted > 0) {
+      out_.avg_iteration_s = it / counted;
+      out_.avg_comm_s = co / counted;
+      out_.avg_compute_s = cp / counted;
+      out_.avg_schedule_s = sc / counted;
+      out_.avg_forward_wait_s = fw / counted;
+      out_.avg_backward_wait_s = bw / counted;
+    }
+    // Jain's index over per-client throughput (1 / mean iteration time):
+    // (sum x)^2 / (n * sum x^2).
+    double sum = 0.0, sum_sq = 0.0;
+    int n = 0;
+    for (const ClientState& c : clients_) {
+      if (c.result.iterations_completed == 0) continue;
+      const double throughput = 1.0 / c.result.iteration_s.mean();
+      sum += throughput;
+      sum_sq += throughput * throughput;
+      ++n;
+    }
+    if (n > 0 && sum_sq > 0.0) {
+      out_.fairness_index = sum * sum / (n * sum_sq);
+    }
+    out_.sched_stats = scheduler_->stats();
+  }
+
+  SimConfig cfg_;
+  EventLoop loop_;
+  std::unique_ptr<sched::Scheduler> scheduler_;
+  std::vector<ClientState> clients_;
+  std::size_t schedulable_per_gpu_ = 0;
+  double state_swap_penalty_s_ = 0.0;
+  SimResult out_;
+};
+
+}  // namespace
+
+SimResult run_split_finetune(const SimConfig& config) {
+  MENOS_CHECK_MSG(config.num_clients >= 1, "need at least one client");
+  MENOS_CHECK_MSG(config.num_gpus >= 1, "need at least one GPU");
+  MENOS_CHECK_MSG(config.iterations >= 1, "need at least one iteration");
+  Sim sim(config);
+  return sim.run();
+}
+
+}  // namespace menos::sim

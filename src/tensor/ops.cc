@@ -1,0 +1,943 @@
+#include "tensor/ops.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace menos::tensor {
+namespace {
+
+using detail::attach_node;
+using detail::should_record;
+
+void check_defined(const Tensor& t, const char* op) {
+  MENOS_CHECK_MSG(t.defined(), op << ": undefined tensor operand");
+}
+
+void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  MENOS_CHECK_MSG(a.shape() == b.shape(),
+                  op << ": shape mismatch " << shape_to_string(a.shape())
+                     << " vs " << shape_to_string(b.shape()));
+}
+
+/// New impl sharing `t`'s storage with a different shape (detached view).
+Tensor view_as(const Tensor& t, Shape shape) {
+  MENOS_CHECK_MSG(numel_of(shape) == t.numel(),
+                  "view numel mismatch: " << shape_to_string(shape) << " on "
+                                          << shape_to_string(t.shape()));
+  return Tensor(std::make_shared<TensorImpl>(t.impl()->storage,
+                                             std::move(shape), false));
+}
+
+// ----- raw kernels (row-major, accumulate into C) -----
+
+// C[m,n] += A[m,k] * B[k,n]
+void mm(const float* a, const float* b, float* c, Index m, Index k, Index n) {
+  for (Index i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (Index p = 0; p < k; ++p) {
+      const float av = arow[p];
+      const float* brow = b + p * n;
+      for (Index j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+// C[m,k] += A[m,n] * B[k,n]^T   (i.e. C[i,p] += sum_j A[i,j] * B[p,j])
+void mm_nt(const float* a, const float* b, float* c, Index m, Index n,
+           Index k) {
+  for (Index i = 0; i < m; ++i) {
+    const float* arow = a + i * n;
+    float* crow = c + i * k;
+    for (Index p = 0; p < k; ++p) {
+      const float* brow = b + p * n;
+      float acc = 0.0f;
+      for (Index j = 0; j < n; ++j) acc += arow[j] * brow[j];
+      crow[p] += acc;
+    }
+  }
+}
+
+// C[k,n] += A[m,k]^T * B[m,n]   (i.e. C[p,j] += sum_i A[i,p] * B[i,j])
+void mm_tn(const float* a, const float* b, float* c, Index m, Index k,
+           Index n) {
+  for (Index i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    const float* brow = b + i * n;
+    for (Index p = 0; p < k; ++p) {
+      const float av = arow[p];
+      float* crow = c + p * n;
+      for (Index j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+}  // namespace
+
+// ----- elementwise -----
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  check_defined(a, "add");
+  check_defined(b, "add");
+  check_same_shape(a, b, "add");
+  Tensor out = Tensor::empty(a.shape(), a.device());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  const Index n = a.numel();
+  for (Index i = 0; i < n; ++i) po[i] = pa[i] + pb[i];
+  if (should_record({a, b})) {
+    attach_node(out, "add", {a, b}, [](const Tensor& g) {
+      return std::vector<Tensor>{g, g};
+    });
+  }
+  return out;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  check_defined(a, "sub");
+  check_defined(b, "sub");
+  check_same_shape(a, b, "sub");
+  Tensor out = Tensor::empty(a.shape(), a.device());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  const Index n = a.numel();
+  for (Index i = 0; i < n; ++i) po[i] = pa[i] - pb[i];
+  if (should_record({a, b})) {
+    attach_node(out, "sub", {a, b}, [](const Tensor& g) {
+      return std::vector<Tensor>{g, scale(g, -1.0f)};
+    });
+  }
+  return out;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  check_defined(a, "mul");
+  check_defined(b, "mul");
+  check_same_shape(a, b, "mul");
+  Tensor out = Tensor::empty(a.shape(), a.device());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  const Index n = a.numel();
+  for (Index i = 0; i < n; ++i) po[i] = pa[i] * pb[i];
+  if (should_record({a, b})) {
+    Tensor sa = a.detach(), sb = b.detach();
+    attach_node(out, "mul", {a, b}, [sa, sb](const Tensor& g) {
+      return std::vector<Tensor>{mul(g, sb), mul(g, sa)};
+    });
+  }
+  return out;
+}
+
+Tensor scale(const Tensor& a, float s) {
+  check_defined(a, "scale");
+  Tensor out = Tensor::empty(a.shape(), a.device());
+  const float* pa = a.data();
+  float* po = out.data();
+  const Index n = a.numel();
+  for (Index i = 0; i < n; ++i) po[i] = pa[i] * s;
+  if (should_record({a})) {
+    attach_node(out, "scale", {a}, [s](const Tensor& g) {
+      return std::vector<Tensor>{scale(g, s)};
+    });
+  }
+  return out;
+}
+
+Tensor add_bias(const Tensor& x, const Tensor& bias) {
+  check_defined(x, "add_bias");
+  check_defined(bias, "add_bias");
+  MENOS_CHECK_MSG(bias.ndim() == 1, "add_bias: bias must be 1-D, got "
+                                        << shape_to_string(bias.shape()));
+  const Index n = bias.dim(0);
+  MENOS_CHECK_MSG(x.ndim() >= 1 && x.shape().back() == n,
+                  "add_bias: last dim of x " << shape_to_string(x.shape())
+                                             << " != bias size " << n);
+  Tensor out = Tensor::empty(x.shape(), x.device());
+  const Index rows = x.numel() / n;
+  const float* px = x.data();
+  const float* pb = bias.data();
+  float* po = out.data();
+  for (Index r = 0; r < rows; ++r) {
+    const float* xr = px + r * n;
+    float* orow = po + r * n;
+    for (Index j = 0; j < n; ++j) orow[j] = xr[j] + pb[j];
+  }
+  if (should_record({x, bias})) {
+    attach_node(out, "add_bias", {x, bias}, [n, rows](const Tensor& g) {
+      Tensor db = Tensor::zeros({n}, g.device());
+      const float* pg = g.data();
+      float* pdb = db.data();
+      for (Index r = 0; r < rows; ++r) {
+        const float* grow = pg + r * n;
+        for (Index j = 0; j < n; ++j) pdb[j] += grow[j];
+      }
+      return std::vector<Tensor>{g, db};
+    });
+  }
+  return out;
+}
+
+Tensor relu(const Tensor& a) {
+  check_defined(a, "relu");
+  Tensor out = Tensor::empty(a.shape(), a.device());
+  const float* pa = a.data();
+  float* po = out.data();
+  const Index n = a.numel();
+  for (Index i = 0; i < n; ++i) po[i] = pa[i] > 0.0f ? pa[i] : 0.0f;
+  if (should_record({a})) {
+    Tensor sa = a.detach();
+    attach_node(out, "relu", {a}, [sa](const Tensor& g) {
+      Tensor dx = Tensor::empty(g.shape(), g.device());
+      const float* px = sa.data();
+      const float* pg = g.data();
+      float* pd = dx.data();
+      const Index m = g.numel();
+      for (Index i = 0; i < m; ++i) pd[i] = px[i] > 0.0f ? pg[i] : 0.0f;
+      return std::vector<Tensor>{dx};
+    });
+  }
+  return out;
+}
+
+namespace {
+constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+constexpr float kGeluA = 0.044715f;
+}  // namespace
+
+Tensor gelu(const Tensor& a) {
+  check_defined(a, "gelu");
+  Tensor out = Tensor::empty(a.shape(), a.device());
+  const float* pa = a.data();
+  float* po = out.data();
+  const Index n = a.numel();
+  for (Index i = 0; i < n; ++i) {
+    const float x = pa[i];
+    const float t = std::tanh(kGeluC * (x + kGeluA * x * x * x));
+    po[i] = 0.5f * x * (1.0f + t);
+  }
+  if (should_record({a})) {
+    Tensor sa = a.detach();
+    attach_node(out, "gelu", {a}, [sa](const Tensor& g) {
+      Tensor dx = Tensor::empty(g.shape(), g.device());
+      const float* px = sa.data();
+      const float* pg = g.data();
+      float* pd = dx.data();
+      const Index m = g.numel();
+      for (Index i = 0; i < m; ++i) {
+        const float x = px[i];
+        const float u = kGeluC * (x + kGeluA * x * x * x);
+        const float t = std::tanh(u);
+        const float du = kGeluC * (1.0f + 3.0f * kGeluA * x * x);
+        const float d = 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * du;
+        pd[i] = pg[i] * d;
+      }
+      return std::vector<Tensor>{dx};
+    });
+  }
+  return out;
+}
+
+Tensor silu(const Tensor& a) {
+  check_defined(a, "silu");
+  Tensor out = Tensor::empty(a.shape(), a.device());
+  const float* pa = a.data();
+  float* po = out.data();
+  const Index n = a.numel();
+  for (Index i = 0; i < n; ++i) {
+    const float x = pa[i];
+    const float s = 1.0f / (1.0f + std::exp(-x));
+    po[i] = x * s;
+  }
+  if (should_record({a})) {
+    Tensor sa = a.detach();
+    attach_node(out, "silu", {a}, [sa](const Tensor& g) {
+      Tensor dx = Tensor::empty(g.shape(), g.device());
+      const float* px = sa.data();
+      const float* pg = g.data();
+      float* pd = dx.data();
+      const Index m = g.numel();
+      for (Index i = 0; i < m; ++i) {
+        const float x = px[i];
+        const float s = 1.0f / (1.0f + std::exp(-x));
+        pd[i] = pg[i] * s * (1.0f + x * (1.0f - s));
+      }
+      return std::vector<Tensor>{dx};
+    });
+  }
+  return out;
+}
+
+Tensor dropout(const Tensor& a, float p, util::Rng& rng) {
+  check_defined(a, "dropout");
+  MENOS_CHECK_MSG(p >= 0.0f && p < 1.0f,
+                  "dropout probability must be in [0, 1), got " << p);
+  if (p == 0.0f) return a;
+  const float keep_scale = 1.0f / (1.0f - p);
+  Tensor out = Tensor::empty(a.shape(), a.device());
+  // The mask is saved (as keep_scale or 0 per element) for backward.
+  Tensor mask = Tensor::empty(a.shape(), a.device());
+  const float* pa = a.data();
+  float* po = out.data();
+  float* pm = mask.data();
+  const Index n = a.numel();
+  for (Index i = 0; i < n; ++i) {
+    const bool keep = rng.next_double() >= static_cast<double>(p);
+    pm[i] = keep ? keep_scale : 0.0f;
+    po[i] = pa[i] * pm[i];
+  }
+  if (should_record({a})) {
+    attach_node(out, "dropout", {a}, [mask](const Tensor& g) {
+      return std::vector<Tensor>{mul(g, mask)};
+    });
+  }
+  return out;
+}
+
+// ----- shape manipulation -----
+
+Tensor reshape(const Tensor& a, Shape new_shape) {
+  check_defined(a, "reshape");
+  Tensor out = view_as(a, std::move(new_shape));
+  if (should_record({a})) {
+    const Shape original = a.shape();
+    attach_node(out, "reshape", {a}, [original](const Tensor& g) {
+      return std::vector<Tensor>{view_as(g, original)};
+    });
+  }
+  return out;
+}
+
+namespace {
+
+/// Raw permutation copy: out[perm(index)] = in[index].
+Tensor permute_copy(const Tensor& a, const std::vector<int>& dims) {
+  const Shape& in_shape = a.shape();
+  const int nd = a.ndim();
+  Shape out_shape(static_cast<std::size_t>(nd));
+  for (int i = 0; i < nd; ++i) {
+    out_shape[static_cast<std::size_t>(i)] =
+        in_shape[static_cast<std::size_t>(dims[static_cast<std::size_t>(i)])];
+  }
+  Tensor out = Tensor::empty(out_shape, a.device());
+
+  // Strides (row-major).
+  std::vector<Index> in_strides(static_cast<std::size_t>(nd), 1);
+  std::vector<Index> out_strides(static_cast<std::size_t>(nd), 1);
+  for (int i = nd - 2; i >= 0; --i) {
+    in_strides[static_cast<std::size_t>(i)] =
+        in_strides[static_cast<std::size_t>(i + 1)] *
+        in_shape[static_cast<std::size_t>(i + 1)];
+    out_strides[static_cast<std::size_t>(i)] =
+        out_strides[static_cast<std::size_t>(i + 1)] *
+        out_shape[static_cast<std::size_t>(i + 1)];
+  }
+
+  const float* pin = a.data();
+  float* pout = out.data();
+  const Index total = a.numel();
+  std::vector<Index> idx(static_cast<std::size_t>(nd), 0);
+  for (Index flat = 0; flat < total; ++flat) {
+    // Decompose flat input index -> coordinates.
+    Index rem = flat;
+    for (int i = 0; i < nd; ++i) {
+      idx[static_cast<std::size_t>(i)] =
+          rem / in_strides[static_cast<std::size_t>(i)];
+      rem %= in_strides[static_cast<std::size_t>(i)];
+    }
+    Index out_flat = 0;
+    for (int i = 0; i < nd; ++i) {
+      out_flat += idx[static_cast<std::size_t>(dims[static_cast<std::size_t>(i)])] *
+                  out_strides[static_cast<std::size_t>(i)];
+    }
+    pout[out_flat] = pin[flat];
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor permute(const Tensor& a, const std::vector<int>& dims) {
+  check_defined(a, "permute");
+  MENOS_CHECK_MSG(static_cast<int>(dims.size()) == a.ndim(),
+                  "permute: axis list size " << dims.size() << " != ndim "
+                                             << a.ndim());
+  std::vector<bool> seen(dims.size(), false);
+  for (int d : dims) {
+    MENOS_CHECK_MSG(d >= 0 && d < a.ndim() && !seen[static_cast<std::size_t>(d)],
+                    "permute: invalid axis permutation");
+    seen[static_cast<std::size_t>(d)] = true;
+  }
+  Tensor out = permute_copy(a, dims);
+  if (should_record({a})) {
+    std::vector<int> inverse(dims.size());
+    for (std::size_t i = 0; i < dims.size(); ++i) {
+      inverse[static_cast<std::size_t>(dims[i])] = static_cast<int>(i);
+    }
+    attach_node(out, "permute", {a}, [inverse](const Tensor& g) {
+      return std::vector<Tensor>{permute_copy(g, inverse)};
+    });
+  }
+  return out;
+}
+
+Tensor transpose_last(const Tensor& a) {
+  check_defined(a, "transpose_last");
+  MENOS_CHECK_MSG(a.ndim() >= 2, "transpose_last needs ndim >= 2");
+  std::vector<int> dims(static_cast<std::size_t>(a.ndim()));
+  for (int i = 0; i < a.ndim(); ++i) dims[static_cast<std::size_t>(i)] = i;
+  std::swap(dims[static_cast<std::size_t>(a.ndim() - 1)],
+            dims[static_cast<std::size_t>(a.ndim() - 2)]);
+  return permute(a, dims);
+}
+
+Tensor concat_dim1(const Tensor& a, const Tensor& b) {
+  check_defined(a, "concat_dim1");
+  check_defined(b, "concat_dim1");
+  MENOS_CHECK_MSG(a.ndim() == 3 && b.ndim() == 3,
+                  "concat_dim1 expects 3-D tensors");
+  MENOS_CHECK_MSG(a.dim(0) == b.dim(0) && a.dim(2) == b.dim(2),
+                  "concat_dim1: incompatible shapes "
+                      << shape_to_string(a.shape()) << " and "
+                      << shape_to_string(b.shape()));
+  const Index B = a.dim(0), Ta = a.dim(1), Tb = b.dim(1), C = a.dim(2);
+  Tensor out = Tensor::empty({B, Ta + Tb, C}, a.device());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (Index i = 0; i < B; ++i) {
+    std::memcpy(po + i * (Ta + Tb) * C, pa + i * Ta * C,
+                static_cast<std::size_t>(Ta * C) * sizeof(float));
+    std::memcpy(po + (i * (Ta + Tb) + Ta) * C, pb + i * Tb * C,
+                static_cast<std::size_t>(Tb * C) * sizeof(float));
+  }
+  if (should_record({a, b})) {
+    attach_node(out, "concat_dim1", {a, b}, [B, Ta, Tb, C](const Tensor& g) {
+      Tensor ga = Tensor::empty({B, Ta, C}, g.device());
+      Tensor gb = Tensor::empty({B, Tb, C}, g.device());
+      const float* pg = g.data();
+      for (Index i = 0; i < B; ++i) {
+        std::memcpy(ga.data() + i * Ta * C, pg + i * (Ta + Tb) * C,
+                    static_cast<std::size_t>(Ta * C) * sizeof(float));
+        std::memcpy(gb.data() + i * Tb * C, pg + (i * (Ta + Tb) + Ta) * C,
+                    static_cast<std::size_t>(Tb * C) * sizeof(float));
+      }
+      return std::vector<Tensor>{ga, gb};
+    });
+  }
+  return out;
+}
+
+Tensor slice_dim1(const Tensor& a, Index start, Index len) {
+  check_defined(a, "slice_dim1");
+  MENOS_CHECK_MSG(a.ndim() == 3, "slice_dim1 expects a 3-D tensor");
+  const Index B = a.dim(0), T = a.dim(1), C = a.dim(2);
+  MENOS_CHECK_MSG(start >= 0 && len >= 0 && start + len <= T,
+                  "slice_dim1: range [" << start << ", " << start + len
+                                        << ") out of bounds for T=" << T);
+  Tensor out = Tensor::empty({B, len, C}, a.device());
+  const float* pa = a.data();
+  float* po = out.data();
+  for (Index i = 0; i < B; ++i) {
+    std::memcpy(po + i * len * C, pa + (i * T + start) * C,
+                static_cast<std::size_t>(len * C) * sizeof(float));
+  }
+  if (should_record({a})) {
+    attach_node(out, "slice_dim1", {a}, [B, T, C, start, len](const Tensor& g) {
+      Tensor gx = Tensor::zeros({B, T, C}, g.device());
+      const float* pg = g.data();
+      for (Index i = 0; i < B; ++i) {
+        std::memcpy(gx.data() + (i * T + start) * C, pg + i * len * C,
+                    static_cast<std::size_t>(len * C) * sizeof(float));
+      }
+      return std::vector<Tensor>{gx};
+    });
+  }
+  return out;
+}
+
+// ----- contractions -----
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  check_defined(a, "matmul");
+  check_defined(b, "matmul");
+  MENOS_CHECK_MSG(a.ndim() >= 2 && b.ndim() >= 2,
+                  "matmul operands need ndim >= 2");
+  const Shape& sa = a.shape();
+  const Shape& sb = b.shape();
+  const Index m = sa[sa.size() - 2];
+  const Index k = sa[sa.size() - 1];
+  const bool shared_b = b.ndim() == 2;
+  if (shared_b) {
+    MENOS_CHECK_MSG(sb[0] == k, "matmul: inner dims " << k << " vs " << sb[0]);
+  } else {
+    MENOS_CHECK_MSG(a.ndim() == b.ndim(),
+                    "matmul: batched operands must have equal ndim");
+    for (std::size_t i = 0; i + 2 < sa.size(); ++i) {
+      MENOS_CHECK_MSG(sa[i] == sb[i], "matmul: batch dims mismatch at axis "
+                                          << i << ": " << sa[i] << " vs "
+                                          << sb[i]);
+    }
+    MENOS_CHECK_MSG(sb[sb.size() - 2] == k,
+                    "matmul: inner dims " << k << " vs " << sb[sb.size() - 2]);
+  }
+  const Index n = sb[sb.size() - 1];
+  const Index batch = a.numel() / (m * k);
+
+  Shape out_shape(sa.begin(), sa.end() - 2);
+  out_shape.push_back(m);
+  out_shape.push_back(n);
+  Tensor out = Tensor::zeros(out_shape, a.device());
+
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (Index i = 0; i < batch; ++i) {
+    const float* bi = shared_b ? pb : pb + i * k * n;
+    mm(pa + i * m * k, bi, po + i * m * n, m, k, n);
+  }
+
+  if (should_record({a, b})) {
+    Tensor saved_a = a.detach();
+    Tensor saved_b = b.detach();
+    attach_node(out, "matmul", {a, b},
+                [saved_a, saved_b, m, k, n, batch, shared_b](const Tensor& g) {
+                  Tensor da = Tensor::zeros(saved_a.shape(), g.device());
+                  Tensor db = Tensor::zeros(saved_b.shape(), g.device());
+                  const float* pg = g.data();
+                  const float* pa2 = saved_a.data();
+                  const float* pb2 = saved_b.data();
+                  float* pda = da.data();
+                  float* pdb = db.data();
+                  for (Index i = 0; i < batch; ++i) {
+                    const float* gi = pg + i * m * n;
+                    const float* ai = pa2 + i * m * k;
+                    const float* bi = shared_b ? pb2 : pb2 + i * k * n;
+                    float* dai = pda + i * m * k;
+                    float* dbi = shared_b ? pdb : pdb + i * k * n;
+                    // dA_i = dC_i * B_i^T
+                    mm_nt(gi, bi, dai, m, n, k);
+                    // dB (+)= A_i^T * dC_i
+                    mm_tn(ai, gi, dbi, m, k, n);
+                  }
+                  return std::vector<Tensor>{da, db};
+                });
+  }
+  return out;
+}
+
+// ----- reductions / normalization -----
+
+Tensor sum(const Tensor& a) {
+  check_defined(a, "sum");
+  double acc = 0.0;
+  const float* pa = a.data();
+  const Index n = a.numel();
+  for (Index i = 0; i < n; ++i) acc += pa[i];
+  Tensor out = Tensor::scalar(static_cast<float>(acc), a.device());
+  if (should_record({a})) {
+    const Shape in_shape = a.shape();
+    attach_node(out, "sum", {a}, [in_shape](const Tensor& g) {
+      return std::vector<Tensor>{
+          Tensor::full(in_shape, g.item(), g.device())};
+    });
+  }
+  return out;
+}
+
+Tensor mean(const Tensor& a) {
+  check_defined(a, "mean");
+  MENOS_CHECK_MSG(a.numel() > 0, "mean of empty tensor");
+  const float inv = 1.0f / static_cast<float>(a.numel());
+  return scale(sum(a), inv);
+}
+
+namespace {
+
+/// Shared softmax backward: ds = y * (dy - sum_j dy_j * y_j) per row.
+std::vector<Tensor> softmax_backward(const Tensor& y, const Tensor& g,
+                                     Index row_len) {
+  Tensor dx = Tensor::empty(g.shape(), g.device());
+  const Index rows = g.numel() / row_len;
+  const float* py = y.data();
+  const float* pg = g.data();
+  float* pd = dx.data();
+  for (Index r = 0; r < rows; ++r) {
+    const float* yr = py + r * row_len;
+    const float* gr = pg + r * row_len;
+    float* dr = pd + r * row_len;
+    float dot = 0.0f;
+    for (Index j = 0; j < row_len; ++j) dot += yr[j] * gr[j];
+    for (Index j = 0; j < row_len; ++j) dr[j] = yr[j] * (gr[j] - dot);
+  }
+  return {dx};
+}
+
+}  // namespace
+
+Tensor softmax_lastdim(const Tensor& a) {
+  check_defined(a, "softmax");
+  MENOS_CHECK_MSG(a.ndim() >= 1, "softmax needs ndim >= 1");
+  const Index n = a.shape().back();
+  const Index rows = a.numel() / n;
+  Tensor out = Tensor::empty(a.shape(), a.device());
+  const float* pa = a.data();
+  float* po = out.data();
+  for (Index r = 0; r < rows; ++r) {
+    const float* xr = pa + r * n;
+    float* yr = po + r * n;
+    float mx = xr[0];
+    for (Index j = 1; j < n; ++j) mx = std::max(mx, xr[j]);
+    float z = 0.0f;
+    for (Index j = 0; j < n; ++j) {
+      yr[j] = std::exp(xr[j] - mx);
+      z += yr[j];
+    }
+    const float inv = 1.0f / z;
+    for (Index j = 0; j < n; ++j) yr[j] *= inv;
+  }
+  if (should_record({a})) {
+    Tensor saved_y = out.detach();
+    attach_node(out, "softmax", {a}, [saved_y, n](const Tensor& g) {
+      return softmax_backward(saved_y, g, n);
+    });
+  }
+  return out;
+}
+
+Tensor causal_masked_softmax(const Tensor& scores) {
+  check_defined(scores, "causal_masked_softmax");
+  MENOS_CHECK_MSG(scores.ndim() >= 2, "causal softmax needs ndim >= 2");
+  const Index t_cols = scores.shape().back();
+  const Index t_rows = scores.shape()[scores.shape().size() - 2];
+  MENOS_CHECK_MSG(t_rows == t_cols,
+                  "causal softmax expects square score blocks, got "
+                      << shape_to_string(scores.shape()));
+  const Index blocks = scores.numel() / (t_rows * t_cols);
+  Tensor out = Tensor::empty(scores.shape(), scores.device());
+  const float* pa = scores.data();
+  float* po = out.data();
+  for (Index blk = 0; blk < blocks; ++blk) {
+    for (Index t = 0; t < t_rows; ++t) {
+      const float* xr = pa + (blk * t_rows + t) * t_cols;
+      float* yr = po + (blk * t_rows + t) * t_cols;
+      const Index valid = t + 1;  // positions 0..t
+      float mx = xr[0];
+      for (Index j = 1; j < valid; ++j) mx = std::max(mx, xr[j]);
+      float z = 0.0f;
+      for (Index j = 0; j < valid; ++j) {
+        yr[j] = std::exp(xr[j] - mx);
+        z += yr[j];
+      }
+      const float inv = 1.0f / z;
+      for (Index j = 0; j < valid; ++j) yr[j] *= inv;
+      for (Index j = valid; j < t_cols; ++j) yr[j] = 0.0f;
+    }
+  }
+  if (should_record({scores})) {
+    Tensor saved_y = out.detach();
+    attach_node(out, "causal_softmax", {scores},
+                [saved_y, t_cols](const Tensor& g) {
+                  // Masked positions have y == 0, so the generic softmax
+                  // backward already yields zero gradient there.
+                  return softmax_backward(saved_y, g, t_cols);
+                });
+  }
+  return out;
+}
+
+Tensor layer_norm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                  float eps) {
+  check_defined(x, "layer_norm");
+  check_defined(gamma, "layer_norm");
+  check_defined(beta, "layer_norm");
+  MENOS_CHECK_MSG(gamma.ndim() == 1 && beta.ndim() == 1,
+                  "layer_norm: gamma/beta must be 1-D");
+  const Index n = x.shape().back();
+  MENOS_CHECK_MSG(gamma.dim(0) == n && beta.dim(0) == n,
+                  "layer_norm: param size mismatch");
+  const Index rows = x.numel() / n;
+  Tensor out = Tensor::empty(x.shape(), x.device());
+  // Saved for backward: normalized activations and per-row 1/sigma.
+  Tensor xhat = Tensor::empty(x.shape(), x.device());
+  Tensor inv_sigma = Tensor::empty({rows}, x.device());
+
+  const float* px = x.data();
+  const float* pg = gamma.data();
+  const float* pb = beta.data();
+  float* po = out.data();
+  float* ph = xhat.data();
+  float* pis = inv_sigma.data();
+  for (Index r = 0; r < rows; ++r) {
+    const float* xr = px + r * n;
+    float mu = 0.0f;
+    for (Index j = 0; j < n; ++j) mu += xr[j];
+    mu /= static_cast<float>(n);
+    float var = 0.0f;
+    for (Index j = 0; j < n; ++j) {
+      const float d = xr[j] - mu;
+      var += d * d;
+    }
+    var /= static_cast<float>(n);
+    const float is = 1.0f / std::sqrt(var + eps);
+    pis[r] = is;
+    float* hr = ph + r * n;
+    float* orow = po + r * n;
+    for (Index j = 0; j < n; ++j) {
+      hr[j] = (xr[j] - mu) * is;
+      orow[j] = hr[j] * pg[j] + pb[j];
+    }
+  }
+
+  if (should_record({x, gamma, beta})) {
+    Tensor sg = gamma.detach();
+    attach_node(out, "layer_norm", {x, gamma, beta},
+                [xhat, inv_sigma, sg, n, rows](const Tensor& g) {
+                  Tensor dx = Tensor::empty(g.shape(), g.device());
+                  Tensor dgamma = Tensor::zeros({n}, g.device());
+                  Tensor dbeta = Tensor::zeros({n}, g.device());
+                  const float* ph2 = xhat.data();
+                  const float* pis2 = inv_sigma.data();
+                  const float* pgam = sg.data();
+                  const float* pgr = g.data();
+                  float* pdx = dx.data();
+                  float* pdg = dgamma.data();
+                  float* pdb = dbeta.data();
+                  for (Index r = 0; r < rows; ++r) {
+                    const float* hr = ph2 + r * n;
+                    const float* gr = pgr + r * n;
+                    float* dxr = pdx + r * n;
+                    float mean_gy = 0.0f, mean_gyh = 0.0f;
+                    for (Index j = 0; j < n; ++j) {
+                      const float gy = gr[j] * pgam[j];
+                      mean_gy += gy;
+                      mean_gyh += gy * hr[j];
+                      pdg[j] += gr[j] * hr[j];
+                      pdb[j] += gr[j];
+                    }
+                    mean_gy /= static_cast<float>(n);
+                    mean_gyh /= static_cast<float>(n);
+                    const float is = pis2[r];
+                    for (Index j = 0; j < n; ++j) {
+                      const float gy = gr[j] * pgam[j];
+                      dxr[j] = is * (gy - mean_gy - hr[j] * mean_gyh);
+                    }
+                  }
+                  return std::vector<Tensor>{dx, dgamma, dbeta};
+                });
+  }
+  return out;
+}
+
+Tensor rms_norm(const Tensor& x, const Tensor& gamma, float eps) {
+  check_defined(x, "rms_norm");
+  check_defined(gamma, "rms_norm");
+  MENOS_CHECK_MSG(gamma.ndim() == 1, "rms_norm: gamma must be 1-D");
+  const Index n = x.shape().back();
+  MENOS_CHECK_MSG(gamma.dim(0) == n, "rms_norm: gamma size mismatch");
+  const Index rows = x.numel() / n;
+  Tensor out = Tensor::empty(x.shape(), x.device());
+  Tensor xhat = Tensor::empty(x.shape(), x.device());
+  Tensor inv_rms = Tensor::empty({rows}, x.device());
+
+  const float* px = x.data();
+  const float* pg = gamma.data();
+  float* po = out.data();
+  float* ph = xhat.data();
+  float* pir = inv_rms.data();
+  for (Index r = 0; r < rows; ++r) {
+    const float* xr = px + r * n;
+    float ms = 0.0f;
+    for (Index j = 0; j < n; ++j) ms += xr[j] * xr[j];
+    ms /= static_cast<float>(n);
+    const float ir = 1.0f / std::sqrt(ms + eps);
+    pir[r] = ir;
+    float* hr = ph + r * n;
+    float* orow = po + r * n;
+    for (Index j = 0; j < n; ++j) {
+      hr[j] = xr[j] * ir;
+      orow[j] = hr[j] * pg[j];
+    }
+  }
+
+  if (should_record({x, gamma})) {
+    Tensor sg = gamma.detach();
+    attach_node(out, "rms_norm", {x, gamma},
+                [xhat, inv_rms, sg, n, rows](const Tensor& g) {
+                  Tensor dx = Tensor::empty(g.shape(), g.device());
+                  Tensor dgamma = Tensor::zeros({n}, g.device());
+                  const float* ph2 = xhat.data();
+                  const float* pir2 = inv_rms.data();
+                  const float* pgam = sg.data();
+                  const float* pgr = g.data();
+                  float* pdx = dx.data();
+                  float* pdg = dgamma.data();
+                  for (Index r = 0; r < rows; ++r) {
+                    const float* hr = ph2 + r * n;
+                    const float* gr = pgr + r * n;
+                    float* dxr = pdx + r * n;
+                    float mean_gh = 0.0f;
+                    for (Index j = 0; j < n; ++j) {
+                      const float gy = gr[j] * pgam[j];
+                      mean_gh += gy * hr[j];
+                      pdg[j] += gr[j] * hr[j];
+                    }
+                    mean_gh /= static_cast<float>(n);
+                    const float ir = pir2[r];
+                    for (Index j = 0; j < n; ++j) {
+                      const float gy = gr[j] * pgam[j];
+                      dxr[j] = ir * (gy - hr[j] * mean_gh);
+                    }
+                  }
+                  return std::vector<Tensor>{dx, dgamma};
+                });
+  }
+  return out;
+}
+
+// ----- token ops -----
+
+Tensor embedding(const Tensor& weight, const std::vector<std::int32_t>& ids,
+                 Index batch, Index seq) {
+  check_defined(weight, "embedding");
+  MENOS_CHECK_MSG(weight.ndim() == 2, "embedding: weight must be [V, D]");
+  MENOS_CHECK_MSG(static_cast<Index>(ids.size()) == batch * seq,
+                  "embedding: ids size " << ids.size() << " != batch*seq "
+                                         << batch * seq);
+  const Index vocab = weight.dim(0);
+  const Index dim = weight.dim(1);
+  for (std::int32_t id : ids) {
+    MENOS_CHECK_MSG(id >= 0 && id < vocab,
+                    "embedding: id " << id << " outside vocab " << vocab);
+  }
+  Tensor out = Tensor::empty({batch, seq, dim}, weight.device());
+  const float* pw = weight.data();
+  float* po = out.data();
+  for (Index i = 0; i < batch * seq; ++i) {
+    std::memcpy(po + i * dim, pw + static_cast<Index>(ids[static_cast<std::size_t>(i)]) * dim,
+                static_cast<std::size_t>(dim) * sizeof(float));
+  }
+  if (should_record({weight})) {
+    attach_node(out, "embedding", {weight},
+                [ids, vocab, dim, batch, seq](const Tensor& g) {
+                  Tensor dw = Tensor::zeros({vocab, dim}, g.device());
+                  const float* pg = g.data();
+                  float* pdw = dw.data();
+                  for (Index i = 0; i < batch * seq; ++i) {
+                    float* row = pdw + static_cast<Index>(
+                                           ids[static_cast<std::size_t>(i)]) *
+                                           dim;
+                    const float* grow = pg + i * dim;
+                    for (Index j = 0; j < dim; ++j) row[j] += grow[j];
+                  }
+                  return std::vector<Tensor>{dw};
+                });
+  }
+  return out;
+}
+
+Tensor cross_entropy(const Tensor& logits,
+                     const std::vector<std::int32_t>& targets,
+                     std::int32_t ignore_index) {
+  check_defined(logits, "cross_entropy");
+  MENOS_CHECK_MSG(logits.ndim() == 2, "cross_entropy: logits must be [N, V]");
+  const Index rows = logits.dim(0);
+  const Index vocab = logits.dim(1);
+  MENOS_CHECK_MSG(static_cast<Index>(targets.size()) == rows,
+                  "cross_entropy: target count " << targets.size()
+                                                 << " != rows " << rows);
+
+  // Probabilities are saved for backward (grad = probs - onehot).
+  Tensor probs = Tensor::empty(logits.shape(), logits.device());
+  const float* pl = logits.data();
+  float* pp = probs.data();
+  double loss_acc = 0.0;
+  Index counted = 0;
+  for (Index r = 0; r < rows; ++r) {
+    const float* xr = pl + r * vocab;
+    float* pr = pp + r * vocab;
+    float mx = xr[0];
+    for (Index j = 1; j < vocab; ++j) mx = std::max(mx, xr[j]);
+    double z = 0.0;
+    for (Index j = 0; j < vocab; ++j) z += std::exp(static_cast<double>(xr[j] - mx));
+    const double lse = mx + std::log(z);
+    for (Index j = 0; j < vocab; ++j) {
+      pr[j] = static_cast<float>(std::exp(static_cast<double>(xr[j]) - lse));
+    }
+    const std::int32_t t = targets[static_cast<std::size_t>(r)];
+    if (t == ignore_index) continue;
+    MENOS_CHECK_MSG(t >= 0 && t < vocab,
+                    "cross_entropy: target " << t << " outside vocab "
+                                             << vocab);
+    loss_acc += lse - static_cast<double>(xr[t]);
+    ++counted;
+  }
+  MENOS_CHECK_MSG(counted > 0, "cross_entropy: all targets ignored");
+  Tensor out = Tensor::scalar(
+      static_cast<float>(loss_acc / static_cast<double>(counted)),
+      logits.device());
+
+  if (should_record({logits})) {
+    attach_node(out, "cross_entropy", {logits},
+                [probs, targets, rows, vocab, ignore_index,
+                 counted](const Tensor& g) {
+                  const float go = g.item();
+                  Tensor dl = Tensor::empty({rows, vocab}, g.device());
+                  const float* pp2 = probs.data();
+                  float* pd = dl.data();
+                  const float inv = go / static_cast<float>(counted);
+                  for (Index r = 0; r < rows; ++r) {
+                    const std::int32_t t = targets[static_cast<std::size_t>(r)];
+                    float* dr = pd + r * vocab;
+                    if (t == ignore_index) {
+                      std::memset(dr, 0,
+                                  static_cast<std::size_t>(vocab) * sizeof(float));
+                      continue;
+                    }
+                    const float* pr = pp2 + r * vocab;
+                    for (Index j = 0; j < vocab; ++j) dr[j] = pr[j] * inv;
+                    dr[t] -= inv;
+                  }
+                  return std::vector<Tensor>{dl};
+                });
+  }
+  return out;
+}
+
+Tensor to_device(const Tensor& a, gpusim::Device& device) {
+  check_defined(a, "to_device");
+  Tensor out = Tensor::empty(a.shape(), device);
+  std::memcpy(out.data(), a.data(), a.bytes());
+  if (should_record({a})) {
+    gpusim::Device* source = &a.device();
+    attach_node(out, "to_device", {a}, [source](const Tensor& g) {
+      Tensor back = Tensor::empty(g.shape(), *source);
+      std::memcpy(back.data(), g.data(), g.bytes());
+      return std::vector<Tensor>{back};
+    });
+  }
+  return out;
+}
+
+std::vector<std::int32_t> argmax_lastdim(const Tensor& a) {
+  check_defined(a, "argmax_lastdim");
+  MENOS_CHECK_MSG(a.ndim() >= 1 && a.shape().back() > 0,
+                  "argmax needs a non-empty last dimension");
+  const Index n = a.shape().back();
+  const Index rows = a.numel() / n;
+  std::vector<std::int32_t> out(static_cast<std::size_t>(rows));
+  const float* p = a.data();
+  for (Index r = 0; r < rows; ++r) {
+    const float* row = p + r * n;
+    Index best = 0;
+    for (Index j = 1; j < n; ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    out[static_cast<std::size_t>(r)] = static_cast<std::int32_t>(best);
+  }
+  return out;
+}
+
+}  // namespace menos::tensor

@@ -1,0 +1,33 @@
+#include "util/bytes.h"
+
+#include <array>
+#include <cstdio>
+
+namespace menos::util {
+
+std::string format_bytes(std::size_t bytes) {
+  std::array<char, 32> buf{};
+  if (bytes >= kGB) {
+    std::snprintf(buf.data(), buf.size(), "%.1f GB",
+                  static_cast<double>(bytes) / static_cast<double>(kGB));
+  } else if (bytes >= kMB) {
+    std::snprintf(buf.data(), buf.size(), "%.1f MB",
+                  static_cast<double>(bytes) / static_cast<double>(kMB));
+  } else if (bytes >= kKB) {
+    std::snprintf(buf.data(), buf.size(), "%.1f KB",
+                  static_cast<double>(bytes) / static_cast<double>(kKB));
+  } else {
+    std::snprintf(buf.data(), buf.size(), "%zu B", bytes);
+  }
+  return std::string(buf.data());
+}
+
+double to_gb(std::size_t bytes) noexcept {
+  return static_cast<double>(bytes) / static_cast<double>(kGB);
+}
+
+double to_mb(std::size_t bytes) noexcept {
+  return static_cast<double>(bytes) / static_cast<double>(kMB);
+}
+
+}  // namespace menos::util

@@ -1,0 +1,28 @@
+// Byte-size helpers used throughout the memory-accounting code paths.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace menos::util {
+
+inline constexpr std::size_t kKiB = 1024;
+inline constexpr std::size_t kMiB = 1024 * kKiB;
+inline constexpr std::size_t kGiB = 1024 * kMiB;
+
+/// Decimal units, used when quoting the paper's GB figures.
+inline constexpr std::size_t kKB = 1000;
+inline constexpr std::size_t kMB = 1000 * kKB;
+inline constexpr std::size_t kGB = 1000 * kMB;
+
+/// Render a byte count as a short human-readable string ("23.8 GB").
+/// Uses decimal units to match how the paper quotes sizes.
+std::string format_bytes(std::size_t bytes);
+
+/// Bytes -> decimal gigabytes, for table printing.
+double to_gb(std::size_t bytes) noexcept;
+
+/// Bytes -> decimal megabytes.
+double to_mb(std::size_t bytes) noexcept;
+
+}  // namespace menos::util

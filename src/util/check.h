@@ -1,0 +1,91 @@
+// Error-handling primitives for the Menos codebase.
+//
+// Philosophy (per the C++ Core Guidelines, E.2/E.3): exceptions signal
+// violations of function preconditions and unrecoverable runtime failures;
+// status-bearing return values are used only on I/O paths where failure is
+// part of normal operation (see net/transport.h).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace menos {
+
+/// Root of the Menos exception hierarchy. Everything thrown on purpose by
+/// this library derives from Error, so callers can catch one type.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated a documented precondition (bad shape, bad argument...).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// A simulated device ran out of memory. Carries the shortfall so the
+/// scheduler and tests can inspect it.
+class OutOfMemory : public Error {
+ public:
+  OutOfMemory(const std::string& what, std::size_t requested,
+              std::size_t available)
+      : Error(what), requested_(requested), available_(available) {}
+  std::size_t requested() const noexcept { return requested_; }
+  std::size_t available() const noexcept { return available_; }
+
+ private:
+  std::size_t requested_;
+  std::size_t available_;
+};
+
+/// An operation was attempted in a state that does not permit it.
+class StateError : public Error {
+ public:
+  explicit StateError(const std::string& what) : Error(what) {}
+};
+
+/// Wire-format corruption or protocol violation detected by net/.
+class ProtocolError : public Error {
+ public:
+  explicit ProtocolError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_check_failure(const char* kind,
+                                             const char* expr,
+                                             const char* file, int line,
+                                             const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvalidArgument(os.str());
+}
+
+}  // namespace detail
+}  // namespace menos
+
+/// Precondition check: throws menos::InvalidArgument on failure. Always on
+/// (these guard API misuse, not internal bugs, so they stay in release
+/// builds — the cost is negligible next to tensor math).
+#define MENOS_CHECK(cond)                                                  \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::menos::detail::throw_check_failure("MENOS_CHECK", #cond, __FILE__, \
+                                           __LINE__, "");                  \
+    }                                                                      \
+  } while (false)
+
+/// Like MENOS_CHECK but with a streamed message:
+///   MENOS_CHECK_MSG(a == b, "size mismatch: " << a << " vs " << b);
+#define MENOS_CHECK_MSG(cond, stream_expr)                                 \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::ostringstream menos_check_os_;                                  \
+      menos_check_os_ << stream_expr;                                      \
+      ::menos::detail::throw_check_failure("MENOS_CHECK", #cond, __FILE__, \
+                                           __LINE__, menos_check_os_.str()); \
+    }                                                                      \
+  } while (false)

@@ -1,0 +1,56 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstring>
+#include <iomanip>
+
+namespace menos::util {
+namespace {
+
+std::atomic<LogLevel> g_threshold{LogLevel::Warn};
+std::mutex g_emit_mutex;
+
+const char* basename_of(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+LogLevel log_threshold() noexcept { return g_threshold.load(std::memory_order_relaxed); }
+
+void set_log_threshold(LogLevel level) noexcept {
+  g_threshold.store(level, std::memory_order_relaxed);
+}
+
+const char* log_level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info:  return "INFO";
+    case LogLevel::Warn:  return "WARN";
+    case LogLevel::Error: return "ERROR";
+  }
+  return "?";
+}
+
+namespace detail {
+
+LogLine::LogLine(LogLevel level, const char* file, int line) : level_(level) {
+  const auto now = std::chrono::system_clock::now();
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      now.time_since_epoch())
+                      .count();
+  stream_ << "[" << log_level_name(level) << " " << std::fixed
+          << std::setprecision(6) << static_cast<double>(us) / 1e6 << " "
+          << basename_of(file) << ":" << line << "] ";
+}
+
+LogLine::~LogLine() {
+  stream_ << '\n';
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  (level_ >= LogLevel::Warn ? std::cerr : std::clog) << stream_.str();
+}
+
+}  // namespace detail
+}  // namespace menos::util

@@ -1,0 +1,61 @@
+// Minimal thread-safe leveled logger.
+//
+// Usage:   MENOS_LOG(Info) << "served client " << id;
+// Levels below the global threshold are compiled to a no-op stream drain.
+#pragma once
+
+#include <chrono>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace menos::util {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4 };
+
+/// Global log threshold; messages below it are dropped. Defaults to Warn so
+/// tests and benches stay quiet unless they opt in.
+LogLevel log_threshold() noexcept;
+void set_log_threshold(LogLevel level) noexcept;
+
+const char* log_level_name(LogLevel level) noexcept;
+
+namespace detail {
+
+/// Collects one message and emits it atomically on destruction.
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line);
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine();
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the level is filtered out.
+struct NullLine {
+  template <typename T>
+  NullLine& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace detail
+}  // namespace menos::util
+
+#define MENOS_LOG(level)                                                \
+  if (::menos::util::LogLevel::level < ::menos::util::log_threshold()) \
+    ;                                                                   \
+  else                                                                  \
+    ::menos::util::detail::LogLine(::menos::util::LogLevel::level,      \
+                                   __FILE__, __LINE__)

@@ -1,0 +1,141 @@
+// Concurrency primitives shared by the runtime's server/client threads.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace menos::util {
+
+/// Unbounded MPMC blocking queue. close() wakes all waiters; pop() returns
+/// nullopt once the queue is closed and drained, which is the shutdown
+/// signal consumers should honour.
+template <typename T>
+class BlockingQueue {
+ public:
+  BlockingQueue() = default;
+  BlockingQueue(const BlockingQueue&) = delete;
+  BlockingQueue& operator=(const BlockingQueue&) = delete;
+
+  /// Enqueue an item. Throws nothing; pushing to a closed queue is a no-op
+  /// (the item is dropped), which keeps shutdown races benign.
+  void push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+  }
+
+  /// Block until an item is available or the queue is closed and empty.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> try_pop() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Close the queue: subsequent push() calls drop, waiters drain then get
+  /// nullopt.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+/// One-shot or resettable binary event ("manual-reset event" semantics).
+class Notification {
+ public:
+  void notify() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      notified_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  void wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return notified_; });
+  }
+
+  /// Wait and atomically reset; used by serving sessions that are signalled
+  /// once per scheduling grant.
+  void wait_and_reset() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return notified_; });
+    notified_ = false;
+  }
+
+  bool notified() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return notified_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool notified_ = false;
+};
+
+/// Go-style wait group for joining a dynamic set of worker threads.
+class WaitGroup {
+ public:
+  void add(int n = 1) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    count_ += n;
+  }
+
+  void done() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --count_;
+    }
+    cv_.notify_all();
+  }
+
+  void wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return count_ <= 0; });
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  int count_ = 0;
+};
+
+}  // namespace menos::util

@@ -1,0 +1,86 @@
+#include "util/trace.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace menos::util {
+
+const char* trace_category_name(TraceCategory category) noexcept {
+  switch (category) {
+    case TraceCategory::Session:   return "session";
+    case TraceCategory::Scheduler: return "sched";
+    case TraceCategory::Memory:    return "memory";
+    case TraceCategory::Network:   return "net";
+  }
+  return "?";
+}
+
+EventTrace::EventTrace(std::size_t capacity)
+    : capacity_(capacity), start_(std::chrono::steady_clock::now()) {
+  MENOS_CHECK_MSG(capacity > 0, "trace capacity must be positive");
+  ring_.reserve(capacity);
+}
+
+void EventTrace::record(TraceCategory category, std::string name,
+                        int client_id, std::uint64_t value) {
+  TraceEvent event;
+  event.t = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start_)
+                .count();
+  event.category = category;
+  event.name = std::move(name);
+  event.client_id = client_id;
+  event.value = value;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++total_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+  } else {
+    ring_[next_] = std::move(event);
+    next_ = (next_ + 1) % capacity_;
+  }
+}
+
+std::vector<TraceEvent> EventTrace::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  // next_ is the oldest slot once the ring has wrapped.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::uint64_t EventTrace::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_ > ring_.size() ? total_ - ring_.size() : 0;
+}
+
+std::uint64_t EventTrace::recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+void EventTrace::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  next_ = 0;
+  total_ = 0;
+}
+
+std::string EventTrace::to_jsonl() const {
+  const std::vector<TraceEvent> events = snapshot();
+  std::ostringstream os;
+  for (const TraceEvent& e : events) {
+    os << "{\"t\":" << e.t << ",\"cat\":\""
+       << trace_category_name(e.category) << "\",\"name\":\"" << e.name
+       << "\",\"client\":" << e.client_id << ",\"value\":" << e.value
+       << "}\n";
+  }
+  return os.str();
+}
+
+}  // namespace menos::util

@@ -1,0 +1,68 @@
+// Lightweight event tracing for runtime observability.
+//
+// A fixed-capacity, thread-safe ring of timestamped events. The Menos
+// server records session lifecycle, scheduling waits, compute phases and
+// swaps into one of these when ServerConfig::trace is set; tests assert on
+// event sequences and operators can dump JSONL for offline analysis.
+// Recording is wait-free in the common case (one mutex, no allocation
+// after construction beyond the event name).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace menos::util {
+
+enum class TraceCategory : std::uint8_t {
+  Session,    ///< connect / handshake / disconnect
+  Scheduler,  ///< request / grant / release waits
+  Memory,     ///< allocations, swaps, profiling results
+  Network,    ///< message-level events
+};
+
+const char* trace_category_name(TraceCategory category) noexcept;
+
+struct TraceEvent {
+  double t = 0.0;  ///< seconds since the trace was constructed
+  TraceCategory category = TraceCategory::Session;
+  std::string name;
+  int client_id = -1;
+  std::uint64_t value = 0;  ///< bytes, microseconds, counts — event-defined
+};
+
+class EventTrace {
+ public:
+  explicit EventTrace(std::size_t capacity = 8192);
+
+  /// Append an event (overwrites the oldest once full).
+  void record(TraceCategory category, std::string name, int client_id = -1,
+              std::uint64_t value = 0);
+
+  /// Events in arrival order (oldest first).
+  std::vector<TraceEvent> snapshot() const;
+
+  /// Number of events evicted by ring overflow.
+  std::uint64_t dropped() const;
+
+  /// Total events ever recorded.
+  std::uint64_t recorded() const;
+
+  void clear();
+
+  /// One JSON object per line: {"t":..., "cat":"...", "name":"...",
+  /// "client":..., "value":...}.
+  std::string to_jsonl() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> ring_;
+  std::size_t capacity_;
+  std::size_t next_ = 0;
+  std::uint64_t total_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace menos::util

@@ -1,0 +1,391 @@
+// Core runtime: parameter store, serving modes, memory-equation behaviour
+// of a live server, and failure injection.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/client.h"
+#include "core/server.h"
+#include "net/transport.h"
+
+namespace menos::core {
+namespace {
+
+nn::TransformerConfig tiny_model() {
+  nn::TransformerConfig c = nn::TransformerConfig::tiny_opt();
+  c.dim = 32;
+  c.n_heads = 2;
+  c.ffn_hidden = 64;
+  c.n_layers = 4;
+  c.max_seq = 32;
+  return c;
+}
+
+net::FinetuneConfig tiny_finetune(const std::string& name,
+                                  std::uint64_t adapter_seed = 7) {
+  net::FinetuneConfig ft;
+  ft.client_name = name;
+  ft.model = tiny_model();
+  ft.adapter.type = nn::AdapterType::Lora;
+  ft.adapter.rank = 4;
+  ft.adapter.alpha = 8.0f;
+  ft.optimizer = optim::OptimizerKind::Adam;
+  ft.lr = 1e-3f;
+  ft.batch_size = 2;
+  ft.seq_len = 8;
+  ft.adapter_seed = adapter_seed;
+  return ft;
+}
+
+data::Batch tiny_batch(std::uint64_t seed = 3) {
+  data::CharTokenizer tok;
+  auto tokens = tok.encode(data::make_shakespeare_like(2000, 11).text);
+  data::DataLoader loader(tokens, 2, 8, seed);
+  return loader.next();
+}
+
+TEST(ParameterStore, LoadsOneFrozenCopyOfAllBlocks) {
+  auto gpu = gpusim::make_sim_gpu("g", 256u << 20);
+  nn::TransformerConfig model = tiny_model();
+  ParameterStore store(model, *gpu, 42);
+  EXPECT_GT(store.bytes(), 0u);
+  EXPECT_EQ(store.bytes(), gpu->allocated());
+  // Every block parameter present, all frozen.
+  EXPECT_TRUE(store.table().count("block0.attn.q.weight"));
+  EXPECT_TRUE(store.table().count("block3.fc2.bias"));
+  EXPECT_FALSE(store.table().count("tok_emb.weight"));  // client-side only
+  for (const auto& [name, tensor] : store.table()) {
+    EXPECT_FALSE(tensor.requires_grad()) << name;
+  }
+}
+
+TEST(ParameterStore, SecondStructureAddsNoParameterMemory) {
+  // The heart of §3.1: N structures, one copy of the parameters.
+  auto gpu = gpusim::make_sim_gpu("g", 256u << 20);
+  nn::TransformerConfig model = tiny_model();
+  ParameterStore store(model, *gpu, 42);
+  const std::size_t after_store = gpu->allocated();
+
+  nn::SharedSource src1 = store.source();
+  nn::AdapterSpec none;
+  none.type = nn::AdapterType::None;
+  util::Rng rng1(1), rng2(2);
+  nn::SplitSpec split;
+  nn::ServerSection s1(model, split, none, src1, *gpu, rng1);
+  EXPECT_EQ(gpu->allocated(), after_store);  // zero new bytes
+  nn::SharedSource src2 = store.source();
+  nn::ServerSection s2(model, split, none, src2, *gpu, rng2);
+  EXPECT_EQ(gpu->allocated(), after_store);
+}
+
+TEST(ParameterStore, LoraStructuresAddOnlyAdapterBytes) {
+  auto gpu = gpusim::make_sim_gpu("g", 256u << 20);
+  nn::TransformerConfig model = tiny_model();
+  ParameterStore store(model, *gpu, 42);
+  const std::size_t after_store = gpu->allocated();
+  nn::SharedSource src = store.source();
+  nn::AdapterSpec lora;
+  util::Rng rng(1);
+  nn::SplitSpec split;
+  nn::ServerSection section(model, split, lora, src, *gpu, rng);
+  EXPECT_EQ(gpu->allocated() - after_store,
+            section.trainable_parameter_bytes());
+}
+
+TEST(SameModel, DetectsMismatch) {
+  nn::TransformerConfig a = tiny_model();
+  nn::TransformerConfig b = tiny_model();
+  EXPECT_TRUE(same_model(a, b));
+  b.dim = 64;
+  EXPECT_FALSE(same_model(a, b));
+}
+
+TEST(ServingModes, Predicates) {
+  EXPECT_TRUE(shares_base_model(ServingMode::MenosOnDemand));
+  EXPECT_FALSE(shares_base_model(ServingMode::VanillaTaskSwap));
+  EXPECT_FALSE(holds_across_iteration(ServingMode::MenosOnDemand));
+  EXPECT_FALSE(holds_across_iteration(ServingMode::MenosReleaseEarly));
+  EXPECT_TRUE(holds_across_iteration(ServingMode::MenosReleaseAfterBackward));
+  EXPECT_TRUE(holds_across_iteration(ServingMode::MenosPreserveAll));
+  EXPECT_TRUE(holds_across_iteration(ServingMode::VanillaTaskSwap));
+}
+
+TEST(WireConversion, RoundTripPreservesBits) {
+  auto host = gpusim::make_host_device();
+  tensor::Tensor t = tensor::Tensor::from_vector({1.5f, -2.25f, 0.0f, 1e-20f},
+                                                 {2, 2}, *host);
+  net::WireTensor w = to_wire(t);
+  tensor::Tensor back = from_wire(w, *host, true);
+  EXPECT_EQ(back.shape(), t.shape());
+  EXPECT_EQ(back.to_vector(), t.to_vector());
+  EXPECT_TRUE(back.requires_grad());
+}
+
+// ----- live server fixtures -----
+
+struct Rig {
+  explicit Rig(ServingMode mode, std::size_t gpu_bytes = 512u << 20)
+      : devices(1, gpu_bytes) {
+    config.mode = mode;
+    config.base_seed = 42;
+    server = std::make_unique<Server>(config, devices, tiny_model());
+    server->start(acceptor);
+  }
+
+  ~Rig() {
+    if (server != nullptr) server->stop();
+  }
+
+  std::unique_ptr<Client> make_client(const std::string& name,
+                                      std::uint64_t adapter_seed = 7) {
+    ClientOptions options;
+    options.finetune = tiny_finetune(name, adapter_seed);
+    options.base_seed = 42;
+    auto client = std::make_unique<Client>(options, acceptor.connect(),
+                                           client_device);
+    client->connect();
+    return client;
+  }
+
+  gpusim::DeviceManager devices;
+  ServerConfig config;
+  net::InprocAcceptor acceptor;
+  std::unique_ptr<Server> server;
+  // Clients run on their own device (their "own GPU" in the paper setup).
+  gpusim::DeviceManager client_devices{1, 512u << 20};
+  gpusim::Device& client_device = client_devices.gpu(0);
+};
+
+TEST(Runtime, SingleClientTrainsAndLossIsFinite) {
+  Rig rig(ServingMode::MenosOnDemand);
+  auto client = rig.make_client("alice");
+  EXPECT_GT(client->server_backward_bytes(), client->server_forward_bytes());
+  data::Batch batch = tiny_batch();
+  StepStats s1 = client->train_step(batch);
+  EXPECT_TRUE(std::isfinite(s1.loss));
+  EXPECT_GT(s1.loss, 0.0);
+  StepStats s2 = client->train_step(batch);
+  // Same batch twice: optimization should not increase loss much.
+  EXPECT_LT(s2.loss, s1.loss + 0.5);
+  client->disconnect();
+}
+
+TEST(Runtime, EvaluateDoesNotPerturbTraining) {
+  Rig rig(ServingMode::MenosOnDemand);
+  auto client = rig.make_client("alice");
+  data::Batch batch = tiny_batch();
+  const double before = client->evaluate(batch);
+  const double again = client->evaluate(batch);
+  EXPECT_DOUBLE_EQ(before, again);  // eval is pure
+  client->train_step(batch);
+  EXPECT_LT(client->evaluate(batch), before + 0.5);
+  client->disconnect();
+}
+
+class AllModes : public ::testing::TestWithParam<ServingMode> {};
+
+TEST_P(AllModes, TrainStepWorksAndReleasesMemory) {
+  Rig rig(GetParam());
+  const std::size_t baseline = rig.devices.gpu(0).allocated();
+  {
+    auto client = rig.make_client("alice");
+    data::Batch batch = tiny_batch();
+    for (int i = 0; i < 3; ++i) {
+      StepStats s = client->train_step(batch);
+      EXPECT_TRUE(std::isfinite(s.loss));
+    }
+    const double eval = client->evaluate(batch);
+    EXPECT_TRUE(std::isfinite(eval));
+    client->disconnect();
+  }
+  // After the client departs the server must free its per-client state.
+  for (int i = 0; i < 200 && rig.server->session_count() > 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  for (int i = 0; i < 200 && rig.devices.gpu(0).allocated() > baseline; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_LE(rig.devices.gpu(0).allocated(), baseline);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, AllModes,
+    ::testing::Values(ServingMode::MenosOnDemand,
+                      ServingMode::MenosReleaseEarly,
+                      ServingMode::MenosReleaseAfterBackward,
+                      ServingMode::MenosPreserveAll,
+                      ServingMode::VanillaTaskSwap));
+
+TEST(Runtime, PersistentBytesGrowLinearlyOnlyInAdapters) {
+  // Fig 5 at laptop scale: Menos persistent memory is M + (A+O)*N.
+  Rig rig(ServingMode::MenosOnDemand);
+  const std::size_t base = rig.server->persistent_gpu_bytes();
+  auto c1 = rig.make_client("c1", 100);
+  const std::size_t with1 = rig.server->persistent_gpu_bytes();
+  auto c2 = rig.make_client("c2", 101);
+  const std::size_t with2 = rig.server->persistent_gpu_bytes();
+  auto c3 = rig.make_client("c3", 102);
+  const std::size_t with3 = rig.server->persistent_gpu_bytes();
+
+  const std::size_t per_client = with1 - base;
+  EXPECT_GT(per_client, 0u);
+  EXPECT_EQ(with2 - with1, per_client);
+  EXPECT_EQ(with3 - with2, per_client);
+  // A + O must be much smaller than the shared base (A << M premise; the
+  // ratio is model-size dependent — at paper scale it is ~1/40, see the
+  // sim tests — here the tiny model still gives a clear gap).
+  EXPECT_LT(per_client, base / 4);
+  c1->disconnect();
+  c2->disconnect();
+  c3->disconnect();
+}
+
+TEST(Runtime, VanillaDuplicatesBasePerClient) {
+  Rig rig(ServingMode::VanillaTaskSwap);
+  const std::size_t base = rig.server->persistent_gpu_bytes();
+  EXPECT_EQ(base, 0u);  // no shared store in vanilla mode
+  auto c1 = rig.make_client("c1", 100);
+  data::Batch batch = tiny_batch();
+  c1->train_step(batch);  // pulls the task onto the GPU
+  const std::size_t with1 = rig.server->persistent_gpu_bytes();
+  // A full per-client model copy is an order of magnitude above A+O.
+  nn::TransformerConfig model = tiny_model();
+  EXPECT_GT(with1,
+            static_cast<std::size_t>(model.parameter_count()) * 2);
+  c1->disconnect();
+}
+
+TEST(Runtime, ModelMismatchRejected) {
+  Rig rig(ServingMode::MenosOnDemand);
+  ClientOptions options;
+  options.finetune = tiny_finetune("bob");
+  options.finetune.model.dim = 64;  // not what the server hosts
+  options.finetune.model.n_heads = 4;
+  options.base_seed = 42;
+  Client client(options, rig.acceptor.connect(), rig.client_device);
+  EXPECT_THROW(client.connect(), StateError);
+}
+
+TEST(Runtime, OversizedBatchRejectedAtProfiling) {
+  // A demand no partition can ever satisfy must be rejected up front
+  // (scheduler principle 1: avoid OOM), not crash the server.
+  Rig rig(ServingMode::MenosOnDemand, /*gpu_bytes=*/6u << 20);
+  ClientOptions options;
+  options.finetune = tiny_finetune("greedy");
+  options.finetune.batch_size = 64;
+  options.finetune.seq_len = 32;
+  options.base_seed = 42;
+  Client client(options, rig.acceptor.connect(), rig.client_device);
+  EXPECT_THROW(client.connect(), Error);
+  // The server survives and can still serve a reasonable client.
+  auto ok = rig.make_client("modest");
+  data::Batch batch = tiny_batch();
+  EXPECT_TRUE(std::isfinite(ok->train_step(batch).loss));
+  ok->disconnect();
+}
+
+TEST(Runtime, ClientDisconnectMidIterationFreesServerState) {
+  Rig rig(ServingMode::MenosOnDemand);
+  const std::size_t baseline = rig.devices.gpu(0).allocated();
+  {
+    ClientOptions options;
+    options.finetune = tiny_finetune("flaky");
+    options.base_seed = 42;
+    auto conn = rig.acceptor.connect();
+    Client client(options, std::move(conn), rig.client_device);
+    client.connect();
+    // Send a forward, then vanish without the matching backward.
+    data::Batch batch = tiny_batch();
+    // Use the raw path: a normal train_step would wait for the reply; we
+    // emulate a crash by closing right after connect+one eval round.
+    client.evaluate(batch);
+    // destructor sends Bye/close
+  }
+  for (int i = 0; i < 200 && rig.devices.gpu(0).allocated() > baseline; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_LE(rig.devices.gpu(0).allocated(), baseline);
+}
+
+TEST(Runtime, BackwardWithoutForwardIsProtocolError) {
+  Rig rig(ServingMode::MenosOnDemand);
+  auto conn = rig.acceptor.connect();
+  net::FinetuneConfig ft = tiny_finetune("rogue");
+  conn->send(net::Message::hello(ft));
+  auto ack = conn->receive();
+  ASSERT_TRUE(ack.has_value());
+  ASSERT_EQ(ack->type, net::MessageType::HelloAck);
+  // Backward with no preceding forward.
+  net::WireTensor g;
+  g.shape = {2, 8, 32};
+  g.data.assign(2 * 8 * 32, 0.1f);
+  conn->send(net::Message::backward(g, 0));
+  auto reply = conn->receive();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->type, net::MessageType::Error);
+}
+
+TEST(Runtime, GradientShapeMismatchReported) {
+  Rig rig(ServingMode::MenosOnDemand);
+  auto conn = rig.acceptor.connect();
+  net::FinetuneConfig ft = tiny_finetune("rogue2");
+  conn->send(net::Message::hello(ft));
+  auto ack = conn->receive();
+  ASSERT_EQ(ack->type, net::MessageType::HelloAck);
+  net::WireTensor x;
+  x.shape = {2, 8, 32};
+  x.data.assign(2 * 8 * 32, 0.1f);
+  conn->send(net::Message::forward(x, 0));
+  auto fwd = conn->receive();
+  ASSERT_EQ(fwd->type, net::MessageType::ForwardResult);
+  net::WireTensor bad;
+  bad.shape = {1, 1, 32};
+  bad.data.assign(32, 0.0f);
+  conn->send(net::Message::backward(bad, 0));
+  auto reply = conn->receive();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->type, net::MessageType::Error);
+}
+
+TEST(Runtime, HeterogeneousAdaptersCoexist) {
+  // §3.1: clients choose different cut layers and adapter types over the
+  // same shared parameters.
+  Rig rig(ServingMode::MenosOnDemand);
+
+  ClientOptions lora_opts;
+  lora_opts.finetune = tiny_finetune("lora-client", 201);
+  lora_opts.base_seed = 42;
+
+  ClientOptions prefix_opts;
+  prefix_opts.finetune = tiny_finetune("prefix-client", 202);
+  prefix_opts.finetune.adapter.type = nn::AdapterType::Prefix;
+  prefix_opts.finetune.adapter.prefix_len = 4;
+  prefix_opts.base_seed = 42;
+
+  ClientOptions deep_cut_opts;
+  deep_cut_opts.finetune = tiny_finetune("private-client", 203);
+  deep_cut_opts.finetune.split.front_blocks = 2;  // deeper cut = more privacy
+  deep_cut_opts.finetune.split.back_blocks = 1;
+  deep_cut_opts.base_seed = 42;
+
+  auto c1 = std::make_unique<Client>(lora_opts, rig.acceptor.connect(),
+                                     rig.client_device);
+  auto c2 = std::make_unique<Client>(prefix_opts, rig.acceptor.connect(),
+                                     rig.client_device);
+  auto c3 = std::make_unique<Client>(deep_cut_opts, rig.acceptor.connect(),
+                                     rig.client_device);
+  c1->connect();
+  c2->connect();
+  c3->connect();
+
+  data::Batch batch = tiny_batch();
+  EXPECT_TRUE(std::isfinite(c1->train_step(batch).loss));
+  EXPECT_TRUE(std::isfinite(c2->train_step(batch).loss));
+  EXPECT_TRUE(std::isfinite(c3->train_step(batch).loss));
+  c1->disconnect();
+  c2->disconnect();
+  c3->disconnect();
+}
+
+}  // namespace
+}  // namespace menos::core

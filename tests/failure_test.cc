@@ -1,0 +1,201 @@
+// Failure injection against the full stack: abrupt socket death, garbage
+// bytes on the wire, half-open protocol states, and server resilience
+// across repeated client failures.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <thread>
+
+#include "core/client.h"
+#include "core/server.h"
+#include "net/transport.h"
+
+namespace menos {
+namespace {
+
+nn::TransformerConfig fail_model() {
+  nn::TransformerConfig c = nn::TransformerConfig::tiny_opt();
+  c.dim = 32;
+  c.n_heads = 2;
+  c.ffn_hidden = 64;
+  c.n_layers = 3;
+  return c;
+}
+
+struct TcpRig {
+  TcpRig() : devices(1, 256u << 20) {
+    config.base_seed = 42;
+    server = std::make_unique<core::Server>(config, devices, fail_model());
+    listener = net::tcp_listen(0);
+    server->start(*listener);
+  }
+  ~TcpRig() { server->stop(); }
+
+  int port() const { return listener->port(); }
+
+  gpusim::DeviceManager devices;
+  core::ServerConfig config;
+  std::unique_ptr<core::Server> server;
+  std::unique_ptr<net::TcpListener> listener;
+};
+
+core::ClientOptions fail_options(std::uint64_t adapter_seed) {
+  core::ClientOptions options;
+  options.finetune.model = fail_model();
+  options.finetune.batch_size = 2;
+  options.finetune.seq_len = 8;
+  options.finetune.adapter_seed = adapter_seed;
+  options.base_seed = 42;
+  return options;
+}
+
+data::DataLoader fail_loader(std::uint64_t seed) {
+  data::CharTokenizer tok;
+  return data::DataLoader(
+      tok.encode(data::make_shakespeare_like(2000, 5).text), 2, 8, seed);
+}
+
+/// Write raw bytes to the server's port and close.
+void blast_bytes(int port, const std::vector<std::uint8_t>& bytes) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  ::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+  ::close(fd);
+}
+
+TEST(TcpFailure, GarbageBytesDoNotKillTheServer) {
+  TcpRig rig;
+  // A storm of malformed connections: random junk, valid magic with a huge
+  // length, an empty connection.
+  util::Rng rng(1);
+  for (int i = 0; i < 5; ++i) {
+    std::vector<std::uint8_t> junk(64 + rng.next_below(256));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next_u64());
+    blast_bytes(rig.port(), junk);
+  }
+  {
+    // Correct magic, absurd payload length.
+    std::vector<std::uint8_t> frame(12, 0);
+    const std::uint32_t magic = net::kFrameMagic;
+    std::memcpy(frame.data(), &magic, 4);
+    const std::uint64_t huge = 1ull << 40;
+    std::memcpy(frame.data() + 4, &huge, 8);
+    blast_bytes(rig.port(), frame);
+  }
+  blast_bytes(rig.port(), {});
+
+  // A legitimate client still gets served.
+  auto conn = net::tcp_connect("127.0.0.1", rig.port());
+  ASSERT_NE(conn, nullptr);
+  gpusim::DeviceManager cd(1, 256u << 20);
+  core::Client client(fail_options(3), std::move(conn), cd.gpu(0));
+  client.connect();
+  auto loader = fail_loader(4);
+  EXPECT_TRUE(std::isfinite(client.train_step(loader.next()).loss));
+  client.disconnect();
+}
+
+TEST(TcpFailure, ClientVanishingMidHandshakeIsCleanedUp) {
+  TcpRig rig;
+  for (int i = 0; i < 3; ++i) {
+    // Open, send half a Hello frame, slam the socket.
+    const auto frame =
+        net::frame_message(net::Message::hello(fail_options(5).finetune));
+    std::vector<std::uint8_t> half(frame.begin(),
+                                   frame.begin() + frame.size() / 2);
+    blast_bytes(rig.port(), half);
+  }
+  // Server keeps serving.
+  auto conn = net::tcp_connect("127.0.0.1", rig.port());
+  ASSERT_NE(conn, nullptr);
+  gpusim::DeviceManager cd(1, 256u << 20);
+  core::Client client(fail_options(6), std::move(conn), cd.gpu(0));
+  client.connect();
+  auto loader = fail_loader(7);
+  EXPECT_TRUE(std::isfinite(client.train_step(loader.next()).loss));
+  client.disconnect();
+}
+
+TEST(TcpFailure, ClientVanishingBetweenForwardAndBackward) {
+  TcpRig rig;
+  const std::size_t baseline = rig.devices.gpu(0).allocated();
+  {
+    // Handshake + forward by hand, then disappear without the backward.
+    auto conn = net::tcp_connect("127.0.0.1", rig.port());
+    ASSERT_NE(conn, nullptr);
+    conn->send(net::Message::hello(fail_options(8).finetune));
+    auto ack = conn->receive();
+    ASSERT_TRUE(ack.has_value());
+    ASSERT_EQ(ack->type, net::MessageType::HelloAck);
+    net::WireTensor x;
+    x.shape = {2, 8, 32};
+    x.data.assign(2 * 8 * 32, 0.1f);
+    conn->send(net::Message::forward(x, 0));
+    auto reply = conn->receive();
+    ASSERT_TRUE(reply.has_value());
+    conn->close();  // vanish with the iteration half done
+  }
+  // The session must unwind: memory back to the post-store baseline.
+  for (int i = 0; i < 400 && rig.devices.gpu(0).allocated() > baseline; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_LE(rig.devices.gpu(0).allocated(), baseline);
+
+  // And a fresh client trains normally afterwards.
+  auto conn = net::tcp_connect("127.0.0.1", rig.port());
+  ASSERT_NE(conn, nullptr);
+  gpusim::DeviceManager cd(1, 256u << 20);
+  core::Client client(fail_options(9), std::move(conn), cd.gpu(0));
+  client.connect();
+  auto loader = fail_loader(10);
+  EXPECT_TRUE(std::isfinite(client.train_step(loader.next()).loss));
+  client.disconnect();
+}
+
+TEST(TcpFailure, RepeatedCrashWavesDoNotLeak) {
+  TcpRig rig;
+  const std::size_t baseline = rig.devices.gpu(0).allocated();
+  for (int wave = 0; wave < 5; ++wave) {
+    auto conn = net::tcp_connect("127.0.0.1", rig.port());
+    ASSERT_NE(conn, nullptr);
+    conn->send(net::Message::hello(
+        fail_options(20 + static_cast<std::uint64_t>(wave)).finetune));
+    auto ack = conn->receive();
+    ASSERT_TRUE(ack.has_value());
+    conn->close();  // crash immediately after profiling
+  }
+  for (int i = 0; i < 400 && rig.devices.gpu(0).allocated() > baseline; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_LE(rig.devices.gpu(0).allocated(), baseline);
+}
+
+TEST(TcpFailure, UnexpectedMessageOrderGetsErrorNotCrash) {
+  TcpRig rig;
+  auto conn = net::tcp_connect("127.0.0.1", rig.port());
+  ASSERT_NE(conn, nullptr);
+  // Forward before Hello.
+  net::WireTensor x;
+  x.shape = {1, 1, 32};
+  x.data.assign(32, 0.0f);
+  conn->send(net::Message::forward(x, 0));
+  auto reply = conn->receive();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->type, net::MessageType::Error);
+  conn->close();
+}
+
+}  // namespace
+}  // namespace menos

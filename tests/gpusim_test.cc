@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "gpusim/device.h"
+#include "util/check.h"
+
+namespace menos::gpusim {
+namespace {
+
+TEST(SimGpu, BasicAccounting) {
+  auto gpu = make_sim_gpu("g0", 1000);
+  EXPECT_EQ(gpu->kind(), DeviceKind::SimGpu);
+  void* a = gpu->allocate(400);
+  EXPECT_EQ(gpu->allocated(), 400u);
+  EXPECT_EQ(gpu->available(), 600u);
+  void* b = gpu->allocate(600);
+  EXPECT_EQ(gpu->available(), 0u);
+  gpu->deallocate(a, 400);
+  EXPECT_EQ(gpu->allocated(), 600u);
+  gpu->deallocate(b, 600);
+  EXPECT_EQ(gpu->allocated(), 0u);
+}
+
+TEST(SimGpu, OomThrowsWithShortfall) {
+  auto gpu = make_sim_gpu("g0", 100);
+  void* a = gpu->allocate(60);
+  try {
+    gpu->allocate(50);
+    FAIL() << "expected OutOfMemory";
+  } catch (const OutOfMemory& e) {
+    EXPECT_EQ(e.requested(), 50u);
+    EXPECT_EQ(e.available(), 40u);
+  }
+  // Failed allocation leaves accounting untouched.
+  EXPECT_EQ(gpu->allocated(), 60u);
+  gpu->deallocate(a, 60);
+}
+
+TEST(SimGpu, PeakTracking) {
+  auto gpu = make_sim_gpu("g0", 1000);
+  void* a = gpu->allocate(300);
+  void* b = gpu->allocate(400);
+  gpu->deallocate(b, 400);
+  EXPECT_EQ(gpu->stats().peak, 700u);
+  gpu->reset_peak();
+  EXPECT_EQ(gpu->stats().peak, 300u);
+  void* c = gpu->allocate(100);
+  EXPECT_EQ(gpu->stats().peak, 400u);
+  gpu->deallocate(a, 300);
+  gpu->deallocate(c, 100);
+}
+
+TEST(SimGpu, LifetimeCounters) {
+  auto gpu = make_sim_gpu("g0", 1000);
+  void* a = gpu->allocate(10);
+  void* b = gpu->allocate(20);
+  gpu->deallocate(a, 10);
+  gpu->deallocate(b, 20);
+  const MemoryStats s = gpu->stats();
+  EXPECT_EQ(s.lifetime_allocs, 2u);
+  EXPECT_EQ(s.lifetime_frees, 2u);
+  EXPECT_EQ(s.lifetime_bytes, 30u);
+}
+
+TEST(SimGpu, ZeroByteAllocationsAreDistinct) {
+  auto gpu = make_sim_gpu("g0", 100);
+  void* a = gpu->allocate(0);
+  void* b = gpu->allocate(0);
+  EXPECT_NE(a, nullptr);
+  EXPECT_NE(a, b);
+  gpu->deallocate(a, 0);
+  gpu->deallocate(b, 0);
+  EXPECT_EQ(gpu->allocated(), 0u);
+}
+
+TEST(SimGpu, ConcurrentAllocationNeverExceedsCapacity) {
+  auto gpu = make_sim_gpu("g0", 8000);
+  std::atomic<bool> violated{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        try {
+          void* p = gpu->allocate(100);
+          if (gpu->allocated() > 8000) violated.store(true);
+          gpu->deallocate(p, 100);
+        } catch (const OutOfMemory&) {
+          // capacity pressure is expected; over-allocation is not
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(violated.load());
+  EXPECT_EQ(gpu->allocated(), 0u);
+}
+
+TEST(HostDevice, Unlimited) {
+  auto host = make_host_device();
+  EXPECT_EQ(host->kind(), DeviceKind::Host);
+  void* p = host->allocate(1 << 20);
+  EXPECT_EQ(host->allocated(), 1u << 20);
+  EXPECT_EQ(host->stats().capacity, 0u);
+  host->deallocate(p, 1 << 20);
+}
+
+TEST(TransferModel, CostFormula) {
+  TransferModel m;
+  m.bandwidth_bytes_per_s = 1e9;
+  m.latency_s = 1e-3;
+  EXPECT_NEAR(m.seconds_for(1'000'000'000), 1.001, 1e-9);
+  EXPECT_NEAR(m.seconds_for(0), 1e-3, 1e-12);
+}
+
+TEST(DeviceManager, GpusAndHost) {
+  DeviceManager dm(3, 1000);
+  EXPECT_EQ(dm.gpu_count(), 3);
+  EXPECT_EQ(dm.total_gpu_capacity(), 3000u);
+  EXPECT_EQ(dm.total_gpu_available(), 3000u);
+  void* p = dm.gpu(1).allocate(600);
+  EXPECT_EQ(dm.total_gpu_available(), 2400u);
+  EXPECT_EQ(&dm.least_loaded_gpu(), &dm.gpu(0));
+  void* q = dm.gpu(0).allocate(900);
+  void* r = dm.gpu(2).allocate(100);
+  EXPECT_EQ(&dm.least_loaded_gpu(), &dm.gpu(2));
+  dm.gpu(1).deallocate(p, 600);
+  dm.gpu(0).deallocate(q, 900);
+  dm.gpu(2).deallocate(r, 100);
+  EXPECT_THROW(dm.gpu(3), InvalidArgument);
+  EXPECT_THROW(dm.gpu(-1), InvalidArgument);
+}
+
+TEST(DeviceManager, ZeroGpusAllowedButNoLeastLoaded) {
+  DeviceManager dm(0, 1000);
+  EXPECT_EQ(dm.gpu_count(), 0);
+  EXPECT_THROW(dm.least_loaded_gpu(), InvalidArgument);
+}
+
+TEST(SimGpu, RejectsZeroCapacity) {
+  EXPECT_THROW(make_sim_gpu("bad", 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace menos::gpusim

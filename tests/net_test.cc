@@ -1,0 +1,264 @@
+// Wire format, protocol messages, in-proc and TCP transports, corruption
+// handling.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "net/transport.h"
+#include "net/wire.h"
+
+namespace menos::net {
+namespace {
+
+TEST(Wire, PrimitivesRoundTrip) {
+  Writer w;
+  w.put_u8(7);
+  w.put_u32(0xdeadbeef);
+  w.put_u64(0x0123456789abcdefULL);
+  w.put_i64(-42);
+  w.put_f32(3.25f);
+  w.put_f64(-2.5);
+  w.put_string("menos");
+  const auto bytes = w.bytes();
+  Reader r(bytes.data(), bytes.size());
+  EXPECT_EQ(r.get_u8(), 7);
+  EXPECT_EQ(r.get_u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.get_u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.get_i64(), -42);
+  EXPECT_FLOAT_EQ(r.get_f32(), 3.25f);
+  EXPECT_DOUBLE_EQ(r.get_f64(), -2.5);
+  EXPECT_EQ(r.get_string(), "menos");
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Wire, ArraysRoundTrip) {
+  Writer w;
+  const std::vector<float> f{1.5f, -2.5f, 3.0f};
+  const std::vector<std::int32_t> i{-1, 0, 7};
+  w.put_f32_array(f.data(), f.size());
+  w.put_i32_array(i.data(), i.size());
+  const auto bytes = w.bytes();
+  Reader r(bytes.data(), bytes.size());
+  EXPECT_EQ(r.get_f32_array(), f);
+  EXPECT_EQ(r.get_i32_array(), i);
+}
+
+TEST(Wire, OverrunThrows) {
+  Writer w;
+  w.put_u32(1);
+  const auto bytes = w.bytes();
+  Reader r(bytes.data(), bytes.size());
+  r.get_u32();
+  EXPECT_THROW(r.get_u8(), ProtocolError);
+}
+
+FinetuneConfig sample_config() {
+  FinetuneConfig c;
+  c.client_name = "alice";
+  c.model = nn::TransformerConfig::tiny_llama();
+  c.split.front_blocks = 2;
+  c.split.back_blocks = 1;
+  c.adapter.type = nn::AdapterType::Lora;
+  c.adapter.rank = 4;
+  c.adapter.alpha = 8.0f;
+  c.adapter.target_q = true;
+  c.adapter.target_v = false;
+  c.optimizer = optim::OptimizerKind::AdamW;
+  c.lr = 3e-4f;
+  c.batch_size = 8;
+  c.seq_len = 64;
+  c.adapter_seed = 99;
+  return c;
+}
+
+TEST(Message, HelloRoundTrip) {
+  Message m = Message::hello(sample_config());
+  auto payload = encode_message(m);
+  Message d = decode_message(payload.data(), payload.size());
+  EXPECT_EQ(d.type, MessageType::Hello);
+  EXPECT_EQ(d.config.client_name, "alice");
+  EXPECT_EQ(d.config.model.family, nn::ModelFamily::Llama);
+  EXPECT_EQ(d.config.model.dim, 64);
+  EXPECT_EQ(d.config.split.front_blocks, 2);
+  EXPECT_EQ(d.config.split.back_blocks, 1);
+  EXPECT_EQ(d.config.adapter.rank, 4);
+  EXPECT_FALSE(d.config.adapter.target_v);
+  EXPECT_EQ(d.config.optimizer, optim::OptimizerKind::AdamW);
+  EXPECT_FLOAT_EQ(d.config.lr, 3e-4f);
+  EXPECT_EQ(d.config.batch_size, 8);
+  EXPECT_EQ(d.config.adapter_seed, 99u);
+}
+
+TEST(Message, TensorMessagesRoundTrip) {
+  WireTensor t;
+  t.shape = {2, 3};
+  t.data = {1, 2, 3, 4, 5, 6};
+  Message m = Message::forward(t, 17);
+  m.compute_seconds = 1.5;
+  m.schedule_wait_seconds = 0.25;
+  m.eval_only = true;
+  auto payload = encode_message(m);
+  Message d = decode_message(payload.data(), payload.size());
+  EXPECT_EQ(d.type, MessageType::Forward);
+  EXPECT_EQ(d.iteration, 17u);
+  EXPECT_EQ(d.tensor.shape, t.shape);
+  EXPECT_EQ(d.tensor.data, t.data);
+  EXPECT_DOUBLE_EQ(d.compute_seconds, 1.5);
+  EXPECT_TRUE(d.eval_only);
+}
+
+TEST(Message, AllTypesEncodeDecode) {
+  WireTensor t;
+  t.shape = {1};
+  t.data = {1.0f};
+  const std::vector<Message> messages = {
+      Message::hello(sample_config()), Message::hello_ack(100, 200),
+      Message::forward(t, 1),          Message::forward_result(t, 1),
+      Message::backward(t, 2),         Message::backward_result(t, 2),
+      Message::bye(),                  Message::error("nope")};
+  for (const Message& m : messages) {
+    auto payload = encode_message(m);
+    Message d = decode_message(payload.data(), payload.size());
+    EXPECT_EQ(d.type, m.type);
+  }
+}
+
+TEST(Message, MalformedPayloadsThrow) {
+  // Unknown type byte.
+  std::vector<std::uint8_t> bad{99};
+  EXPECT_THROW(decode_message(bad.data(), bad.size()), ProtocolError);
+  // Trailing garbage.
+  auto payload = encode_message(Message::bye());
+  payload.push_back(0);
+  EXPECT_THROW(decode_message(payload.data(), payload.size()), ProtocolError);
+  // Tensor data/shape mismatch.
+  WireTensor t;
+  t.shape = {4};
+  t.data = {1.0f};  // too short
+  auto enc = encode_message(Message::forward(t, 0));
+  EXPECT_THROW(decode_message(enc.data(), enc.size()), ProtocolError);
+}
+
+TEST(Frame, RoundTripAndCrc) {
+  Message m = Message::error("check me");
+  auto frame = frame_message(m);
+  Message d = parse_frame(frame.data(), frame.size());
+  EXPECT_EQ(d.text, "check me");
+
+  // Flip one payload bit: CRC must catch it.
+  auto corrupted = frame;
+  corrupted[kFrameHeaderBytes + 2] ^= 0x40;
+  EXPECT_THROW(parse_frame(corrupted.data(), corrupted.size()), ProtocolError);
+
+  // Bad magic.
+  auto badmagic = frame;
+  badmagic[0] ^= 0xff;
+  EXPECT_THROW(parse_frame(badmagic.data(), badmagic.size()), ProtocolError);
+
+  // Truncation.
+  EXPECT_THROW(parse_frame(frame.data(), frame.size() - 1), ProtocolError);
+}
+
+TEST(Inproc, DuplexDelivery) {
+  auto [a, b] = make_inproc_pair();
+  EXPECT_TRUE(a->send(Message::error("to-b")));
+  EXPECT_TRUE(b->send(Message::error("to-a")));
+  EXPECT_EQ(b->receive()->text, "to-b");
+  EXPECT_EQ(a->receive()->text, "to-a");
+  EXPECT_GT(a->bytes_sent(), 0u);
+}
+
+TEST(Inproc, CloseUnblocksReceiver) {
+  auto [a, b] = make_inproc_pair();
+  std::thread closer([&a] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    a->close();
+  });
+  EXPECT_FALSE(b->receive().has_value());
+  closer.join();
+  EXPECT_FALSE(a->send(Message::bye()));
+}
+
+TEST(Inproc, ConditionerAccountsBytesWithoutSleeping) {
+  NetworkConditioner cond;
+  cond.latency_s = 10.0;  // would be a 10s sleep if time_scale were 1
+  cond.bandwidth_bytes_per_s = 1.0;
+  cond.time_scale = 0.0;
+  auto [a, b] = make_inproc_pair(cond);
+  a->send(Message::bye());
+  EXPECT_TRUE(b->receive().has_value());
+  EXPECT_NEAR(cond.transfer_seconds(100), 110.0, 1e-9);
+}
+
+TEST(InprocAcceptor, ConnectAcceptPairs) {
+  InprocAcceptor acceptor;
+  auto client = acceptor.connect();
+  auto server = acceptor.accept();
+  ASSERT_NE(server, nullptr);
+  client->send(Message::error("hi"));
+  EXPECT_EQ(server->receive()->text, "hi");
+  acceptor.close();
+  EXPECT_EQ(acceptor.accept(), nullptr);
+}
+
+TEST(Tcp, EndToEndMessages) {
+  auto listener = tcp_listen(0);
+  ASSERT_NE(listener, nullptr);
+  const int port = listener->port();
+  std::unique_ptr<Connection> server_side;
+  std::thread accepter([&] { server_side = listener->accept(); });
+  auto client = tcp_connect("127.0.0.1", port);
+  ASSERT_NE(client, nullptr);
+  accepter.join();
+  ASSERT_NE(server_side, nullptr);
+
+  WireTensor t;
+  t.shape = {2, 2};
+  t.data = {1, 2, 3, 4};
+  EXPECT_TRUE(client->send(Message::forward(t, 5)));
+  auto got = server_side->receive();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->tensor.data, t.data);
+
+  EXPECT_TRUE(server_side->send(Message::hello_ack(11, 22)));
+  auto ack = client->receive();
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_EQ(ack->forward_bytes, 11u);
+
+  client->close();
+  EXPECT_FALSE(server_side->receive().has_value());
+  listener->close();
+}
+
+TEST(Tcp, LargeTensorSurvives) {
+  auto listener = tcp_listen(0);
+  auto client_fut = std::thread([port = listener->port()] {
+    auto client = tcp_connect("127.0.0.1", port);
+    ASSERT_NE(client, nullptr);
+    WireTensor t;
+    t.shape = {512, 128};
+    t.data.assign(512 * 128, 1.25f);
+    EXPECT_TRUE(client->send(Message::forward(std::move(t), 0)));
+    auto echo = client->receive();
+    ASSERT_TRUE(echo.has_value());
+    EXPECT_EQ(echo->tensor.data.size(), 512u * 128u);
+    client->close();
+  });
+  auto server_side = listener->accept();
+  ASSERT_NE(server_side, nullptr);
+  auto msg = server_side->receive();
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->tensor.data[1000], 1.25f);
+  server_side->send(Message::forward_result(msg->tensor, 0));
+  client_fut.join();
+  server_side->close();
+  listener->close();
+}
+
+TEST(Tcp, ConnectRefusedReturnsNull) {
+  // Port 1 is never listening in the test environment.
+  EXPECT_EQ(tcp_connect("127.0.0.1", 1), nullptr);
+}
+
+}  // namespace
+}  // namespace menos::net

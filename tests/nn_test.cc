@@ -1,0 +1,393 @@
+// nn module: layers, adapters, attention, transformer sections, parameter
+// sourcing / base-model sharing invariants.
+#include <gtest/gtest.h>
+
+#include "nn/transformer.h"
+#include "test_helpers.h"
+
+namespace menos::nn {
+namespace {
+
+using menos::testing::check_gradients;
+using menos::testing::host_device;
+using tensor::Shape;
+using tensor::Tensor;
+
+AdapterSpec lora_spec(int rank = 4) {
+  AdapterSpec a;
+  a.type = AdapterType::Lora;
+  a.rank = rank;
+  a.alpha = 2.0f * rank;
+  return a;
+}
+
+AdapterSpec no_adapter() {
+  AdapterSpec a;
+  a.type = AdapterType::None;
+  return a;
+}
+
+TEST(ParameterSource, FreshInitDeterministicAndOrderIndependent) {
+  FreshInit a(7), b(7);
+  Tensor t1 = a.get("x.weight", {4, 4}, host_device(), 0.02f);
+  Tensor unrelated = a.get("y.weight", {2, 2}, host_device(), 0.02f);
+  // Different request order on the second source.
+  Tensor u2 = b.get("y.weight", {2, 2}, host_device(), 0.02f);
+  Tensor t2 = b.get("x.weight", {4, 4}, host_device(), 0.02f);
+  EXPECT_EQ(t1.to_vector(), t2.to_vector());
+  EXPECT_EQ(unrelated.to_vector(), u2.to_vector());
+}
+
+TEST(ParameterSource, FreshInitSpecialStddevs) {
+  FreshInit src(1);
+  Tensor ones = src.get("norm.gamma", {4}, host_device(), -1.0f);
+  for (float v : ones.to_vector()) EXPECT_EQ(v, 1.0f);
+  Tensor zeros = src.get("lin.bias", {4}, host_device(), 0.0f);
+  for (float v : zeros.to_vector()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(ParameterSource, SharedSourceReturnsSameStorage) {
+  std::unordered_map<std::string, Tensor> table;
+  table.emplace("w", Tensor::full({2, 2}, 3.0f, host_device()));
+  SharedSource src(&table);
+  Tensor a = src.get("w", {2, 2}, host_device(), 0.02f);
+  Tensor b = src.get("w", {2, 2}, host_device(), 0.02f);
+  a.data()[0] = 9.0f;
+  EXPECT_FLOAT_EQ(b.data()[0], 9.0f);
+}
+
+TEST(ParameterSource, SharedSourceMissingOrWrongShapeThrows) {
+  std::unordered_map<std::string, Tensor> table;
+  table.emplace("w", Tensor::zeros({2, 2}, host_device()));
+  SharedSource src(&table);
+  EXPECT_THROW(src.get("missing", {2, 2}, host_device(), 0.0f), StateError);
+  EXPECT_THROW(src.get("w", {3, 2}, host_device(), 0.0f), InvalidArgument);
+}
+
+TEST(Linear, ForwardMatchesManualMatmul) {
+  FreshInit src(3);
+  Linear lin("l", 4, 3, true, src, host_device());
+  util::Rng rng(5);
+  Tensor x = Tensor::empty({2, 4}, host_device());
+  rng.fill_normal(x.data(), 8, 1.0f);
+  Tensor y = lin.forward(x);
+  EXPECT_EQ(y.shape(), (Shape{2, 3}));
+  // Bias initialized to zeros, so y == x @ W.
+  Tensor manual = tensor::matmul(x, lin.weight());
+  EXPECT_EQ(y.to_vector(), manual.to_vector());
+}
+
+TEST(Linear, BaseParametersAreFrozen) {
+  FreshInit src(3);
+  Linear lin("l", 4, 4, true, src, host_device());
+  for (const Parameter& p : lin.parameters()) {
+    EXPECT_FALSE(p.trainable()) << p.name;
+  }
+  EXPECT_EQ(lin.parameters().size(), 2u);
+  EXPECT_EQ(lin.parameter_bytes(), (4 * 4 + 4) * sizeof(float));
+}
+
+TEST(Linear, BitFitBiasIsTrainableClone) {
+  std::unordered_map<std::string, Tensor> table;
+  table.emplace("l.weight", Tensor::zeros({2, 2}, host_device()));
+  table.emplace("l.bias", Tensor::zeros({2}, host_device()));
+  SharedSource src(&table);
+  Linear lin("l", 2, 2, true, src, host_device(), /*trainable_bias=*/true);
+  auto trainable = lin.trainable_parameters();
+  ASSERT_EQ(trainable.size(), 1u);
+  EXPECT_EQ(trainable[0].name, "l.bias");
+  // The clone must not alias the shared tensor.
+  trainable[0].value.data()[0] = 5.0f;
+  EXPECT_FLOAT_EQ(table.at("l.bias").data()[0], 0.0f);
+}
+
+TEST(Lora, StartsAsIdentityDelta) {
+  FreshInit src(4);
+  util::Rng arng(9);
+  LoraLinear lora("q", 6, 6, false, 4, 8.0f, src, host_device(), arng);
+  Linear plain("q", 6, 6, false, src, host_device());
+  util::Rng rng(11);
+  Tensor x = Tensor::empty({3, 6}, host_device());
+  rng.fill_normal(x.data(), 18, 1.0f);
+  // B = 0 at init, so LoRA output == base output.
+  EXPECT_EQ(lora.forward(x).to_vector(), plain.forward(x).to_vector());
+}
+
+TEST(Lora, OnlyAdapterTrainable) {
+  FreshInit src(4);
+  util::Rng arng(9);
+  LoraLinear lora("q", 6, 6, true, 2, 4.0f, src, host_device(), arng);
+  auto trainable = lora.trainable_parameters();
+  ASSERT_EQ(trainable.size(), 2u);
+  EXPECT_EQ(trainable[0].name, "q.lora_a");
+  EXPECT_EQ(trainable[1].name, "q.lora_b");
+  EXPECT_EQ(lora.trainable_parameter_bytes(),
+            (6 * 2 + 2 * 6) * sizeof(float));
+}
+
+TEST(Lora, MergedDeltaMatchesForwardDifference) {
+  FreshInit src(4);
+  util::Rng arng(9);
+  LoraLinear lora("q", 4, 4, false, 2, 4.0f, src, host_device(), arng);
+  // Perturb B so the adapter path is non-trivial.
+  util::Rng rng(13);
+  Tensor b = lora.lora_b();
+  rng.fill_normal(b.data(), static_cast<std::size_t>(b.numel()), 0.3f);
+
+  Tensor x = Tensor::empty({2, 4}, host_device());
+  rng.fill_normal(x.data(), 8, 1.0f);
+  Tensor with = lora.forward(x);
+  Linear plain("q", 4, 4, false, src, host_device());
+  Tensor base = plain.forward(x);
+  Tensor via_merge = tensor::add(base, tensor::matmul(x, lora.merged_delta()));
+  auto a_v = with.to_vector();
+  auto b_v = via_merge.to_vector();
+  for (std::size_t i = 0; i < a_v.size(); ++i) {
+    EXPECT_NEAR(a_v[i], b_v[i], 1e-4f);
+  }
+}
+
+class LoraRankSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LoraRankSweep, GradientsFlowOnlyToAdapter) {
+  const int rank = GetParam();
+  FreshInit src(21);
+  util::Rng arng(22);
+  LoraLinear lora("q", 5, 5, false, rank, 2.0f * rank, src, host_device(),
+                  arng);
+  util::Rng rng(23);
+  Tensor b = lora.lora_b();
+  rng.fill_normal(b.data(), static_cast<std::size_t>(b.numel()), 0.1f);
+  Tensor x = Tensor::empty({2, 5}, host_device());
+  rng.fill_normal(x.data(), 10, 1.0f);
+  Tensor loss = tensor::sum(lora.forward(x));
+  tensor::backward(loss);
+  EXPECT_TRUE(lora.lora_a().grad().defined());
+  EXPECT_TRUE(lora.lora_b().grad().defined());
+  EXPECT_FALSE(lora.weight().grad().defined());
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, LoraRankSweep, ::testing::Values(1, 2, 4, 8, 16));
+
+TEST(Prefix, PrependsLearnableTokens) {
+  util::Rng arng(31);
+  PrefixAdapter prefix("p", 3, 4, host_device(), arng);
+  Tensor x = Tensor::zeros({2, 5, 4}, host_device());
+  Tensor y = prefix.forward(x);
+  EXPECT_EQ(y.shape(), (Shape{2, 8, 4}));
+  ASSERT_EQ(prefix.trainable_parameters().size(), 1u);
+  // Gradient sums over the batch.
+  Tensor loss = tensor::sum(y);
+  tensor::backward(loss);
+  Tensor g = prefix.trainable_parameters()[0].value.grad();
+  ASSERT_TRUE(g.defined());
+  for (float v : g.to_vector()) EXPECT_FLOAT_EQ(v, 2.0f);
+}
+
+TEST(Attention, ShapePreservingAndCausal) {
+  FreshInit src(41);
+  util::Rng arng(42);
+  CausalSelfAttention attn("a", 8, 2, true, no_adapter(), src, host_device(),
+                           arng);
+  util::Rng rng(43);
+  Tensor x = Tensor::empty({2, 5, 8}, host_device());
+  rng.fill_normal(x.data(), static_cast<std::size_t>(x.numel()), 0.5f);
+  Tensor y = attn.forward(x);
+  EXPECT_EQ(y.shape(), (Shape{2, 5, 8}));
+
+  // Causality: changing a later token must not change earlier outputs.
+  Tensor x2 = x.clone();
+  x2.data()[1 * 5 * 8 - 8] += 10.0f;  // last token of batch row 0
+  Tensor y2 = attn.forward(x2);
+  auto a_v = y.to_vector();
+  auto b_v = y2.to_vector();
+  for (int t = 0; t < 4; ++t) {  // all tokens before the perturbed one
+    for (int cdim = 0; cdim < 8; ++cdim) {
+      EXPECT_NEAR(a_v[static_cast<std::size_t>(t * 8 + cdim)],
+                  b_v[static_cast<std::size_t>(t * 8 + cdim)], 1e-5f);
+    }
+  }
+}
+
+TEST(Attention, GradcheckThroughLora) {
+  FreshInit src(51);
+  util::Rng arng(52);
+  CausalSelfAttention attn("a", 4, 2, false, lora_spec(2), src,
+                           host_device(), arng);
+  // Perturb the LoRA B matrices so the adapter path carries signal.
+  util::Rng rng(53);
+  std::vector<Tensor> adapters;
+  for (Parameter& p : attn.trainable_parameters()) {
+    rng.fill_normal(p.value.data(), static_cast<std::size_t>(p.value.numel()),
+                    0.2f);
+    adapters.push_back(p.value);
+  }
+  Tensor x = Tensor::empty({1, 3, 4}, host_device());
+  rng.fill_normal(x.data(), 12, 0.5f);
+  check_gradients([&] { return tensor::sum(attn.forward(x)); }, adapters,
+                  1e-2f, 8e-2f, 5e-3f);
+}
+
+TEST(TransformerConfig, ValidateAndCount) {
+  TransformerConfig c = TransformerConfig::tiny_opt();
+  c.validate();
+  EXPECT_GT(c.parameter_count(), 0);
+  c.n_heads = 5;
+  EXPECT_THROW(c.validate(), InvalidArgument);
+}
+
+TEST(SplitSpec, Validation) {
+  TransformerConfig c = TransformerConfig::tiny_opt();
+  SplitSpec s;
+  s.validate(c);
+  s.front_blocks = 0;
+  EXPECT_THROW(s.validate(c), InvalidArgument);
+  s.front_blocks = 2;
+  s.back_blocks = 2;
+  EXPECT_THROW(s.validate(c), InvalidArgument);  // nothing left for server
+}
+
+TEST(TransformerBlock, OptAndLlamaForwardShapes) {
+  for (auto family : {ModelFamily::Opt, ModelFamily::Llama}) {
+    TransformerConfig c = family == ModelFamily::Opt
+                              ? TransformerConfig::tiny_opt()
+                              : TransformerConfig::tiny_llama();
+    FreshInit src(61);
+    util::Rng arng(62);
+    TransformerBlock block("block0", c, lora_spec(), src, host_device(),
+                           arng);
+    Tensor x = Tensor::zeros({2, 6, c.dim}, host_device());
+    Tensor y = block.forward(x);
+    EXPECT_EQ(y.shape(), (Shape{2, 6, c.dim}));
+  }
+}
+
+TEST(Sections, ParameterCountMatchesConfigFormula) {
+  TransformerConfig c = TransformerConfig::tiny_opt();
+  SplitSpec split;
+  FreshInit src(71);
+  LocalModel model(c, split, no_adapter(), src, host_device(), 72);
+  std::int64_t actual = 0;
+  for (const Parameter& p : model.parameters()) actual += p.value.numel();
+  EXPECT_EQ(actual, c.parameter_count());
+}
+
+TEST(Sections, LlamaParameterCountMatchesFormula) {
+  TransformerConfig c = TransformerConfig::tiny_llama();
+  SplitSpec split;
+  FreshInit src(71);
+  LocalModel model(c, split, no_adapter(), src, host_device(), 72);
+  std::int64_t actual = 0;
+  for (const Parameter& p : model.parameters()) actual += p.value.numel();
+  EXPECT_EQ(actual, c.parameter_count());
+}
+
+TEST(Sections, SplitSectionsComposeToLocalForward) {
+  // f_o(f_s(f_i(x))) computed via separate sections from the same seeds
+  // must equal the LocalModel — the structural core of split fine-tuning.
+  TransformerConfig c = TransformerConfig::tiny_opt();
+  c.n_layers = 3;
+  SplitSpec split;
+  split.front_blocks = 1;
+  split.back_blocks = 1;
+  const std::uint64_t base_seed = 81, adapter_seed = 82;
+
+  FreshInit src_local(base_seed);
+  LocalModel local(c, split, lora_spec(), src_local, host_device(),
+                   adapter_seed);
+
+  FreshInit src_split(base_seed);
+  util::Rng root(adapter_seed);
+  util::Rng rng_in = root.fork();
+  util::Rng rng_srv = root.fork();
+  util::Rng rng_out = root.fork();
+  InputSection f_i(c, split, lora_spec(), src_split, host_device(), rng_in);
+  ServerSection f_s(c, split, lora_spec(), src_split, host_device(), rng_srv);
+  OutputSection f_o(c, split, lora_spec(), src_split, host_device(), rng_out);
+  EXPECT_EQ(f_s.block_count(), 1);
+
+  std::vector<std::int32_t> ids{1, 2, 3, 4, 5, 6};
+  std::vector<std::int32_t> targets{2, 3, 4, 5, 6, 7};
+  tensor::NoGradGuard no_grad;
+  const float local_loss = local.loss(ids, targets, 2, 3).item();
+  Tensor x_c = f_i.forward(ids, 2, 3);
+  Tensor x_s = f_s.forward(x_c);
+  const float split_loss = f_o.loss(x_s, f_i.prefix_len(), targets).item();
+  EXPECT_FLOAT_EQ(local_loss, split_loss);
+}
+
+TEST(Sections, SharedStoreGivesSameOutputsAsFreshInit) {
+  // Building the server section over a shared table (Menos) must be
+  // numerically identical to building it with FreshInit (vanilla).
+  TransformerConfig c = TransformerConfig::tiny_llama();
+  SplitSpec split;
+  FreshInit fresh(91);
+
+  // Simulate the store: blocks materialized via FreshInit.
+  std::unordered_map<std::string, Tensor> table;
+  AdapterSpec none = no_adapter();
+  util::Rng unused(0);
+  for (int i = 0; i < c.n_layers; ++i) {
+    TransformerBlock block("block" + std::to_string(i), c, none, fresh,
+                           host_device(), unused);
+    for (const Parameter& p : block.parameters()) table.emplace(p.name, p.value);
+  }
+  SharedSource shared(&table);
+
+  util::Rng arng1(7), arng2(7);
+  FreshInit fresh2(91);
+  ServerSection via_store(c, split, lora_spec(), shared, host_device(), arng1);
+  ServerSection via_fresh(c, split, lora_spec(), fresh2, host_device(), arng2);
+
+  util::Rng rng(99);
+  Tensor x = Tensor::empty({2, 4, c.dim}, host_device());
+  rng.fill_normal(x.data(), static_cast<std::size_t>(x.numel()), 0.5f);
+  tensor::NoGradGuard no_grad;
+  EXPECT_EQ(via_store.forward(x).to_vector(),
+            via_fresh.forward(x).to_vector());
+}
+
+TEST(Sections, PrefixAdapterChangesLengthThenStripped) {
+  TransformerConfig c = TransformerConfig::tiny_opt();
+  SplitSpec split;
+  AdapterSpec prefix;
+  prefix.type = AdapterType::Prefix;
+  prefix.prefix_len = 4;
+  FreshInit src(101);
+  util::Rng rng_in(1), rng_srv(2), rng_out(3);
+  InputSection f_i(c, split, prefix, src, host_device(), rng_in);
+  ServerSection f_s(c, split, prefix, src, host_device(), rng_srv);
+  OutputSection f_o(c, split, prefix, src, host_device(), rng_out);
+
+  std::vector<std::int32_t> ids{1, 2, 3, 4};
+  tensor::NoGradGuard no_grad;
+  Tensor x_c = f_i.forward(ids, 2, 2);
+  EXPECT_EQ(x_c.shape(), (Shape{2, 2 + 4, c.dim}));
+  Tensor logits = f_o.logits(f_s.forward(x_c), f_i.prefix_len());
+  EXPECT_EQ(logits.shape(), (Shape{4, c.vocab_size}));
+}
+
+TEST(Sections, AdapterBytesMuchSmallerThanBase) {
+  // The A << M premise of §2.3.
+  TransformerConfig c = TransformerConfig::tiny_opt();
+  SplitSpec split;
+  FreshInit src(111);
+  util::Rng arng(112);
+  ServerSection f_s(c, split, lora_spec(8), src, host_device(), arng);
+  EXPECT_LT(f_s.trainable_parameter_bytes(),
+            f_s.frozen_parameter_bytes() / 10);
+}
+
+TEST(Sections, SequenceTooLongThrows) {
+  TransformerConfig c = TransformerConfig::tiny_opt();
+  c.max_seq = 4;
+  SplitSpec split;
+  FreshInit src(121);
+  util::Rng arng(122);
+  InputSection f_i(c, split, no_adapter(), src, host_device(), arng);
+  std::vector<std::int32_t> ids(10, 1);
+  EXPECT_THROW(f_i.forward(ids, 1, 10), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace menos::nn

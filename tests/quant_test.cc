@@ -1,0 +1,219 @@
+// Quantization: schemes, reconstruction error, streaming matmul (+ its
+// activation gradient), QuantizedLinear / QLoraLinear, memory footprints.
+#include <gtest/gtest.h>
+
+#include "optim/optimizer.h"
+#include "quant/quant_linear.h"
+#include "test_helpers.h"
+
+namespace menos::quant {
+namespace {
+
+using menos::testing::host_device;
+using tensor::Index;
+using tensor::Shape;
+using tensor::Tensor;
+
+Tensor random_weight(Index rows, Index cols, std::uint64_t seed,
+                     float stddev = 0.05f) {
+  util::Rng rng(seed);
+  Tensor w = Tensor::empty({rows, cols}, host_device());
+  rng.fill_normal(w.data(), static_cast<std::size_t>(w.numel()), stddev);
+  return w;
+}
+
+class SchemeSweep : public ::testing::TestWithParam<Scheme> {};
+
+TEST_P(SchemeSweep, RoundTripErrorSmall) {
+  const Scheme scheme = GetParam();
+  Tensor w = random_weight(64, 48, 1);
+  QuantizedTensor q = QuantizedTensor::quantize(w, scheme, host_device());
+  EXPECT_EQ(q.shape(), (Shape{64, 48}));
+  // Relative RMSE: int8 is ~1e-3 of the scale, nf4 a few percent.
+  const double rmse = reconstruction_rmse(w, q);
+  const double bound = scheme == Scheme::Int8Rowwise ? 5e-4 : 8e-3;
+  EXPECT_LT(rmse, bound) << scheme_name(scheme);
+}
+
+TEST_P(SchemeSweep, DequantizeMatchesRowwise) {
+  const Scheme scheme = GetParam();
+  Tensor w = random_weight(5, 70, 2);  // cols not a multiple of the block
+  QuantizedTensor q = QuantizedTensor::quantize(w, scheme, host_device());
+  Tensor full = q.dequantize(host_device());
+  std::vector<float> row(70);
+  for (Index r = 0; r < 5; ++r) {
+    q.dequantize_row(r, row.data());
+    for (Index c = 0; c < 70; ++c) {
+      EXPECT_FLOAT_EQ(row[static_cast<std::size_t>(c)],
+                      full.data()[r * 70 + c]);
+    }
+  }
+}
+
+TEST_P(SchemeSweep, MatmulMatchesDequantizedReference) {
+  const Scheme scheme = GetParam();
+  util::Rng rng(3);
+  Tensor x = Tensor::empty({4, 32}, host_device());
+  rng.fill_normal(x.data(), 4 * 32, 1.0f);
+  Tensor w = random_weight(32, 24, 4);
+  QuantizedTensor q = QuantizedTensor::quantize(w, scheme, host_device());
+  Tensor expected = tensor::matmul(x, q.dequantize(host_device()));
+  Tensor actual = quantized_matmul(x, q);
+  auto e = expected.to_vector();
+  auto a = actual.to_vector();
+  for (std::size_t i = 0; i < e.size(); ++i) {
+    EXPECT_NEAR(a[i], e[i], 1e-4f);
+  }
+}
+
+TEST_P(SchemeSweep, ActivationGradientMatchesReference) {
+  const Scheme scheme = GetParam();
+  util::Rng rng(5);
+  Tensor x = menos::testing::random_leaf({3, 16}, rng, host_device());
+  Tensor w = random_weight(16, 8, 6);
+  QuantizedTensor q = QuantizedTensor::quantize(w, scheme, host_device());
+
+  // Quantized path.
+  Tensor y = quantized_matmul(x, q);
+  tensor::backward(tensor::sum(y));
+  auto grad_q = x.grad().to_vector();
+  x.zero_grad();
+
+  // Float reference through the dequantized weight.
+  Tensor w_dq = q.dequantize(host_device());
+  Tensor y_ref = tensor::matmul(x, w_dq);
+  tensor::backward(tensor::sum(y_ref));
+  auto grad_ref = x.grad().to_vector();
+  for (std::size_t i = 0; i < grad_q.size(); ++i) {
+    EXPECT_NEAR(grad_q[i], grad_ref[i], 1e-4f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, SchemeSweep,
+                         ::testing::Values(Scheme::Int8Rowwise,
+                                           Scheme::Nf4Block));
+
+TEST(Quantize, FootprintReductions) {
+  auto gpu = gpusim::make_sim_gpu("q", 64u << 20);
+  util::Rng rng(7);
+  Tensor w = Tensor::empty({256, 256}, *gpu);
+  rng.fill_normal(w.data(), 256 * 256, 0.05f);
+  const std::size_t float_bytes = w.bytes();
+
+  QuantizedTensor q8 = QuantizedTensor::quantize(w, Scheme::Int8Rowwise, *gpu);
+  QuantizedTensor q4 = QuantizedTensor::quantize(w, Scheme::Nf4Block, *gpu);
+  // int8: 1/4 + per-row scales; nf4: 1/8 + per-block scales.
+  EXPECT_LT(q8.bytes(), float_bytes / 4 + 256 * sizeof(float) + 64);
+  EXPECT_GT(q8.bytes(), float_bytes / 5);
+  EXPECT_LT(q4.bytes(), float_bytes / 6);
+  EXPECT_GT(q4.bytes(), float_bytes / 10);
+  // Every quantized byte is metered on the device.
+  EXPECT_GE(gpu->allocated(), float_bytes + q8.bytes() + q4.bytes());
+}
+
+TEST(Quantize, WeightGradientNeverProduced) {
+  // The premise that makes quantizing the base safe: it is frozen.
+  util::Rng rng(8);
+  Tensor x = menos::testing::random_leaf({2, 8}, rng, host_device());
+  Tensor w = random_weight(8, 8, 9);
+  QuantizedTensor q = QuantizedTensor::quantize(w, Scheme::Nf4Block,
+                                                host_device());
+  tensor::backward(tensor::sum(quantized_matmul(x, q)));
+  EXPECT_TRUE(x.grad().defined());
+  EXPECT_FALSE(w.grad().defined());
+}
+
+TEST(Quantize, RejectsNonMatrix) {
+  Tensor v = Tensor::zeros({8}, host_device());
+  EXPECT_THROW(QuantizedTensor::quantize(v, Scheme::Int8Rowwise, host_device()),
+               InvalidArgument);
+  Tensor w = Tensor::zeros({4, 4}, host_device());
+  QuantizedTensor q = QuantizedTensor::quantize(w, Scheme::Int8Rowwise,
+                                                host_device());
+  Tensor bad = Tensor::zeros({2, 5}, host_device());
+  EXPECT_THROW(quantized_matmul(bad, q), InvalidArgument);
+}
+
+TEST(Quantize, ZeroMatrixStable) {
+  Tensor w = Tensor::zeros({4, 4}, host_device());
+  for (Scheme s : {Scheme::Int8Rowwise, Scheme::Nf4Block}) {
+    QuantizedTensor q = QuantizedTensor::quantize(w, s, host_device());
+    EXPECT_EQ(reconstruction_rmse(w, q), 0.0);
+  }
+}
+
+TEST(QuantizedLinear, MatchesFloatLinearClosely) {
+  nn::FreshInit src(11);
+  nn::FreshInit src2(11);
+  nn::Linear ref("l", 32, 16, true, src, host_device());
+  QuantizedLinear q("l", 32, 16, true, Scheme::Int8Rowwise, src2,
+                    host_device());
+  util::Rng rng(12);
+  Tensor x = Tensor::empty({4, 32}, host_device());
+  rng.fill_normal(x.data(), 4 * 32, 1.0f);
+  auto a = ref.forward(x).to_vector();
+  auto b = q.forward(x).to_vector();
+  double err = 0.0, mag = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    err += (a[i] - b[i]) * (a[i] - b[i]);
+    mag += a[i] * a[i];
+  }
+  EXPECT_LT(std::sqrt(err / mag), 0.01);  // <1% relative output error
+}
+
+TEST(QuantizedLinear, ResidentBytesAreQuarterOfFloat) {
+  auto gpu = gpusim::make_sim_gpu("ql", 64u << 20);
+  nn::FreshInit src(13);
+  const std::size_t before = gpu->allocated();
+  QuantizedLinear q("l", 128, 128, false, Scheme::Int8Rowwise, src, *gpu);
+  const std::size_t resident = gpu->allocated() - before;
+  EXPECT_EQ(resident, q.resident_bytes());
+  const std::size_t float_equiv = 128 * 128 * sizeof(float);
+  EXPECT_LT(resident, float_equiv / 3);
+}
+
+TEST(QLora, AdapterTrainsOverQuantizedBase) {
+  // The QLoRA loop: frozen 4-bit base, trainable fp32 LoRA, loss drops.
+  nn::FreshInit src(14);
+  util::Rng arng(15);
+  QLoraLinear layer("l", 16, 16, false, Scheme::Nf4Block, 4, 8.0f, src,
+                    host_device(), arng);
+  ASSERT_EQ(layer.trainable_parameters().size(), 2u);
+
+  util::Rng rng(16);
+  Tensor x = Tensor::empty({8, 16}, host_device());
+  rng.fill_normal(x.data(), 8 * 16, 1.0f);
+  Tensor target = Tensor::empty({8, 16}, host_device());
+  rng.fill_normal(target.data(), 8 * 16, 0.5f);
+
+  auto opt = optim::make_optimizer(optim::OptimizerKind::Adam,
+                                   layer.trainable_parameters(), 0.05f);
+  const auto loss_fn = [&] {
+    Tensor diff = tensor::sub(layer.forward(x), target);
+    return tensor::mean(tensor::mul(diff, diff));
+  };
+  const float initial = loss_fn().item();
+  for (int i = 0; i < 150; ++i) {
+    Tensor loss = loss_fn();
+    tensor::backward(loss);
+    opt->step();
+    opt->zero_grad();
+  }
+  EXPECT_LT(loss_fn().item(), initial * 0.5f);
+}
+
+TEST(QLora, StartsAtQuantizedBaseFunction) {
+  nn::FreshInit src(17), src2(17);
+  util::Rng arng(18);
+  QLoraLinear qlora("l", 12, 12, false, Scheme::Int8Rowwise, 4, 8.0f, src,
+                    host_device(), arng);
+  QuantizedLinear plain("l", 12, 12, false, Scheme::Int8Rowwise, src2,
+                        host_device());
+  util::Rng rng(19);
+  Tensor x = Tensor::empty({3, 12}, host_device());
+  rng.fill_normal(x.data(), 36, 1.0f);
+  EXPECT_EQ(qlora.forward(x).to_vector(), plain.forward(x).to_vector());
+}
+
+}  // namespace
+}  // namespace menos::quant

@@ -1,0 +1,361 @@
+// Scheduler tests: Algorithm 2 semantics, fairness gates, backfilling,
+// partition placement, and randomized invariant sweeps.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sched/scheduler.h"
+#include "util/rng.h"
+
+namespace menos::sched {
+namespace {
+
+/// Collects grants for assertions.
+struct GrantLog {
+  std::vector<Grant> grants;
+
+  void attach(Scheduler& s) {
+    s.set_grant_callback([this](const Grant& g) { grants.push_back(g); });
+  }
+
+  bool granted(int client) const {
+    for (const Grant& g : grants) {
+      if (g.client_id == client) return true;
+    }
+    return false;
+  }
+};
+
+TEST(Scheduler, GrantsImmediatelyWhenMemoryFree) {
+  Scheduler s(1000);
+  GrantLog log;
+  log.attach(s);
+  s.register_client(0, {100, 400});
+  s.on_request(0, OpKind::Forward);
+  ASSERT_EQ(log.grants.size(), 1u);
+  EXPECT_EQ(log.grants[0].client_id, 0);
+  EXPECT_EQ(s.available(), 900u);
+  EXPECT_EQ(s.allocated_to(0), 100u);
+  s.on_complete(0);
+  EXPECT_EQ(s.available(), 1000u);
+}
+
+TEST(Scheduler, BackwardUsesBackwardDemand) {
+  Scheduler s(1000);
+  GrantLog log;
+  log.attach(s);
+  s.register_client(0, {100, 400});
+  s.on_request(0, OpKind::Backward);
+  EXPECT_EQ(s.allocated_to(0), 400u);
+  s.on_complete(0);
+}
+
+TEST(Scheduler, QueuesWhenFullAndGrantsOnRelease) {
+  Scheduler s(500);
+  GrantLog log;
+  log.attach(s);
+  s.register_client(0, {400, 400});
+  s.register_client(1, {400, 400});
+  s.on_request(0, OpKind::Forward);
+  s.on_request(1, OpKind::Forward);
+  EXPECT_EQ(log.grants.size(), 1u);
+  EXPECT_EQ(s.waiting_count(), 1u);
+  s.on_complete(0);
+  ASSERT_EQ(log.grants.size(), 2u);
+  EXPECT_EQ(log.grants[1].client_id, 1);
+  s.on_complete(1);
+}
+
+TEST(Scheduler, RegistrationRejectsImpossibleDemand) {
+  Scheduler s(100);
+  EXPECT_THROW(s.register_client(0, {50, 200}), menos::InvalidArgument);
+}
+
+TEST(Scheduler, DoubleRegistrationRejected) {
+  Scheduler s(1000);
+  GrantLog log;
+  log.attach(s);
+  s.register_client(0, {100, 100});
+  EXPECT_THROW(s.register_client(0, {1, 1}), menos::InvalidArgument);
+}
+
+TEST(Scheduler, RequestWhileHoldingRejected) {
+  Scheduler s(1000);
+  GrantLog log;
+  log.attach(s);
+  s.register_client(0, {100, 100});
+  s.on_request(0, OpKind::Forward);
+  EXPECT_THROW(s.on_request(0, OpKind::Backward), menos::InvalidArgument);
+  s.on_complete(0);
+}
+
+TEST(Scheduler, CompleteWithoutAllocationRejected) {
+  Scheduler s(1000);
+  s.register_client(0, {10, 10});
+  EXPECT_THROW(s.on_complete(0), menos::InvalidArgument);
+}
+
+TEST(Scheduler, UnregisterWithLiveAllocationRejected) {
+  Scheduler s(1000);
+  GrantLog log;
+  log.attach(s);
+  s.register_client(0, {10, 10});
+  s.on_request(0, OpKind::Forward);
+  EXPECT_THROW(s.unregister_client(0), menos::StateError);
+  s.on_complete(0);
+  s.unregister_client(0);
+}
+
+TEST(Scheduler, UnregisterDropsWaitingRequest) {
+  Scheduler s(100);
+  GrantLog log;
+  log.attach(s);
+  s.register_client(0, {100, 100});
+  s.register_client(1, {100, 100});
+  s.on_request(0, OpKind::Forward);
+  s.on_request(1, OpKind::Forward);
+  EXPECT_EQ(s.waiting_count(), 1u);
+  s.unregister_client(1);
+  EXPECT_EQ(s.waiting_count(), 0u);
+  s.on_complete(0);
+}
+
+TEST(Scheduler, ForwardBackfillsPastBlockedBackwardHead) {
+  // The key Menos claim (§5.2): "forward operations require far less GPU
+  // memory, and our scheduling algorithm can always select and parallelize
+  // them with the backward computations of other clients."
+  Scheduler s(1000);
+  GrantLog log;
+  log.attach(s);
+  s.register_client(0, {100, 800});
+  s.register_client(1, {100, 800});
+  s.register_client(2, {100, 800});
+  s.on_request(0, OpKind::Backward);  // takes 800
+  s.on_request(1, OpKind::Backward);  // blocked head (needs 800 > 200)
+  s.on_request(2, OpKind::Forward);   // 100 fits: backfill past client 1
+  ASSERT_EQ(log.grants.size(), 2u);
+  EXPECT_EQ(log.grants[1].client_id, 2);
+  EXPECT_EQ(log.grants[1].kind, OpKind::Forward);
+  EXPECT_GE(s.stats().backfill_grants, 1u);
+  s.on_complete(0);
+  s.on_complete(2);
+  s.on_complete(1);
+}
+
+TEST(Scheduler, BackwardNeverOvertakesEarlierBackward) {
+  // "the FCFS logic prevents long-waiting backward requests from being
+  // consistently bypassed" — a later SMALLER backward must wait for an
+  // earlier larger one.
+  Scheduler s(1000);
+  GrantLog log;
+  log.attach(s);
+  s.register_client(0, {100, 900});
+  s.register_client(1, {50, 900});
+  s.register_client(2, {50, 300});
+  s.on_request(0, OpKind::Backward);  // takes 900
+  s.on_request(1, OpKind::Backward);  // waits (needs 900)
+  s.on_request(2, OpKind::Backward);  // 300 would fit 100 free? no: only 100
+  EXPECT_EQ(log.grants.size(), 1u);
+  s.on_complete(0);  // frees 900: head (client 1) must be granted first
+  ASSERT_GE(log.grants.size(), 2u);
+  EXPECT_EQ(log.grants[1].client_id, 1);
+  // Client 2 (300) does NOT fit the remaining 100 and must wait even
+  // though it is smaller than the granted head.
+  EXPECT_EQ(log.grants.size(), 2u);
+  s.on_complete(1);
+  ASSERT_EQ(log.grants.size(), 3u);
+  EXPECT_EQ(log.grants[2].client_id, 2);
+  s.on_complete(2);
+}
+
+TEST(Scheduler, FcfsOnlyBlocksEverythingBehindHead) {
+  Scheduler s(1000, Policy::FcfsOnly);
+  GrantLog log;
+  log.attach(s);
+  s.register_client(0, {100, 800});
+  s.register_client(1, {100, 800});
+  s.register_client(2, {100, 800});
+  s.on_request(0, OpKind::Backward);
+  s.on_request(1, OpKind::Backward);
+  s.on_request(2, OpKind::Forward);  // would fit, but strict FCFS blocks it
+  EXPECT_EQ(log.grants.size(), 1u);
+  EXPECT_EQ(s.waiting_count(), 2u);
+  s.on_complete(0);
+  // Head unblocks; the forward then backfills... under FcfsOnly it is
+  // granted only because memory remains after the head.
+  EXPECT_TRUE(log.granted(1));
+  EXPECT_TRUE(log.granted(2));
+  s.on_complete(1);
+  s.on_complete(2);
+}
+
+TEST(Scheduler, PersistentReservationShrinksPool) {
+  Scheduler s(1000);
+  GrantLog log;
+  log.attach(s);
+  s.reserve_persistent(0, 600);
+  EXPECT_EQ(s.available(), 400u);
+  s.register_client(0, {100, 400});
+  s.on_request(0, OpKind::Backward);
+  EXPECT_EQ(log.grants.size(), 1u);
+  EXPECT_EQ(s.available(), 0u);
+  s.on_complete(0);
+  EXPECT_THROW(s.reserve_persistent(0, 500), menos::OutOfMemory);
+  s.release_persistent(0, 600);
+  EXPECT_EQ(s.available(), 1000u);
+}
+
+TEST(Scheduler, ReleasePersistentTriggersScheduling) {
+  Scheduler s(1000);
+  GrantLog log;
+  log.attach(s);
+  s.reserve_persistent(0, 500);       // pool now 500
+  s.register_client(0, {400, 400});
+  s.register_client(1, {450, 450});
+  s.on_request(0, OpKind::Backward);  // granted: 100 left
+  s.on_request(1, OpKind::Backward);  // waits (450 > 100)
+  EXPECT_EQ(log.grants.size(), 1u);
+  s.release_persistent(0, 400);       // a departing client frees its A+O
+  EXPECT_EQ(log.grants.size(), 2u);   // waiter granted without any complete
+  s.on_complete(0);
+  s.on_complete(1);
+}
+
+TEST(Scheduler, MultiPartitionPlacement) {
+  Scheduler s(std::vector<std::size_t>{500, 500});
+  GrantLog log;
+  log.attach(s);
+  s.register_client(0, {400, 400});
+  s.register_client(1, {400, 400});
+  s.register_client(2, {400, 400});
+  s.on_request(0, OpKind::Backward);
+  s.on_request(1, OpKind::Backward);
+  // Two GPUs: both backwards run concurrently on different partitions.
+  ASSERT_EQ(log.grants.size(), 2u);
+  EXPECT_NE(log.grants[0].partition, log.grants[1].partition);
+  s.on_request(2, OpKind::Backward);
+  EXPECT_EQ(log.grants.size(), 2u);  // no third slot
+  s.on_complete(0);
+  EXPECT_EQ(log.grants.size(), 3u);
+  s.on_complete(1);
+  s.on_complete(2);
+}
+
+TEST(Scheduler, BestFitPartitionChoice) {
+  // A small request should land on the fuller partition, preserving the
+  // large hole for a future backward.
+  Scheduler s(std::vector<std::size_t>{1000, 400});
+  GrantLog log;
+  log.attach(s);
+  s.register_client(0, {300, 300});
+  s.on_request(0, OpKind::Forward);
+  ASSERT_EQ(log.grants.size(), 1u);
+  EXPECT_EQ(log.grants[0].partition, 1);  // 400 is the tightest fit
+  s.on_complete(0);
+}
+
+TEST(Scheduler, StatsTrackRequestsAndGrants) {
+  Scheduler s(100);
+  GrantLog log;
+  log.attach(s);
+  s.register_client(0, {60, 60});
+  s.register_client(1, {60, 60});
+  s.on_request(0, OpKind::Forward);
+  s.on_request(1, OpKind::Forward);  // blocked
+  s.on_complete(0);
+  s.on_complete(1);
+  const SchedulerStats st = s.stats();
+  EXPECT_EQ(st.requests, 2u);
+  EXPECT_EQ(st.grants, 2u);
+  EXPECT_GE(st.blocked_cycles, 1u);
+}
+
+// ----- randomized invariant sweep -----
+
+struct TraceParams {
+  int clients;
+  std::size_t capacity;
+  Policy policy;
+  std::uint64_t seed;
+};
+
+class SchedulerTraceSweep : public ::testing::TestWithParam<TraceParams> {};
+
+TEST_P(SchedulerTraceSweep, InvariantsHoldOnRandomTrace) {
+  const TraceParams p = GetParam();
+  Scheduler s(p.capacity, p.policy);
+  util::Rng rng(p.seed);
+
+  std::vector<ClientDemands> demands(static_cast<std::size_t>(p.clients));
+  for (auto& d : demands) {
+    d.forward_bytes = 16 + rng.next_below(p.capacity / 6);
+    d.backward_bytes = d.forward_bytes + rng.next_below(p.capacity / 2);
+    if (d.backward_bytes > p.capacity) d.backward_bytes = p.capacity;
+  }
+
+  // State per client: 0 = idle, 1 = waiting, 2 = holding.
+  std::vector<int> state(static_cast<std::size_t>(p.clients), 0);
+  std::vector<int> holders;
+  std::size_t min_available = p.capacity;
+  std::uint64_t grants_seen = 0;
+
+  s.set_grant_callback([&](const Grant& g) {
+    auto idx = static_cast<std::size_t>(g.client_id);
+    EXPECT_EQ(state[idx], 1) << "grant to non-waiting client";
+    state[idx] = 2;
+    holders.push_back(g.client_id);
+    ++grants_seen;
+  });
+  for (int i = 0; i < p.clients; ++i) {
+    s.register_client(i, demands[static_cast<std::size_t>(i)]);
+  }
+
+  for (int step = 0; step < 600; ++step) {
+    const int c = static_cast<int>(rng.next_below(
+        static_cast<std::uint64_t>(p.clients)));
+    const auto idx = static_cast<std::size_t>(c);
+    if (state[idx] == 0) {
+      const OpKind kind =
+          rng.next_below(2) == 0 ? OpKind::Forward : OpKind::Backward;
+      state[idx] = 1;
+      s.on_request(c, kind);
+    } else if (state[idx] == 2 && rng.next_below(2) == 0) {
+      state[idx] = 0;
+      holders.erase(std::find(holders.begin(), holders.end(), c));
+      s.on_complete(c);
+    }
+    // INVARIANT: the scheduler never over-commits its pool.
+    const std::size_t avail = s.total_available();
+    EXPECT_LE(avail, p.capacity);
+    min_available = std::min(min_available, avail);
+    std::size_t held = 0;
+    for (int h : holders) held += s.allocated_to(h);
+    EXPECT_EQ(held + avail, p.capacity);
+  }
+
+  // Drain: complete all holders; every waiter must eventually be granted
+  // (no starvation under either policy once memory frees).
+  for (int round = 0; round < 2 * p.clients + 5 && !holders.empty(); ++round) {
+    const int c = holders.front();
+    holders.erase(holders.begin());
+    state[static_cast<std::size_t>(c)] = 0;
+    s.on_complete(c);
+    // on_complete may synchronously grant new holders (callback appends).
+  }
+  EXPECT_EQ(s.waiting_count(), 0u) << "a waiter starved after full drain";
+  EXPECT_GT(grants_seen, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Traces, SchedulerTraceSweep,
+    ::testing::Values(TraceParams{2, 1000, Policy::FcfsBackfill, 1},
+                      TraceParams{4, 1000, Policy::FcfsBackfill, 2},
+                      TraceParams{8, 2000, Policy::FcfsBackfill, 3},
+                      TraceParams{8, 500, Policy::FcfsBackfill, 4},
+                      TraceParams{3, 800, Policy::FcfsOnly, 5},
+                      TraceParams{6, 1500, Policy::FcfsOnly, 6},
+                      TraceParams{12, 3000, Policy::FcfsBackfill, 7},
+                      TraceParams{16, 1200, Policy::FcfsBackfill, 8}));
+
+}  // namespace
+}  // namespace menos::sched

@@ -1,0 +1,343 @@
+// Discrete-event simulator: event loop mechanics, ModelSpec accounting
+// (Eq. 2 vs Eq. 3), and the qualitative shapes the paper reports.
+#include <gtest/gtest.h>
+
+#include "sim/split_sim.h"
+#include "util/bytes.h"
+
+namespace menos::sim {
+namespace {
+
+using core::ServingMode;
+using util::kGB;
+
+TEST(EventLoop, OrdersByTimeThenInsertion) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule(2.0, [&] { order.push_back(3); });
+  loop.schedule(1.0, [&] { order.push_back(1); });
+  loop.schedule(1.0, [&] { order.push_back(2); });  // same time: FIFO
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(loop.now(), 2.0);
+}
+
+TEST(EventLoop, NestedScheduling) {
+  EventLoop loop;
+  double fired_at = -1.0;
+  loop.schedule(1.0, [&] {
+    loop.schedule(0.5, [&] { fired_at = loop.now(); });
+  });
+  loop.run();
+  EXPECT_DOUBLE_EQ(fired_at, 1.5);
+}
+
+TEST(EventLoop, RunUntilAdvancesClock) {
+  EventLoop loop;
+  int fired = 0;
+  loop.schedule(5.0, [&] { ++fired; });
+  loop.run_until(2.0);
+  EXPECT_EQ(fired, 0);
+  EXPECT_DOUBLE_EQ(loop.now(), 2.0);
+  loop.run_until(10.0);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventLoop, NegativeDelayRejected) {
+  EventLoop loop;
+  EXPECT_THROW(loop.schedule(-1.0, [] {}), menos::InvalidArgument);
+}
+
+TEST(ModelSpec, MemoryEquations) {
+  const ModelSpec s = ModelSpec::llama2_7b();
+  // Eq. 2 without I: linear in N.
+  EXPECT_EQ(s.vanilla_persistent_bytes(4), 4 * s.vanilla_task_bytes());
+  // Eq. 3's persistent part: M + per-client adapters.
+  const std::size_t one = s.menos_persistent_bytes(1);
+  const std::size_t four = s.menos_persistent_bytes(4);
+  EXPECT_EQ(four - one, 3 * (s.adapter_opt_bytes + s.context_bytes));
+  // Fig 5(b): Menos at one client costs slightly MORE than vanilla.
+  EXPECT_GT(one, s.vanilla_persistent_bytes(1));
+  // ...but by 4 clients the reduction is ~72%.
+  const double reduction =
+      1.0 - static_cast<double>(four) /
+                static_cast<double>(s.vanilla_persistent_bytes(4));
+  EXPECT_GT(reduction, 0.65);
+  EXPECT_LT(reduction, 0.80);
+}
+
+TEST(ModelSpec, OptReductionMatchesPaperBand) {
+  const ModelSpec s = ModelSpec::opt_1_3b();
+  const double reduction =
+      1.0 - static_cast<double>(s.menos_persistent_bytes(4)) /
+                static_cast<double>(s.vanilla_persistent_bytes(4));
+  // Paper: 64.1% at 4 clients.
+  EXPECT_NEAR(reduction, 0.641, 0.05);
+}
+
+TEST(ModelSpec, Section23MeasurementStudy) {
+  // §2.3: Llama-2-7B at batch 4 needs ~28.7 GB = 24 (M) + 0.246 (A+O) + 4 (I).
+  const ModelSpec s = ModelSpec::llama2_7b();
+  const double total = util::to_gb(s.server_param_bytes +
+                                   s.adapter_opt_bytes + s.bwd_bytes);
+  EXPECT_NEAR(total, 28.0, 1.5);
+}
+
+SimConfig base_config(const ModelSpec& spec, ServingMode mode, int clients) {
+  SimConfig c;
+  c.spec = spec;
+  c.mode = mode;
+  c.num_clients = clients;
+  c.iterations = 12;
+  return c;
+}
+
+TEST(SplitSim, SingleClientMenosIterationTime) {
+  auto r = run_split_finetune(
+      base_config(ModelSpec::llama2_7b(), ServingMode::MenosOnDemand, 1));
+  ASSERT_TRUE(r.feasible);
+  // Fig 6(b): Menos Llama 1 client ~4.7 s; comm dominates (~3.1 s).
+  EXPECT_NEAR(r.avg_iteration_s, 4.7, 1.0);
+  EXPECT_NEAR(r.avg_comm_s, 3.1, 0.6);
+  EXPECT_LT(r.avg_schedule_s, 0.01);
+}
+
+TEST(SplitSim, VanillaLlamaCannotHoldTwoCopies) {
+  // A single V100 cannot host two Llama copies: with 2 clients the vanilla
+  // baseline must swap and the iteration time explodes (Fig 6(b)).
+  auto one = run_split_finetune(
+      base_config(ModelSpec::llama2_7b(), ServingMode::VanillaTaskSwap, 1));
+  auto two = run_split_finetune(
+      base_config(ModelSpec::llama2_7b(), ServingMode::VanillaTaskSwap, 2));
+  ASSERT_TRUE(one.feasible);
+  ASSERT_TRUE(two.feasible);
+  EXPECT_LT(one.avg_iteration_s, 5.0);
+  EXPECT_GT(two.avg_iteration_s, 10.0 * one.avg_iteration_s);
+  EXPECT_GT(two.clients[0].swaps, 0);
+  EXPECT_EQ(one.clients[0].swaps, 0);  // sole task preloaded, never evicted
+}
+
+TEST(SplitSim, MenosLlamaScalesGently) {
+  // Fig 6(b): Menos goes 4.7 -> ~6.0 s from 1 to 4 clients.
+  auto one = run_split_finetune(
+      base_config(ModelSpec::llama2_7b(), ServingMode::MenosOnDemand, 1));
+  auto four = run_split_finetune(
+      base_config(ModelSpec::llama2_7b(), ServingMode::MenosOnDemand, 4));
+  ASSERT_TRUE(four.feasible);
+  EXPECT_LT(four.avg_iteration_s, one.avg_iteration_s * 2.0);
+  EXPECT_LT(four.avg_iteration_s, 8.0);
+}
+
+TEST(SplitSim, VanillaLlamaFiveClientsInfeasible) {
+  // Paper: "At 5 clients, even main memory is insufficient" (128 GB host).
+  auto r = run_split_finetune(
+      base_config(ModelSpec::llama2_7b(), ServingMode::VanillaTaskSwap, 5));
+  EXPECT_FALSE(r.feasible);
+  EXPECT_NE(r.infeasible_reason.find("host"), std::string::npos);
+}
+
+TEST(SplitSim, OptVanillaFineUntilFourClients) {
+  // Fig 6(a): vanilla OPT is fine at <= 3 clients, then swap kicks in.
+  const ModelSpec spec = ModelSpec::opt_1_3b();
+  auto three = run_split_finetune(
+      base_config(spec, ServingMode::VanillaTaskSwap, 3));
+  auto six = run_split_finetune(
+      base_config(spec, ServingMode::VanillaTaskSwap, 6));
+  ASSERT_TRUE(three.feasible);
+  ASSERT_TRUE(six.feasible);
+  EXPECT_LT(three.avg_iteration_s, 8.0);
+  EXPECT_LT(three.avg_schedule_s, 0.01);
+  EXPECT_GT(six.avg_iteration_s, 1.5 * three.avg_iteration_s);
+  EXPECT_GT(six.avg_schedule_s, 1.0);
+}
+
+TEST(SplitSim, MenosOptSchedulingNearZero) {
+  // Table 3: Menos OPT schedule time ~1e-4 s at every client count.
+  for (int n : {1, 2, 4, 6}) {
+    auto r = run_split_finetune(
+        base_config(ModelSpec::opt_1_3b(), ServingMode::MenosOnDemand, n));
+    ASSERT_TRUE(r.feasible);
+    EXPECT_LT(r.avg_schedule_s, 0.05) << n << " clients";
+  }
+}
+
+TEST(SplitSim, CommTimeRoughlyConstantInClients) {
+  // Table 1: communication time does not grow with the client count.
+  double base = 0.0;
+  for (int n : {1, 2, 4, 6}) {
+    auto r = run_split_finetune(
+        base_config(ModelSpec::opt_1_3b(), ServingMode::MenosOnDemand, n));
+    if (n == 1) {
+      base = r.avg_comm_s;
+      EXPECT_NEAR(base, 6.4, 1.0);  // paper: ~5.9-7.1 s
+    } else {
+      EXPECT_NEAR(r.avg_comm_s, base, 0.5);
+    }
+  }
+}
+
+TEST(SplitSim, MenosComputeGrowsWithClients) {
+  // Table 2: re-forward + release overhead makes Menos compute grow in N.
+  auto one = run_split_finetune(
+      base_config(ModelSpec::opt_1_3b(), ServingMode::MenosOnDemand, 1));
+  auto six = run_split_finetune(
+      base_config(ModelSpec::opt_1_3b(), ServingMode::MenosOnDemand, 6));
+  EXPECT_NEAR(one.avg_compute_s, 0.71, 0.2);
+  EXPECT_NEAR(six.avg_compute_s, 1.68, 0.4);
+  // Vanilla compute stays flat.
+  auto v3 = run_split_finetune(
+      base_config(ModelSpec::opt_1_3b(), ServingMode::VanillaTaskSwap, 3));
+  EXPECT_NEAR(v3.avg_compute_s, 0.45, 0.2);
+}
+
+TEST(SplitSim, PreservingPolicyQueuesWorseThanOnDemand) {
+  // Fig 7: holding I between forward and backward blocks peers during the
+  // gradient round-trip; on-demand releases and schedules them instead.
+  const ModelSpec spec = ModelSpec::llama2_7b();
+  auto preserve = run_split_finetune(base_config(
+      spec, ServingMode::MenosReleaseAfterBackward, 4));
+  auto ondemand = run_split_finetune(
+      base_config(spec, ServingMode::MenosOnDemand, 4));
+  ASSERT_TRUE(preserve.feasible);
+  ASSERT_TRUE(ondemand.feasible);
+  EXPECT_GT(preserve.avg_schedule_s, 4.0 * ondemand.avg_schedule_s);
+  EXPECT_GT(preserve.avg_schedule_s, 1.0);
+  EXPECT_LT(ondemand.avg_schedule_s, 1.0);
+}
+
+TEST(SplitSim, PreserveAllServializesClients) {
+  // Fig 3(a): never releasing turns the server into one-client-at-a-time.
+  const ModelSpec spec = ModelSpec::llama2_7b();
+  auto r = run_split_finetune(
+      base_config(spec, ServingMode::MenosPreserveAll, 3));
+  ASSERT_TRUE(r.feasible);
+  // Someone waited for a full predecessor run.
+  double max_sched = 0.0;
+  for (const auto& c : r.clients) {
+    max_sched = std::max(max_sched, c.schedule_s.max());
+  }
+  EXPECT_GT(max_sched, 30.0);
+}
+
+TEST(SplitSim, MultiGpuRestoresThroughput) {
+  // Fig 10: 10 CPU clients on 1 GPU degrade; 4 GPUs bring the iteration
+  // time back near the 2-client baseline.
+  SimConfig c = base_config(ModelSpec::llama2_7b(),
+                            ServingMode::MenosOnDemand, 10);
+  c.cpu_clients = true;
+  c.num_gpus = 1;
+  auto one_gpu = run_split_finetune(c);
+  c.num_gpus = 4;
+  auto four_gpu = run_split_finetune(c);
+  SimConfig c2 = base_config(ModelSpec::llama2_7b(),
+                             ServingMode::MenosOnDemand, 2);
+  c2.cpu_clients = true;
+  auto two_clients = run_split_finetune(c2);
+
+  ASSERT_TRUE(one_gpu.feasible);
+  ASSERT_TRUE(four_gpu.feasible);
+  EXPECT_GT(one_gpu.avg_iteration_s, two_clients.avg_iteration_s + 1.0);
+  EXPECT_LT(four_gpu.avg_iteration_s, one_gpu.avg_iteration_s);
+  EXPECT_LT(four_gpu.avg_iteration_s, two_clients.avg_iteration_s + 2.5);
+}
+
+TEST(SplitSim, CpuClientsOnlySlightlySlower) {
+  // Fig 10 inset: CPU clients cost ~0.8 s over GPU clients, because almost
+  // all layers live on the server.
+  SimConfig gpu_cfg = base_config(ModelSpec::llama2_7b(),
+                                  ServingMode::MenosOnDemand, 2);
+  auto gpu_clients = run_split_finetune(gpu_cfg);
+  SimConfig cpu_cfg = gpu_cfg;
+  cpu_cfg.cpu_clients = true;
+  auto cpu_clients = run_split_finetune(cpu_cfg);
+  const double delta =
+      cpu_clients.avg_iteration_s - gpu_clients.avg_iteration_s;
+  EXPECT_GT(delta, 0.2);
+  EXPECT_LT(delta, 2.0);
+}
+
+TEST(SplitSim, DeterministicAcrossRuns) {
+  auto a = run_split_finetune(
+      base_config(ModelSpec::opt_1_3b(), ServingMode::MenosOnDemand, 4));
+  auto b = run_split_finetune(
+      base_config(ModelSpec::opt_1_3b(), ServingMode::MenosOnDemand, 4));
+  EXPECT_DOUBLE_EQ(a.avg_iteration_s, b.avg_iteration_s);
+  EXPECT_DOUBLE_EQ(a.makespan_s, b.makespan_s);
+}
+
+TEST(SplitSim, ClientScaleSizeValidated) {
+  SimConfig c = base_config(ModelSpec::opt_1_3b(),
+                            ServingMode::MenosOnDemand, 3);
+  c.client_scale = {1.0, 2.0};  // wrong size
+  EXPECT_THROW(run_split_finetune(c), menos::InvalidArgument);
+}
+
+TEST(SplitSim, HeterogeneousClientsAllComplete) {
+  SimConfig c = base_config(ModelSpec::llama2_7b(),
+                            ServingMode::MenosOnDemand, 6);
+  c.client_scale = {1.6, 0.3, 1.6, 0.3, 1.6, 0.3};
+  auto r = run_split_finetune(c);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.starved_clients, 0);
+  // Big-batch clients pay more compute than small ones.
+  EXPECT_GT(r.clients[0].compute_s.mean(), r.clients[1].compute_s.mean());
+}
+
+TEST(SplitSim, BackfillingEliminatesForwardWaits) {
+  // §5.2: "there is almost no waiting time for forward requests even for
+  // Llama ... our scheduling algorithm can always select and parallelize
+  // them with the backward computations of other clients."
+  SimConfig c = base_config(ModelSpec::llama2_7b(),
+                            ServingMode::MenosOnDemand, 12);
+  c.client_stagger_s = 0.73;
+  for (int i = 0; i < 12; ++i) {
+    c.client_scale.push_back(i % 2 == 0 ? 1.6 : 0.3);
+  }
+  c.sched_policy = sched::Policy::FcfsOnly;
+  auto strict = run_split_finetune(c);
+  c.sched_policy = sched::Policy::FcfsBackfill;
+  auto backfill = run_split_finetune(c);
+  ASSERT_TRUE(strict.feasible);
+  ASSERT_TRUE(backfill.feasible);
+  EXPECT_GT(backfill.sched_stats.backfill_grants, 0u);
+  EXPECT_LT(backfill.avg_forward_wait_s, 0.5 * strict.avg_forward_wait_s);
+}
+
+TEST(SplitSim, ForwardWaitsTinyAtPaperWorkload) {
+  for (int n : {2, 3, 4}) {
+    auto r = run_split_finetune(
+        base_config(ModelSpec::llama2_7b(), ServingMode::MenosOnDemand, n));
+    EXPECT_LT(r.avg_forward_wait_s, 0.05) << n << " clients";
+  }
+}
+
+TEST(SplitSim, NoStarvationInMenosModes) {
+  for (int n : {2, 4, 8}) {
+    auto r = run_split_finetune(
+        base_config(ModelSpec::opt_1_3b(), ServingMode::MenosOnDemand, n));
+    EXPECT_EQ(r.starved_clients, 0) << n << " clients";
+    for (const auto& c : r.clients) {
+      EXPECT_EQ(c.iterations_completed, 12);
+    }
+  }
+}
+
+TEST(SplitSim, FairnessNearOneUnderMenos) {
+  // §4.2: "this combination of FCFS and backfilling ensures that no
+  // clients are starved" — quantified with Jain's index.
+  for (int n : {2, 4, 8}) {
+    auto menos = run_split_finetune(
+        base_config(ModelSpec::llama2_7b(), ServingMode::MenosOnDemand, n));
+    ASSERT_TRUE(menos.feasible);
+    EXPECT_GT(menos.fairness_index, 0.97) << n << " clients";
+  }
+  // Even under heterogeneous load the small clients are not crowded out.
+  SimConfig het = base_config(ModelSpec::llama2_7b(),
+                              ServingMode::MenosOnDemand, 6);
+  het.client_scale = {1.6, 0.3, 1.6, 0.3, 1.6, 0.3};
+  auto r = run_split_finetune(het);
+  EXPECT_GT(r.fairness_index, 0.90);
+}
+
+}  // namespace
+}  // namespace menos::sim

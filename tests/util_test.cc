@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "util/bytes.h"
+#include "util/check.h"
+#include "util/crc32.h"
+#include "util/queue.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace menos::util {
+namespace {
+
+TEST(Check, ThrowsWithMessage) {
+  try {
+    MENOS_CHECK_MSG(1 == 2, "math is broken: " << 42);
+    FAIL() << "expected throw";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("math is broken: 42"),
+              std::string::npos);
+  }
+}
+
+TEST(Check, PassesSilently) {
+  MENOS_CHECK(1 + 1 == 2);
+  MENOS_CHECK_MSG(true, "never evaluated");
+}
+
+TEST(Check, OutOfMemoryCarriesSizes) {
+  try {
+    throw OutOfMemory("boom", 100, 40);
+  } catch (const OutOfMemory& e) {
+    EXPECT_EQ(e.requested(), 100u);
+    EXPECT_EQ(e.available(), 40u);
+  }
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, SeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.next_below(17), 17u);
+}
+
+TEST(Rng, NormalMomentsRoughlyStandard) {
+  Rng r(11);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.1);
+}
+
+TEST(Rng, ForkedStreamsIndependent) {
+  Rng root(5);
+  Rng a = root.fork();
+  Rng b = root.fork();
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Bytes, Formatting) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(1500), "1.5 KB");
+  EXPECT_EQ(format_bytes(23800 * kMB), "23.8 GB");
+  EXPECT_NEAR(to_gb(32 * kGB), 32.0, 1e-9);
+  EXPECT_NEAR(to_mb(246 * kMB), 246.0, 1e-9);
+}
+
+TEST(Crc32, KnownVector) {
+  // CRC-32("123456789") = 0xCBF43926 (IEEE check value).
+  const char* s = "123456789";
+  EXPECT_EQ(crc32(s, 9), 0xCBF43926u);
+}
+
+TEST(Crc32, IncrementalMatchesWhole) {
+  const char* s = "hello world";
+  const std::uint32_t whole = crc32(s, 11);
+  const std::uint32_t part = crc32(s + 5, 6, crc32(s, 5));
+  EXPECT_EQ(whole, part);
+}
+
+TEST(Crc32, DetectsCorruption) {
+  std::string s = "payload";
+  const std::uint32_t before = crc32(s.data(), s.size());
+  s[3] ^= 0x01;
+  EXPECT_NE(before, crc32(s.data(), s.size()));
+}
+
+TEST(BlockingQueue, FifoOrder) {
+  BlockingQueue<int> q;
+  q.push(1);
+  q.push(2);
+  q.push(3);
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_EQ(q.pop().value(), 3);
+}
+
+TEST(BlockingQueue, CloseDrainsThenNullopt) {
+  BlockingQueue<int> q;
+  q.push(7);
+  q.close();
+  EXPECT_EQ(q.pop().value(), 7);
+  EXPECT_FALSE(q.pop().has_value());
+  q.push(8);  // dropped
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(BlockingQueue, CrossThreadDelivery) {
+  BlockingQueue<int> q;
+  std::thread producer([&] {
+    for (int i = 0; i < 100; ++i) q.push(i);
+    q.close();
+  });
+  int count = 0;
+  while (auto v = q.pop()) {
+    EXPECT_EQ(*v, count);
+    ++count;
+  }
+  producer.join();
+  EXPECT_EQ(count, 100);
+}
+
+TEST(Notification, WaitAndReset) {
+  Notification n;
+  EXPECT_FALSE(n.notified());
+  n.notify();
+  n.wait_and_reset();
+  EXPECT_FALSE(n.notified());
+}
+
+TEST(Notification, CrossThreadWakeup) {
+  Notification n;
+  std::thread waker([&] { n.notify(); });
+  n.wait();
+  waker.join();
+}
+
+TEST(WaitGroup, WaitsForAll) {
+  WaitGroup wg;
+  std::atomic<int> done{0};
+  wg.add(4);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&] {
+      ++done;
+      wg.done();
+    });
+  }
+  wg.wait();
+  EXPECT_EQ(done.load(), 4);
+  for (auto& t : threads) t.join();
+}
+
+TEST(RunningStat, MeanMinMax) {
+  RunningStat s;
+  s.add(1.0);
+  s.add(3.0);
+  s.add(2.0);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+  EXPECT_DOUBLE_EQ(s.total(), 6.0);
+}
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace menos::util
