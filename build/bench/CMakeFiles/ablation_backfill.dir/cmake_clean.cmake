@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_backfill.dir/ablation_backfill.cc.o"
+  "CMakeFiles/ablation_backfill.dir/ablation_backfill.cc.o.d"
+  "ablation_backfill"
+  "ablation_backfill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_backfill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cut_depth.dir/ablation_cut_depth.cc.o"
+  "CMakeFiles/ablation_cut_depth.dir/ablation_cut_depth.cc.o.d"
+  "ablation_cut_depth"
+  "ablation_cut_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cut_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

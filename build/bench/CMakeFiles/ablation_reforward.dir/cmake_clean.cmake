@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_reforward.dir/ablation_reforward.cc.o"
+  "CMakeFiles/ablation_reforward.dir/ablation_reforward.cc.o.d"
+  "ablation_reforward"
+  "ablation_reforward.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_reforward.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

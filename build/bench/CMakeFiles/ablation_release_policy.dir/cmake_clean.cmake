@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_release_policy.dir/ablation_release_policy.cc.o"
+  "CMakeFiles/ablation_release_policy.dir/ablation_release_policy.cc.o.d"
+  "ablation_release_policy"
+  "ablation_release_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_release_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_multigpu.dir/fig10_multigpu.cc.o"
+  "CMakeFiles/fig10_multigpu.dir/fig10_multigpu.cc.o.d"
+  "fig10_multigpu"
+  "fig10_multigpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_multigpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

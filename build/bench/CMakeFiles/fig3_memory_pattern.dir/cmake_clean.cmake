@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_memory_pattern.dir/fig3_memory_pattern.cc.o"
+  "CMakeFiles/fig3_memory_pattern.dir/fig3_memory_pattern.cc.o.d"
+  "fig3_memory_pattern"
+  "fig3_memory_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_memory_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig5_memory.cc" "bench/CMakeFiles/fig5_memory.dir/fig5_memory.cc.o" "gcc" "bench/CMakeFiles/fig5_memory.dir/fig5_memory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/quant/CMakeFiles/menos_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/menos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/menos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/menos_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/menos_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/menos_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/menos_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/menos_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/menos_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/menos_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/menos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_policy.dir/fig7_policy.cc.o"
+  "CMakeFiles/fig7_policy.dir/fig7_policy.cc.o.d"
+  "fig7_policy"
+  "fig7_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_convergence_llama.dir/fig9_convergence_llama.cc.o"
+  "CMakeFiles/fig9_convergence_llama.dir/fig9_convergence_llama.cc.o.d"
+  "fig9_convergence_llama"
+  "fig9_convergence_llama.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_convergence_llama.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_compute_time.dir/table2_compute_time.cc.o"
+  "CMakeFiles/table2_compute_time.dir/table2_compute_time.cc.o.d"
+  "table2_compute_time"
+  "table2_compute_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_compute_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_schedule_time.dir/table3_schedule_time.cc.o"
+  "CMakeFiles/table3_schedule_time.dir/table3_schedule_time.cc.o.d"
+  "table3_schedule_time"
+  "table3_schedule_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_schedule_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finetune_and_export.dir/finetune_and_export.cpp.o"
+  "CMakeFiles/finetune_and_export.dir/finetune_and_export.cpp.o.d"
+  "finetune_and_export"
+  "finetune_and_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finetune_and_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multigpu_server.dir/multigpu_server.cpp.o"
+  "CMakeFiles/multigpu_server.dir/multigpu_server.cpp.o.d"
+  "multigpu_server"
+  "multigpu_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multigpu_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/checkpoint.cc" "src/core/CMakeFiles/menos_core.dir/checkpoint.cc.o" "gcc" "src/core/CMakeFiles/menos_core.dir/checkpoint.cc.o.d"
+  "/root/repo/src/core/client.cc" "src/core/CMakeFiles/menos_core.dir/client.cc.o" "gcc" "src/core/CMakeFiles/menos_core.dir/client.cc.o.d"
+  "/root/repo/src/core/parameter_store.cc" "src/core/CMakeFiles/menos_core.dir/parameter_store.cc.o" "gcc" "src/core/CMakeFiles/menos_core.dir/parameter_store.cc.o.d"
+  "/root/repo/src/core/runtime.cc" "src/core/CMakeFiles/menos_core.dir/runtime.cc.o" "gcc" "src/core/CMakeFiles/menos_core.dir/runtime.cc.o.d"
+  "/root/repo/src/core/server.cc" "src/core/CMakeFiles/menos_core.dir/server.cc.o" "gcc" "src/core/CMakeFiles/menos_core.dir/server.cc.o.d"
+  "/root/repo/src/core/session.cc" "src/core/CMakeFiles/menos_core.dir/session.cc.o" "gcc" "src/core/CMakeFiles/menos_core.dir/session.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/menos_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/menos_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/menos_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/menos_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/menos_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/menos_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/menos_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/menos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/menos_core.dir/checkpoint.cc.o"
+  "CMakeFiles/menos_core.dir/checkpoint.cc.o.d"
+  "CMakeFiles/menos_core.dir/client.cc.o"
+  "CMakeFiles/menos_core.dir/client.cc.o.d"
+  "CMakeFiles/menos_core.dir/parameter_store.cc.o"
+  "CMakeFiles/menos_core.dir/parameter_store.cc.o.d"
+  "CMakeFiles/menos_core.dir/runtime.cc.o"
+  "CMakeFiles/menos_core.dir/runtime.cc.o.d"
+  "CMakeFiles/menos_core.dir/server.cc.o"
+  "CMakeFiles/menos_core.dir/server.cc.o.d"
+  "CMakeFiles/menos_core.dir/session.cc.o"
+  "CMakeFiles/menos_core.dir/session.cc.o.d"
+  "libmenos_core.a"
+  "libmenos_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/menos_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/menos_data.dir/dataset.cc.o"
+  "CMakeFiles/menos_data.dir/dataset.cc.o.d"
+  "libmenos_data.a"
+  "libmenos_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/menos_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/menos_gpusim.dir/device.cc.o"
+  "CMakeFiles/menos_gpusim.dir/device.cc.o.d"
+  "libmenos_gpusim.a"
+  "libmenos_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/menos_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

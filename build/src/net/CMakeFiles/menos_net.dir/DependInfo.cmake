@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/inproc.cc" "src/net/CMakeFiles/menos_net.dir/inproc.cc.o" "gcc" "src/net/CMakeFiles/menos_net.dir/inproc.cc.o.d"
+  "/root/repo/src/net/message.cc" "src/net/CMakeFiles/menos_net.dir/message.cc.o" "gcc" "src/net/CMakeFiles/menos_net.dir/message.cc.o.d"
+  "/root/repo/src/net/tcp.cc" "src/net/CMakeFiles/menos_net.dir/tcp.cc.o" "gcc" "src/net/CMakeFiles/menos_net.dir/tcp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/menos_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/menos_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/menos_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/menos_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/menos_gpusim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

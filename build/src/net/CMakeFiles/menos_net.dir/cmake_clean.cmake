@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/menos_net.dir/inproc.cc.o"
+  "CMakeFiles/menos_net.dir/inproc.cc.o.d"
+  "CMakeFiles/menos_net.dir/message.cc.o"
+  "CMakeFiles/menos_net.dir/message.cc.o.d"
+  "CMakeFiles/menos_net.dir/tcp.cc.o"
+  "CMakeFiles/menos_net.dir/tcp.cc.o.d"
+  "libmenos_net.a"
+  "libmenos_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/menos_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/menos_nn.dir/adapters.cc.o"
+  "CMakeFiles/menos_nn.dir/adapters.cc.o.d"
+  "CMakeFiles/menos_nn.dir/attention.cc.o"
+  "CMakeFiles/menos_nn.dir/attention.cc.o.d"
+  "CMakeFiles/menos_nn.dir/layers.cc.o"
+  "CMakeFiles/menos_nn.dir/layers.cc.o.d"
+  "CMakeFiles/menos_nn.dir/module.cc.o"
+  "CMakeFiles/menos_nn.dir/module.cc.o.d"
+  "CMakeFiles/menos_nn.dir/transformer.cc.o"
+  "CMakeFiles/menos_nn.dir/transformer.cc.o.d"
+  "libmenos_nn.a"
+  "libmenos_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/menos_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

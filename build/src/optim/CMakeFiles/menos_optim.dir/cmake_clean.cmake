@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/menos_optim.dir/lr_schedule.cc.o"
+  "CMakeFiles/menos_optim.dir/lr_schedule.cc.o.d"
+  "CMakeFiles/menos_optim.dir/optimizer.cc.o"
+  "CMakeFiles/menos_optim.dir/optimizer.cc.o.d"
+  "libmenos_optim.a"
+  "libmenos_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/menos_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

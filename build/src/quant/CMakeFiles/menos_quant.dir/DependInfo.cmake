@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quant/quant_linear.cc" "src/quant/CMakeFiles/menos_quant.dir/quant_linear.cc.o" "gcc" "src/quant/CMakeFiles/menos_quant.dir/quant_linear.cc.o.d"
+  "/root/repo/src/quant/quantize.cc" "src/quant/CMakeFiles/menos_quant.dir/quantize.cc.o" "gcc" "src/quant/CMakeFiles/menos_quant.dir/quantize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/menos_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/menos_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/menos_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/menos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/menos_quant.dir/quant_linear.cc.o"
+  "CMakeFiles/menos_quant.dir/quant_linear.cc.o.d"
+  "CMakeFiles/menos_quant.dir/quantize.cc.o"
+  "CMakeFiles/menos_quant.dir/quantize.cc.o.d"
+  "libmenos_quant.a"
+  "libmenos_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/menos_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

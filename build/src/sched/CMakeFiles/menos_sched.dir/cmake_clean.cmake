@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/menos_sched.dir/scheduler.cc.o"
+  "CMakeFiles/menos_sched.dir/scheduler.cc.o.d"
+  "libmenos_sched.a"
+  "libmenos_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/menos_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/menos_sim.dir/model_spec.cc.o"
+  "CMakeFiles/menos_sim.dir/model_spec.cc.o.d"
+  "CMakeFiles/menos_sim.dir/split_sim.cc.o"
+  "CMakeFiles/menos_sim.dir/split_sim.cc.o.d"
+  "libmenos_sim.a"
+  "libmenos_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/menos_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/menos_tensor.dir/autograd.cc.o"
+  "CMakeFiles/menos_tensor.dir/autograd.cc.o.d"
+  "CMakeFiles/menos_tensor.dir/ops.cc.o"
+  "CMakeFiles/menos_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/menos_tensor.dir/tensor.cc.o"
+  "CMakeFiles/menos_tensor.dir/tensor.cc.o.d"
+  "libmenos_tensor.a"
+  "libmenos_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/menos_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

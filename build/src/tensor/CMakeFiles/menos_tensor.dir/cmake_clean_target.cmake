@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmenos_tensor.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/menos_util.dir/bytes.cc.o"
+  "CMakeFiles/menos_util.dir/bytes.cc.o.d"
+  "CMakeFiles/menos_util.dir/crc32.cc.o"
+  "CMakeFiles/menos_util.dir/crc32.cc.o.d"
+  "CMakeFiles/menos_util.dir/logging.cc.o"
+  "CMakeFiles/menos_util.dir/logging.cc.o.d"
+  "CMakeFiles/menos_util.dir/rng.cc.o"
+  "CMakeFiles/menos_util.dir/rng.cc.o.d"
+  "CMakeFiles/menos_util.dir/trace.cc.o"
+  "CMakeFiles/menos_util.dir/trace.cc.o.d"
+  "libmenos_util.a"
+  "libmenos_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/menos_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multigpu_test.dir/multigpu_test.cc.o"
+  "CMakeFiles/multigpu_test.dir/multigpu_test.cc.o.d"
+  "multigpu_test"
+  "multigpu_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multigpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

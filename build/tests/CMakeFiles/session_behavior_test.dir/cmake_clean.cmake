@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/session_behavior_test.dir/session_behavior_test.cc.o"
+  "CMakeFiles/session_behavior_test.dir/session_behavior_test.cc.o.d"
+  "session_behavior_test"
+  "session_behavior_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/session_behavior_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
