@@ -113,6 +113,9 @@ Message Message::push_ack() {
 namespace {
 
 void put_tensor(Writer& w, const WireTensor& t) {
+  // Activation-sized payloads dominate the frame; size the buffer once so
+  // the per-dimension and per-element appends never reallocate.
+  w.reserve(8 + t.shape.size() * 8 + 8 + t.data.size() * sizeof(float));
   w.put_u64(t.shape.size());
   for (std::int64_t d : t.shape) w.put_i64(d);
   w.put_f32_array(t.data.data(), t.data.size());
@@ -285,6 +288,7 @@ Message decode_message(const std::uint8_t* data, std::size_t size) {
 std::vector<std::uint8_t> frame_message(const Message& message) {
   const std::vector<std::uint8_t> payload = encode_message(message);
   Writer w;
+  w.reserve(kFrameHeaderBytes + payload.size() + kFrameTrailerBytes);
   w.put_u32(kFrameMagic);
   w.put_u64(payload.size());
   std::vector<std::uint8_t> frame = w.take();

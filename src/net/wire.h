@@ -17,6 +17,12 @@ namespace menos::net {
 
 class Writer {
  public:
+  /// Grow capacity for at least `additional` more bytes. Callers that know
+  /// a payload's size up front (tensor frames are megabytes) reserve once
+  /// instead of paying repeated geometric reallocations + copies while the
+  /// byte-wise put_* loops append.
+  void reserve(std::size_t additional) { buf_.reserve(buf_.size() + additional); }
+
   void put_u8(std::uint8_t v) { buf_.push_back(v); }
 
   void put_u32(std::uint32_t v) {
@@ -52,6 +58,7 @@ class Writer {
   }
 
   void put_f32_array(const float* data, std::size_t n) {
+    reserve(8 + n * sizeof(float));
     put_u64(n);
     const std::size_t offset = buf_.size();
     buf_.resize(offset + n * sizeof(float));
@@ -59,6 +66,7 @@ class Writer {
   }
 
   void put_i32_array(const std::int32_t* data, std::size_t n) {
+    reserve(8 + n * sizeof(std::int32_t));
     put_u64(n);
     const std::size_t offset = buf_.size();
     buf_.resize(offset + n * sizeof(std::int32_t));

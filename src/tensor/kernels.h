@@ -1,0 +1,26 @@
+// Raw row-major matmul kernels behind tensor::matmul and its backward.
+//
+// All three ACCUMULATE into C (callers zero-fill or reuse running sums) and
+// are parallelized internally over output rows via util::parallel_for. The
+// determinism contract (docs/PERF.md): every output element is produced by
+// exactly one thread, and its floating-point reduction order is fixed —
+// ascending over the contraction index — so results are bit-identical for
+// any MENOS_THREADS setting.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace menos::tensor::kernels {
+
+/// C[m,n] += A[m,k] * B[k,n]
+void mm(const float* a, const float* b, float* c, Index m, Index k, Index n);
+
+/// C[m,k] += A[m,n] * B[k,n]^T   (i.e. C[i,p] += sum_j A[i,j] * B[p,j])
+void mm_nt(const float* a, const float* b, float* c, Index m, Index n,
+           Index k);
+
+/// C[k,n] += A[m,k]^T * B[m,n]   (i.e. C[p,j] += sum_i A[i,p] * B[i,j])
+void mm_tn(const float* a, const float* b, float* c, Index m, Index k,
+           Index n);
+
+}  // namespace menos::tensor::kernels

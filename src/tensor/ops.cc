@@ -1,7 +1,11 @@
 #include "tensor/ops.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
+
+#include "tensor/kernels.h"
+#include "util/thread_pool.h"
 
 namespace menos::tensor {
 namespace {
@@ -28,43 +32,111 @@ Tensor view_as(const Tensor& t, Shape shape) {
                                              std::move(shape), false));
 }
 
-// ----- raw kernels (row-major, accumulate into C) -----
+// ----- parallel partitioning helpers -----
+//
+// Grain sizes are the minimum work (indices / output rows) worth shipping
+// to another thread. Work is always partitioned so each output element is
+// produced by exactly one chunk with a fixed internal loop order, which is
+// what makes results bit-identical for any MENOS_THREADS (docs/PERF.md).
 
-// C[m,n] += A[m,k] * B[k,n]
-void mm(const float* a, const float* b, float* c, Index m, Index k, Index n) {
-  for (Index i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    float* crow = c + i * n;
-    for (Index p = 0; p < k; ++p) {
-      const float av = arow[p];
-      const float* brow = b + p * n;
-      for (Index j = 0; j < n; ++j) crow[j] += av * brow[j];
+constexpr Index kEwGrain = 1 << 15;    // plain elementwise arithmetic
+constexpr Index kMathGrain = 1 << 12;  // exp/tanh-heavy elementwise
+constexpr Index kMinChunkFlops = 1 << 18;  // matmul rows per chunk, in flops
+
+Index rows_grain(Index row_len, Index grain = kEwGrain) {
+  return std::max<Index>(1, grain / std::max<Index>(row_len, 1));
+}
+
+Index mm_grain(Index flops_per_row) {
+  return std::max<Index>(1,
+                         kMinChunkFlops / std::max<Index>(flops_per_row, 1));
+}
+
+// ----- raw matmul cores (row-major, accumulate into C) -----
+//
+// Each core handles a block of output rows; the public kernels in
+// tensor/kernels.h and the batched fan-out in matmul() parallelize over
+// these blocks. The contraction index always advances in ascending order
+// per output element, so block boundaries never change the arithmetic.
+
+constexpr Index kPanel = 64;  // contraction rows kept hot per pass
+
+// The cores are noinline with __restrict__ operands: every call site (the
+// public kernels and the batched fan-out lambdas) shares one copy whose
+// inner loops vectorize without runtime alias versioning. Inlining them
+// into each std::function body both bloats the lambdas and leaves the hot
+// loop's layout to luck.
+#if defined(__GNUC__)
+#define MENOS_NOINLINE __attribute__((noinline))
+#else
+#define MENOS_NOINLINE
+#endif
+
+// C rows [i0, i1): C[i,j] += sum_p A[i,p] * B[p,j], p ascending. The panel
+// loop keeps a kPanel x n slab of B resident while it is reused across
+// every row of the block.
+MENOS_NOINLINE void mm_rows(const float* __restrict__ a,
+                            const float* __restrict__ b, float* __restrict__ c,
+                            Index i0, Index i1, Index k, Index n) {
+  for (Index p0 = 0; p0 < k; p0 += kPanel) {
+    const Index p1 = std::min(k, p0 + kPanel);
+    for (Index i = i0; i < i1; ++i) {
+      const float* arow = a + i * k;
+      float* crow = c + i * n;
+      for (Index p = p0; p < p1; ++p) {
+        const float av = arow[p];
+        const float* brow = b + p * n;
+        for (Index j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
     }
   }
 }
 
-// C[m,k] += A[m,n] * B[k,n]^T   (i.e. C[i,p] += sum_j A[i,j] * B[p,j])
-void mm_nt(const float* a, const float* b, float* c, Index m, Index n,
-           Index k) {
-  for (Index i = 0; i < m; ++i) {
+// Dot product over eight independent lanes combined by a fixed tree. The
+// lanes let the compiler vectorize the reduction without relaxed-FP flags;
+// the result depends only on the inputs, never on threading.
+float dot_fixed(const float* __restrict__ x, const float* __restrict__ y,
+                Index n) {
+  float lane[8] = {0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f};
+  Index j = 0;
+  for (; j + 8 <= n; j += 8) {
+    lane[0] += x[j] * y[j];
+    lane[1] += x[j + 1] * y[j + 1];
+    lane[2] += x[j + 2] * y[j + 2];
+    lane[3] += x[j + 3] * y[j + 3];
+    lane[4] += x[j + 4] * y[j + 4];
+    lane[5] += x[j + 5] * y[j + 5];
+    lane[6] += x[j + 6] * y[j + 6];
+    lane[7] += x[j + 7] * y[j + 7];
+  }
+  float acc = ((lane[0] + lane[4]) + (lane[1] + lane[5])) +
+              ((lane[2] + lane[6]) + (lane[3] + lane[7]));
+  for (; j < n; ++j) acc += x[j] * y[j];
+  return acc;
+}
+
+// C rows [i0, i1): C[i,p] += dot(A[i,:], B[p,:]).
+MENOS_NOINLINE void mm_nt_rows(const float* __restrict__ a,
+                               const float* __restrict__ b,
+                               float* __restrict__ c, Index i0, Index i1,
+                               Index n, Index k) {
+  for (Index i = i0; i < i1; ++i) {
     const float* arow = a + i * n;
     float* crow = c + i * k;
-    for (Index p = 0; p < k; ++p) {
-      const float* brow = b + p * n;
-      float acc = 0.0f;
-      for (Index j = 0; j < n; ++j) acc += arow[j] * brow[j];
-      crow[p] += acc;
-    }
+    for (Index p = 0; p < k; ++p) crow[p] += dot_fixed(arow, b + p * n, n);
   }
 }
 
-// C[k,n] += A[m,k]^T * B[m,n]   (i.e. C[p,j] += sum_i A[i,p] * B[i,j])
-void mm_tn(const float* a, const float* b, float* c, Index m, Index k,
-           Index n) {
+// C rows [p0, p1): C[p,j] += sum_i A[i,p] * B[i,j], i ascending. A thread
+// owns whole output rows of C, so concurrent blocks never share writes.
+MENOS_NOINLINE void mm_tn_cols(const float* __restrict__ a,
+                               const float* __restrict__ b,
+                               float* __restrict__ c, Index m, Index k,
+                               Index n, Index p0, Index p1) {
   for (Index i = 0; i < m; ++i) {
     const float* arow = a + i * k;
     const float* brow = b + i * n;
-    for (Index p = 0; p < k; ++p) {
+    for (Index p = p0; p < p1; ++p) {
       const float av = arow[p];
       float* crow = c + p * n;
       for (Index j = 0; j < n; ++j) crow[j] += av * brow[j];
@@ -73,6 +145,30 @@ void mm_tn(const float* a, const float* b, float* c, Index m, Index k,
 }
 
 }  // namespace
+
+namespace kernels {
+
+void mm(const float* a, const float* b, float* c, Index m, Index k, Index n) {
+  util::parallel_for(0, m, mm_grain(2 * k * n), [&](Index lo, Index hi) {
+    mm_rows(a, b, c, lo, hi, k, n);
+  });
+}
+
+void mm_nt(const float* a, const float* b, float* c, Index m, Index n,
+           Index k) {
+  util::parallel_for(0, m, mm_grain(2 * n * k), [&](Index lo, Index hi) {
+    mm_nt_rows(a, b, c, lo, hi, n, k);
+  });
+}
+
+void mm_tn(const float* a, const float* b, float* c, Index m, Index k,
+           Index n) {
+  util::parallel_for(0, k, mm_grain(2 * m * n), [&](Index lo, Index hi) {
+    mm_tn_cols(a, b, c, m, k, n, lo, hi);
+  });
+}
+
+}  // namespace kernels
 
 // ----- elementwise -----
 
@@ -85,7 +181,9 @@ Tensor add(const Tensor& a, const Tensor& b) {
   const float* pb = b.data();
   float* po = out.data();
   const Index n = a.numel();
-  for (Index i = 0; i < n; ++i) po[i] = pa[i] + pb[i];
+  util::parallel_for(0, n, kEwGrain, [&](Index lo, Index hi) {
+    for (Index i = lo; i < hi; ++i) po[i] = pa[i] + pb[i];
+  });
   if (should_record({a, b})) {
     attach_node(out, "add", {a, b}, [](const Tensor& g) {
       return std::vector<Tensor>{g, g};
@@ -103,7 +201,9 @@ Tensor sub(const Tensor& a, const Tensor& b) {
   const float* pb = b.data();
   float* po = out.data();
   const Index n = a.numel();
-  for (Index i = 0; i < n; ++i) po[i] = pa[i] - pb[i];
+  util::parallel_for(0, n, kEwGrain, [&](Index lo, Index hi) {
+    for (Index i = lo; i < hi; ++i) po[i] = pa[i] - pb[i];
+  });
   if (should_record({a, b})) {
     attach_node(out, "sub", {a, b}, [](const Tensor& g) {
       return std::vector<Tensor>{g, scale(g, -1.0f)};
@@ -121,7 +221,9 @@ Tensor mul(const Tensor& a, const Tensor& b) {
   const float* pb = b.data();
   float* po = out.data();
   const Index n = a.numel();
-  for (Index i = 0; i < n; ++i) po[i] = pa[i] * pb[i];
+  util::parallel_for(0, n, kEwGrain, [&](Index lo, Index hi) {
+    for (Index i = lo; i < hi; ++i) po[i] = pa[i] * pb[i];
+  });
   if (should_record({a, b})) {
     Tensor sa = a.detach(), sb = b.detach();
     attach_node(out, "mul", {a, b}, [sa, sb](const Tensor& g) {
@@ -137,7 +239,9 @@ Tensor scale(const Tensor& a, float s) {
   const float* pa = a.data();
   float* po = out.data();
   const Index n = a.numel();
-  for (Index i = 0; i < n; ++i) po[i] = pa[i] * s;
+  util::parallel_for(0, n, kEwGrain, [&](Index lo, Index hi) {
+    for (Index i = lo; i < hi; ++i) po[i] = pa[i] * s;
+  });
   if (should_record({a})) {
     attach_node(out, "scale", {a}, [s](const Tensor& g) {
       return std::vector<Tensor>{scale(g, s)};
@@ -160,20 +264,27 @@ Tensor add_bias(const Tensor& x, const Tensor& bias) {
   const float* px = x.data();
   const float* pb = bias.data();
   float* po = out.data();
-  for (Index r = 0; r < rows; ++r) {
-    const float* xr = px + r * n;
-    float* orow = po + r * n;
-    for (Index j = 0; j < n; ++j) orow[j] = xr[j] + pb[j];
-  }
+  util::parallel_for(0, rows, rows_grain(n), [&](Index lo, Index hi) {
+    for (Index r = lo; r < hi; ++r) {
+      const float* xr = px + r * n;
+      float* orow = po + r * n;
+      for (Index j = 0; j < n; ++j) orow[j] = xr[j] + pb[j];
+    }
+  });
   if (should_record({x, bias})) {
     attach_node(out, "add_bias", {x, bias}, [n, rows](const Tensor& g) {
       Tensor db = Tensor::zeros({n}, g.device());
       const float* pg = g.data();
       float* pdb = db.data();
-      for (Index r = 0; r < rows; ++r) {
-        const float* grow = pg + r * n;
-        for (Index j = 0; j < n; ++j) pdb[j] += grow[j];
-      }
+      // Column-partitioned reduction: each thread owns a block of bias
+      // columns and sweeps rows in ascending order, so every pdb[j] sees
+      // the same addition order at any thread count.
+      util::parallel_for(0, n, rows_grain(rows), [&](Index j0, Index j1) {
+        for (Index r = 0; r < rows; ++r) {
+          const float* grow = pg + r * n;
+          for (Index j = j0; j < j1; ++j) pdb[j] += grow[j];
+        }
+      });
       return std::vector<Tensor>{g, db};
     });
   }
@@ -186,7 +297,9 @@ Tensor relu(const Tensor& a) {
   const float* pa = a.data();
   float* po = out.data();
   const Index n = a.numel();
-  for (Index i = 0; i < n; ++i) po[i] = pa[i] > 0.0f ? pa[i] : 0.0f;
+  util::parallel_for(0, n, kEwGrain, [&](Index lo, Index hi) {
+    for (Index i = lo; i < hi; ++i) po[i] = pa[i] > 0.0f ? pa[i] : 0.0f;
+  });
   if (should_record({a})) {
     Tensor sa = a.detach();
     attach_node(out, "relu", {a}, [sa](const Tensor& g) {
@@ -195,7 +308,9 @@ Tensor relu(const Tensor& a) {
       const float* pg = g.data();
       float* pd = dx.data();
       const Index m = g.numel();
-      for (Index i = 0; i < m; ++i) pd[i] = px[i] > 0.0f ? pg[i] : 0.0f;
+      util::parallel_for(0, m, kEwGrain, [&](Index lo, Index hi) {
+        for (Index i = lo; i < hi; ++i) pd[i] = px[i] > 0.0f ? pg[i] : 0.0f;
+      });
       return std::vector<Tensor>{dx};
     });
   }
@@ -213,11 +328,13 @@ Tensor gelu(const Tensor& a) {
   const float* pa = a.data();
   float* po = out.data();
   const Index n = a.numel();
-  for (Index i = 0; i < n; ++i) {
-    const float x = pa[i];
-    const float t = std::tanh(kGeluC * (x + kGeluA * x * x * x));
-    po[i] = 0.5f * x * (1.0f + t);
-  }
+  util::parallel_for(0, n, kMathGrain, [&](Index lo, Index hi) {
+    for (Index i = lo; i < hi; ++i) {
+      const float x = pa[i];
+      const float t = std::tanh(kGeluC * (x + kGeluA * x * x * x));
+      po[i] = 0.5f * x * (1.0f + t);
+    }
+  });
   if (should_record({a})) {
     Tensor sa = a.detach();
     attach_node(out, "gelu", {a}, [sa](const Tensor& g) {
@@ -226,14 +343,16 @@ Tensor gelu(const Tensor& a) {
       const float* pg = g.data();
       float* pd = dx.data();
       const Index m = g.numel();
-      for (Index i = 0; i < m; ++i) {
-        const float x = px[i];
-        const float u = kGeluC * (x + kGeluA * x * x * x);
-        const float t = std::tanh(u);
-        const float du = kGeluC * (1.0f + 3.0f * kGeluA * x * x);
-        const float d = 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * du;
-        pd[i] = pg[i] * d;
-      }
+      util::parallel_for(0, m, kMathGrain, [&](Index lo, Index hi) {
+        for (Index i = lo; i < hi; ++i) {
+          const float x = px[i];
+          const float u = kGeluC * (x + kGeluA * x * x * x);
+          const float t = std::tanh(u);
+          const float du = kGeluC * (1.0f + 3.0f * kGeluA * x * x);
+          const float d = 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * du;
+          pd[i] = pg[i] * d;
+        }
+      });
       return std::vector<Tensor>{dx};
     });
   }
@@ -246,11 +365,13 @@ Tensor silu(const Tensor& a) {
   const float* pa = a.data();
   float* po = out.data();
   const Index n = a.numel();
-  for (Index i = 0; i < n; ++i) {
-    const float x = pa[i];
-    const float s = 1.0f / (1.0f + std::exp(-x));
-    po[i] = x * s;
-  }
+  util::parallel_for(0, n, kMathGrain, [&](Index lo, Index hi) {
+    for (Index i = lo; i < hi; ++i) {
+      const float x = pa[i];
+      const float s = 1.0f / (1.0f + std::exp(-x));
+      po[i] = x * s;
+    }
+  });
   if (should_record({a})) {
     Tensor sa = a.detach();
     attach_node(out, "silu", {a}, [sa](const Tensor& g) {
@@ -259,11 +380,13 @@ Tensor silu(const Tensor& a) {
       const float* pg = g.data();
       float* pd = dx.data();
       const Index m = g.numel();
-      for (Index i = 0; i < m; ++i) {
-        const float x = px[i];
-        const float s = 1.0f / (1.0f + std::exp(-x));
-        pd[i] = pg[i] * s * (1.0f + x * (1.0f - s));
-      }
+      util::parallel_for(0, m, kMathGrain, [&](Index lo, Index hi) {
+        for (Index i = lo; i < hi; ++i) {
+          const float x = px[i];
+          const float s = 1.0f / (1.0f + std::exp(-x));
+          pd[i] = pg[i] * s * (1.0f + x * (1.0f - s));
+        }
+      });
       return std::vector<Tensor>{dx};
     });
   }
@@ -494,10 +617,20 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
-  for (Index i = 0; i < batch; ++i) {
-    const float* bi = shared_b ? pb : pb + i * k * n;
-    mm(pa + i * m * k, bi, po + i * m * n, m, k, n);
-  }
+  // Fan out across batch * m output rows as one index space, so small
+  // per-matrix row counts still saturate the pool when the batch is deep.
+  util::parallel_for(
+      0, batch * m, mm_grain(2 * k * n), [&](Index r0, Index r1) {
+        Index r = r0;
+        while (r < r1) {
+          const Index bi = r / m;
+          const Index i0 = r - bi * m;
+          const Index i1 = std::min(m, i0 + (r1 - r));
+          const float* bmat = shared_b ? pb : pb + bi * k * n;
+          mm_rows(pa + bi * m * k, bmat, po + bi * m * n, i0, i1, k, n);
+          r += i1 - i0;
+        }
+      });
 
   if (should_record({a, b})) {
     Tensor saved_a = a.detach();
@@ -511,16 +644,46 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
                   const float* pb2 = saved_b.data();
                   float* pda = da.data();
                   float* pdb = db.data();
-                  for (Index i = 0; i < batch; ++i) {
-                    const float* gi = pg + i * m * n;
-                    const float* ai = pa2 + i * m * k;
-                    const float* bi = shared_b ? pb2 : pb2 + i * k * n;
-                    float* dai = pda + i * m * k;
-                    float* dbi = shared_b ? pdb : pdb + i * k * n;
-                    // dA_i = dC_i * B_i^T
-                    mm_nt(gi, bi, dai, m, n, k);
-                    // dB (+)= A_i^T * dC_i
-                    mm_tn(ai, gi, dbi, m, k, n);
+                  // dA_i = dC_i * B_i^T: rows of dA are independent across
+                  // the whole batch, so fan out over batch * m rows.
+                  util::parallel_for(
+                      0, batch * m, mm_grain(2 * n * k),
+                      [&](Index r0, Index r1) {
+                        Index r = r0;
+                        while (r < r1) {
+                          const Index bi = r / m;
+                          const Index i0 = r - bi * m;
+                          const Index i1 = std::min(m, i0 + (r1 - r));
+                          const float* bmat =
+                              shared_b ? pb2 : pb2 + bi * k * n;
+                          mm_nt_rows(pg + bi * m * n, bmat,
+                                     pda + bi * m * k, i0, i1, n, k);
+                          r += i1 - i0;
+                        }
+                      });
+                  // dB (+)= A_i^T * dC_i.
+                  if (shared_b) {
+                    // Every batch accumulates into the same dB, so keep the
+                    // batch loop serial (fixed order) and parallelize over
+                    // dB's rows inside each contraction.
+                    for (Index i = 0; i < batch; ++i) {
+                      kernels::mm_tn(pa2 + i * m * k, pg + i * m * n, pdb, m,
+                                     k, n);
+                    }
+                  } else {
+                    util::parallel_for(
+                        0, batch * k, mm_grain(2 * m * n),
+                        [&](Index r0, Index r1) {
+                          Index r = r0;
+                          while (r < r1) {
+                            const Index bi = r / k;
+                            const Index p0 = r - bi * k;
+                            const Index p1 = std::min(k, p0 + (r1 - r));
+                            mm_tn_cols(pa2 + bi * m * k, pg + bi * m * n,
+                                       pdb + bi * k * n, m, k, n, p0, p1);
+                            r += p1 - p0;
+                          }
+                        });
                   }
                   return std::vector<Tensor>{da, db};
                 });
@@ -564,14 +727,16 @@ std::vector<Tensor> softmax_backward(const Tensor& y, const Tensor& g,
   const float* py = y.data();
   const float* pg = g.data();
   float* pd = dx.data();
-  for (Index r = 0; r < rows; ++r) {
-    const float* yr = py + r * row_len;
-    const float* gr = pg + r * row_len;
-    float* dr = pd + r * row_len;
-    float dot = 0.0f;
-    for (Index j = 0; j < row_len; ++j) dot += yr[j] * gr[j];
-    for (Index j = 0; j < row_len; ++j) dr[j] = yr[j] * (gr[j] - dot);
-  }
+  util::parallel_for(0, rows, rows_grain(row_len), [&](Index lo, Index hi) {
+    for (Index r = lo; r < hi; ++r) {
+      const float* yr = py + r * row_len;
+      const float* gr = pg + r * row_len;
+      float* dr = pd + r * row_len;
+      float dot = 0.0f;
+      for (Index j = 0; j < row_len; ++j) dot += yr[j] * gr[j];
+      for (Index j = 0; j < row_len; ++j) dr[j] = yr[j] * (gr[j] - dot);
+    }
+  });
   return {dx};
 }
 
@@ -585,19 +750,22 @@ Tensor softmax_lastdim(const Tensor& a) {
   Tensor out = Tensor::empty(a.shape(), a.device());
   const float* pa = a.data();
   float* po = out.data();
-  for (Index r = 0; r < rows; ++r) {
-    const float* xr = pa + r * n;
-    float* yr = po + r * n;
-    float mx = xr[0];
-    for (Index j = 1; j < n; ++j) mx = std::max(mx, xr[j]);
-    float z = 0.0f;
-    for (Index j = 0; j < n; ++j) {
-      yr[j] = std::exp(xr[j] - mx);
-      z += yr[j];
+  util::parallel_for(0, rows, rows_grain(n, kMathGrain),
+                     [&](Index lo, Index hi) {
+    for (Index r = lo; r < hi; ++r) {
+      const float* xr = pa + r * n;
+      float* yr = po + r * n;
+      float mx = xr[0];
+      for (Index j = 1; j < n; ++j) mx = std::max(mx, xr[j]);
+      float z = 0.0f;
+      for (Index j = 0; j < n; ++j) {
+        yr[j] = std::exp(xr[j] - mx);
+        z += yr[j];
+      }
+      const float inv = 1.0f / z;
+      for (Index j = 0; j < n; ++j) yr[j] *= inv;
     }
-    const float inv = 1.0f / z;
-    for (Index j = 0; j < n; ++j) yr[j] *= inv;
-  }
+  });
   if (should_record({a})) {
     Tensor saved_y = out.detach();
     attach_node(out, "softmax", {a}, [saved_y, n](const Tensor& g) {
@@ -619,10 +787,12 @@ Tensor causal_masked_softmax(const Tensor& scores) {
   Tensor out = Tensor::empty(scores.shape(), scores.device());
   const float* pa = scores.data();
   float* po = out.data();
-  for (Index blk = 0; blk < blocks; ++blk) {
-    for (Index t = 0; t < t_rows; ++t) {
-      const float* xr = pa + (blk * t_rows + t) * t_cols;
-      float* yr = po + (blk * t_rows + t) * t_cols;
+  util::parallel_for(0, blocks * t_rows, rows_grain(t_cols, kMathGrain),
+                     [&](Index lo, Index hi) {
+    for (Index row = lo; row < hi; ++row) {
+      const Index t = row % t_rows;
+      const float* xr = pa + row * t_cols;
+      float* yr = po + row * t_cols;
       const Index valid = t + 1;  // positions 0..t
       float mx = xr[0];
       for (Index j = 1; j < valid; ++j) mx = std::max(mx, xr[j]);
@@ -635,7 +805,7 @@ Tensor causal_masked_softmax(const Tensor& scores) {
       for (Index j = 0; j < valid; ++j) yr[j] *= inv;
       for (Index j = valid; j < t_cols; ++j) yr[j] = 0.0f;
     }
-  }
+  });
   if (should_record({scores})) {
     Tensor saved_y = out.detach();
     attach_node(out, "causal_softmax", {scores},
@@ -670,26 +840,28 @@ Tensor layer_norm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
   float* po = out.data();
   float* ph = xhat.data();
   float* pis = inv_sigma.data();
-  for (Index r = 0; r < rows; ++r) {
-    const float* xr = px + r * n;
-    float mu = 0.0f;
-    for (Index j = 0; j < n; ++j) mu += xr[j];
-    mu /= static_cast<float>(n);
-    float var = 0.0f;
-    for (Index j = 0; j < n; ++j) {
-      const float d = xr[j] - mu;
-      var += d * d;
+  util::parallel_for(0, rows, rows_grain(n), [&](Index lo, Index hi) {
+    for (Index r = lo; r < hi; ++r) {
+      const float* xr = px + r * n;
+      float mu = 0.0f;
+      for (Index j = 0; j < n; ++j) mu += xr[j];
+      mu /= static_cast<float>(n);
+      float var = 0.0f;
+      for (Index j = 0; j < n; ++j) {
+        const float d = xr[j] - mu;
+        var += d * d;
+      }
+      var /= static_cast<float>(n);
+      const float is = 1.0f / std::sqrt(var + eps);
+      pis[r] = is;
+      float* hr = ph + r * n;
+      float* orow = po + r * n;
+      for (Index j = 0; j < n; ++j) {
+        hr[j] = (xr[j] - mu) * is;
+        orow[j] = hr[j] * pg[j] + pb[j];
+      }
     }
-    var /= static_cast<float>(n);
-    const float is = 1.0f / std::sqrt(var + eps);
-    pis[r] = is;
-    float* hr = ph + r * n;
-    float* orow = po + r * n;
-    for (Index j = 0; j < n; ++j) {
-      hr[j] = (xr[j] - mu) * is;
-      orow[j] = hr[j] * pg[j] + pb[j];
-    }
-  }
+  });
 
   if (should_record({x, gamma, beta})) {
     Tensor sg = gamma.detach();
@@ -705,26 +877,42 @@ Tensor layer_norm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
                   float* pdx = dx.data();
                   float* pdg = dgamma.data();
                   float* pdb = dbeta.data();
-                  for (Index r = 0; r < rows; ++r) {
-                    const float* hr = ph2 + r * n;
-                    const float* gr = pgr + r * n;
-                    float* dxr = pdx + r * n;
-                    float mean_gy = 0.0f, mean_gyh = 0.0f;
-                    for (Index j = 0; j < n; ++j) {
-                      const float gy = gr[j] * pgam[j];
-                      mean_gy += gy;
-                      mean_gyh += gy * hr[j];
-                      pdg[j] += gr[j] * hr[j];
-                      pdb[j] += gr[j];
-                    }
-                    mean_gy /= static_cast<float>(n);
-                    mean_gyh /= static_cast<float>(n);
-                    const float is = pis2[r];
-                    for (Index j = 0; j < n; ++j) {
-                      const float gy = gr[j] * pgam[j];
-                      dxr[j] = is * (gy - mean_gy - hr[j] * mean_gyh);
-                    }
-                  }
+                  // Pass 1 (rows): dx, which only needs per-row statistics.
+                  util::parallel_for(
+                      0, rows, rows_grain(n), [&](Index lo, Index hi) {
+                        for (Index r = lo; r < hi; ++r) {
+                          const float* hr = ph2 + r * n;
+                          const float* gr = pgr + r * n;
+                          float* dxr = pdx + r * n;
+                          float mean_gy = 0.0f, mean_gyh = 0.0f;
+                          for (Index j = 0; j < n; ++j) {
+                            const float gy = gr[j] * pgam[j];
+                            mean_gy += gy;
+                            mean_gyh += gy * hr[j];
+                          }
+                          mean_gy /= static_cast<float>(n);
+                          mean_gyh /= static_cast<float>(n);
+                          const float is = pis2[r];
+                          for (Index j = 0; j < n; ++j) {
+                            const float gy = gr[j] * pgam[j];
+                            dxr[j] = is * (gy - mean_gy - hr[j] * mean_gyh);
+                          }
+                        }
+                      });
+                  // Pass 2 (columns): dgamma/dbeta. Each thread owns a
+                  // column block and sweeps rows in ascending order, so the
+                  // reduction order per parameter is thread-count invariant.
+                  util::parallel_for(
+                      0, n, rows_grain(rows), [&](Index j0, Index j1) {
+                        for (Index r = 0; r < rows; ++r) {
+                          const float* hr = ph2 + r * n;
+                          const float* gr = pgr + r * n;
+                          for (Index j = j0; j < j1; ++j) {
+                            pdg[j] += gr[j] * hr[j];
+                            pdb[j] += gr[j];
+                          }
+                        }
+                      });
                   return std::vector<Tensor>{dx, dgamma, dbeta};
                 });
   }
@@ -747,20 +935,22 @@ Tensor rms_norm(const Tensor& x, const Tensor& gamma, float eps) {
   float* po = out.data();
   float* ph = xhat.data();
   float* pir = inv_rms.data();
-  for (Index r = 0; r < rows; ++r) {
-    const float* xr = px + r * n;
-    float ms = 0.0f;
-    for (Index j = 0; j < n; ++j) ms += xr[j] * xr[j];
-    ms /= static_cast<float>(n);
-    const float ir = 1.0f / std::sqrt(ms + eps);
-    pir[r] = ir;
-    float* hr = ph + r * n;
-    float* orow = po + r * n;
-    for (Index j = 0; j < n; ++j) {
-      hr[j] = xr[j] * ir;
-      orow[j] = hr[j] * pg[j];
+  util::parallel_for(0, rows, rows_grain(n), [&](Index lo, Index hi) {
+    for (Index r = lo; r < hi; ++r) {
+      const float* xr = px + r * n;
+      float ms = 0.0f;
+      for (Index j = 0; j < n; ++j) ms += xr[j] * xr[j];
+      ms /= static_cast<float>(n);
+      const float ir = 1.0f / std::sqrt(ms + eps);
+      pir[r] = ir;
+      float* hr = ph + r * n;
+      float* orow = po + r * n;
+      for (Index j = 0; j < n; ++j) {
+        hr[j] = xr[j] * ir;
+        orow[j] = hr[j] * pg[j];
+      }
     }
-  }
+  });
 
   if (should_record({x, gamma})) {
     Tensor sg = gamma.detach();
@@ -774,23 +964,34 @@ Tensor rms_norm(const Tensor& x, const Tensor& gamma, float eps) {
                   const float* pgr = g.data();
                   float* pdx = dx.data();
                   float* pdg = dgamma.data();
-                  for (Index r = 0; r < rows; ++r) {
-                    const float* hr = ph2 + r * n;
-                    const float* gr = pgr + r * n;
-                    float* dxr = pdx + r * n;
-                    float mean_gh = 0.0f;
-                    for (Index j = 0; j < n; ++j) {
-                      const float gy = gr[j] * pgam[j];
-                      mean_gh += gy * hr[j];
-                      pdg[j] += gr[j] * hr[j];
-                    }
-                    mean_gh /= static_cast<float>(n);
-                    const float ir = pir2[r];
-                    for (Index j = 0; j < n; ++j) {
-                      const float gy = gr[j] * pgam[j];
-                      dxr[j] = ir * (gy - hr[j] * mean_gh);
-                    }
-                  }
+                  util::parallel_for(
+                      0, rows, rows_grain(n), [&](Index lo, Index hi) {
+                        for (Index r = lo; r < hi; ++r) {
+                          const float* hr = ph2 + r * n;
+                          const float* gr = pgr + r * n;
+                          float* dxr = pdx + r * n;
+                          float mean_gh = 0.0f;
+                          for (Index j = 0; j < n; ++j) {
+                            mean_gh += gr[j] * pgam[j] * hr[j];
+                          }
+                          mean_gh /= static_cast<float>(n);
+                          const float ir = pir2[r];
+                          for (Index j = 0; j < n; ++j) {
+                            const float gy = gr[j] * pgam[j];
+                            dxr[j] = ir * (gy - hr[j] * mean_gh);
+                          }
+                        }
+                      });
+                  util::parallel_for(
+                      0, n, rows_grain(rows), [&](Index j0, Index j1) {
+                        for (Index r = 0; r < rows; ++r) {
+                          const float* hr = ph2 + r * n;
+                          const float* gr = pgr + r * n;
+                          for (Index j = j0; j < j1; ++j) {
+                            pdg[j] += gr[j] * hr[j];
+                          }
+                        }
+                      });
                   return std::vector<Tensor>{dx, dgamma};
                 });
   }
@@ -815,10 +1016,15 @@ Tensor embedding(const Tensor& weight, const std::vector<std::int32_t>& ids,
   Tensor out = Tensor::empty({batch, seq, dim}, weight.device());
   const float* pw = weight.data();
   float* po = out.data();
-  for (Index i = 0; i < batch * seq; ++i) {
-    std::memcpy(po + i * dim, pw + static_cast<Index>(ids[static_cast<std::size_t>(i)]) * dim,
-                static_cast<std::size_t>(dim) * sizeof(float));
-  }
+  util::parallel_for(0, batch * seq, rows_grain(dim),
+                     [&](Index lo, Index hi) {
+    for (Index i = lo; i < hi; ++i) {
+      std::memcpy(po + i * dim,
+                  pw + static_cast<Index>(ids[static_cast<std::size_t>(i)]) *
+                           dim,
+                  static_cast<std::size_t>(dim) * sizeof(float));
+    }
+  });
   if (should_record({weight})) {
     attach_node(out, "embedding", {weight},
                 [ids, vocab, dim, batch, seq](const Tensor& g) {
@@ -853,25 +1059,37 @@ Tensor cross_entropy(const Tensor& logits,
   Tensor probs = Tensor::empty(logits.shape(), logits.device());
   const float* pl = logits.data();
   float* pp = probs.data();
+  // Rows are independent: probabilities and per-row losses are computed in
+  // parallel, then the scalar loss is reduced serially in ascending row
+  // order so the (double) accumulation order never depends on threading.
+  std::vector<double> row_loss(static_cast<std::size_t>(rows), 0.0);
+  util::parallel_for(0, rows, rows_grain(vocab, kMathGrain),
+                     [&](Index lo, Index hi) {
+    for (Index r = lo; r < hi; ++r) {
+      const float* xr = pl + r * vocab;
+      float* pr = pp + r * vocab;
+      float mx = xr[0];
+      for (Index j = 1; j < vocab; ++j) mx = std::max(mx, xr[j]);
+      double z = 0.0;
+      for (Index j = 0; j < vocab; ++j)
+        z += std::exp(static_cast<double>(xr[j] - mx));
+      const double lse = mx + std::log(z);
+      for (Index j = 0; j < vocab; ++j) {
+        pr[j] = static_cast<float>(std::exp(static_cast<double>(xr[j]) - lse));
+      }
+      const std::int32_t t = targets[static_cast<std::size_t>(r)];
+      if (t == ignore_index) continue;
+      MENOS_CHECK_MSG(t >= 0 && t < vocab,
+                      "cross_entropy: target " << t << " outside vocab "
+                                               << vocab);
+      row_loss[static_cast<std::size_t>(r)] = lse - static_cast<double>(xr[t]);
+    }
+  });
   double loss_acc = 0.0;
   Index counted = 0;
   for (Index r = 0; r < rows; ++r) {
-    const float* xr = pl + r * vocab;
-    float* pr = pp + r * vocab;
-    float mx = xr[0];
-    for (Index j = 1; j < vocab; ++j) mx = std::max(mx, xr[j]);
-    double z = 0.0;
-    for (Index j = 0; j < vocab; ++j) z += std::exp(static_cast<double>(xr[j] - mx));
-    const double lse = mx + std::log(z);
-    for (Index j = 0; j < vocab; ++j) {
-      pr[j] = static_cast<float>(std::exp(static_cast<double>(xr[j]) - lse));
-    }
-    const std::int32_t t = targets[static_cast<std::size_t>(r)];
-    if (t == ignore_index) continue;
-    MENOS_CHECK_MSG(t >= 0 && t < vocab,
-                    "cross_entropy: target " << t << " outside vocab "
-                                             << vocab);
-    loss_acc += lse - static_cast<double>(xr[t]);
+    if (targets[static_cast<std::size_t>(r)] == ignore_index) continue;
+    loss_acc += row_loss[static_cast<std::size_t>(r)];
     ++counted;
   }
   MENOS_CHECK_MSG(counted > 0, "cross_entropy: all targets ignored");
@@ -888,18 +1106,24 @@ Tensor cross_entropy(const Tensor& logits,
                   const float* pp2 = probs.data();
                   float* pd = dl.data();
                   const float inv = go / static_cast<float>(counted);
-                  for (Index r = 0; r < rows; ++r) {
-                    const std::int32_t t = targets[static_cast<std::size_t>(r)];
-                    float* dr = pd + r * vocab;
-                    if (t == ignore_index) {
-                      std::memset(dr, 0,
-                                  static_cast<std::size_t>(vocab) * sizeof(float));
-                      continue;
-                    }
-                    const float* pr = pp2 + r * vocab;
-                    for (Index j = 0; j < vocab; ++j) dr[j] = pr[j] * inv;
-                    dr[t] -= inv;
-                  }
+                  util::parallel_for(
+                      0, rows, rows_grain(vocab), [&](Index lo, Index hi) {
+                        for (Index r = lo; r < hi; ++r) {
+                          const std::int32_t t =
+                              targets[static_cast<std::size_t>(r)];
+                          float* dr = pd + r * vocab;
+                          if (t == ignore_index) {
+                            std::memset(dr, 0,
+                                        static_cast<std::size_t>(vocab) *
+                                            sizeof(float));
+                            continue;
+                          }
+                          const float* pr = pp2 + r * vocab;
+                          for (Index j = 0; j < vocab; ++j)
+                            dr[j] = pr[j] * inv;
+                          dr[t] -= inv;
+                        }
+                      });
                   return std::vector<Tensor>{dl};
                 });
   }

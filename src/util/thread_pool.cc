@@ -1,0 +1,215 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <string>
+
+#include "util/check.h"
+
+namespace menos::util {
+
+namespace {
+
+// True while this thread is executing chunks of some region (worker or
+// submitting thread alike). A parallel_for issued from such a thread runs
+// serially: the pool is flat, not recursive.
+thread_local bool t_inside_region = false;
+
+// Each chunk is at least `grain` indices; beyond that, aim for a few chunks
+// per thread so the atomic chunk cursor load-balances uneven bodies.
+constexpr ThreadPool::Index kChunksPerThread = 4;
+
+int env_width() {
+  const char* raw = std::getenv("MENOS_THREADS");
+  long parsed = 0;
+  if (raw != nullptr && *raw != '\0') {
+    char* end = nullptr;
+    parsed = std::strtol(raw, &end, 10);
+    if (end == raw || (end != nullptr && *end != '\0') || parsed < 0) {
+      MENOS_CHECK_MSG(false, "MENOS_THREADS must be a non-negative integer, got '"
+                                 << raw << "'");
+    }
+  }
+  if (parsed <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    parsed = hw == 0 ? 1 : static_cast<long>(hw);
+  }
+  return static_cast<int>(std::min<long>(parsed, 256));
+}
+
+}  // namespace
+
+/// One fork/join dispatch. Heap-held via shared_ptr so a worker that wakes
+/// late and finds every chunk already claimed can still touch the chunk
+/// cursor safely after the submitter has moved on.
+struct ThreadPool::Region {
+  Index begin = 0;
+  Index chunk = 1;
+  Index end = 0;
+  Index nchunks = 0;
+  const Body* body = nullptr;  // valid until `completed` reaches nchunks
+
+  std::atomic<Index> next{0};       // next unclaimed chunk
+  std::atomic<Index> completed{0};  // chunks fully executed
+
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+};
+
+struct ThreadPool::State {
+  std::mutex mutex;
+  std::condition_variable work_cv;  // workers wait here for a new epoch
+  std::condition_variable done_cv;  // submitter waits here for completion
+  std::mutex submit_mutex;          // one region in flight at a time
+  std::shared_ptr<Region> region;
+  std::uint64_t epoch = 0;
+  bool stop = false;
+  bool started = false;
+};
+
+ThreadPool& ThreadPool::instance() {
+  static ThreadPool pool;
+  return pool;
+}
+
+ThreadPool::ThreadPool() : state_(std::make_unique<State>()) {
+  num_threads_ = env_width();
+}
+
+ThreadPool::~ThreadPool() { stop_workers(); }
+
+void ThreadPool::set_num_threads(int n) {
+  MENOS_CHECK_MSG(n >= 1, "ThreadPool width must be >= 1, got " << n);
+  stop_workers();
+  num_threads_ = std::min(n, 256);
+}
+
+void ThreadPool::start_workers_locked() {
+  state_->stop = false;
+  state_->started = true;
+  workers_.reserve(static_cast<std::size_t>(num_threads_ - 1));
+  for (int i = 0; i < num_threads_ - 1; ++i) {
+    workers_.emplace_back([this] { worker_main(); });
+  }
+}
+
+void ThreadPool::stop_workers() {
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    if (!state_->started) return;
+    state_->stop = true;
+  }
+  state_->work_cv.notify_all();
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  state_->started = false;
+  state_->stop = false;
+}
+
+void ThreadPool::run_chunks(Region& region) {
+  const bool was_inside = t_inside_region;
+  t_inside_region = true;
+  for (;;) {
+    const Index c = region.next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= region.nchunks) break;
+    const Index b = region.begin + c * region.chunk;
+    const Index e = std::min(region.end, b + region.chunk);
+    try {
+      (*region.body)(b, e);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(region.error_mutex);
+      if (!region.first_error) region.first_error = std::current_exception();
+    }
+    region.completed.fetch_add(1, std::memory_order_acq_rel);
+  }
+  t_inside_region = was_inside;
+}
+
+void ThreadPool::worker_main() {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    std::shared_ptr<Region> region;
+    {
+      std::unique_lock<std::mutex> lock(state_->mutex);
+      state_->work_cv.wait(lock, [&] {
+        return state_->stop || state_->epoch != seen_epoch;
+      });
+      if (state_->stop) return;
+      seen_epoch = state_->epoch;
+      region = state_->region;
+    }
+    if (!region) continue;
+    run_chunks(*region);
+    if (region->completed.load(std::memory_order_acquire) == region->nchunks) {
+      // Take the mutex before notifying so the wakeup cannot slip into the
+      // window between the submitter's predicate check and its sleep.
+      std::lock_guard<std::mutex> lock(state_->mutex);
+      state_->done_cv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(Index begin, Index end, Index grain,
+                              const Body& body) {
+  if (end <= begin) return;
+  const Index range = end - begin;
+  grain = std::max<Index>(grain, 1);
+
+  // Serial fast paths: tiny range, width-1 pool, nested call, or another
+  // thread already mid-dispatch (run our own range instead of queueing).
+  if (range <= grain || num_threads_ <= 1 || t_inside_region) {
+    body(begin, end);
+    return;
+  }
+  std::unique_lock<std::mutex> submit(state_->submit_mutex, std::try_to_lock);
+  if (!submit.owns_lock()) {
+    body(begin, end);
+    return;
+  }
+
+  const Index target_chunks =
+      static_cast<Index>(num_threads_) * kChunksPerThread;
+  const Index chunk =
+      std::max(grain, (range + target_chunks - 1) / target_chunks);
+  const Index nchunks = (range + chunk - 1) / chunk;
+  if (nchunks <= 1) {
+    body(begin, end);
+    return;
+  }
+
+  auto region = std::make_shared<Region>();
+  region->begin = begin;
+  region->end = end;
+  region->chunk = chunk;
+  region->nchunks = nchunks;
+  region->body = &body;
+
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    if (!state_->started) start_workers_locked();
+    state_->region = region;
+    ++state_->epoch;
+  }
+  state_->work_cv.notify_all();
+
+  run_chunks(*region);  // the submitting thread pulls chunks too
+
+  {
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    state_->done_cv.wait(lock, [&] {
+      return region->completed.load(std::memory_order_acquire) ==
+             region->nchunks;
+    });
+    state_->region.reset();
+  }
+  submit.unlock();
+
+  if (region->first_error) std::rethrow_exception(region->first_error);
+}
+
+}  // namespace menos::util
