@@ -26,7 +26,7 @@ Server::Server(const ServerConfig& config, gpusim::DeviceManager& devices,
   scheduler_->set_grant_callback([this](const sched::Grant& grant) {
     // Sessions never vanish while registered (cleanup unregisters before
     // the session object dies), so the lookup here is safe.
-    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    util::MutexLock lock(sessions_mutex_);
     for (auto& session : sessions_) {
       if (session->id() == grant.client_id) {
         session->on_grant(grant);
@@ -53,7 +53,7 @@ void Server::stop() {
   if (accept_thread_.joinable()) accept_thread_.join();
   std::vector<std::unique_ptr<ServingSession>> sessions;
   {
-    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    util::MutexLock lock(sessions_mutex_);
     sessions.swap(sessions_);
   }
   for (auto& session : sessions) session->request_stop();
@@ -64,7 +64,7 @@ void Server::accept_loop(net::Acceptor* acceptor) {
   while (true) {
     std::unique_ptr<net::Connection> connection = acceptor->accept();
     if (connection == nullptr) return;  // acceptor closed
-    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    util::MutexLock lock(sessions_mutex_);
     reap_finished_locked();
     auto session = std::make_unique<ServingSession>(
         next_client_id_++, std::move(connection), config_, store_.get(),
@@ -87,7 +87,7 @@ void Server::reap_finished_locked() {
 
 std::size_t Server::persistent_gpu_bytes() const {
   std::size_t total = store_ != nullptr ? store_->bytes() : 0;
-  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  util::MutexLock lock(sessions_mutex_);
   for (const auto& session : sessions_) {
     total += session->persistent_gpu_bytes();
   }
@@ -95,7 +95,7 @@ std::size_t Server::persistent_gpu_bytes() const {
 }
 
 int Server::session_count() const {
-  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  util::MutexLock lock(sessions_mutex_);
   int live = 0;
   for (const auto& session : sessions_) {
     if (!session->finished()) ++live;
@@ -104,7 +104,7 @@ int Server::session_count() const {
 }
 
 std::vector<SessionStats> Server::session_stats() const {
-  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  util::MutexLock lock(sessions_mutex_);
   std::vector<SessionStats> out;
   out.reserve(sessions_.size());
   for (const auto& session : sessions_) out.push_back(session->stats());

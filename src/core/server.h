@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "core/session.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace menos::core {
 
@@ -44,19 +46,23 @@ class Server {
 
  private:
   void accept_loop(net::Acceptor* acceptor);
-  void reap_finished_locked();
+  void reap_finished_locked() MENOS_REQUIRES(sessions_mutex_);
 
   ServerConfig config_;
   gpusim::DeviceManager* devices_;
   nn::TransformerConfig model_;
   std::unique_ptr<ParameterStore> store_;  // null in vanilla mode
   std::unique_ptr<sched::Scheduler> scheduler_;
-  std::mutex profiling_mutex_;
+  // Serializes the profiling runs themselves (device headroom), not a data
+  // member — sessions lock it around profile().
+  // NOLINTNEXTLINE(mutex-annotation)
+  util::Mutex profiling_mutex_;
   ProfileCache profile_cache_;
 
-  mutable std::mutex sessions_mutex_;
-  std::vector<std::unique_ptr<ServingSession>> sessions_;
-  int next_client_id_ = 0;
+  mutable util::Mutex sessions_mutex_;
+  std::vector<std::unique_ptr<ServingSession>> sessions_
+      MENOS_GUARDED_BY(sessions_mutex_);
+  int next_client_id_ MENOS_GUARDED_BY(sessions_mutex_) = 0;
 
   net::Acceptor* acceptor_ = nullptr;
   std::thread accept_thread_;

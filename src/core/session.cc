@@ -10,7 +10,7 @@ namespace menos::core {
 
 std::optional<sched::ClientDemands> ProfileCache::find(
     const std::string& key) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto it = cache_.find(key);
   if (it == cache_.end()) return std::nullopt;
   return it->second;
@@ -18,7 +18,7 @@ std::optional<sched::ClientDemands> ProfileCache::find(
 
 void ProfileCache::insert(const std::string& key,
                           const sched::ClientDemands& demands) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   cache_[key] = demands;
 }
 
@@ -29,7 +29,7 @@ ServingSession::ServingSession(int id,
                                const nn::TransformerConfig& model,
                                sched::Scheduler& scheduler,
                                gpusim::DeviceManager& devices,
-                               std::mutex& profiling_mutex,
+                               util::Mutex& profiling_mutex,
                                ProfileCache& profile_cache)
     : id_(id),
       connection_(std::move(connection)),
@@ -79,7 +79,7 @@ std::size_t ServingSession::persistent_gpu_bytes() const {
 }
 
 SessionStats ServingSession::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  util::MutexLock lock(stats_mutex_);
   return stats_;
 }
 
@@ -215,7 +215,7 @@ sched::ClientDemands ServingSession::profile() {
   // §3.3: "the server generates random input sequences based on the
   // reported configurations ... passed through forward and backward
   // computations to measure the GPU memory demands."
-  std::lock_guard<std::mutex> lock(*profiling_mutex_);
+  util::MutexLock lock(*profiling_mutex_);
   if (vanilla) swap_to(*gpu_);
 
   const Index batch = client_config_.batch_size;
@@ -375,7 +375,7 @@ void ServingSession::handle_forward(const net::Message& msg) {
   util::Stopwatch compute_sw;
   if (!on_gpu_) {
     swap_to(*gpu_);
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    util::MutexLock lock(stats_mutex_);
     ++stats_.swaps;
   }
 
@@ -418,7 +418,7 @@ void ServingSession::handle_forward(const net::Message& msg) {
   }
 
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    util::MutexLock lock(stats_mutex_);
     stats_.schedule_wait_s.add(wait_s);
     stats_.compute_s.add(compute_s);
   }
@@ -442,7 +442,7 @@ void ServingSession::handle_backward(const net::Message& msg) {
   util::Stopwatch compute_sw;
   if (!on_gpu_) {
     swap_to(*gpu_);
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    util::MutexLock lock(stats_mutex_);
     ++stats_.swaps;
   }
 
@@ -458,7 +458,7 @@ void ServingSession::handle_backward(const net::Message& msg) {
     // The on-demand re-forward (Algorithm 1 line 10).
     x_in = from_wire(cached_activation_, *gpu_, /*requires_grad=*/true);
     x_out = section_->forward(x_in);
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    util::MutexLock lock(stats_mutex_);
     ++stats_.reforwards;
   }
 
@@ -504,7 +504,7 @@ void ServingSession::handle_backward(const net::Message& msg) {
   }
 
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    util::MutexLock lock(stats_mutex_);
     stats_.schedule_wait_s.add(wait_s);
     stats_.compute_s.add(compute_s);
     ++stats_.iterations;

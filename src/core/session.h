@@ -9,15 +9,16 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <thread>
 
 #include "core/parameter_store.h"
 #include "core/runtime.h"
 #include "net/transport.h"
 #include "optim/optimizer.h"
+#include "util/mutex.h"
 #include "util/queue.h"
 #include "util/stopwatch.h"
+#include "util/thread_annotations.h"
 
 namespace menos::core {
 
@@ -30,8 +31,9 @@ class ProfileCache {
   void insert(const std::string& key, const sched::ClientDemands& demands);
 
  private:
-  mutable std::mutex mutex_;
-  std::unordered_map<std::string, sched::ClientDemands> cache_;
+  mutable util::Mutex mutex_;
+  std::unordered_map<std::string, sched::ClientDemands> cache_
+      MENOS_GUARDED_BY(mutex_);
 };
 
 /// Aggregate per-session timing, mirroring the paper's Table 1-3 breakdown
@@ -51,7 +53,7 @@ class ServingSession {
                  const nn::TransformerConfig& model,
                  sched::Scheduler& scheduler,
                  gpusim::DeviceManager& devices,
-                 std::mutex& profiling_mutex, ProfileCache& profile_cache);
+                 util::Mutex& profiling_mutex, ProfileCache& profile_cache);
   ~ServingSession();
 
   void start();        ///< spawn the session thread
@@ -99,7 +101,7 @@ class ServingSession {
   gpusim::DeviceManager* devices_;
   gpusim::Device* gpu_;   ///< entry device (first server block's GPU)
   gpusim::Device* host_;
-  std::mutex* profiling_mutex_;
+  util::Mutex* profiling_mutex_;  // owned by the Server; serializes profiling
   ProfileCache* profile_cache_;
 
   net::FinetuneConfig client_config_;
@@ -123,8 +125,8 @@ class ServingSession {
   // computation, which is negligible" — §3.2).
   net::WireTensor cached_activation_;
 
-  mutable std::mutex stats_mutex_;
-  SessionStats stats_;
+  mutable util::Mutex stats_mutex_;
+  SessionStats stats_ MENOS_GUARDED_BY(stats_mutex_);
 
   std::thread thread_;
   std::atomic<bool> finished_{false};

@@ -2,10 +2,13 @@
 
 #include <cstdlib>
 #include <limits>
-#include <mutex>
 #include <new>
+#include <unordered_map>
 
+#include "gpusim/audit.h"
 #include "util/check.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace menos::gpusim {
 namespace {
@@ -22,7 +25,7 @@ class MeteredDevice final : public Device {
 
   void* allocate(std::size_t bytes) override {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(mutex_);
       if (capacity_ != 0 && allocated_ + bytes > capacity_) {
         throw OutOfMemory("device '" + name_ + "' out of memory", bytes,
                           capacity_ - allocated_);
@@ -32,30 +35,55 @@ class MeteredDevice final : public Device {
       ++lifetime_allocs_;
       lifetime_bytes_ += bytes;
     }
+    void* ptr = nullptr;
     if (bytes == 0) {
-      // Distinct non-null sentinel; operator new(0) is legal and unique.
-      return ::operator new(1);
+      // Distinct non-null sentinel; operator new(1) is cheap and unique.
+      ptr = ::operator new(1);
+    } else {
+      try {
+        ptr = ::operator new(bytes);
+      } catch (const std::bad_alloc&) {
+        util::MutexLock lock(mutex_);
+        allocated_ -= bytes;
+        throw OutOfMemory("host heap exhausted backing device '" + name_ + "'",
+                          bytes, 0);
+      }
     }
-    try {
-      return ::operator new(bytes);
-    } catch (const std::bad_alloc&) {
-      std::lock_guard<std::mutex> lock(mutex_);
-      allocated_ -= bytes;
-      throw OutOfMemory("host heap exhausted backing device '" + name_ + "'",
-                        bytes, 0);
+#if MENOS_DCHECK_IS_ON
+    {
+      util::MutexLock lock(mutex_);
+      debug_sizes_[ptr] = bytes;
     }
+#endif
+    return ptr;
   }
 
   void deallocate(void* ptr, std::size_t bytes) noexcept override {
     if (ptr == nullptr) return;
+    {
+      util::MutexLock lock(mutex_);
+#if MENOS_DCHECK_IS_ON
+      // Contract (device.h): `bytes` must match the original request. The
+      // AuditDevice decorator reports this with full context; this DCHECK
+      // keeps Debug builds honest even with auditing disabled.
+      const auto it = debug_sizes_.find(ptr);
+      MENOS_DCHECK_MSG(it != debug_sizes_.end(),
+                       "device '" << name_
+                                  << "': deallocate of unknown pointer "
+                                  << ptr);
+      MENOS_DCHECK_MSG(it->second == bytes,
+                       "device '" << name_ << "': deallocate size " << bytes
+                                  << " != allocated size " << it->second);
+      debug_sizes_.erase(it);
+#endif
+      allocated_ -= bytes;
+      ++lifetime_frees_;
+    }
     ::operator delete(ptr);
-    std::lock_guard<std::mutex> lock(mutex_);
-    allocated_ -= bytes;
-    ++lifetime_frees_;
   }
 
   MemoryStats stats() const override {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     MemoryStats s;
     s.capacity = capacity_;
     s.allocated = allocated_;
@@ -67,22 +95,35 @@ class MeteredDevice final : public Device {
   }
 
   void reset_peak() override {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     peak_ = allocated_;
   }
 
  private:
   DeviceKind kind_;
   std::string name_;
-  std::size_t capacity_;  // 0 = unlimited
+  std::size_t capacity_;  // 0 = unlimited; immutable after construction
 
-  mutable std::mutex mutex_;
-  std::size_t allocated_ = 0;
-  std::size_t peak_ = 0;
-  std::size_t lifetime_allocs_ = 0;
-  std::size_t lifetime_frees_ = 0;
-  std::size_t lifetime_bytes_ = 0;
+  mutable util::Mutex mutex_;
+  std::size_t allocated_ MENOS_GUARDED_BY(mutex_) = 0;
+  std::size_t peak_ MENOS_GUARDED_BY(mutex_) = 0;
+  std::size_t lifetime_allocs_ MENOS_GUARDED_BY(mutex_) = 0;
+  std::size_t lifetime_frees_ MENOS_GUARDED_BY(mutex_) = 0;
+  std::size_t lifetime_bytes_ MENOS_GUARDED_BY(mutex_) = 0;
+#if MENOS_DCHECK_IS_ON
+  std::unordered_map<void*, std::size_t> debug_sizes_ MENOS_GUARDED_BY(mutex_);
+#endif
 };
+
+/// Debug builds (or -DMENOS_AUDIT_ALLOC=ON) wrap every factory-made device
+/// in the auditing decorator; see gpusim/audit.h.
+std::unique_ptr<Device> maybe_audit(std::unique_ptr<Device> device) {
+#ifdef MENOS_AUDIT_ALLOC
+  return make_audit_device(std::move(device));
+#else
+  return device;
+#endif
+}
 
 }  // namespace
 
@@ -93,14 +134,15 @@ std::size_t Device::available() const {
 }
 
 std::unique_ptr<Device> make_host_device(std::string name) {
-  return std::make_unique<MeteredDevice>(DeviceKind::Host, std::move(name), 0);
+  return maybe_audit(
+      std::make_unique<MeteredDevice>(DeviceKind::Host, std::move(name), 0));
 }
 
 std::unique_ptr<Device> make_sim_gpu(std::string name,
                                      std::size_t capacity_bytes) {
   MENOS_CHECK_MSG(capacity_bytes > 0, "SimGpu capacity must be positive");
-  return std::make_unique<MeteredDevice>(DeviceKind::SimGpu, std::move(name),
-                                         capacity_bytes);
+  return maybe_audit(std::make_unique<MeteredDevice>(
+      DeviceKind::SimGpu, std::move(name), capacity_bytes));
 }
 
 DeviceManager::DeviceManager(int gpu_count, std::size_t gpu_capacity_bytes)

@@ -42,7 +42,10 @@ class Device {
   virtual void* allocate(std::size_t bytes) = 0;
 
   /// Return memory obtained from allocate(). `bytes` must match the
-  /// original request (the tensor Storage layer guarantees this).
+  /// original request (the tensor Storage layer guarantees this). The
+  /// contract is enforced: Debug builds MENOS_DCHECK the size against the
+  /// original request, and audited builds (gpusim/audit.h, on by default
+  /// in Debug) additionally catch double frees and foreign pointers.
   virtual void deallocate(void* ptr, std::size_t bytes) noexcept = 0;
 
   virtual MemoryStats stats() const = 0;

@@ -7,10 +7,10 @@
 #include <atomic>
 #include <cerrno>
 #include <cstring>
-#include <mutex>
 
 #include "net/transport.h"
 #include "util/logging.h"
+#include "util/mutex.h"
 
 namespace menos::net {
 namespace {
@@ -55,7 +55,7 @@ class TcpConnection final : public Connection {
 
   bool send(const Message& message) override {
     const std::vector<std::uint8_t> frame = frame_message(message);
-    std::lock_guard<std::mutex> lock(send_mutex_);
+    util::MutexLock lock(send_mutex_);
     if (fd_ < 0) return false;
     if (!write_all(fd_, frame.data(), frame.size())) return false;
     bytes_sent_ += frame.size();
@@ -96,7 +96,11 @@ class TcpConnection final : public Connection {
 
  private:
   std::atomic<int> fd_;
-  std::mutex send_mutex_;
+  // Serializes whole-frame writes on the socket so concurrent senders
+  // cannot interleave partial frames; fd_ itself is atomic, so there is no
+  // guarded data member.
+  // NOLINTNEXTLINE(mutex-annotation)
+  util::Mutex send_mutex_;
   std::atomic<std::uint64_t> bytes_sent_{0};
 };
 

@@ -21,12 +21,12 @@ Scheduler::Scheduler(std::size_t capacity, Policy policy)
     : Scheduler(std::vector<std::size_t>{capacity}, policy) {}
 
 void Scheduler::set_grant_callback(std::function<void(const Grant&)> callback) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   grant_callback_ = std::move(callback);
 }
 
 void Scheduler::register_client(int client_id, const ClientDemands& demands) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   const std::size_t largest =
       *std::max_element(capacity_.begin(), capacity_.end());
   const std::size_t worst =
@@ -41,7 +41,7 @@ void Scheduler::register_client(int client_id, const ClientDemands& demands) {
 }
 
 void Scheduler::unregister_client(int client_id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (allocations_.find(client_id) != allocations_.end()) {
     throw StateError("unregistering client " + std::to_string(client_id) +
                      " with a live allocation");
@@ -58,7 +58,7 @@ void Scheduler::unregister_client(int client_id) {
 }
 
 void Scheduler::on_request(int client_id, OpKind kind) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   MENOS_CHECK_MSG(demands_.find(client_id) != demands_.end(),
                   "request from unregistered client " << client_id);
   MENOS_CHECK_MSG(allocations_.find(client_id) == allocations_.end(),
@@ -74,7 +74,7 @@ void Scheduler::on_request(int client_id, OpKind kind) {
 }
 
 void Scheduler::on_complete(int client_id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto it = allocations_.find(client_id);
   MENOS_CHECK_MSG(it != allocations_.end(),
                   "completion from client " << client_id
@@ -85,7 +85,7 @@ void Scheduler::on_complete(int client_id) {
 }
 
 void Scheduler::reserve_persistent(int partition, std::size_t bytes) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   MENOS_CHECK_MSG(partition >= 0 && partition < static_cast<int>(free_.size()),
                   "partition " << partition << " out of range");
   auto& free = free_[static_cast<std::size_t>(partition)];
@@ -98,7 +98,7 @@ void Scheduler::reserve_persistent(int partition, std::size_t bytes) {
 }
 
 void Scheduler::release_persistent(int partition, std::size_t bytes) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   MENOS_CHECK_MSG(partition >= 0 && partition < static_cast<int>(free_.size()),
                   "partition " << partition << " out of range");
   free_[static_cast<std::size_t>(partition)] += bytes;
@@ -162,7 +162,7 @@ std::optional<int> Scheduler::find_partition_locked(std::size_t bytes) const {
 }
 
 std::size_t Scheduler::available(int partition) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   MENOS_CHECK_MSG(partition >= 0 &&
                       partition < static_cast<int>(free_.size()),
                   "partition " << partition << " out of range");
@@ -170,30 +170,30 @@ std::size_t Scheduler::available(int partition) const {
 }
 
 std::size_t Scheduler::total_available() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::size_t total = 0;
   for (std::size_t f : free_) total += f;
   return total;
 }
 
 std::size_t Scheduler::allocated_to(int client_id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto it = allocations_.find(client_id);
   return it == allocations_.end() ? 0 : it->second.bytes;
 }
 
 std::size_t Scheduler::waiting_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return waiting_.size();
 }
 
 SchedulerStats Scheduler::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return stats_;
 }
 
 int Scheduler::partition_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return static_cast<int>(capacity_.size());
 }
 

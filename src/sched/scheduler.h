@@ -31,13 +31,14 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "util/check.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace menos::sched {
 
@@ -139,22 +140,27 @@ class Scheduler {
     int partition = -1;
   };
 
-  // SCHEDULE procedure (Algorithm 2 lines 14-24). Lock must be held.
-  void schedule_locked();
+  // SCHEDULE procedure (Algorithm 2 lines 14-24). Runs — and invokes the
+  // grant callback — with mutex_ held; the callback must not re-enter the
+  // scheduler (see the class comment), which the MENOS_REQUIRES contract
+  // makes visible to the thread-safety analysis.
+  void schedule_locked() MENOS_REQUIRES(mutex_);
 
   /// Best-fit partition for `bytes`, or nullopt.
-  std::optional<int> find_partition_locked(std::size_t bytes) const;
+  std::optional<int> find_partition_locked(std::size_t bytes) const
+      MENOS_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::vector<std::size_t> capacity_;
-  std::vector<std::size_t> free_;
-  Policy policy_;
-  std::function<void(const Grant&)> grant_callback_;
-  std::deque<Waiting> waiting_;
-  std::unordered_map<int, ClientDemands> demands_;
-  std::unordered_map<int, Allocation> allocations_;  // live grants
-  std::uint64_t next_seq_ = 0;
-  SchedulerStats stats_;
+  mutable util::Mutex mutex_;
+  std::vector<std::size_t> capacity_ MENOS_GUARDED_BY(mutex_);
+  std::vector<std::size_t> free_ MENOS_GUARDED_BY(mutex_);
+  Policy policy_;  // immutable after construction
+  std::function<void(const Grant&)> grant_callback_ MENOS_GUARDED_BY(mutex_);
+  std::deque<Waiting> waiting_ MENOS_GUARDED_BY(mutex_);
+  std::unordered_map<int, ClientDemands> demands_ MENOS_GUARDED_BY(mutex_);
+  std::unordered_map<int, Allocation> allocations_
+      MENOS_GUARDED_BY(mutex_);  // live grants
+  std::uint64_t next_seq_ MENOS_GUARDED_BY(mutex_) = 0;
+  SchedulerStats stats_ MENOS_GUARDED_BY(mutex_);
 };
 
 }  // namespace menos::sched

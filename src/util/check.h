@@ -6,6 +6,8 @@
 // part of normal operation (see net/transport.h).
 #pragma once
 
+#include <cstdlib>
+#include <iostream>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -64,6 +66,20 @@ namespace detail {
   throw InvalidArgument(os.str());
 }
 
+/// DCHECK failures abort instead of throwing: they fire from noexcept
+/// contexts (Device::deallocate) and signal internal invariant breakage,
+/// not caller error. Direct std::cerr so the diagnostic survives even if
+/// the logging subsystem is mid-teardown. NOLINT(iostream-side-channel)
+[[noreturn]] inline void dcheck_failure(const char* expr, const char* file,
+                                        int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "MENOS_DCHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  os << '\n';
+  std::cerr << os.str() << std::flush;  // NOLINT(iostream-side-channel)
+  std::abort();
+}
+
 }  // namespace detail
 }  // namespace menos
 
@@ -89,3 +105,40 @@ namespace detail {
                                            __LINE__, menos_check_os_.str()); \
     }                                                                      \
   } while (false)
+
+/// Debug-only invariant check. On when NDEBUG is unset (Debug builds) or
+/// when MENOS_FORCE_DCHECKS is defined; compiled out otherwise. Unlike
+/// MENOS_CHECK it *aborts* (with the expression, location and message on
+/// stderr) instead of throwing, so it is safe in noexcept functions —
+/// SimGpu's deallocate uses it to enforce the "bytes must match the
+/// original request" contract even when MENOS_AUDIT_ALLOC is off.
+#if !defined(NDEBUG) || defined(MENOS_FORCE_DCHECKS)
+#define MENOS_DCHECK_IS_ON 1
+#else
+#define MENOS_DCHECK_IS_ON 0
+#endif
+
+#if MENOS_DCHECK_IS_ON
+#define MENOS_DCHECK(cond)                                              \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::menos::detail::dcheck_failure(#cond, __FILE__, __LINE__, "");   \
+    }                                                                   \
+  } while (false)
+#define MENOS_DCHECK_MSG(cond, stream_expr)                             \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::ostringstream menos_dcheck_os_;                              \
+      menos_dcheck_os_ << stream_expr;                                  \
+      ::menos::detail::dcheck_failure(#cond, __FILE__, __LINE__,        \
+                                      menos_dcheck_os_.str());          \
+    }                                                                   \
+  } while (false)
+#else
+#define MENOS_DCHECK(cond) \
+  do {                     \
+  } while (false)
+#define MENOS_DCHECK_MSG(cond, stream_expr) \
+  do {                                      \
+  } while (false)
+#endif

@@ -4,11 +4,13 @@
 #include <cstring>
 #include <iomanip>
 
+#include "util/mutex.h"
+
 namespace menos::util {
 namespace {
 
 std::atomic<LogLevel> g_threshold{LogLevel::Warn};
-std::mutex g_emit_mutex;
+Mutex g_emit_mutex;  // serializes stream emission; no guarded members NOLINT(mutex-annotation)
 
 const char* basename_of(const char* path) {
   const char* slash = std::strrchr(path, '/');
@@ -48,7 +50,7 @@ LogLine::LogLine(LogLevel level, const char* file, int line) : level_(level) {
 
 LogLine::~LogLine() {
   stream_ << '\n';
-  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  MutexLock lock(g_emit_mutex);
   (level_ >= LogLevel::Warn ? std::cerr : std::clog) << stream_.str();
 }
 

@@ -1,0 +1,85 @@
+// Annotated mutex primitives — the repo-wide replacement for raw
+// std::mutex / std::condition_variable members.
+//
+// Clang's thread-safety analysis (util/thread_annotations.h) can only
+// track locks whose acquire/release points carry attributes. libstdc++'s
+// std::mutex has none, so a `std::lock_guard<std::mutex>` is invisible to
+// the analysis and every MENOS_GUARDED_BY access would (correctly) be
+// flagged as unprotected. Mutex/MutexLock/CondVar below are thin,
+// zero-overhead-when-inlined wrappers whose methods are annotated, which
+// makes the whole locking discipline machine-checkable. tools/menos_lint.py
+// rejects raw std::mutex members in src/ for this reason.
+//
+// CondVar deliberately exposes only un-predicated wait(Mutex&): write the
+// `while (!condition) cv.wait(mu);` loop in the calling function so the
+// guarded reads in `condition` sit in an analysis context that can see the
+// held lock (a predicate lambda would be analyzed as a separate, lockless
+// function).
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace menos::util {
+
+class CondVar;
+
+/// Annotated standard mutex.
+class MENOS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() MENOS_ACQUIRE() { m_.lock(); }
+  void unlock() MENOS_RELEASE() { m_.unlock(); }
+  bool try_lock() MENOS_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex m_;
+};
+
+/// RAII lock (std::lock_guard shape) understood by the analysis.
+class MENOS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) MENOS_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+
+  /// Adopt an already-held mutex; the destructor still releases it.
+  struct Adopt {};
+  MutexLock(Mutex& mu, Adopt) MENOS_REQUIRES(mu) : mu_(mu) {}
+
+  ~MutexLock() MENOS_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable bound to util::Mutex. wait() atomically releases and
+/// reacquires `mu`; from the analysis' point of view the lock is held
+/// throughout, which matches the invariant callers rely on.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mu) MENOS_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.m_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // ownership stays with the caller's MutexLock
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace menos::util

@@ -1,11 +1,18 @@
 // Concurrency primitives shared by the runtime's server/client threads.
+//
+// All three classes use the annotated util::Mutex/CondVar wrappers so
+// Clang's -Wthread-safety analysis verifies their locking discipline (see
+// docs/ANALYSIS.md). Waits are written as explicit while-loops: the
+// guarded reads in the predicate must sit in a function that the analysis
+// can see holds the lock.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace menos::util {
 
@@ -23,7 +30,7 @@ class BlockingQueue {
   /// (the item is dropped), which keeps shutdown races benign.
   void push(T item) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (closed_) return;
       items_.push_back(std::move(item));
     }
@@ -32,8 +39,8 @@ class BlockingQueue {
 
   /// Block until an item is available or the queue is closed and empty.
   std::optional<T> pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [this] { return !items_.empty() || closed_; });
+    MutexLock lock(mutex_);
+    while (items_.empty() && !closed_) cv_.wait(mutex_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -42,7 +49,7 @@ class BlockingQueue {
 
   /// Non-blocking pop.
   std::optional<T> try_pop() {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -53,27 +60,27 @@ class BlockingQueue {
   /// nullopt.
   void close() {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       closed_ = true;
     }
     cv_.notify_all();
   }
 
   bool closed() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return closed_;
   }
 
   std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return items_.size();
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mutex_;
+  CondVar cv_;
+  std::deque<T> items_ MENOS_GUARDED_BY(mutex_);
+  bool closed_ MENOS_GUARDED_BY(mutex_) = false;
 };
 
 /// One-shot or resettable binary event ("manual-reset event" semantics).
@@ -81,61 +88,61 @@ class Notification {
  public:
   void notify() {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       notified_ = true;
     }
     cv_.notify_all();
   }
 
   void wait() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [this] { return notified_; });
+    MutexLock lock(mutex_);
+    while (!notified_) cv_.wait(mutex_);
   }
 
   /// Wait and atomically reset; used by serving sessions that are signalled
   /// once per scheduling grant.
   void wait_and_reset() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [this] { return notified_; });
+    MutexLock lock(mutex_);
+    while (!notified_) cv_.wait(mutex_);
     notified_ = false;
   }
 
   bool notified() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return notified_;
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  bool notified_ = false;
+  mutable Mutex mutex_;
+  CondVar cv_;
+  bool notified_ MENOS_GUARDED_BY(mutex_) = false;
 };
 
 /// Go-style wait group for joining a dynamic set of worker threads.
 class WaitGroup {
  public:
   void add(int n = 1) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     count_ += n;
   }
 
   void done() {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       --count_;
     }
     cv_.notify_all();
   }
 
   void wait() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [this] { return count_ <= 0; });
+    MutexLock lock(mutex_);
+    while (count_ > 0) cv_.wait(mutex_);
   }
 
  private:
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  int count_ = 0;
+  Mutex mutex_;
+  CondVar cv_;
+  int count_ MENOS_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace menos::util

@@ -1,0 +1,68 @@
+// Clang thread-safety analysis annotations.
+//
+// These macros expose Clang's `-Wthread-safety` static analysis to the
+// codebase: data members declare which mutex guards them
+// (MENOS_GUARDED_BY), functions declare which locks they need
+// (MENOS_REQUIRES) or take (MENOS_ACQUIRE/MENOS_RELEASE), and the build
+// turns violations into errors (`-Werror=thread-safety`, see the
+// top-level CMakeLists and docs/ANALYSIS.md). Under GCC — which has no
+// equivalent analysis — every macro expands to nothing, so annotated code
+// compiles identically everywhere.
+//
+// Use them through `util/mutex.h`: the analysis only understands lock
+// acquisitions it can see, so the annotated `menos::util::Mutex` wrapper
+// (not raw `std::mutex`, whose libstdc++ methods carry no attributes) is
+// mandatory for mutex members in src/ — enforced by tools/menos_lint.py.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define MENOS_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef MENOS_THREAD_ANNOTATION
+#define MENOS_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// The annotated type is a lockable capability ("mutex").
+#define MENOS_CAPABILITY(name) MENOS_THREAD_ANNOTATION(capability(name))
+
+/// RAII type that acquires a capability in its constructor and releases it
+/// in its destructor (std::lock_guard shape).
+#define MENOS_SCOPED_CAPABILITY MENOS_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding `x`.
+#define MENOS_GUARDED_BY(x) MENOS_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by `x`.
+#define MENOS_PT_GUARDED_BY(x) MENOS_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the listed capabilities to be held on entry (and does
+/// not release them).
+#define MENOS_REQUIRES(...) \
+  MENOS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function must be called with the listed capabilities NOT held (guards
+/// against self-deadlock on non-recursive mutexes).
+#define MENOS_EXCLUDES(...) MENOS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function acquires the capability and holds it past return.
+#define MENOS_ACQUIRE(...) \
+  MENOS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases a held capability.
+#define MENOS_RELEASE(...) \
+  MENOS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function tries to acquire the capability; holds it iff the return value
+/// equals `result` (first argument).
+#define MENOS_TRY_ACQUIRE(...) \
+  MENOS_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function returns a reference to the named capability.
+#define MENOS_RETURN_CAPABILITY(x) MENOS_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: the function body is exempt from analysis. Use sparingly
+/// and leave a comment saying why (see docs/ANALYSIS.md).
+#define MENOS_NO_THREAD_SAFETY_ANALYSIS \
+  MENOS_THREAD_ANNOTATION(no_thread_safety_analysis)

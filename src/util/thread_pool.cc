@@ -2,13 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstdlib>
 #include <exception>
-#include <mutex>
 #include <string>
 
 #include "util/check.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace menos::util {
 
@@ -56,19 +56,21 @@ struct ThreadPool::Region {
   std::atomic<Index> next{0};       // next unclaimed chunk
   std::atomic<Index> completed{0};  // chunks fully executed
 
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
+  Mutex error_mutex;
+  std::exception_ptr first_error MENOS_GUARDED_BY(error_mutex);
 };
 
 struct ThreadPool::State {
-  std::mutex mutex;
-  std::condition_variable work_cv;  // workers wait here for a new epoch
-  std::condition_variable done_cv;  // submitter waits here for completion
-  std::mutex submit_mutex;          // one region in flight at a time
-  std::shared_ptr<Region> region;
-  std::uint64_t epoch = 0;
-  bool stop = false;
-  bool started = false;
+  Mutex mutex;
+  CondVar work_cv;      // workers wait here for a new epoch
+  CondVar done_cv;      // submitter waits here for completion
+  // Serializes whole dispatches (one region in flight at a time); it has
+  // no guarded members of its own.
+  Mutex submit_mutex;  // NOLINT(mutex-annotation)
+  std::shared_ptr<Region> region MENOS_GUARDED_BY(mutex);
+  std::uint64_t epoch MENOS_GUARDED_BY(mutex) = 0;
+  bool stop MENOS_GUARDED_BY(mutex) = false;
+  bool started MENOS_GUARDED_BY(mutex) = false;
 };
 
 ThreadPool& ThreadPool::instance() {
@@ -88,25 +90,16 @@ void ThreadPool::set_num_threads(int n) {
   num_threads_ = std::min(n, 256);
 }
 
-void ThreadPool::start_workers_locked() {
-  state_->stop = false;
-  state_->started = true;
-  workers_.reserve(static_cast<std::size_t>(num_threads_ - 1));
-  for (int i = 0; i < num_threads_ - 1; ++i) {
-    workers_.emplace_back([this] { worker_main(); });
-  }
-}
-
 void ThreadPool::stop_workers() {
   {
-    std::lock_guard<std::mutex> lock(state_->mutex);
+    MutexLock lock(state_->mutex);
     if (!state_->started) return;
     state_->stop = true;
   }
   state_->work_cv.notify_all();
   for (std::thread& t : workers_) t.join();
   workers_.clear();
-  std::lock_guard<std::mutex> lock(state_->mutex);
+  MutexLock lock(state_->mutex);
   state_->started = false;
   state_->stop = false;
 }
@@ -122,7 +115,7 @@ void ThreadPool::run_chunks(Region& region) {
     try {
       (*region.body)(b, e);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(region.error_mutex);
+      MutexLock lock(region.error_mutex);
       if (!region.first_error) region.first_error = std::current_exception();
     }
     region.completed.fetch_add(1, std::memory_order_acq_rel);
@@ -135,10 +128,10 @@ void ThreadPool::worker_main() {
   for (;;) {
     std::shared_ptr<Region> region;
     {
-      std::unique_lock<std::mutex> lock(state_->mutex);
-      state_->work_cv.wait(lock, [&] {
-        return state_->stop || state_->epoch != seen_epoch;
-      });
+      MutexLock lock(state_->mutex);
+      while (!state_->stop && state_->epoch == seen_epoch) {
+        state_->work_cv.wait(state_->mutex);
+      }
       if (state_->stop) return;
       seen_epoch = state_->epoch;
       region = state_->region;
@@ -148,7 +141,7 @@ void ThreadPool::worker_main() {
     if (region->completed.load(std::memory_order_acquire) == region->nchunks) {
       // Take the mutex before notifying so the wakeup cannot slip into the
       // window between the submitter's predicate check and its sleep.
-      std::lock_guard<std::mutex> lock(state_->mutex);
+      MutexLock lock(state_->mutex);
       state_->done_cv.notify_all();
     }
   }
@@ -166,50 +159,67 @@ void ThreadPool::parallel_for(Index begin, Index end, Index grain,
     body(begin, end);
     return;
   }
-  std::unique_lock<std::mutex> submit(state_->submit_mutex, std::try_to_lock);
-  if (!submit.owns_lock()) {
+  if (!state_->submit_mutex.try_lock()) {
     body(begin, end);
     return;
   }
 
-  const Index target_chunks =
-      static_cast<Index>(num_threads_) * kChunksPerThread;
-  const Index chunk =
-      std::max(grain, (range + target_chunks - 1) / target_chunks);
-  const Index nchunks = (range + chunk - 1) / chunk;
-  if (nchunks <= 1) {
-    body(begin, end);
-    return;
-  }
-
-  auto region = std::make_shared<Region>();
-  region->begin = begin;
-  region->end = end;
-  region->chunk = chunk;
-  region->nchunks = nchunks;
-  region->body = &body;
-
+  std::shared_ptr<Region> region;
   {
-    std::lock_guard<std::mutex> lock(state_->mutex);
-    if (!state_->started) start_workers_locked();
-    state_->region = region;
-    ++state_->epoch;
+    MutexLock submit(state_->submit_mutex, MutexLock::Adopt{});
+
+    const Index target_chunks =
+        static_cast<Index>(num_threads_) * kChunksPerThread;
+    const Index chunk =
+        std::max(grain, (range + target_chunks - 1) / target_chunks);
+    const Index nchunks = (range + chunk - 1) / chunk;
+    if (nchunks <= 1) {
+      body(begin, end);
+      return;
+    }
+
+    region = std::make_shared<Region>();
+    region->begin = begin;
+    region->end = end;
+    region->chunk = chunk;
+    region->nchunks = nchunks;
+    region->body = &body;
+
+    {
+      MutexLock lock(state_->mutex);
+      if (!state_->started) {
+        // Lazy start: spawn the workers on the first dispatch that wants
+        // them (width-1 pools and purely-serial programs never get here).
+        state_->stop = false;
+        state_->started = true;
+        workers_.reserve(static_cast<std::size_t>(num_threads_ - 1));
+        for (int i = 0; i < num_threads_ - 1; ++i) {
+          workers_.emplace_back([this] { worker_main(); });
+        }
+      }
+      state_->region = region;
+      ++state_->epoch;
+    }
+    state_->work_cv.notify_all();
+
+    run_chunks(*region);  // the submitting thread pulls chunks too
+
+    {
+      MutexLock lock(state_->mutex);
+      while (region->completed.load(std::memory_order_acquire) !=
+             region->nchunks) {
+        state_->done_cv.wait(state_->mutex);
+      }
+      state_->region.reset();
+    }
   }
-  state_->work_cv.notify_all();
 
-  run_chunks(*region);  // the submitting thread pulls chunks too
-
+  std::exception_ptr first_error;
   {
-    std::unique_lock<std::mutex> lock(state_->mutex);
-    state_->done_cv.wait(lock, [&] {
-      return region->completed.load(std::memory_order_acquire) ==
-             region->nchunks;
-    });
-    state_->region.reset();
+    MutexLock lock(region->error_mutex);
+    first_error = region->first_error;
   }
-  submit.unlock();
-
-  if (region->first_error) std::rethrow_exception(region->first_error);
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace menos::util

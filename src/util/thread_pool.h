@@ -62,7 +62,6 @@ class ThreadPool {
 
   struct Region;
 
-  void start_workers_locked();
   void stop_workers();
   void worker_main();
   static void run_chunks(Region& region);
@@ -70,8 +69,9 @@ class ThreadPool {
   int num_threads_ = 1;
   std::vector<std::thread> workers_;
 
-  // All fields below are guarded by an internal mutex in the .cc (kept out
-  // of the header to avoid dragging <mutex> into every kernel TU).
+  // All fields below are guarded by an annotated util::Mutex in the .cc
+  // (kept out of the header to avoid dragging locking headers into every
+  // kernel TU; the MENOS_GUARDED_BY annotations live on State's members).
   struct State;
   std::unique_ptr<State> state_;
 };

@@ -33,7 +33,7 @@ void EventTrace::record(TraceCategory category, std::string name,
   event.client_id = client_id;
   event.value = value;
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ++total_;
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(event));
@@ -44,7 +44,7 @@ void EventTrace::record(TraceCategory category, std::string name,
 }
 
 std::vector<TraceEvent> EventTrace::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<TraceEvent> out;
   out.reserve(ring_.size());
   // next_ is the oldest slot once the ring has wrapped.
@@ -55,17 +55,17 @@ std::vector<TraceEvent> EventTrace::snapshot() const {
 }
 
 std::uint64_t EventTrace::dropped() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return total_ > ring_.size() ? total_ - ring_.size() : 0;
 }
 
 std::uint64_t EventTrace::recorded() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return total_;
 }
 
 void EventTrace::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ring_.clear();
   next_ = 0;
   total_ = 0;

@@ -10,9 +10,11 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace menos::util {
 
@@ -57,11 +59,11 @@ class EventTrace {
   std::string to_jsonl() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<TraceEvent> ring_;
-  std::size_t capacity_;
-  std::size_t next_ = 0;
-  std::uint64_t total_ = 0;
+  mutable Mutex mutex_;
+  std::vector<TraceEvent> ring_ MENOS_GUARDED_BY(mutex_);
+  std::size_t capacity_;  // immutable after construction
+  std::size_t next_ MENOS_GUARDED_BY(mutex_) = 0;
+  std::uint64_t total_ MENOS_GUARDED_BY(mutex_) = 0;
   std::chrono::steady_clock::time_point start_;
 };
 

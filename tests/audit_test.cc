@@ -1,0 +1,261 @@
+// gpusim::AuditDevice: the allocation auditor must catch every class of
+// deallocate misuse, poison freed memory, and name leak owners by tag.
+//
+// The recording tests construct the auditor with abort_on_error=false and
+// inspect errors(); the death tests use the default abort_on_error=true
+// and assert the diagnostic. Both paths work identically whether or not
+// the build already audit-wraps factory devices (MENOS_AUDIT_ALLOC): an
+// explicit outer auditor never forwards a detected-bad free, so a Debug
+// build's inner auditor stays quiet.
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "gpusim/audit.h"
+#include "gpusim/device.h"
+#include "test_helpers.h"
+#include "util/check.h"
+
+namespace menos::gpusim {
+namespace {
+
+AuditOptions recording() {
+  AuditOptions options;
+  options.abort_on_error = false;
+  return options;
+}
+
+std::unique_ptr<Device> recording_gpu(std::size_t capacity,
+                                      AuditOptions options = recording()) {
+  return make_audit_device(make_sim_gpu("audited", capacity), options);
+}
+
+TEST(AuditDevice, CleanSessionRecordsNoErrors) {
+  auto dev = recording_gpu(1000);
+  auto* audit = as_audit_device(*dev);
+  ASSERT_NE(audit, nullptr);
+  void* a = dev->allocate(128);
+  void* b = dev->allocate(256);
+  EXPECT_EQ(audit->live_count(), 2u);
+  dev->deallocate(b, 256);
+  dev->deallocate(a, 128);
+  EXPECT_EQ(audit->live_count(), 0u);
+  EXPECT_TRUE(audit->errors().empty());
+  EXPECT_EQ(dev->allocated(), 0u);
+}
+
+TEST(AuditDevice, DoubleFreeIsCaught) {
+  auto dev = recording_gpu(1000);
+  auto* audit = as_audit_device(*dev);
+  void* p = dev->allocate(64);
+  dev->deallocate(p, 64);
+  dev->deallocate(p, 64);  // second free of the same block
+  const auto errors = audit->errors();
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].kind, AuditErrorRecord::Kind::DoubleFree);
+  EXPECT_NE(errors[0].message.find("double free"), std::string::npos);
+  // The bad free was dropped: accounting is still exact.
+  EXPECT_EQ(dev->allocated(), 0u);
+}
+
+TEST(AuditDeviceDeathTest, DoubleFreeAbortsWithDiagnostic) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  auto dev = make_audit_device(make_sim_gpu("fatal", 1000));  // aborts
+  void* p = dev->allocate(64);
+  dev->deallocate(p, 64);
+  EXPECT_DEATH(dev->deallocate(p, 64), "double free");
+}
+
+TEST(AuditDevice, SizeMismatchFreeIsCaught) {
+  auto dev = recording_gpu(1000);
+  auto* audit = as_audit_device(*dev);
+  void* p = dev->allocate(100);
+  dev->deallocate(p, 60);  // lies about the size
+  const auto errors = audit->errors();
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].kind, AuditErrorRecord::Kind::SizeMismatch);
+  EXPECT_NE(errors[0].message.find("size 60"), std::string::npos);
+  // The free went through with the TRUE size, so nothing leaks and the
+  // byte accounting does not drift (the LLMem failure mode).
+  EXPECT_EQ(dev->allocated(), 0u);
+  EXPECT_EQ(audit->live_count(), 0u);
+}
+
+TEST(AuditDeviceDeathTest, SizeMismatchAbortsWithDiagnostic) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  auto dev = make_audit_device(make_sim_gpu("fatal", 1000));
+  void* p = dev->allocate(100);
+  EXPECT_DEATH(dev->deallocate(p, 99), "allocated with size 100");
+  dev->deallocate(p, 100);
+}
+
+TEST(AuditDevice, ForeignPointerFreeIsCaught) {
+  auto dev = recording_gpu(1000);
+  auto other = make_sim_gpu("other", 1000);
+  auto* audit = as_audit_device(*dev);
+  void* theirs = other->allocate(32);
+  dev->deallocate(theirs, 32);  // belongs to `other`, not `dev`
+  const auto errors = audit->errors();
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].kind, AuditErrorRecord::Kind::ForeignPointer);
+  EXPECT_NE(errors[0].message.find("foreign pointer"), std::string::npos);
+  EXPECT_EQ(dev->allocated(), 0u);  // dropped, not forwarded
+  other->deallocate(theirs, 32);    // the rightful owner frees it fine
+  EXPECT_EQ(other->allocated(), 0u);
+}
+
+TEST(AuditDeviceDeathTest, ForeignPointerAbortsWithDiagnostic) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  auto dev = make_audit_device(make_sim_gpu("fatal", 1000));
+  int local = 0;
+  EXPECT_DEATH(dev->deallocate(&local, sizeof(local)), "foreign pointer");
+}
+
+TEST(AuditDevice, LeakTableNamesTheOwningTag) {
+  auto dev = recording_gpu(4096);
+  auto* audit = as_audit_device(*dev);
+  void* a = nullptr;
+  void* b = nullptr;
+  void* c = nullptr;
+  {
+    AllocTagScope tag("session-7");
+    a = dev->allocate(100);
+    {
+      AllocTagScope inner("profiling");  // innermost scope wins
+      b = dev->allocate(200);
+    }
+    c = dev->allocate(50);
+  }
+  const auto by_tag = audit->live_bytes_by_tag();
+  EXPECT_EQ(by_tag.at("session-7"), 150u);
+  EXPECT_EQ(by_tag.at("profiling"), 200u);
+
+  const std::string report = audit->leak_report();
+  EXPECT_NE(report.find("session-7: 150 bytes"), std::string::npos);
+  EXPECT_NE(report.find("profiling: 200 bytes"), std::string::npos);
+  EXPECT_NE(report.find("2 allocation(s)"), std::string::npos);
+
+  dev->deallocate(a, 100);
+  dev->deallocate(b, 200);
+  dev->deallocate(c, 50);
+  EXPECT_TRUE(audit->leak_report().empty());
+  // Destroying the device now is leak-free; the destructor logging path
+  // (live allocations at end of life) is exercised below.
+}
+
+TEST(AuditDevice, DestructionWithLiveAllocationsReclaimsThem) {
+  // The destructor must log the per-tag table AND hand the blocks back to
+  // the inner device so the bytes (and the host heap backing them) are
+  // not lost — this test is ASan/LSan-clean because of that reclaim.
+  auto dev = recording_gpu(1000);
+  AllocTagScope tag("leaker");
+  (void)dev->allocate(300);
+  EXPECT_EQ(as_audit_device(*dev)->live_count(), 1u);
+  EXPECT_NE(as_audit_device(*dev)->leak_report().find("leaker"),
+            std::string::npos);
+  dev.reset();  // logs the leak table, reclaims the 300 bytes
+}
+
+TEST(AuditDevice, PoisonPatternIsObservableAfterFree) {
+  AuditOptions options = recording();
+  options.quarantine_bytes = 1 << 20;  // keep freed blocks resident
+  auto dev = recording_gpu(4096, options);
+  constexpr std::size_t kBytes = 64;
+  auto* p = static_cast<std::uint8_t*>(dev->allocate(kBytes));
+  std::memset(p, 0xAB, kBytes);
+  dev->deallocate(p, kBytes);
+  // The block is quarantined: the device still owns the memory, so this
+  // read is defined — and must see the poison fill, not stale data.
+  for (std::size_t i = 0; i < kBytes; ++i) {
+    ASSERT_EQ(p[i], kPoisonByte) << "offset " << i;
+  }
+  // Quarantined blocks count as freed in the reported accounting.
+  EXPECT_EQ(dev->allocated(), 0u);
+  EXPECT_EQ(dev->stats().lifetime_frees, 1u);
+}
+
+TEST(AuditDevice, QuarantineReleasesUnderCapacityPressure) {
+  AuditOptions options = recording();
+  options.quarantine_bytes = 1 << 20;
+  auto dev = recording_gpu(1000, options);
+  void* a = dev->allocate(800);
+  dev->deallocate(a, 800);  // parked in quarantine, capacity still held
+  // A request that only fits if the quarantine lets go must still succeed:
+  // auditing never changes what fits on the device.
+  void* b = dev->allocate(900);
+  EXPECT_EQ(dev->allocated(), 900u);
+  dev->deallocate(b, 900);
+  EXPECT_EQ(dev->allocated(), 0u);
+  EXPECT_TRUE(as_audit_device(*dev)->errors().empty());
+}
+
+TEST(AuditDevice, ZeroByteAllocationsAuditCleanly) {
+  auto dev = recording_gpu(100);
+  void* a = dev->allocate(0);
+  void* b = dev->allocate(0);
+  EXPECT_NE(a, nullptr);
+  EXPECT_NE(a, b);
+  dev->deallocate(a, 0);
+  dev->deallocate(b, 0);
+  EXPECT_TRUE(as_audit_device(*dev)->errors().empty());
+  EXPECT_EQ(dev->allocated(), 0u);
+}
+
+TEST(AuditDevice, AddressReuseIsNotMistakenForDoubleFree) {
+  // Free then reallocate until the allocator hands an address back; a
+  // legitimate free of the reused address must not be flagged.
+  auto dev = recording_gpu(1 << 20);
+  auto* audit = as_audit_device(*dev);
+  for (int i = 0; i < 64; ++i) {
+    void* p = dev->allocate(256);
+    dev->deallocate(p, 256);
+    void* q = dev->allocate(256);
+    dev->deallocate(q, 256);
+  }
+  EXPECT_TRUE(audit->errors().empty());
+  EXPECT_EQ(dev->allocated(), 0u);
+}
+
+TEST(AuditDevice, StatsForwardInnerAccounting) {
+  auto dev = recording_gpu(1000);
+  void* p = dev->allocate(400);
+  const MemoryStats s = dev->stats();
+  EXPECT_EQ(s.capacity, 1000u);
+  EXPECT_EQ(s.allocated, 400u);
+  EXPECT_EQ(s.lifetime_allocs, 1u);
+  EXPECT_EQ(dev->available(), 600u);
+  dev->deallocate(p, 400);
+}
+
+// The DeviceTest fixture (tests/test_helpers.h) asserts at TearDown that
+// every device it created ends with allocated() == 0 — the suite-wide
+// backstop the ISSUE asks for. These two tests exercise the fixture on
+// both factory paths (audited in Debug, plain in Release).
+using DeviceFixtureTest = menos::testing::DeviceTest;
+
+TEST_F(DeviceFixtureTest, BalancedUseEndsClean) {
+  Device& gpu = make_gpu("fixture-gpu", 2048);
+  Device& host = make_host("fixture-host");
+  void* a = gpu.allocate(512);
+  void* b = host.allocate(1024);
+  gpu.deallocate(a, 512);
+  host.deallocate(b, 1024);
+}
+
+TEST_F(DeviceFixtureTest, ManyDevicesAllChecked) {
+  for (int i = 0; i < 4; ++i) {
+    // Built with += rather than "g" + to_string(i): the temporary-concat
+    // form trips GCC 12's -Wrestrict false positive (PR 105651).
+    std::string name = "g";
+    name += std::to_string(i);
+    Device& gpu = make_gpu(std::move(name), 1024);
+    void* p = gpu.allocate(128);
+    gpu.deallocate(p, 128);
+  }
+}
+
+}  // namespace
+}  // namespace menos::gpusim

@@ -42,7 +42,11 @@ TEST(Trace, RecordsInOrderWithMonotonicTime) {
 TEST(Trace, RingEvictsOldest) {
   util::EventTrace trace(4);
   for (int i = 0; i < 10; ++i) {
-    trace.record(util::TraceCategory::Session, "e" + std::to_string(i));
+    // += rather than "e" + to_string(i): the temporary-concat form trips
+    // GCC 12's -Wrestrict false positive (PR 105651).
+    std::string name = "e";
+    name += std::to_string(i);
+    trace.record(util::TraceCategory::Session, std::move(name));
   }
   const auto events = trace.snapshot();
   ASSERT_EQ(events.size(), 4u);

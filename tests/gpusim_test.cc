@@ -1,91 +1,98 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 #include <vector>
 
 #include "gpusim/device.h"
+#include "test_helpers.h"
 #include "util/check.h"
 
 namespace menos::gpusim {
 namespace {
 
-TEST(SimGpu, BasicAccounting) {
-  auto gpu = make_sim_gpu("g0", 1000);
-  EXPECT_EQ(gpu->kind(), DeviceKind::SimGpu);
-  void* a = gpu->allocate(400);
-  EXPECT_EQ(gpu->allocated(), 400u);
-  EXPECT_EQ(gpu->available(), 600u);
-  void* b = gpu->allocate(600);
-  EXPECT_EQ(gpu->available(), 0u);
-  gpu->deallocate(a, 400);
-  EXPECT_EQ(gpu->allocated(), 600u);
-  gpu->deallocate(b, 600);
-  EXPECT_EQ(gpu->allocated(), 0u);
+// DeviceTest (tests/test_helpers.h) verifies at TearDown that every device
+// created through the fixture ends the test with allocated() == 0.
+using SimGpuTest = menos::testing::DeviceTest;
+using HostDeviceTest = menos::testing::DeviceTest;
+
+TEST_F(SimGpuTest, BasicAccounting) {
+  Device& gpu = make_gpu("g0", 1000);
+  EXPECT_EQ(gpu.kind(), DeviceKind::SimGpu);
+  void* a = gpu.allocate(400);
+  EXPECT_EQ(gpu.allocated(), 400u);
+  EXPECT_EQ(gpu.available(), 600u);
+  void* b = gpu.allocate(600);
+  EXPECT_EQ(gpu.available(), 0u);
+  gpu.deallocate(a, 400);
+  EXPECT_EQ(gpu.allocated(), 600u);
+  gpu.deallocate(b, 600);
+  EXPECT_EQ(gpu.allocated(), 0u);
 }
 
-TEST(SimGpu, OomThrowsWithShortfall) {
-  auto gpu = make_sim_gpu("g0", 100);
-  void* a = gpu->allocate(60);
+TEST_F(SimGpuTest, OomThrowsWithShortfall) {
+  Device& gpu = make_gpu("g0", 100);
+  void* a = gpu.allocate(60);
   try {
-    gpu->allocate(50);
+    gpu.allocate(50);
     FAIL() << "expected OutOfMemory";
   } catch (const OutOfMemory& e) {
     EXPECT_EQ(e.requested(), 50u);
     EXPECT_EQ(e.available(), 40u);
   }
   // Failed allocation leaves accounting untouched.
-  EXPECT_EQ(gpu->allocated(), 60u);
-  gpu->deallocate(a, 60);
+  EXPECT_EQ(gpu.allocated(), 60u);
+  gpu.deallocate(a, 60);
 }
 
-TEST(SimGpu, PeakTracking) {
-  auto gpu = make_sim_gpu("g0", 1000);
-  void* a = gpu->allocate(300);
-  void* b = gpu->allocate(400);
-  gpu->deallocate(b, 400);
-  EXPECT_EQ(gpu->stats().peak, 700u);
-  gpu->reset_peak();
-  EXPECT_EQ(gpu->stats().peak, 300u);
-  void* c = gpu->allocate(100);
-  EXPECT_EQ(gpu->stats().peak, 400u);
-  gpu->deallocate(a, 300);
-  gpu->deallocate(c, 100);
+TEST_F(SimGpuTest, PeakTracking) {
+  Device& gpu = make_gpu("g0", 1000);
+  void* a = gpu.allocate(300);
+  void* b = gpu.allocate(400);
+  gpu.deallocate(b, 400);
+  EXPECT_EQ(gpu.stats().peak, 700u);
+  gpu.reset_peak();
+  EXPECT_EQ(gpu.stats().peak, 300u);
+  void* c = gpu.allocate(100);
+  EXPECT_EQ(gpu.stats().peak, 400u);
+  gpu.deallocate(a, 300);
+  gpu.deallocate(c, 100);
 }
 
-TEST(SimGpu, LifetimeCounters) {
-  auto gpu = make_sim_gpu("g0", 1000);
-  void* a = gpu->allocate(10);
-  void* b = gpu->allocate(20);
-  gpu->deallocate(a, 10);
-  gpu->deallocate(b, 20);
-  const MemoryStats s = gpu->stats();
+TEST_F(SimGpuTest, LifetimeCounters) {
+  Device& gpu = make_gpu("g0", 1000);
+  void* a = gpu.allocate(10);
+  void* b = gpu.allocate(20);
+  gpu.deallocate(a, 10);
+  gpu.deallocate(b, 20);
+  const MemoryStats s = gpu.stats();
   EXPECT_EQ(s.lifetime_allocs, 2u);
   EXPECT_EQ(s.lifetime_frees, 2u);
   EXPECT_EQ(s.lifetime_bytes, 30u);
 }
 
-TEST(SimGpu, ZeroByteAllocationsAreDistinct) {
-  auto gpu = make_sim_gpu("g0", 100);
-  void* a = gpu->allocate(0);
-  void* b = gpu->allocate(0);
+TEST_F(SimGpuTest, ZeroByteAllocationsAreDistinct) {
+  Device& gpu = make_gpu("g0", 100);
+  void* a = gpu.allocate(0);
+  void* b = gpu.allocate(0);
   EXPECT_NE(a, nullptr);
   EXPECT_NE(a, b);
-  gpu->deallocate(a, 0);
-  gpu->deallocate(b, 0);
-  EXPECT_EQ(gpu->allocated(), 0u);
+  gpu.deallocate(a, 0);
+  gpu.deallocate(b, 0);
+  EXPECT_EQ(gpu.allocated(), 0u);
 }
 
-TEST(SimGpu, ConcurrentAllocationNeverExceedsCapacity) {
-  auto gpu = make_sim_gpu("g0", 8000);
+TEST_F(SimGpuTest, ConcurrentAllocationNeverExceedsCapacity) {
+  Device& gpu = make_gpu("g0", 8000);
   std::atomic<bool> violated{false};
   std::vector<std::thread> threads;
   for (int t = 0; t < 8; ++t) {
     threads.emplace_back([&] {
       for (int i = 0; i < 200; ++i) {
         try {
-          void* p = gpu->allocate(100);
-          if (gpu->allocated() > 8000) violated.store(true);
-          gpu->deallocate(p, 100);
+          void* p = gpu.allocate(100);
+          if (gpu.allocated() > 8000) violated.store(true);
+          gpu.deallocate(p, 100);
         } catch (const OutOfMemory&) {
           // capacity pressure is expected; over-allocation is not
         }
@@ -94,16 +101,16 @@ TEST(SimGpu, ConcurrentAllocationNeverExceedsCapacity) {
   }
   for (auto& th : threads) th.join();
   EXPECT_FALSE(violated.load());
-  EXPECT_EQ(gpu->allocated(), 0u);
+  EXPECT_EQ(gpu.allocated(), 0u);
 }
 
-TEST(HostDevice, Unlimited) {
-  auto host = make_host_device();
-  EXPECT_EQ(host->kind(), DeviceKind::Host);
-  void* p = host->allocate(1 << 20);
-  EXPECT_EQ(host->allocated(), 1u << 20);
-  EXPECT_EQ(host->stats().capacity, 0u);
-  host->deallocate(p, 1 << 20);
+TEST_F(HostDeviceTest, Unlimited) {
+  Device& host = make_host();
+  EXPECT_EQ(host.kind(), DeviceKind::Host);
+  void* p = host.allocate(1 << 20);
+  EXPECT_EQ(host.allocated(), 1u << 20);
+  EXPECT_EQ(host.stats().capacity, 0u);
+  host.deallocate(p, 1 << 20);
 }
 
 TEST(TransferModel, CostFormula) {

@@ -172,7 +172,11 @@ TEST(MultiClient, ConcurrentClientsUnderCapacityPressure) {
     threads.emplace_back([&, i] {
       gpusim::DeviceManager client_devices(1, 512u << 20);
       core::ClientOptions options;
-      options.finetune = itest_finetune("c" + std::to_string(i),
+      // += rather than "c" + to_string(i): the temporary-concat form trips
+      // GCC 12's -Wrestrict false positive (PR 105651).
+      std::string client_name = "c";
+      client_name += std::to_string(i);
+      options.finetune = itest_finetune(std::move(client_name),
                                         100 + static_cast<std::uint64_t>(i));
       options.base_seed = 42;
       core::Client client(options, acceptor.connect(),

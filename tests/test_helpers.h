@@ -3,6 +3,9 @@
 
 #include <cmath>
 #include <functional>
+#include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -18,6 +21,36 @@ inline gpusim::Device& host_device() {
   static auto device = gpusim::make_host_device("test-host");
   return *device;
 }
+
+/// Fixture for tests that create sim devices: TearDown asserts every
+/// device this fixture handed out ends the test with allocated() == 0, so
+/// a test that loses track of a single byte fails by name instead of
+/// silently skewing the next measurement. In Debug builds the devices are
+/// additionally audit-wrapped (MENOS_AUDIT_ALLOC), which upgrades the
+/// failure to a per-tag leak table.
+class DeviceTest : public ::testing::Test {
+ protected:
+  gpusim::Device& make_gpu(std::string name, std::size_t capacity_bytes) {
+    devices_.push_back(gpusim::make_sim_gpu(std::move(name), capacity_bytes));
+    return *devices_.back();
+  }
+
+  gpusim::Device& make_host(std::string name = "host") {
+    devices_.push_back(gpusim::make_host_device(std::move(name)));
+    return *devices_.back();
+  }
+
+  void TearDown() override {
+    for (const auto& d : devices_) {
+      EXPECT_EQ(d->allocated(), 0u)
+          << "device '" << d->name()
+          << "' ends the test with live bytes — every allocation in a test "
+             "must be returned before it finishes";
+    }
+  }
+
+  std::vector<std::unique_ptr<gpusim::Device>> devices_;
+};
 
 /// Compare an analytic backward pass against central finite differences.
 ///

@@ -1,0 +1,343 @@
+#!/usr/bin/env python3
+"""menos_lint — repo-specific invariants the compiler cannot see.
+
+Rules (see docs/ANALYSIS.md for rationale and examples):
+
+  raw-alloc              No malloc/calloc/realloc/free, raw `new T[...]`, or
+                         `::operator new` in src/ outside src/gpusim/ — all
+                         tensor-sized storage must flow through the Device
+                         layer so the byte accounting the paper's claims
+                         rest on stays exact.
+  iostream-side-channel  No std::cout/std::cerr/std::clog or printf-family
+                         calls in src/ outside src/util/logging.* — output
+                         goes through MENOS_LOG so it is leveled, atomic,
+                         and silenceable in tests.
+  raw-mutex              No std::mutex / std::condition_variable /
+                         std::lock_guard / std::unique_lock in src/ outside
+                         src/util/mutex.h — Clang's thread-safety analysis
+                         only sees the annotated util::Mutex wrappers.
+  mutex-annotation       Every util::Mutex member must be referenced by at
+                         least one MENOS_GUARDED_BY / MENOS_PT_GUARDED_BY /
+                         MENOS_REQUIRES in the same file, i.e. the mutex
+                         demonstrably guards something. A mutex that
+                         legitimately guards no member (it serializes an
+                         action) carries a NOLINT with a comment saying so.
+  pragma-once            Every header in src/, tests/, bench/ uses
+                         `#pragma once`.
+  nondeterminism         No std::rand/srand/std::random_device in src/
+                         outside src/util/rng.* — every experiment must be
+                         reproducible from a single util::Rng seed.
+
+Suppression: append `// NOLINT(<rule>)` to the offending line, or put
+`// NOLINTNEXTLINE(<rule>)` on the line above it. A bare NOLINT (no rule
+list) suppresses every rule on that line. Suppressions should say *why* —
+the linter does not check that, reviewers do.
+
+Usage:
+  tools/menos_lint.py [--root REPO_ROOT]   lint the tree (exit 1 on findings)
+  tools/menos_lint.py --self-test          prove each rule fires on a seeded
+                                           violation (exit 1 on regression)
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+import tempfile
+from pathlib import Path
+
+# ---------------------------------------------------------------------------
+# Helpers
+
+
+def strip_comments(text: str) -> str:
+    """Blank out // and /* */ comments, preserving line structure.
+
+    Lint rules match *code*; prose is allowed to mention std::mutex. String
+    literals are not parsed — a rule pattern inside a string would be a
+    false positive we accept for a 300-line linter.
+    """
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if ch == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif ch == "/" and nxt == "*":
+            i += 2
+            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
+                if text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i = min(i + 2, n)
+        elif ch == '"':
+            # Skip string literals so quoted examples don't trip rules.
+            out.append(ch)
+            i += 1
+            while i < n and text[i] != '"':
+                if text[i] == "\\":
+                    i += 1
+                if i < n and text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            if i < n:
+                out.append('"')
+                i += 1
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+NOLINT_RE = re.compile(r"NOLINT(?:NEXTLINE)?(?:\(([^)]*)\))?")
+
+
+def suppressed(raw_lines: list[str], lineno: int, rule: str) -> bool:
+    """True if `rule` is NOLINT-suppressed for 1-based line `lineno`."""
+    candidates = []
+    if lineno - 1 < len(raw_lines):
+        candidates.append((raw_lines[lineno - 1], False))
+    if lineno - 2 >= 0:
+        candidates.append((raw_lines[lineno - 2], True))
+    for line, needs_nextline in candidates:
+        for m in NOLINT_RE.finditer(line):
+            is_nextline = "NOLINTNEXTLINE" in m.group(0)
+            if needs_nextline != is_nextline:
+                continue
+            rules = m.group(1)
+            if rules is None or rule in [r.strip() for r in rules.split(",")]:
+                return True
+    return False
+
+
+class Finding:
+    def __init__(self, path: Path, lineno: int, rule: str, message: str):
+        self.path, self.lineno, self.rule, self.message = path, lineno, rule, message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.lineno}: [{self.rule}] {self.message}"
+
+
+# ---------------------------------------------------------------------------
+# Rules. Each rule is a function (path, raw_text) -> list[Finding].
+
+RAW_ALLOC_RE = re.compile(
+    r"\bmalloc\s*\(|\bcalloc\s*\(|\brealloc\s*\(|\bfree\s*\("
+    r"|\bnew\s+[A-Za-z_][\w:<>,* ]*\["
+    r"|::operator new\b"
+)
+IOSTREAM_RE = re.compile(
+    r"std::cout\b|std::cerr\b|std::clog\b"
+    r"|\b(?:printf|fprintf|puts|fputs|putchar)\s*\("
+)
+RAW_MUTEX_RE = re.compile(
+    r"std::(?:mutex|recursive_mutex|shared_mutex|condition_variable(?:_any)?"
+    r"|lock_guard|unique_lock|scoped_lock|shared_lock)\b"
+)
+NONDET_RE = re.compile(r"std::rand\b|\bsrand\s*\(|std::random_device\b")
+MUTEX_MEMBER_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:(?:menos::)?util::)?Mutex\s+(\w+)\s*;"
+)
+
+
+def check_pattern_rule(path, raw, rule, regex, exempt, message):
+    if exempt(path):
+        return []
+    raw_lines = raw.splitlines()
+    findings = []
+    for lineno, line in enumerate(strip_comments(raw).splitlines(), start=1):
+        if regex.search(line) and not suppressed(raw_lines, lineno, rule):
+            findings.append(Finding(path, lineno, rule, message))
+    return findings
+
+
+def check_raw_alloc(path: Path, raw: str) -> list:
+    return check_pattern_rule(
+        path, raw, "raw-alloc", RAW_ALLOC_RE,
+        exempt=lambda p: "gpusim" in p.parts or "src" not in p.parts,
+        message="raw heap allocation — storage must go through the gpusim "
+                "Device layer so byte accounting stays exact")
+
+
+def check_iostream(path: Path, raw: str) -> list:
+    return check_pattern_rule(
+        path, raw, "iostream-side-channel", IOSTREAM_RE,
+        exempt=lambda p: "src" not in p.parts or
+        (p.parts[-2:] == ("util", "logging.h")) or
+        (p.parts[-2:] == ("util", "logging.cc")),
+        message="direct console output — use MENOS_LOG (util/logging.h) so "
+                "output is leveled, atomic and silenceable")
+
+
+def check_raw_mutex(path: Path, raw: str) -> list:
+    return check_pattern_rule(
+        path, raw, "raw-mutex", RAW_MUTEX_RE,
+        exempt=lambda p: "src" not in p.parts or
+        p.parts[-2:] == ("util", "mutex.h"),
+        message="raw standard-library locking — use util::Mutex/MutexLock/"
+                "CondVar so Clang thread-safety analysis sees the lock")
+
+
+def check_nondeterminism(path: Path, raw: str) -> list:
+    return check_pattern_rule(
+        path, raw, "nondeterminism", NONDET_RE,
+        exempt=lambda p: "src" not in p.parts or
+        (len(p.parts) >= 2 and p.parts[-2] == "util"
+         and p.parts[-1].startswith("rng")),
+        message="unseeded randomness — all randomness flows through "
+                "util::Rng so experiments reproduce from one seed")
+
+
+def check_mutex_annotation(path: Path, raw: str) -> list:
+    if "src" not in path.parts or path.parts[-2:] == ("util", "mutex.h"):
+        return []
+    raw_lines = raw.splitlines()
+    stripped = strip_comments(raw)
+    findings = []
+    for lineno, line in enumerate(stripped.splitlines(), start=1):
+        m = MUTEX_MEMBER_RE.match(line)
+        if not m:
+            continue
+        name = m.group(1)
+        if suppressed(raw_lines, lineno, "mutex-annotation"):
+            continue
+        uses = re.compile(
+            r"MENOS_(?:GUARDED_BY|PT_GUARDED_BY|REQUIRES)\(\s*\*?"
+            + re.escape(name))
+        if not uses.search(stripped):
+            findings.append(Finding(
+                path, lineno, "mutex-annotation",
+                f"mutex '{name}' has no MENOS_GUARDED_BY/MENOS_REQUIRES "
+                f"reference in this file — annotate what it guards, or "
+                f"NOLINT with a comment saying what it serializes"))
+    return findings
+
+
+def check_pragma_once(path: Path, raw: str) -> list:
+    if path.suffix != ".h":
+        return []
+    if "#pragma once" in raw:
+        return []
+    if suppressed(raw.splitlines(), 1, "pragma-once"):
+        return []
+    return [Finding(path, 1, "pragma-once",
+                    "header missing '#pragma once'")]
+
+
+ALL_RULES = [
+    check_raw_alloc,
+    check_iostream,
+    check_raw_mutex,
+    check_nondeterminism,
+    check_mutex_annotation,
+    check_pragma_once,
+]
+
+LINT_DIRS = ("src", "tests", "bench")
+EXTENSIONS = (".h", ".cc", ".cpp")
+
+
+def lint_tree(root: Path) -> list:
+    findings = []
+    for d in LINT_DIRS:
+        base = root / d
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in EXTENSIONS or not path.is_file():
+                continue
+            raw = path.read_text(encoding="utf-8", errors="replace")
+            rel = path.relative_to(root)
+            for rule in ALL_RULES:
+                findings.extend(rule(rel, raw))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Self-test: each rule must fire on a seeded violation and stay quiet on the
+# suppressed/clean twin. This is what keeps the linter honest as it grows.
+
+SELF_TEST_CASES = [
+    # (relative path, contents, expected rule or None)
+    ("src/tensor/bad_alloc.cc", "void* p = malloc(128);\n", "raw-alloc"),
+    ("src/tensor/bad_new.cc", "float* p = new float[64];\n", "raw-alloc"),
+    ("src/gpusim/ok_alloc.cc", "void* p = malloc(128);\n", None),
+    ("src/core/bad_print.cc",
+     '#include <iostream>\nvoid f() { std::cout << "x"; }\n',
+     "iostream-side-channel"),
+    ("src/core/ok_log.cc", 'void f() { MENOS_LOG(Info) << "x"; }\n', None),
+    ("src/net/bad_mutex.cc", "#include <mutex>\nstd::mutex m;\n", "raw-mutex"),
+    ("src/net/ok_mutex.cc",
+     "struct S { util::Mutex mu_; int x MENOS_GUARDED_BY(mu_); };\n", None),
+    ("src/sched/bad_unannotated.h",
+     "#pragma once\nclass C {\n  mutable util::Mutex mutex_;\n  int x_;\n};\n",
+     "mutex-annotation"),
+    ("src/sched/ok_suppressed.h",
+     "#pragma once\nclass C {\n  // serializes connect(), guards nothing\n"
+     "  util::Mutex mutex_;  // NOLINT(mutex-annotation)\n};\n", None),
+    ("src/util/bad_header.h", "struct X {};\n", "pragma-once"),
+    ("src/core/bad_rand.cc", "int r = std::rand();\n", "nondeterminism"),
+    ("src/util/rng_extra.cc", "#include <random>\nstd::random_device rd;\n",
+     None),  # rng* files are the sanctioned home for entropy
+    ("src/core/ok_comment.cc", "// std::mutex is banned here, use util::Mutex\n",
+     None),  # prose may name banned constructs
+    ("src/core/ok_nextline.cc",
+     "// NOLINTNEXTLINE(nondeterminism)\nint r = std::rand();\n", None),
+]
+
+
+def self_test() -> int:
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="menos_lint_selftest_") as tmp:
+        root = Path(tmp)
+        for rel, contents, _ in SELF_TEST_CASES:
+            path = root / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(contents, encoding="utf-8")
+        findings = lint_tree(root)
+        by_file = {}
+        for f in findings:
+            by_file.setdefault(str(f.path), set()).add(f.rule)
+        for rel, _, expected in SELF_TEST_CASES:
+            got = by_file.get(rel, set())
+            if expected is None and got:
+                failures.append(f"{rel}: expected clean, got {sorted(got)}")
+            elif expected is not None and expected not in got:
+                failures.append(f"{rel}: expected [{expected}], got {sorted(got)}")
+    if failures:
+        print("menos_lint self-test FAILED:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(f"menos_lint self-test OK ({len(SELF_TEST_CASES)} cases)")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", type=Path,
+                        default=Path(__file__).resolve().parent.parent,
+                        help="repository root (default: the repo this "
+                             "script lives in)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify every rule fires on a seeded violation")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    findings = lint_tree(args.root)
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"menos_lint: {len(findings)} finding(s)")
+        return 1
+    print("menos_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
