@@ -1,7 +1,18 @@
 // Figure 5: GPU memory consumption for persistent components (base model
 // parameters + adapter parameters + optimizer states) as the number of
 // clients grows, vanilla split learning vs Menos.
+//
+// The second half re-measures the same metric on the LIVE server twice —
+// MENOS_CACHING_ALLOC off, then on — and fails (exit 1) unless every byte
+// matches: pooling must not change what the paper measures (ISSUE 3).
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
 #include "bench_common.h"
+#include "core/client.h"
+#include "core/server.h"
+#include "net/transport.h"
 
 using namespace menos;
 using menos::util::to_gb;
@@ -24,6 +35,95 @@ void run_model(const sim::ModelSpec& spec, double paper_reduction_at_4) {
                          static_cast<double>(spec.vanilla_persistent_bytes(4)));
   std::printf("paper reduction @4 clients: %.1f%%   measured: %.1f%%\n",
               paper_reduction_at_4, measured);
+}
+
+// ----- live pooling cross-check -----
+
+nn::TransformerConfig live_model() {
+  nn::TransformerConfig c = nn::TransformerConfig::tiny_opt();
+  c.dim = 32;
+  c.n_heads = 2;
+  c.ffn_hidden = 64;
+  c.n_layers = 2;
+  return c;
+}
+
+struct LiveSample {
+  std::size_t persistent = 0;  ///< Server::persistent_gpu_bytes (Fig 5)
+  std::size_t allocated = 0;   ///< server GPU allocated after connect
+  std::size_t peak = 0;        ///< server GPU peak (includes profiling)
+};
+
+/// Bring up a real server, connect `clients` one at a time (each runs one
+/// training step, so vanilla task copies are actually resident), and sample
+/// the Fig 5 metric plus raw device accounting after each admission.
+std::vector<LiveSample> live_persistent(core::ServingMode mode, int clients) {
+  gpusim::DeviceManager devices(1, 256u << 20);
+  core::ServerConfig config;
+  config.mode = mode;
+  core::Server server(config, devices, live_model());
+  net::InprocAcceptor acceptor;
+  server.start(acceptor);
+  gpusim::DeviceManager client_devices(1, 256u << 20);
+
+  std::vector<std::unique_ptr<core::Client>> live;
+  std::vector<LiveSample> out;
+  for (int i = 0; i < clients; ++i) {
+    core::ClientOptions options;
+    options.finetune.model = live_model();
+    options.finetune.batch_size = 2;
+    options.finetune.seq_len = 8;
+    options.finetune.adapter_seed = static_cast<std::uint64_t>(i + 1);
+    auto c = std::make_unique<core::Client>(options, acceptor.connect(),
+                                            client_devices.gpu(0));
+    c->connect();
+    data::CharTokenizer tok;
+    data::DataLoader loader(
+        tok.encode(data::make_shakespeare_like(500, 3).text), 2, 8,
+        static_cast<std::uint64_t>(i + 1));
+    c->train_step(loader.next());
+    live.push_back(std::move(c));
+    // Let the session finish post-reply bookkeeping before sampling.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    LiveSample s;
+    s.persistent = server.persistent_gpu_bytes();
+    s.allocated = devices.gpu(0).allocated();
+    s.peak = devices.gpu(0).stats().peak;
+    out.push_back(s);
+  }
+  for (auto& c : live) c->disconnect();
+  server.stop();
+  return out;
+}
+
+/// Returns false on any byte mismatch between pooling off and on.
+bool live_cross_check() {
+  std::printf(
+      "\n--- live server: persistent bytes, pooling off vs on ---\n"
+      "%-10s %-8s  %-12s %-12s  %-12s %-12s  %s\n",
+      "mode", "clients", "persist/off", "persist/on", "alloc/off", "alloc/on",
+      "identical");
+  bool ok = true;
+  for (core::ServingMode mode : {core::ServingMode::MenosOnDemand,
+                                 core::ServingMode::VanillaTaskSwap}) {
+    setenv("MENOS_CACHING_ALLOC", "0", 1);
+    const std::vector<LiveSample> off = live_persistent(mode, 3);
+    setenv("MENOS_CACHING_ALLOC", "1", 1);
+    const std::vector<LiveSample> on = live_persistent(mode, 3);
+    unsetenv("MENOS_CACHING_ALLOC");
+    for (std::size_t n = 0; n < off.size(); ++n) {
+      const bool same = off[n].persistent == on[n].persistent &&
+                        off[n].allocated == on[n].allocated &&
+                        off[n].peak == on[n].peak;
+      ok = ok && same;
+      std::printf("%-10s %-8zu  %-12zu %-12zu  %-12zu %-12zu  %s\n",
+                  core::serving_mode_name(mode), n + 1, off[n].persistent,
+                  on[n].persistent, off[n].allocated, on[n].allocated,
+                  same ? "yes" : "NO");
+    }
+  }
+  std::printf("pooling changes measured bytes: %s\n", ok ? "no" : "YES (BUG)");
+  return ok;
 }
 
 }  // namespace
@@ -49,5 +149,6 @@ int main() {
       to_gb(llama.bwd_bytes),
       to_gb(llama.server_param_bytes + llama.adapter_opt_bytes +
             llama.bwd_bytes));
-  return 0;
+
+  return live_cross_check() ? 0 : 1;
 }

@@ -1,6 +1,17 @@
 // Figure 7: average schedule time under on-demand allocation vs the
 // memory-preserving policy as clients scale.
+//
+// The second half extends the policy comparison to sched::Policy::SwapOnIdle
+// (ISSUE 3) on the LIVE server: with a pool sized for exactly one client's
+// persistent state, FcfsBackfill must reject a second client while
+// SwapOnIdle admits it by evicting the idle one's adapter/optimizer unit to
+// the host — swap traffic priced by the shared gpusim::TransferModel.
+#include <vector>
+
 #include "bench_common.h"
+#include "core/client.h"
+#include "core/server.h"
+#include "net/transport.h"
 
 using namespace menos;
 
@@ -22,6 +33,146 @@ void run_model(const sim::ModelSpec& spec, const std::vector<int>& clients,
   }
 }
 
+// ----- live SwapOnIdle vs FcfsBackfill -----
+
+nn::TransformerConfig swap_model() {
+  nn::TransformerConfig c = nn::TransformerConfig::tiny_opt();
+  c.dim = 32;
+  c.n_heads = 2;
+  c.ffn_hidden = 64;
+  c.n_layers = 3;
+  return c;
+}
+
+/// Rank-256 LoRA on a dim-32 model: persistent A + O dwarfs the transient
+/// demand, so admission is decided by persistent state alone.
+core::ClientOptions swap_client_options(std::uint64_t seed) {
+  core::ClientOptions options;
+  options.finetune.model = swap_model();
+  options.finetune.adapter.rank = 256;
+  options.finetune.batch_size = 1;
+  options.finetune.seq_len = 4;
+  options.finetune.adapter_seed = seed;
+  return options;
+}
+
+struct PolicyOutcome {
+  bool second_admitted = false;
+  std::uint64_t reclaims = 0;
+  std::uint64_t swap_outs = 0;
+  std::uint64_t swap_ins = 0;
+  double modeled_transfer_s = 0.0;
+};
+
+PolicyOutcome run_policy(sched::Policy policy, std::size_t reserve_bytes,
+                         int steps) {
+  gpusim::DeviceManager devices(1, 256u << 20);
+  core::ServerConfig config;
+  config.mode = core::ServingMode::MenosOnDemand;
+  config.sched_policy = policy;
+  config.reserve_bytes = reserve_bytes;
+  core::Server server(config, devices, swap_model());
+  net::InprocAcceptor acceptor;
+  server.start(acceptor);
+  gpusim::DeviceManager client_devices(1, 256u << 20);
+
+  const auto connect = [&](std::uint64_t seed) {
+    auto c = std::make_unique<core::Client>(swap_client_options(seed),
+                                            acceptor.connect(),
+                                            client_devices.gpu(0));
+    c->connect();
+    return c;
+  };
+
+  PolicyOutcome out;
+  auto a = connect(1);
+  std::unique_ptr<core::Client> b;
+  try {
+    b = connect(2);
+    out.second_admitted = true;
+  } catch (const Error&) {
+    out.second_admitted = false;
+  }
+  if (b != nullptr) {
+    // Alternate training steps: every step swaps the idle client's unit
+    // out and the active one's back in.
+    data::CharTokenizer tok;
+    data::DataLoader la(tok.encode(data::make_shakespeare_like(500, 3).text),
+                        1, 4, 3);
+    data::DataLoader lb(tok.encode(data::make_shakespeare_like(500, 3).text),
+                        1, 4, 4);
+    for (int i = 0; i < steps; ++i) {
+      b->train_step(lb.next());
+      a->train_step(la.next());
+    }
+    b->disconnect();
+  }
+  out.reclaims = server.scheduler().stats().reclaims;
+  if (server.offload_engine() != nullptr) {
+    const mem::OffloadStats s = server.offload_engine()->stats();
+    out.swap_outs = s.swap_outs;
+    out.swap_ins = s.swap_ins;
+    out.modeled_transfer_s = s.modeled_transfer_s;
+  }
+  a->disconnect();
+  server.stop();
+  return out;
+}
+
+/// Returns false unless SwapOnIdle admits the client FcfsBackfill rejects.
+bool live_swap_on_idle() {
+  // Probe: one client's persistent reservation p and backward demand M_b.
+  std::size_t avail0 = 0;
+  std::size_t p = 0;
+  std::size_t backward_bytes = 0;
+  {
+    gpusim::DeviceManager devices(1, 256u << 20);
+    core::ServerConfig config;
+    config.mode = core::ServingMode::MenosOnDemand;
+    core::Server server(config, devices, swap_model());
+    net::InprocAcceptor acceptor;
+    server.start(acceptor);
+    gpusim::DeviceManager client_devices(1, 256u << 20);
+    avail0 = server.scheduler().total_available();
+    auto c = std::make_unique<core::Client>(swap_client_options(1),
+                                            acceptor.connect(),
+                                            client_devices.gpu(0));
+    c->connect();
+    p = avail0 - server.scheduler().total_available();
+    backward_bytes = c->server_backward_bytes();
+    c->disconnect();
+    server.stop();
+  }
+  // Pool sized for ONE persistent state plus one backward: the second
+  // client can only be admitted by evicting the first.
+  const std::size_t slack = 64u << 10;
+  const std::size_t reserve = avail0 - (p + backward_bytes + slack);
+
+  std::printf(
+      "\n--- live server: admission under a pool of p + M_b (p = %zu B) "
+      "---\n%-14s  %-10s  %-9s  %-10s  %-9s  %s\n",
+      p, "policy", "2nd admit", "reclaims", "swap out/in", "transfer",
+      "(modeled, shared TransferModel)");
+  const PolicyOutcome fcfs =
+      run_policy(sched::Policy::FcfsBackfill, reserve, 0);
+  const PolicyOutcome swap =
+      run_policy(sched::Policy::SwapOnIdle, reserve, 3);
+  std::printf("%-14s  %-10s  %-9llu  %llu/%llu       %.4f s\n",
+              "FcfsBackfill", fcfs.second_admitted ? "yes" : "rejected",
+              static_cast<unsigned long long>(fcfs.reclaims),
+              static_cast<unsigned long long>(fcfs.swap_outs),
+              static_cast<unsigned long long>(fcfs.swap_ins),
+              fcfs.modeled_transfer_s);
+  std::printf("%-14s  %-10s  %-9llu  %llu/%llu       %.4f s\n",
+              "SwapOnIdle", swap.second_admitted ? "yes" : "rejected",
+              static_cast<unsigned long long>(swap.reclaims),
+              static_cast<unsigned long long>(swap.swap_outs),
+              static_cast<unsigned long long>(swap.swap_ins),
+              swap.modeled_transfer_s);
+  return !fcfs.second_admitted && swap.second_admitted &&
+         swap.swap_outs >= 1 && swap.swap_ins >= 1;
+}
+
 }  // namespace
 
 int main() {
@@ -34,5 +185,6 @@ int main() {
             "(paper: preserving explodes at 16 clients)");
   run_model(sim::ModelSpec::llama2_7b(), {2, 3, 4},
             "(paper: preserving queues from 2 clients)");
-  return 0;
+
+  return live_swap_on_idle() ? 0 : 1;
 }

@@ -23,6 +23,20 @@ Server::Server(const ServerConfig& config, gpusim::DeviceManager& devices,
                   "GPU capacity exhausted by the base model");
   scheduler_ = std::make_unique<sched::Scheduler>(
       available - config_.reserve_bytes, config_.sched_policy);
+  if (config_.sched_policy == sched::Policy::SwapOnIdle) {
+    // SwapOnIdle evicts per-client A + O through the offload engine; the
+    // vanilla baseline swaps whole task copies itself and has no separate
+    // persistent unit to evict.
+    MENOS_CHECK_MSG(shares_base_model(config_.mode),
+                    "SwapOnIdle requires a shared serving mode");
+    offload_ = std::make_unique<mem::OffloadEngine>(devices.transfer_model());
+    scheduler_->set_reclaim_callback(
+        [this](int /*partition*/, std::size_t bytes_needed) {
+          // Runs with the scheduler mutex held (reclaim contract); the
+          // engine never calls back into the scheduler on this path.
+          return offload_->evict_idle(bytes_needed);
+        });
+  }
   scheduler_->set_grant_callback([this](const sched::Grant& grant) {
     // Sessions never vanish while registered (cleanup unregisters before
     // the session object dies), so the lookup here is safe.
@@ -68,7 +82,8 @@ void Server::accept_loop(net::Acceptor* acceptor) {
     reap_finished_locked();
     auto session = std::make_unique<ServingSession>(
         next_client_id_++, std::move(connection), config_, store_.get(),
-        model_, *scheduler_, *devices_, profiling_mutex_, profile_cache_);
+        model_, *scheduler_, *devices_, profiling_mutex_, profile_cache_,
+        offload_.get());
     session->start();
     sessions_.push_back(std::move(session));
   }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/session.h"
+#include "mem/offload_engine.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -39,6 +40,10 @@ class Server {
 
   sched::Scheduler& scheduler() noexcept { return *scheduler_; }
   const ParameterStore* store() const noexcept { return store_.get(); }
+
+  /// Non-null iff sched_policy == Policy::SwapOnIdle.
+  mem::OffloadEngine* offload_engine() noexcept { return offload_.get(); }
+
   int session_count() const;
 
   /// Aggregate stats across sessions (live ones only).
@@ -53,6 +58,10 @@ class Server {
   nn::TransformerConfig model_;
   std::unique_ptr<ParameterStore> store_;  // null in vanilla mode
   std::unique_ptr<sched::Scheduler> scheduler_;
+  // Declared after scheduler_ (engine swap tasks charge the scheduler, so
+  // the engine must be destroyed first) and before sessions_ (sessions hold
+  // a raw pointer and unregister their units in cleanup()).
+  std::unique_ptr<mem::OffloadEngine> offload_;  // SwapOnIdle only
   // Serializes the profiling runs themselves (device headroom), not a data
   // member — sessions lock it around profile().
   // NOLINTNEXTLINE(mutex-annotation)

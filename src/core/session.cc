@@ -1,6 +1,8 @@
 #include "core/session.h"
 
 #include <sstream>
+#include <utility>
+#include <vector>
 
 #include "core/checkpoint.h"
 #include "tensor/ops.h"
@@ -30,7 +32,8 @@ ServingSession::ServingSession(int id,
                                sched::Scheduler& scheduler,
                                gpusim::DeviceManager& devices,
                                util::Mutex& profiling_mutex,
-                               ProfileCache& profile_cache)
+                               ProfileCache& profile_cache,
+                               mem::OffloadEngine* offload)
     : id_(id),
       connection_(std::move(connection)),
       config_(config),
@@ -41,7 +44,8 @@ ServingSession::ServingSession(int id,
       gpu_(&devices.gpu(0)),
       host_(&devices.host()),
       profiling_mutex_(&profiling_mutex),
-      profile_cache_(&profile_cache) {
+      profile_cache_(&profile_cache),
+      offload_(offload) {
   MENOS_CHECK_MSG(!shares_base_model(config.mode) || store_ != nullptr,
                   "shared serving modes require a ParameterStore");
 }
@@ -67,6 +71,12 @@ void ServingSession::request_stop() {
 
 void ServingSession::on_grant(const sched::Grant& grant) {
   (void)grant;  // single-GPU runtime: partition is always 0
+  if (unit_registered_.load()) {
+    // Prefetch-on-grant: start the swap-in on the background task lane so
+    // it overlaps other clients' compute; the session thread's
+    // ensure_resident() joins it (or retries a failed charge).
+    offload_->prefetch(id_);
+  }
   granted_.store(true);
   grant_.notify();
 }
@@ -74,6 +84,9 @@ void ServingSession::on_grant(const sched::Grant& grant) {
 std::size_t ServingSession::persistent_gpu_bytes() const {
   if (config_.mode == ServingMode::VanillaTaskSwap) {
     return on_gpu_ ? task_bytes_ : 0;
+  }
+  if (unit_registered_.load() && !offload_->resident(id_)) {
+    return 0;  // A + O currently evicted to host memory
   }
   return persistent_bytes_;
 }
@@ -168,6 +181,7 @@ void ServingSession::handshake(const net::Message& hello) {
 
   demands_ = profile();
   scheduler_->register_client(id_, demands_);
+  if (!vanilla && offload_ != nullptr) register_residency_unit();
   if (config_.trace != nullptr) {
     config_.trace->record(util::TraceCategory::Session, "handshake", id_);
     config_.trace->record(util::TraceCategory::Memory, "profile.forward",
@@ -338,6 +352,48 @@ void ServingSession::swap_to(gpusim::Device& device) {
   on_gpu_ = to_gpu;
 }
 
+void ServingSession::register_residency_unit() {
+  // Snapshot the unit's tensors with their home devices: the trainable
+  // adapter parameters plus the optimizer state (exactly the A + O the
+  // scheduler charge covers). Tensors are shared handles, so migrating
+  // these copies moves the live storage the section and optimizer use.
+  std::vector<std::pair<tensor::Tensor, gpusim::Device*>> homed;
+  for (nn::Parameter& p : section_->trainable_parameters()) {
+    homed.emplace_back(p.value, &p.value.device());
+  }
+  for (tensor::Tensor t : optimizer_->state_tensors()) {
+    homed.emplace_back(t, &t.device());
+  }
+  mem::UnitCallbacks callbacks;
+  callbacks.move = [this, homed](bool to_device) mutable {
+    if (config_.trace != nullptr) {
+      config_.trace->record(util::TraceCategory::Memory,
+                            to_device ? "swap.in" : "swap.out", id_,
+                            persistent_bytes_);
+    }
+    for (auto& [t, home] : homed) t.migrate(to_device ? *home : *host_);
+  };
+  callbacks.charge = [this] {
+    // SwapOnIdle: reserve_persistent runs its own reclaim pass before
+    // giving up, so a move-in can in turn evict somebody idler.
+    scheduler_->reserve_persistent(0, persistent_bytes_);
+  };
+  offload_->register_unit(id_, persistent_bytes_, std::move(callbacks));
+  unit_registered_.store(true);
+}
+
+void ServingSession::offload_begin_use() {
+  if (unit_registered_.load()) offload_->begin_use(id_);
+}
+
+void ServingSession::offload_end_use() {
+  if (unit_registered_.load()) offload_->end_use(id_);
+}
+
+void ServingSession::offload_ensure_resident() {
+  if (unit_registered_.load()) offload_->ensure_resident(id_);
+}
+
 void ServingSession::serve_loop() {
   while (auto msg = connection_->receive()) {
     switch (msg->type) {
@@ -349,12 +405,18 @@ void ServingSession::serve_loop() {
         break;
       case net::MessageType::FetchAdapter:
         // The server-side adapter phi_s belongs to the client: hand over a
-        // serialized copy (never the frozen base parameters).
+        // serialized copy (never the frozen base parameters). Busy-pin the
+        // residency unit so an eviction cannot migrate the adapter tensors
+        // mid-serialize.
+        offload_begin_use();
         connection_->send(net::Message::adapter_blob(
             serialize_adapter(*section_)));
+        offload_end_use();
         break;
       case net::MessageType::PushAdapter:
+        offload_begin_use();
         deserialize_adapter(msg->blob.data(), msg->blob.size(), *section_);
+        offload_end_use();
         connection_->send(net::Message::push_ack());
         break;
       case net::MessageType::Bye:
@@ -370,7 +432,11 @@ void ServingSession::handle_forward(const net::Message& msg) {
   using tensor::Tensor;
   const bool eval = msg.eval_only;
   const bool keep = !eval && holds_across_iteration(config_.mode);
+  // Busy-pin before requesting so eviction cannot race the computation;
+  // swap the adapter + optimizer back in (if evicted) once granted.
+  offload_begin_use();
   const double wait_s = acquire(sched::OpKind::Forward);
+  offload_ensure_resident();
 
   util::Stopwatch compute_sw;
   if (!on_gpu_) {
@@ -407,6 +473,11 @@ void ServingSession::handle_forward(const net::Message& msg) {
   }
   const double compute_s = compute_sw.elapsed_seconds();
 
+  // Unpin before release() so the reclaim pass the release may trigger
+  // already sees this unit as an eviction candidate. A kept graph keeps
+  // the pin until the matching Backward (PreserveAll: forever — an evicted
+  // adapter under a live tape could not be migrated).
+  if (!keep) offload_end_use();
   if (!keep && config_.mode != ServingMode::MenosPreserveAll) {
     // Release GPU memory (Algorithm 1 line 7): vanilla additionally swaps
     // the task out when other clients are queued for the capacity.
@@ -437,7 +508,11 @@ void ServingSession::handle_forward(const net::Message& msg) {
 
 void ServingSession::handle_backward(const net::Message& msg) {
   using tensor::Tensor;
+  // Modes that hold the graph across the iteration are still pinned from
+  // their Forward; the re-forward modes pin afresh here.
+  if (!holds_across_iteration(config_.mode)) offload_begin_use();
   const double wait_s = acquire(sched::OpKind::Backward);
+  offload_ensure_resident();
 
   util::Stopwatch compute_sw;
   if (!on_gpu_) {
@@ -496,6 +571,9 @@ void ServingSession::handle_backward(const net::Message& msg) {
   const double compute_s = compute_sw.elapsed_seconds();
 
   if (config_.mode != ServingMode::MenosPreserveAll) {
+    // Unpin before release() — see handle_forward. PreserveAll keeps the
+    // pin: its graph stays live, so its adapter must stay on device.
+    offload_end_use();
     if (config_.mode == ServingMode::VanillaTaskSwap &&
         scheduler_->waiting_count() > 0) {
       swap_to(*host_);
@@ -536,6 +614,14 @@ void ServingSession::cleanup() {
     } catch (const Error&) {
       // Never registered — nothing to undo.
     }
+  }
+  if (unit_registered_.load()) {
+    // unregister_unit waits out any in-flight swap and reports whether the
+    // scheduler charge is still held; an evicted unit's bytes were already
+    // credited back to the pool by the reclaim path.
+    const bool was_resident = offload_->unregister_unit(id_);
+    unit_registered_.store(false);
+    if (!was_resident) persistent_bytes_ = 0;
   }
   if (persistent_bytes_ != 0) {
     scheduler_->release_persistent(0, persistent_bytes_);

@@ -13,6 +13,7 @@
 
 #include "core/parameter_store.h"
 #include "core/runtime.h"
+#include "mem/offload_engine.h"
 #include "net/transport.h"
 #include "optim/optimizer.h"
 #include "util/mutex.h"
@@ -48,12 +49,15 @@ struct SessionStats {
 
 class ServingSession {
  public:
+  /// `offload` is non-null only under Policy::SwapOnIdle (shared modes):
+  /// the session registers its A + O as a residency unit at handshake.
   ServingSession(int id, std::unique_ptr<net::Connection> connection,
                  const ServerConfig& config, const ParameterStore* store,
                  const nn::TransformerConfig& model,
                  sched::Scheduler& scheduler,
                  gpusim::DeviceManager& devices,
-                 util::Mutex& profiling_mutex, ProfileCache& profile_cache);
+                 util::Mutex& profiling_mutex, ProfileCache& profile_cache,
+                 mem::OffloadEngine* offload = nullptr);
   ~ServingSession();
 
   void start();        ///< spawn the session thread
@@ -92,6 +96,14 @@ class ServingSession {
   /// Vanilla task-swap helpers (migrate params + optimizer state).
   void swap_to(gpusim::Device& device);
 
+  /// Offload-engine helpers (no-ops unless a unit is registered). Busy
+  /// nests; MenosPreserveAll never drops its last nesting level, so its
+  /// unit — like its graph — stays pinned for the session's lifetime.
+  void register_residency_unit();
+  void offload_begin_use();
+  void offload_end_use();
+  void offload_ensure_resident();
+
   int id_;
   std::unique_ptr<net::Connection> connection_;
   ServerConfig config_;
@@ -103,6 +115,7 @@ class ServingSession {
   gpusim::Device* host_;
   util::Mutex* profiling_mutex_;  // owned by the Server; serializes profiling
   ProfileCache* profile_cache_;
+  mem::OffloadEngine* offload_;   // owned by the Server; null unless SwapOnIdle
 
   net::FinetuneConfig client_config_;
   std::unique_ptr<nn::ServerSection> section_;
@@ -110,6 +123,9 @@ class ServingSession {
   sched::ClientDemands demands_;
   std::size_t persistent_bytes_ = 0;  ///< A + O reserved on the scheduler
   std::size_t task_bytes_ = 0;        ///< vanilla: M_copy + A + O
+  /// True once the A + O residency unit is registered with the offload
+  /// engine (read by persistent_gpu_bytes from other threads).
+  std::atomic<bool> unit_registered_{false};
 
   util::Notification grant_;
   std::atomic<bool> granted_{false};

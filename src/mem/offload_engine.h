@@ -1,0 +1,148 @@
+// Host-offload residency engine — swap a client's persistent state
+// (adapter + optimizer) between device and host so idle clients stop
+// holding GPU capacity hostage.
+//
+// The paper's vanilla baseline swaps whole task copies; Menos' shared
+// modes keep each client's A + O resident forever. This engine adds the
+// missing middle ground for the Policy::SwapOnIdle scheduler: each
+// session registers its persistent state as a *residency unit* and the
+// scheduler evicts least-recently-used idle units when a request (or a new
+// client's persistent reservation) would otherwise be declared blocked.
+//
+// The engine is deliberately scheduler- and tensor-agnostic: the owner
+// supplies two callbacks per unit —
+//   move(to_device)  physically migrate the unit's tensors (called with
+//                    the engine mutex held on the eviction path, so it
+//                    must not call back into the engine),
+//   charge()         reserve the unit's bytes with the scheduler (called
+//                    WITHOUT the engine mutex; may throw OutOfMemory) —
+// and the scheduler itself credits bytes freed by eviction (its reclaim
+// callback contract), so no release call exists here.
+//
+// Lock ordering (deadlock freedom): scheduler -> engine is the only
+// permitted nesting. evict_idle() is called from the scheduler's reclaim
+// callback with the scheduler mutex held and takes the engine mutex;
+// therefore no engine method ever calls the scheduler while holding the
+// engine mutex — ensure_resident()/prefetch() drop it before charge().
+//
+// Asynchrony: prefetch() runs the charge + move-in on the process
+// ThreadPool's background task lane (util::ThreadPool::submit) so a grant
+// can overlap a swap-in with the previous client's compute. Transfer time
+// is priced with the same gpusim::TransferModel constants the vanilla
+// baseline and src/sim use, accumulated in stats().modeled_transfer_s.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "gpusim/device.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace menos::mem {
+
+/// Where a unit's tensors currently live.
+enum class Residency : std::uint8_t { OnDevice, OnHost, MovingIn, MovingOut };
+
+const char* residency_name(Residency r) noexcept;
+
+struct UnitCallbacks {
+  /// Physically migrate the unit's tensors (true = host -> device).
+  /// Must not call back into the engine or the scheduler.
+  std::function<void(bool to_device)> move;
+  /// Reserve the unit's bytes with the scheduler before a move-in; may
+  /// throw OutOfMemory. Called without the engine mutex.
+  std::function<void()> charge;
+};
+
+struct OffloadStats {
+  std::uint64_t swap_ins = 0;
+  std::uint64_t swap_outs = 0;   ///< evictions (always via evict_idle)
+  std::uint64_t prefetches = 0;  ///< async move-ins completed
+  std::size_t bytes_in = 0;
+  std::size_t bytes_out = 0;
+  double modeled_transfer_s = 0.0;  ///< priced with the TransferModel
+};
+
+class OffloadEngine {
+ public:
+  explicit OffloadEngine(gpusim::TransferModel transfer = {});
+
+  /// Waits for every in-flight async move to settle.
+  ~OffloadEngine();
+
+  OffloadEngine(const OffloadEngine&) = delete;
+  OffloadEngine& operator=(const OffloadEngine&) = delete;
+
+  /// Register `id`'s persistent state (`bytes` = A + O). The unit starts
+  /// OnDevice with its scheduler charge already taken (the session just
+  /// called reserve_persistent during its handshake).
+  void register_unit(int id, std::size_t bytes, UnitCallbacks callbacks);
+
+  /// Remove the unit (client departure). Waits for any in-flight move.
+  /// Returns true if the unit was resident — i.e. its scheduler charge is
+  /// still held and the caller must release_persistent it.
+  bool unregister_unit(int id);
+
+  /// Mark the unit busy (nests). A busy unit is never evicted; waits for
+  /// any in-flight move first. Call before asking the scheduler for the
+  /// iteration's memory so eviction cannot race the computation.
+  void begin_use(int id);
+
+  /// Drop one nesting level of busy; at zero the unit becomes an eviction
+  /// candidate again and its LRU stamp is refreshed.
+  void end_use(int id);
+
+  /// Block until the unit is OnDevice, charging + moving it in if needed.
+  /// Throws OutOfMemory if the scheduler cannot cover the charge even
+  /// after its own reclaim pass.
+  void ensure_resident(int id);
+
+  /// Asynchronous move-in hint (prefetch-on-grant): if the unit is OnHost,
+  /// start the charge + move on the background task lane and return
+  /// immediately. Failure to charge quietly leaves the unit OnHost — the
+  /// caller's ensure_resident() will retry and surface the error.
+  void prefetch(int id);
+
+  /// Evict least-recently-used idle resident units (skipping `except_id`)
+  /// until at least `bytes_needed` of charged bytes are freed, moving
+  /// their tensors out synchronously. Returns the bytes actually freed.
+  /// Designed to run inside the scheduler's reclaim callback with the
+  /// scheduler mutex held: it does NOT touch the scheduler; the caller
+  /// credits the returned bytes itself.
+  std::size_t evict_idle(std::size_t bytes_needed, int except_id = -1);
+
+  bool resident(int id) const;
+  Residency residency(int id) const;
+  std::size_t resident_bytes() const;
+  OffloadStats stats() const;
+
+ private:
+  struct Unit {
+    std::size_t bytes = 0;
+    UnitCallbacks callbacks;
+    Residency state = Residency::OnDevice;
+    int busy = 0;                ///< begin_use nesting depth
+    std::uint64_t last_used = 0; ///< LRU stamp (engine-local clock)
+  };
+
+  /// Charge + move a unit previously marked MovingIn by the caller.
+  /// Returns false if the charge failed (unit reverted to OnHost).
+  bool complete_move_in(int id, bool is_prefetch);
+
+  void wait_while_moving_locked(Unit& unit) MENOS_REQUIRES(mutex_);
+  Unit& unit_locked(int id) MENOS_REQUIRES(mutex_);
+
+  gpusim::TransferModel transfer_;
+
+  mutable util::Mutex mutex_;
+  util::CondVar state_cv_;  ///< signaled on every residency transition
+  std::map<int, Unit> units_ MENOS_GUARDED_BY(mutex_);
+  std::uint64_t clock_ MENOS_GUARDED_BY(mutex_) = 0;
+  int inflight_ MENOS_GUARDED_BY(mutex_) = 0;  ///< async tasks outstanding
+  OffloadStats stats_ MENOS_GUARDED_BY(mutex_);
+};
+
+}  // namespace menos::mem

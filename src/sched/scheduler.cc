@@ -25,6 +25,35 @@ void Scheduler::set_grant_callback(std::function<void(const Grant&)> callback) {
   grant_callback_ = std::move(callback);
 }
 
+void Scheduler::set_reclaim_callback(ReclaimCallback callback) {
+  util::MutexLock lock(mutex_);
+  reclaim_callback_ = std::move(callback);
+}
+
+bool Scheduler::try_reclaim(std::size_t bytes, int partition) {
+  util::MutexLock lock(mutex_);
+  MENOS_CHECK_MSG(partition >= 0 && partition < static_cast<int>(free_.size()),
+                  "partition " << partition << " out of range");
+  return try_reclaim_locked(partition, bytes);
+}
+
+bool Scheduler::try_reclaim_locked(int partition, std::size_t bytes) {
+  auto& free = free_[static_cast<std::size_t>(partition)];
+  if (free >= bytes) return true;
+  if (!reclaim_callback_) return false;
+  // Fires with mutex_ held under the grant callback's no-re-entry
+  // contract; it returns bytes evicted to host, which re-expand the pool —
+  // the exact inverse of reserve_persistent.
+  const std::size_t freed = reclaim_callback_(partition, bytes - free);
+  if (freed > 0) {
+    free += freed;
+    capacity_[static_cast<std::size_t>(partition)] += freed;
+    ++stats_.reclaims;
+    stats_.reclaimed_bytes += freed;
+  }
+  return free >= bytes;
+}
+
 void Scheduler::register_client(int client_id, const ClientDemands& demands) {
   util::MutexLock lock(mutex_);
   const std::size_t largest =
@@ -89,6 +118,10 @@ void Scheduler::reserve_persistent(int partition, std::size_t bytes) {
   MENOS_CHECK_MSG(partition >= 0 && partition < static_cast<int>(free_.size()),
                   "partition " << partition << " out of range");
   auto& free = free_[static_cast<std::size_t>(partition)];
+  if (bytes > free && policy_ == Policy::SwapOnIdle) {
+    // A new client's A + O does not fit; evict idle clients' state first.
+    try_reclaim_locked(partition, bytes);
+  }
   if (bytes > free) {
     throw OutOfMemory("persistent reservation exceeds free partition memory",
                       bytes, free);
@@ -110,6 +143,7 @@ void Scheduler::schedule_locked() {
   if (!grant_callback_) return;
   bool head_blocked = false;
   bool backward_blocked = false;  // an earlier backward is still waiting
+  bool reclaim_dry = false;       // a reclaim this pass came up short
   // One pass in FCFS order; every grant frees no memory, so a single pass
   // is complete (grants only shrink availability).
   for (auto it = waiting_.begin(); it != waiting_.end();) {
@@ -124,6 +158,24 @@ void Scheduler::schedule_locked() {
         (w.kind == OpKind::Backward && backward_blocked);
     std::optional<int> partition;
     if (!gated) partition = find_partition_locked(bytes);
+
+    // SwapOnIdle: before declaring this request blocked, evict idle
+    // clients' persistent state until it fits. One dry reclaim ends the
+    // attempts for this pass — nothing idle is left to evict.
+    if (!gated && !partition.has_value() && policy_ == Policy::SwapOnIdle &&
+        !reclaim_dry) {
+      // Target the partition with the most free bytes: it needs the least
+      // eviction to cover the request.
+      std::size_t target = 0;
+      for (std::size_t i = 1; i < free_.size(); ++i) {
+        if (free_[i] > free_[target]) target = i;
+      }
+      if (try_reclaim_locked(static_cast<int>(target), bytes)) {
+        partition = static_cast<int>(target);
+      } else {
+        reclaim_dry = true;
+      }
+    }
 
     if (partition.has_value()) {
       free_[static_cast<std::size_t>(*partition)] -= bytes;

@@ -49,6 +49,11 @@ const char* op_kind_name(OpKind kind) noexcept;
 enum class Policy : std::uint8_t {
   FcfsOnly,      ///< strict: first unsatisfiable request blocks everything
   FcfsBackfill,  ///< the Menos scheduler (default)
+  /// FcfsBackfill, plus: before declaring a request (or a persistent
+  /// reservation) blocked, invoke the reclaim callback so the owner can
+  /// evict idle clients' persistent state to host memory (the
+  /// mem::OffloadEngine) and hand the freed bytes back to the pool.
+  SwapOnIdle,
 };
 
 /// Per-client memory demands measured during profiling (§3.3): M_f for the
@@ -75,6 +80,8 @@ struct SchedulerStats {
   std::uint64_t grants = 0;
   std::uint64_t backfill_grants = 0;  ///< granted past a blocked earlier request
   std::uint64_t blocked_cycles = 0;   ///< SCHEDULE passes that left the head waiting
+  std::uint64_t reclaims = 0;         ///< reclaim callbacks that freed bytes
+  std::size_t reclaimed_bytes = 0;    ///< persistent bytes evicted to host
 };
 
 class Scheduler {
@@ -93,6 +100,21 @@ class Scheduler {
 
   /// Must be set before any request arrives.
   void set_grant_callback(std::function<void(const Grant&)> callback);
+
+  /// Reclaim hook for Policy::SwapOnIdle: `fn(partition, bytes_needed)`
+  /// evicts idle persistent state and returns the bytes it freed, which
+  /// the scheduler credits back to the partition (the inverse of
+  /// reserve_persistent). Fires with the scheduler mutex held, under the
+  /// same no-re-entry contract as the grant callback.
+  using ReclaimCallback =
+      std::function<std::size_t(int partition, std::size_t bytes_needed)>;
+  void set_reclaim_callback(ReclaimCallback callback);
+
+  /// Try to bring `partition`'s free memory up to `bytes` by invoking the
+  /// reclaim callback. Returns true if `bytes` are now free. Public so
+  /// owners can pre-drain before a known-large operation; the scheduler
+  /// itself calls it before declaring a request blocked (SwapOnIdle).
+  bool try_reclaim(std::size_t bytes, int partition = 0);
 
   /// Register a client and its profiled demands. Throws InvalidArgument if
   /// a demand cannot fit in ANY partition (the profiling phase rejects the
@@ -150,11 +172,17 @@ class Scheduler {
   std::optional<int> find_partition_locked(std::size_t bytes) const
       MENOS_REQUIRES(mutex_);
 
+  /// Invoke the reclaim callback until `bytes` fit in `partition` (or the
+  /// callback runs dry). Credits freed bytes to free_ and capacity_.
+  bool try_reclaim_locked(int partition, std::size_t bytes)
+      MENOS_REQUIRES(mutex_);
+
   mutable util::Mutex mutex_;
   std::vector<std::size_t> capacity_ MENOS_GUARDED_BY(mutex_);
   std::vector<std::size_t> free_ MENOS_GUARDED_BY(mutex_);
   Policy policy_;  // immutable after construction
   std::function<void(const Grant&)> grant_callback_ MENOS_GUARDED_BY(mutex_);
+  ReclaimCallback reclaim_callback_ MENOS_GUARDED_BY(mutex_);
   std::deque<Waiting> waiting_ MENOS_GUARDED_BY(mutex_);
   std::unordered_map<int, ClientDemands> demands_ MENOS_GUARDED_BY(mutex_);
   std::unordered_map<int, Allocation> allocations_

@@ -15,6 +15,8 @@
 #include <cstddef>
 #include <string>
 
+#include "gpusim/device.h"
+
 namespace menos::sim {
 
 struct ModelSpec {
@@ -92,14 +94,19 @@ struct Environment {
   std::size_t host_capacity_bytes = 110ull * 1000 * 1000 * 1000;
   double wan_bandwidth_bytes_per_s = 4.0e6;  ///< ~32 Mbit/s effective
   double wan_latency_s = 0.03;
-  double pcie_bandwidth_bytes_per_s = 1.6e9;  ///< effective swap bandwidth
+  /// Host<->device swap cost — the SAME gpusim::TransferModel type the
+  /// runtime's vanilla baseline and mem::OffloadEngine price swaps with,
+  /// so the simulator and the executable runtime cannot drift apart.
+  /// Calibrated to the paper's effective PCIe bandwidth (DESIGN.md §7).
+  gpusim::TransferModel transfer{/*bandwidth_bytes_per_s=*/1.6e9,
+                                 /*latency_s=*/50e-6};
 
   double wan_seconds(std::size_t bytes) const noexcept {
     return wan_latency_s +
            static_cast<double>(bytes) / wan_bandwidth_bytes_per_s;
   }
   double swap_seconds(std::size_t bytes) const noexcept {
-    return static_cast<double>(bytes) / pcie_bandwidth_bytes_per_s;
+    return transfer.seconds_for(bytes);
   }
 };
 

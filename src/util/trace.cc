@@ -71,13 +71,43 @@ void EventTrace::clear() {
   total_ = 0;
 }
 
+namespace {
+
+/// JSON string escaping for event names (categories are fixed literals).
+/// Without this a name containing `"`, `\` or a control character produced
+/// a line no JSON parser accepts.
+void append_json_escaped(std::ostringstream& os, const std::string& s) {
+  static const char* hex = "0123456789abcdef";
+  for (const char raw : s) {
+    const unsigned char c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"':  os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\b': os << "\\b"; break;
+      case '\f': os << "\\f"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (c < 0x20) {
+          os << "\\u00" << hex[(c >> 4) & 0xF] << hex[c & 0xF];
+        } else {
+          os << raw;
+        }
+    }
+  }
+}
+
+}  // namespace
+
 std::string EventTrace::to_jsonl() const {
   const std::vector<TraceEvent> events = snapshot();
   std::ostringstream os;
   for (const TraceEvent& e : events) {
     os << "{\"t\":" << e.t << ",\"cat\":\""
-       << trace_category_name(e.category) << "\",\"name\":\"" << e.name
-       << "\",\"client\":" << e.client_id << ",\"value\":" << e.value
+       << trace_category_name(e.category) << "\",\"name\":\"";
+    append_json_escaped(os, e.name);
+    os << "\",\"client\":" << e.client_id << ",\"value\":" << e.value
        << "}\n";
   }
   return os.str();

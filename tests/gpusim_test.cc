@@ -30,6 +30,31 @@ TEST_F(SimGpuTest, BasicAccounting) {
   EXPECT_EQ(gpu.allocated(), 0u);
 }
 
+TEST_F(SimGpuTest, LargestFreeBlockAndFragmentation) {
+  Device& gpu = make_gpu("g0", 1000);
+  // A plain metered device has no fragmentation model: every free byte is
+  // one contiguous grant away.
+  EXPECT_EQ(gpu.stats().largest_free_block, 1000u);
+  EXPECT_EQ(gpu.stats().fragmentation(), 0.0);
+  EXPECT_EQ(gpu.stats().cached, 0u);
+  void* a = gpu.allocate(400);
+  EXPECT_EQ(gpu.stats().largest_free_block, 600u);
+  EXPECT_EQ(gpu.stats().fragmentation(), 0.0);
+  gpu.empty_cache();  // no pooling layer: must be a harmless no-op
+  EXPECT_EQ(gpu.allocated(), 400u);
+  gpu.deallocate(a, 400);
+}
+
+TEST_F(HostDeviceTest, UnlimitedDeviceHasNoFragmentationNotion) {
+  Device& host = make_host("h");
+  void* a = host.allocate(4096);
+  const MemoryStats s = host.stats();
+  EXPECT_EQ(s.capacity, 0u);
+  EXPECT_EQ(s.largest_free_block, 0u);
+  EXPECT_EQ(s.fragmentation(), 0.0);
+  host.deallocate(a, 4096);
+}
+
 TEST_F(SimGpuTest, OomThrowsWithShortfall) {
   Device& gpu = make_gpu("g0", 100);
   void* a = gpu.allocate(60);

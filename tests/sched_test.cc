@@ -270,6 +270,103 @@ TEST(Scheduler, StatsTrackRequestsAndGrants) {
   EXPECT_GE(st.blocked_cycles, 1u);
 }
 
+// ----- SwapOnIdle: the reclaim hook (mem::OffloadEngine integration) -----
+
+TEST(Scheduler, SwapOnIdleReclaimsPersistentBytesForReservation) {
+  // Capacity 100, 60 reserved by an "idle client A". A new client's 80-byte
+  // reservation blocks under FcfsBackfill but succeeds under SwapOnIdle
+  // once the reclaim callback hands A's 60 bytes back (evicted to host).
+  Scheduler blocked(100, Policy::FcfsBackfill);
+  blocked.reserve_persistent(0, 60);
+  EXPECT_THROW(blocked.reserve_persistent(0, 80), OutOfMemory);
+
+  Scheduler s(100, Policy::SwapOnIdle);
+  s.reserve_persistent(0, 60);
+  std::vector<std::size_t> asked;
+  s.set_reclaim_callback([&asked](int partition, std::size_t bytes_needed) {
+    EXPECT_EQ(partition, 0);
+    asked.push_back(bytes_needed);
+    return std::size_t{60};  // evict idle A
+  });
+  s.reserve_persistent(0, 80);  // must not throw
+  ASSERT_EQ(asked.size(), 1u);
+  EXPECT_EQ(asked[0], 40u);  // shortfall only, not the full request
+  EXPECT_EQ(s.available(), 20u);
+  const SchedulerStats st = s.stats();
+  EXPECT_EQ(st.reclaims, 1u);
+  EXPECT_EQ(st.reclaimed_bytes, 60u);
+}
+
+TEST(Scheduler, SwapOnIdleReclaimsForBlockedRequests) {
+  Scheduler s(100, Policy::SwapOnIdle);
+  GrantLog log;
+  log.attach(s);
+  int calls = 0;
+  s.set_reclaim_callback([&calls](int, std::size_t) {
+    ++calls;
+    return calls == 1 ? std::size_t{60} : std::size_t{0};
+  });
+  s.register_client(1, {80, 80});
+  s.reserve_persistent(0, 60);       // idle client's A + O
+  s.on_request(1, OpKind::Forward);  // 40 free: reclaim 60, then grant
+  EXPECT_TRUE(log.granted(1));
+  EXPECT_EQ(calls, 1);
+  s.on_complete(1);
+}
+
+TEST(Scheduler, SwapOnIdleDryReclaimStopsAfterOneAttemptPerPass) {
+  Scheduler s(100, Policy::SwapOnIdle);
+  GrantLog log;
+  log.attach(s);
+  int calls = 0;
+  s.set_reclaim_callback([&calls](int, std::size_t) {
+    ++calls;
+    return std::size_t{0};  // nothing idle to evict
+  });
+  s.register_client(1, {80, 80});
+  s.register_client(2, {90, 90});
+  s.reserve_persistent(0, 60);
+  s.on_request(1, OpKind::Forward);
+  s.on_request(2, OpKind::Forward);
+  // Each schedule pass asks at most once; a dry pool is not hammered for
+  // every waiting request.
+  EXPECT_LE(calls, 2);
+  EXPECT_EQ(log.grants.size(), 0u);
+  EXPECT_EQ(s.stats().reclaims, 0u);  // nothing was actually freed
+  s.unregister_client(1);
+  s.unregister_client(2);
+}
+
+TEST(Scheduler, TryReclaimIsANoOpWhenBytesAlreadyFit) {
+  Scheduler s(100, Policy::SwapOnIdle);
+  int calls = 0;
+  s.set_reclaim_callback([&calls](int, std::size_t) {
+    ++calls;
+    return std::size_t{0};
+  });
+  EXPECT_TRUE(s.try_reclaim(100));
+  EXPECT_EQ(calls, 0);
+  EXPECT_FALSE(s.try_reclaim(200));
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Scheduler, FcfsBackfillNeverInvokesReclaim) {
+  Scheduler s(100, Policy::FcfsBackfill);
+  GrantLog log;
+  log.attach(s);
+  bool called = false;
+  s.set_reclaim_callback([&called](int, std::size_t) {
+    called = true;
+    return std::size_t{100};
+  });
+  s.register_client(1, {80, 80});
+  s.reserve_persistent(0, 50);       // leaves 50 free: request cannot fit
+  s.on_request(1, OpKind::Forward);  // blocked; no reclaim under backfill
+  EXPECT_FALSE(called);
+  EXPECT_FALSE(log.granted(1));
+  s.unregister_client(1);
+}
+
 // ----- randomized invariant sweep -----
 
 struct TraceParams {

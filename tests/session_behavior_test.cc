@@ -182,5 +182,137 @@ TEST(SessionBehavior, StatsCountIterations) {
   client->disconnect();
 }
 
+// ----- SwapOnIdle: mem::OffloadEngine end-to-end (ISSUE 3) -----
+
+/// A fine-tuning configuration whose persistent A + O dwarfs its transient
+/// demand (LoRA rank 256 on a dim-32 model, batch 1, seq 4), so evicting an
+/// idle client's persistent state is what makes room for a new one.
+net::FinetuneConfig swap_finetune(std::uint64_t seed) {
+  net::FinetuneConfig f;
+  f.model = sb_model();
+  f.adapter.rank = 256;
+  f.batch_size = 1;
+  f.seq_len = 4;
+  f.adapter_seed = seed;
+  return f;
+}
+
+struct SwapRig {
+  SwapRig(sched::Policy policy, std::size_t reserve_bytes,
+          util::EventTrace* trace)
+      : devices(1, 256u << 20) {
+    config.mode = ServingMode::MenosOnDemand;
+    config.sched_policy = policy;
+    config.base_seed = 42;
+    config.reserve_bytes = reserve_bytes;
+    config.trace = trace;
+    server = std::make_unique<Server>(config, devices, sb_model());
+    server->start(acceptor);
+  }
+  ~SwapRig() { server->stop(); }
+
+  std::unique_ptr<Client> client(std::uint64_t seed) {
+    ClientOptions options;
+    options.finetune = swap_finetune(seed);
+    options.base_seed = 42;
+    auto c = std::make_unique<Client>(options, acceptor.connect(),
+                                      client_devices.gpu(0));
+    c->connect();
+    return c;
+  }
+
+  gpusim::DeviceManager devices;
+  gpusim::DeviceManager client_devices{1, 256u << 20};
+  ServerConfig config;
+  net::InprocAcceptor acceptor;
+  std::unique_ptr<Server> server;
+};
+
+data::DataLoader swap_loader(std::uint64_t seed) {
+  data::CharTokenizer tok;
+  return data::DataLoader(
+      tok.encode(data::make_shakespeare_like(500, 3).text), 1, 4, seed);
+}
+
+TEST(SessionBehavior, SwapOnIdleAdmitsClientThatWouldOomUnderBackfill) {
+  // Phase 1 — measure on a roomy rig: p = one client's persistent A + O
+  // reservation, M_b = its transient backward demand, avail0 = the
+  // schedulable pool with nothing reserved.
+  std::size_t avail0 = 0;
+  std::size_t p = 0;
+  std::size_t backward_bytes = 0;
+  {
+    SwapRig probe(sched::Policy::FcfsBackfill, 0, nullptr);
+    avail0 = probe.server->scheduler().total_available();
+    auto c = probe.client(1);
+    p = avail0 - probe.server->scheduler().total_available();
+    backward_bytes = c->server_backward_bytes();
+    c->disconnect();
+  }
+  const std::size_t slack = 64u << 10;
+  // The experiment only demonstrates anything if the persistent state is
+  // the dominant footprint; the rank-256 configuration guarantees it.
+  ASSERT_GT(p, backward_bytes + slack)
+      << "p=" << p << " M_b=" << backward_bytes;
+  // Phase 2 rigs get a pool of exactly P = p + M_b + slack: one client's
+  // persistent state plus one transient backward — never two p's.
+  const std::size_t pool = p + backward_bytes + slack;
+  const std::size_t reserve = avail0 - pool;
+
+  {
+    // Baseline: under FcfsBackfill the second client's reservation OOMs
+    // and the server rejects it at handshake.
+    SwapRig rig(sched::Policy::FcfsBackfill, reserve, nullptr);
+    auto a = rig.client(1);
+    EXPECT_THROW(rig.client(2), Error);
+    a->disconnect();
+  }
+
+  util::EventTrace trace(4096);
+  SwapRig rig(sched::Policy::SwapOnIdle, reserve, &trace);
+  ASSERT_NE(rig.server->offload_engine(), nullptr);
+  auto a = rig.client(1);
+  const std::size_t with_a = rig.server->persistent_gpu_bytes();
+  // Same pool, SwapOnIdle: admitting B evicts idle A's unit to host.
+  auto b = rig.client(2);
+  EXPECT_FALSE(rig.server->offload_engine()->resident(0));
+  EXPECT_TRUE(rig.server->offload_engine()->resident(1));
+  // The Fig 5 metric follows residency: A's p no longer counts.
+  EXPECT_EQ(rig.server->persistent_gpu_bytes(), with_a);
+  EXPECT_GE(rig.server->scheduler().stats().reclaims, 1u);
+  EXPECT_EQ(rig.server->scheduler().stats().reclaimed_bytes, p);
+
+  // Both clients can still train; each step swaps the idle one's unit out
+  // and its own back in.
+  auto la = swap_loader(3);
+  auto lb = swap_loader(4);
+  b->train_step(lb.next());
+  a->train_step(la.next());  // A's unit must come home for this
+  EXPECT_TRUE(rig.server->offload_engine()->resident(0));
+  b->train_step(lb.next());
+  const mem::OffloadStats os = rig.server->offload_engine()->stats();
+  EXPECT_GE(os.swap_outs, 2u);
+  EXPECT_GE(os.swap_ins, 1u);
+  EXPECT_GT(os.modeled_transfer_s, 0.0);
+
+  // The trace must show client A's unit leaving and returning, in order.
+  bool saw_out = false;
+  bool saw_in_after_out = false;
+  for (const util::TraceEvent& e : trace.snapshot()) {
+    if (e.category != util::TraceCategory::Memory || e.client_id != 0) {
+      continue;
+    }
+    if (e.name == "swap.out" && e.value == p) saw_out = true;
+    if (e.name == "swap.in" && e.value == p && saw_out) {
+      saw_in_after_out = true;
+    }
+  }
+  EXPECT_TRUE(saw_out);
+  EXPECT_TRUE(saw_in_after_out);
+
+  a->disconnect();
+  b->disconnect();
+}
+
 }  // namespace
 }  // namespace menos::core

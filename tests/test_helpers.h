@@ -46,6 +46,13 @@ class DeviceTest : public ::testing::Test {
           << "device '" << d->name()
           << "' ends the test with live bytes — every allocation in a test "
              "must be returned before it finishes";
+      // With MENOS_CACHING_ALLOC a pooling layer may hold idle segments;
+      // once everything is freed, flushing it must return every byte to
+      // the metered inner device.
+      d->empty_cache();
+      EXPECT_EQ(d->cached(), 0u)
+          << "device '" << d->name()
+          << "' still holds cached bytes after empty_cache()";
     }
   }
 

@@ -8,6 +8,7 @@
 #include "util/queue.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
+#include "util/trace.h"
 
 namespace menos::util {
 namespace {
@@ -194,6 +195,28 @@ TEST(RunningStat, EmptyIsZero) {
   RunningStat s;
   EXPECT_EQ(s.count(), 0u);
   EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(Trace, JsonlEscapesSpecialCharactersInNames) {
+  // Regression: event names containing quotes, backslashes or control
+  // characters used to be emitted raw, producing lines no JSON parser
+  // accepts.
+  EventTrace trace(8);
+  trace.record(TraceCategory::Session, "he said \"hi\"", 1);
+  trace.record(TraceCategory::Session, "path\\to\\thing", 2);
+  trace.record(TraceCategory::Session, std::string("tab\there\nnl\x01"), 3);
+  const std::string out = trace.to_jsonl();
+  EXPECT_NE(out.find("\"name\":\"he said \\\"hi\\\"\""), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("\"name\":\"path\\\\to\\\\thing\""), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("\"name\":\"tab\\there\\nnl\\u0001\""), std::string::npos)
+      << out;
+  // No raw control characters survive anywhere in the output.
+  for (char c : out) {
+    EXPECT_FALSE(static_cast<unsigned char>(c) < 0x20 && c != '\n')
+        << "raw control character in jsonl output";
+  }
 }
 
 }  // namespace

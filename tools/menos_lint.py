@@ -194,6 +194,11 @@ def check_nondeterminism(path: Path, raw: str) -> list:
 def check_mutex_annotation(path: Path, raw: str) -> list:
     if "src" not in path.parts or path.parts[-2:] == ("util", "mutex.h"):
         return []
+    # The memory subsystem is all lock-ordering subtlety (allocator inside
+    # engine inside scheduler callbacks), so src/mem is held to the strict
+    # form of the rule: every mutex must be annotated; NOLINT is no escape.
+    strict = len(path.parts) >= 2 and path.parts[0] == "src" and \
+        path.parts[1] == "mem"
     raw_lines = raw.splitlines()
     stripped = strip_comments(raw)
     findings = []
@@ -202,17 +207,23 @@ def check_mutex_annotation(path: Path, raw: str) -> list:
         if not m:
             continue
         name = m.group(1)
-        if suppressed(raw_lines, lineno, "mutex-annotation"):
+        if not strict and suppressed(raw_lines, lineno, "mutex-annotation"):
             continue
         uses = re.compile(
             r"MENOS_(?:GUARDED_BY|PT_GUARDED_BY|REQUIRES)\(\s*\*?"
             + re.escape(name))
         if not uses.search(stripped):
-            findings.append(Finding(
-                path, lineno, "mutex-annotation",
-                f"mutex '{name}' has no MENOS_GUARDED_BY/MENOS_REQUIRES "
-                f"reference in this file — annotate what it guards, or "
-                f"NOLINT with a comment saying what it serializes"))
+            if strict:
+                message = (
+                    f"mutex '{name}' has no MENOS_GUARDED_BY/MENOS_REQUIRES "
+                    f"reference in this file — src/mem mutexes must be "
+                    f"annotated (NOLINT does not exempt here)")
+            else:
+                message = (
+                    f"mutex '{name}' has no MENOS_GUARDED_BY/MENOS_REQUIRES "
+                    f"reference in this file — annotate what it guards, or "
+                    f"NOLINT with a comment saying what it serializes")
+            findings.append(Finding(path, lineno, "mutex-annotation", message))
     return findings
 
 
@@ -278,6 +289,14 @@ SELF_TEST_CASES = [
     ("src/sched/ok_suppressed.h",
      "#pragma once\nclass C {\n  // serializes connect(), guards nothing\n"
      "  util::Mutex mutex_;  // NOLINT(mutex-annotation)\n};\n", None),
+    # src/mem is strict: the same NOLINT that exempts src/sched still fires.
+    ("src/mem/bad_nolint.h",
+     "#pragma once\nclass C {\n  // serializes something, honest!\n"
+     "  util::Mutex mutex_;  // NOLINT(mutex-annotation)\n};\n",
+     "mutex-annotation"),
+    ("src/mem/ok_annotated.h",
+     "#pragma once\nclass C {\n  mutable util::Mutex mutex_;\n"
+     "  int x_ MENOS_GUARDED_BY(mutex_);\n};\n", None),
     ("src/util/bad_header.h", "struct X {};\n", "pragma-once"),
     ("src/core/bad_rand.cc", "int r = std::rand();\n", "nondeterminism"),
     ("src/util/rng_extra.cc", "#include <random>\nstd::random_device rd;\n",
