@@ -1,6 +1,21 @@
 // Figure 6: average time for clients to complete one round of fine-tuning
 // as the number of clients grows, vanilla (task-level swap) vs Menos.
+//
+// The second half leaves the simulator and measures round-time inflation on
+// the LIVE server when the link is lossy (ISSUE 4): a fault-injecting
+// dialer kills/corrupts the client's connection at a fixed per-frame rate
+// and the reconnect/resume machinery (docs/FAULTS.md) absorbs it. Backoff
+// runs at time_scale = 0, so the inflation shown is pure recovery work —
+// redial, ResumeSession handshake, replayed RPCs — not sleeping.
+#include <memory>
+#include <vector>
+
 #include "bench_common.h"
+#include "core/client.h"
+#include "core/server.h"
+#include "net/faulty.h"
+#include "net/transport.h"
+#include "util/stopwatch.h"
 
 using namespace menos;
 
@@ -22,6 +37,92 @@ void run_model(const sim::ModelSpec& spec, int max_clients,
   }
 }
 
+// ----- live lossy-link round times -----
+
+nn::TransformerConfig lossy_model() {
+  nn::TransformerConfig c = nn::TransformerConfig::tiny_opt();
+  c.dim = 32;
+  c.n_heads = 2;
+  c.ffn_hidden = 64;
+  c.n_layers = 3;
+  return c;
+}
+
+struct LossyOutcome {
+  double avg_round_s = 0.0;
+  std::uint64_t retries = 0;
+  std::uint64_t resumes = 0;
+  std::uint64_t faults = 0;
+};
+
+LossyOutcome run_lossy(double fault_prob, int rounds) {
+  gpusim::DeviceManager devices(1, 256u << 20);
+  core::ServerConfig config;
+  config.base_seed = 42;
+  config.lease_seconds = 60.0;  // parked sessions easily outlive a redial
+  core::Server server(config, devices, lossy_model());
+  net::InprocAcceptor acceptor;
+  server.start(acceptor);
+
+  net::Dialer dialer = [&acceptor] { return acceptor.connect(); };
+  std::shared_ptr<net::FaultInjector> injector;
+  if (fault_prob > 0.0) {
+    net::FaultPlan plan;
+    plan.seed = 0xfa06;
+    plan.drop_send_prob = fault_prob / 2.0;
+    plan.drop_receive_prob = fault_prob / 2.0;
+    plan.skip_frames = 4;  // let the Hello/HelloAck handshake through
+    injector = std::make_shared<net::FaultInjector>(plan);
+    dialer = net::faulty_dialer(std::move(dialer), injector);
+  }
+
+  core::ClientOptions options;
+  options.finetune.model = lossy_model();
+  options.finetune.batch_size = 2;
+  options.finetune.seq_len = 8;
+  options.finetune.adapter_seed = 7;
+  options.base_seed = 42;
+  options.retry.time_scale = 0.0;  // measure recovery work, not backoff sleep
+  gpusim::DeviceManager client_devices(1, 256u << 20);
+  core::Client client(options, dialer(), client_devices.gpu(0), dialer);
+  client.connect();
+
+  data::CharTokenizer tok;
+  data::DataLoader loader(tok.encode(data::make_shakespeare_like(2000, 5).text),
+                          2, 8, 3);
+  util::RunningStat round_s;
+  for (int i = 0; i < rounds; ++i) {
+    util::Stopwatch sw;
+    client.train_step(loader.next());
+    round_s.add(sw.elapsed_seconds());
+  }
+
+  LossyOutcome out;
+  out.avg_round_s = round_s.mean();
+  out.retries = client.retries();
+  out.resumes = client.resumes();
+  if (injector != nullptr) out.faults = injector->stats().faults();
+  client.disconnect();
+  server.stop();
+  return out;
+}
+
+void run_lossy_sweep() {
+  const int rounds = 12;
+  std::printf(
+      "\n--- live server: round time vs per-frame fault rate (%d rounds, "
+      "backoff time_scale = 0) ---\n", rounds);
+  std::printf("%-12s  %-14s  %-9s  %-9s  %s\n", "fault rate", "avg round (s)",
+              "retries", "resumes", "faults injected");
+  for (const double rate : {0.0, 0.02, 0.05, 0.10}) {
+    const LossyOutcome out = run_lossy(rate, rounds);
+    std::printf("%-12.2f  %-14.4f  %-9llu  %-9llu  %llu\n", rate,
+                out.avg_round_s, static_cast<unsigned long long>(out.retries),
+                static_cast<unsigned long long>(out.resumes),
+                static_cast<unsigned long long>(out.faults));
+  }
+}
+
 }  // namespace
 
 int main() {
@@ -34,5 +135,6 @@ int main() {
             "(paper: swap starts beyond 3 clients)");
   run_model(sim::ModelSpec::llama2_7b(), 6,
             "(paper: swap starts at 2 clients; N/A from 5 clients)");
+  run_lossy_sweep();
   return 0;
 }

@@ -1,6 +1,8 @@
 #include "core/client.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 #include "core/checkpoint.h"
 #include "net/wire.h"
@@ -8,11 +10,25 @@
 #include "util/logging.h"
 
 namespace menos::core {
+namespace {
+
+/// Internal control-flow signal for rpc(): the link died mid-exchange in a
+/// way that redial + resume + replay can recover from.
+struct LinkLost {};
+
+}  // namespace
 
 Client::Client(const ClientOptions& options,
                std::unique_ptr<net::Connection> connection,
-               gpusim::Device& device)
-    : options_(options), connection_(std::move(connection)), device_(&device) {
+               gpusim::Device& device, net::Dialer dialer)
+    : options_(options),
+      connection_(std::move(connection)),
+      device_(&device),
+      dialer_(std::move(dialer)),
+      retry_rng_(options.retry_seed) {
+  if (connection_ != nullptr && options_.receive_timeout_s > 0.0) {
+    connection_->set_receive_timeout(options_.receive_timeout_s);
+  }
   const net::FinetuneConfig& ft = options_.finetune;
   ft.model.validate();
   ft.split.validate(ft.model);
@@ -40,22 +56,98 @@ Client::~Client() {
 
 void Client::connect() {
   MENOS_CHECK_MSG(!connected_, "client already connected");
-  if (!connection_->send(net::Message::hello(options_.finetune))) {
-    throw StateError("connection closed before handshake");
-  }
-  auto reply = connection_->receive();
-  if (!reply.has_value()) {
-    throw StateError("server closed the connection during handshake");
-  }
-  if (reply->type == net::MessageType::Error) {
-    throw StateError("server rejected client: " + reply->text);
-  }
-  MENOS_CHECK_MSG(reply->type == net::MessageType::HelloAck,
-                  "unexpected handshake reply: "
-                      << net::message_type_name(reply->type));
-  fwd_bytes_ = reply->forward_bytes;
-  bwd_bytes_ = reply->backward_bytes;
+  const net::Message reply =
+      rpc(net::Message::hello(options_.finetune), net::MessageType::HelloAck,
+          "handshake");
+  fwd_bytes_ = reply.forward_bytes;
+  bwd_bytes_ = reply.backward_bytes;
+  session_token_ = reply.session_token;
+  lease_seconds_ = reply.lease_seconds;
   connected_ = true;
+}
+
+void Client::reestablish() {
+  std::unique_ptr<net::Connection> fresh = dialer_();
+  if (fresh == nullptr) throw LinkLost{};
+  if (options_.receive_timeout_s > 0.0) {
+    fresh->set_receive_timeout(options_.receive_timeout_s);
+  }
+  if (session_token_ != 0) {
+    // Re-enter the parked server session; a brand-new pre-handshake client
+    // (token 0) just dials and lets the pending Hello do the rest.
+    if (!fresh->send(net::Message::resume_session(session_token_))) {
+      throw LinkLost{};
+    }
+    std::optional<net::Message> ack;
+    try {
+      ack = fresh->receive();
+    } catch (const ProtocolError&) {
+      throw LinkLost{};
+    }
+    if (!ack.has_value()) throw LinkLost{};
+    if (ack->type == net::MessageType::Error) {
+      // The lease expired (or the token is bogus): the session and its
+      // state are gone, so replaying the request cannot help.
+      throw StateError("server refused resume: " + ack->text);
+    }
+    MENOS_CHECK_MSG(ack->type == net::MessageType::ResumeAck,
+                    "unexpected resume reply: "
+                        << net::message_type_name(ack->type));
+    ++resumes_;
+    if (options_.trace != nullptr) {
+      options_.trace->record(util::TraceCategory::Network, "net.resume");
+    }
+  }
+  connection_ = std::move(fresh);
+}
+
+net::Message Client::rpc(const net::Message& request,
+                         net::MessageType expected, const char* context) {
+  for (int attempt = 0;; ++attempt) {
+    try {
+      if (connection_ == nullptr) reestablish();
+      if (!connection_->send(request)) throw LinkLost{};
+      std::optional<net::Message> reply;
+      try {
+        reply = connection_->receive();
+      } catch (const ProtocolError&) {
+        throw LinkLost{};  // corrupt frame: the stream is unrecoverable
+      }
+      if (!reply.has_value()) throw LinkLost{};
+      if (reply->type == net::MessageType::Error) {
+        throw StateError("server error: " + reply->text);
+      }
+      MENOS_CHECK_MSG(reply->type == expected,
+                      context << ": unexpected reply "
+                              << net::message_type_name(reply->type));
+      return std::move(*reply);
+    } catch (const LinkLost&) {
+      if (connection_ != nullptr) {
+        connection_->close();
+        connection_.reset();
+      }
+      if (dialer_ == nullptr) {
+        throw StateError(std::string("connection lost: ") + context);
+      }
+      if (attempt + 1 >= options_.retry.max_attempts) {
+        throw StateError(std::string("connection lost (retries exhausted): ") +
+                         context);
+      }
+      ++retries_;
+      if (options_.trace != nullptr) {
+        options_.trace->record(util::TraceCategory::Network, "net.retry");
+      }
+      const double sleep_s = options_.retry.backoff_s(attempt, retry_rng_);
+      if (sleep_s > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(sleep_s));
+      }
+    }
+  }
+}
+
+void Client::heartbeat() {
+  MENOS_CHECK_MSG(connected_, "heartbeat before connect()");
+  rpc(net::Message::heartbeat(), net::MessageType::HeartbeatAck, "heartbeat");
 }
 
 tensor::Tensor Client::input_forward(const data::Batch& batch) {
@@ -102,23 +194,15 @@ StepStats Client::run_round(const data::Batch& batch, bool defer_update,
   net::WireTensor x_c_wire = to_wire(x_c);
   stats.client_compute_s += client_sw.elapsed_seconds();
 
-  if (!connection_->send(net::Message::forward(std::move(x_c_wire),
-                                               iteration_))) {
-    throw StateError("connection lost sending activations");
-  }
-  auto fwd_reply = connection_->receive();
-  if (!fwd_reply.has_value()) throw StateError("connection lost awaiting x_s");
-  if (fwd_reply->type == net::MessageType::Error) {
-    throw StateError("server error: " + fwd_reply->text);
-  }
-  MENOS_CHECK_MSG(fwd_reply->type == net::MessageType::ForwardResult,
-                  "expected ForwardResult");
-  stats.server_compute_s += fwd_reply->compute_seconds;
-  stats.server_wait_s += fwd_reply->schedule_wait_seconds;
+  const net::Message fwd_reply =
+      rpc(net::Message::forward(std::move(x_c_wire), iteration_),
+          net::MessageType::ForwardResult, "forward");
+  stats.server_compute_s += fwd_reply.compute_seconds;
+  stats.server_wait_s += fwd_reply.schedule_wait_seconds;
 
   // Steps 2-3: output section, loss, local backward down to g_c.
   client_sw.reset();
-  Tensor x_s = from_wire(fwd_reply->tensor, *device_, /*requires_grad=*/true);
+  Tensor x_s = from_wire(fwd_reply.tensor, *device_, /*requires_grad=*/true);
   Tensor loss = output_->loss(x_s, input_->prefix_len(), batch.targets);
   stats.loss = loss.item();
   tensor::backward(tensor::scale(loss, loss_scale));
@@ -134,23 +218,15 @@ StepStats Client::run_round(const data::Batch& batch, bool defer_update,
       net::Message::backward(std::move(g_c_wire), iteration_);
   backward_msg.defer_update = defer_update;
   backward_msg.lr_override = step_lr;
-  if (!connection_->send(backward_msg)) {
-    throw StateError("connection lost sending gradients");
-  }
-  auto bwd_reply = connection_->receive();
-  if (!bwd_reply.has_value()) throw StateError("connection lost awaiting g_s");
-  if (bwd_reply->type == net::MessageType::Error) {
-    throw StateError("server error: " + bwd_reply->text);
-  }
-  MENOS_CHECK_MSG(bwd_reply->type == net::MessageType::BackwardResult,
-                  "expected BackwardResult");
-  stats.server_compute_s += bwd_reply->compute_seconds;
-  stats.server_wait_s += bwd_reply->schedule_wait_seconds;
+  const net::Message bwd_reply =
+      rpc(backward_msg, net::MessageType::BackwardResult, "backward");
+  stats.server_compute_s += bwd_reply.compute_seconds;
+  stats.server_wait_s += bwd_reply.schedule_wait_seconds;
 
   // Step 4: finish back-propagation through the input section and update
   // the client-side adapters.
   client_sw.reset();
-  Tensor g_s = from_wire(bwd_reply->tensor, *device_);
+  Tensor g_s = from_wire(bwd_reply.tensor, *device_);
   tensor::backward(x_c, g_s);
   if (!defer_update) {
     optimizer_->set_lr(step_lr);
@@ -175,17 +251,9 @@ double Client::evaluate(const data::Batch& batch) {
   Tensor x_c = input_forward(batch);
   net::Message msg = net::Message::forward(to_wire(x_c), iteration_);
   msg.eval_only = true;
-  if (!connection_->send(msg)) {
-    throw StateError("connection lost sending eval activations");
-  }
-  auto reply = connection_->receive();
-  if (!reply.has_value()) throw StateError("connection lost awaiting eval x_s");
-  if (reply->type == net::MessageType::Error) {
-    throw StateError("server error: " + reply->text);
-  }
-  MENOS_CHECK_MSG(reply->type == net::MessageType::ForwardResult,
-                  "expected ForwardResult");
-  Tensor x_s = from_wire(reply->tensor, *device_);
+  const net::Message reply =
+      rpc(msg, net::MessageType::ForwardResult, "evaluate");
+  Tensor x_s = from_wire(reply.tensor, *device_);
   return output_->loss(x_s, input_->prefix_len(), batch.targets).item();
 }
 
@@ -205,17 +273,9 @@ std::vector<std::int32_t> Client::generate(std::vector<std::int32_t> prompt,
         input_->forward(context, 1, static_cast<tensor::Index>(window));
     net::Message msg = net::Message::forward(to_wire(x_c), iteration_);
     msg.eval_only = true;
-    if (!connection_->send(msg)) {
-      throw StateError("connection lost during generation");
-    }
-    auto reply = connection_->receive();
-    if (!reply.has_value()) throw StateError("connection lost during generation");
-    if (reply->type == net::MessageType::Error) {
-      throw StateError("server error: " + reply->text);
-    }
-    MENOS_CHECK_MSG(reply->type == net::MessageType::ForwardResult,
-                    "expected ForwardResult");
-    Tensor x_s = from_wire(reply->tensor, *device_);
+    const net::Message reply =
+        rpc(msg, net::MessageType::ForwardResult, "generate");
+    Tensor x_s = from_wire(reply.tensor, *device_);
     Tensor logits = output_->logits(x_s, input_->prefix_len());
     prompt.push_back(tensor::argmax_lastdim(logits).back());
   }
@@ -238,22 +298,14 @@ std::vector<nn::Parameter> local_adapter_params(nn::InputSection& input,
 std::vector<std::uint8_t> Client::export_adapter() {
   MENOS_CHECK_MSG(connected_, "export_adapter before connect()");
   // Fetch the server-side adapter phi_s.
-  if (!connection_->send(net::Message::fetch_adapter())) {
-    throw StateError("connection lost fetching the server adapter");
-  }
-  auto reply = connection_->receive();
-  if (!reply.has_value()) throw StateError("connection lost fetching adapter");
-  if (reply->type == net::MessageType::Error) {
-    throw StateError("server error: " + reply->text);
-  }
-  MENOS_CHECK_MSG(reply->type == net::MessageType::AdapterBlob,
-                  "expected AdapterBlob");
+  const net::Message reply = rpc(net::Message::fetch_adapter(),
+                                 net::MessageType::AdapterBlob, "export");
 
   const std::vector<std::uint8_t> local =
       serialize_adapter(local_adapter_params(*input_, *output_));
   net::Writer w;
   w.put_bytes(local);
-  w.put_bytes(reply->blob);
+  w.put_bytes(reply.blob);
   return w.take();
 }
 
@@ -268,22 +320,19 @@ std::size_t Client::import_adapter(const std::uint8_t* data,
   const std::size_t loaded = deserialize_adapter(
       local.data(), local.size(), local_adapter_params(*input_, *output_));
 
-  if (!connection_->send(net::Message::push_adapter(remote))) {
-    throw StateError("connection lost pushing the server adapter");
-  }
-  auto ack = connection_->receive();
-  if (!ack.has_value()) throw StateError("connection lost pushing adapter");
-  if (ack->type == net::MessageType::Error) {
-    throw StateError("server rejected adapter: " + ack->text);
-  }
-  MENOS_CHECK_MSG(ack->type == net::MessageType::PushAck, "expected PushAck");
+  rpc(net::Message::push_adapter(remote), net::MessageType::PushAck,
+      "import");
   return loaded;
 }
 
 void Client::disconnect() {
   if (!connected_) return;
-  connection_->send(net::Message::bye());
-  connection_->close();
+  // Bye is best-effort and never retried: if the link is gone the server's
+  // lease (or its connection-death path) tears the session down anyway.
+  if (connection_ != nullptr) {
+    connection_->send(net::Message::bye());
+    connection_->close();
+  }
   connected_ = false;
 }
 

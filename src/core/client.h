@@ -16,6 +16,8 @@
 #include "nn/transformer.h"
 #include "optim/lr_schedule.h"
 #include "optim/optimizer.h"
+#include "util/retry.h"
+#include "util/rng.h"
 #include "util/stopwatch.h"
 
 namespace menos::core {
@@ -28,6 +30,18 @@ struct ClientOptions {
   /// Learning-rate schedule over finetune.lr; evaluated per step and
   /// propagated to the server-side optimizer in each Backward message.
   optim::LrSchedule schedule = optim::LrSchedule::constant();
+
+  /// Backoff schedule for reconnect/resume after a dropped link. Only used
+  /// when the client was built with a Dialer; without one, any link loss
+  /// remains immediately fatal (the pre-fault-tolerance behavior).
+  util::RetryPolicy retry;
+  /// Seeds the backoff jitter so retry schedules are reproducible.
+  std::uint64_t retry_seed = 0x52e7121;
+  /// Receive timeout applied to every connection (0 = block forever); lets
+  /// the client notice a silently dead link rather than hang in receive().
+  double receive_timeout_s = 0.0;
+  /// Optional event trace (not owned); records net.retry / net.resume.
+  util::EventTrace* trace = nullptr;
 };
 
 /// Per-iteration measurements, decomposed the way §5.2 decomposes Fig 6:
@@ -45,9 +59,13 @@ struct StepStats {
 class Client {
  public:
   /// `device` is the client's local compute device (its own GPU, or the
-  /// host for the CPU-client experiments of Fig 10).
+  /// host for the CPU-client experiments of Fig 10). A non-null `dialer`
+  /// enables fault tolerance: on link loss the client redials, resumes its
+  /// server session via ResumeSession, and replays the in-flight request
+  /// under options.retry (docs/FAULTS.md).
   Client(const ClientOptions& options,
-         std::unique_ptr<net::Connection> connection, gpusim::Device& device);
+         std::unique_ptr<net::Connection> connection, gpusim::Device& device,
+         net::Dialer dialer = nullptr);
   ~Client();
 
   Client(const Client&) = delete;
@@ -90,9 +108,19 @@ class Client {
   /// Polite shutdown (Bye).
   void disconnect();
 
+  /// Keepalive: refresh the server-side session lease without doing any
+  /// work (for gaps between iterations longer than the lease).
+  void heartbeat();
+
   /// Server-profiled memory demands (from HelloAck).
   std::uint64_t server_forward_bytes() const noexcept { return fwd_bytes_; }
   std::uint64_t server_backward_bytes() const noexcept { return bwd_bytes_; }
+
+  /// Fault-tolerance introspection (from HelloAck / the retry loop).
+  std::uint64_t session_token() const noexcept { return session_token_; }
+  double lease_seconds() const noexcept { return lease_seconds_; }
+  std::uint64_t retries() const noexcept { return retries_; }
+  std::uint64_t resumes() const noexcept { return resumes_; }
 
   /// Client-side footprint, for completeness of the §2.3 accounting.
   std::size_t parameter_bytes() const;
@@ -107,15 +135,33 @@ class Client {
   StepStats run_round(const data::Batch& batch, bool defer_update,
                       float loss_scale);
 
+  /// One request/reply exchange with at-least-once delivery: on link loss
+  /// (send failure, drained receive, or frame corruption) the client
+  /// redials, resumes the session, and replays `request`, backing off per
+  /// options.retry. Replays are safe: Forward recomputes deterministically
+  /// and the server dedups Backward by iteration. Throws StateError when
+  /// no dialer is set, attempts are exhausted, or the server answers Error.
+  net::Message rpc(const net::Message& request, net::MessageType expected,
+                   const char* context);
+
+  /// Dial a fresh connection and re-enter the session with ResumeSession.
+  void reestablish();
+
   ClientOptions options_;
   std::unique_ptr<net::Connection> connection_;
   gpusim::Device* device_;
+  net::Dialer dialer_;
+  util::Rng retry_rng_;
   std::unique_ptr<nn::InputSection> input_;
   std::unique_ptr<nn::OutputSection> output_;
   std::unique_ptr<optim::Optimizer> optimizer_;
   std::uint64_t iteration_ = 0;
   std::uint64_t fwd_bytes_ = 0;
   std::uint64_t bwd_bytes_ = 0;
+  std::uint64_t session_token_ = 0;
+  double lease_seconds_ = 0.0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t resumes_ = 0;
   bool connected_ = false;
 };
 

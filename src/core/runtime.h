@@ -50,6 +50,17 @@ struct ServerConfig {
   /// headroom for serialization scratch.
   std::size_t reserve_bytes = 0;
 
+  /// Session lease (docs/FAULTS.md): a session silent for longer than this
+  /// — no traffic and no Heartbeat — is expired by the reaper, releasing
+  /// its GPU memory and cancelling its scheduler reservations so a crashed
+  /// client cannot strand capacity. With leases enabled a dropped
+  /// connection parks the session for ResumeSession reattach instead of
+  /// destroying it. 0 disables leases (the pre-fault-tolerance behavior:
+  /// sessions die with their connection).
+  double lease_seconds = 0.0;
+  /// Reaper wake-up period; <= 0 derives lease_seconds / 4.
+  double reaper_interval_s = 0.0;
+
   /// Optional event trace (not owned; must outlive the server). Sessions
   /// record lifecycle, scheduling-wait, compute, and swap events into it.
   util::EventTrace* trace = nullptr;

@@ -6,7 +6,10 @@ namespace menos::core {
 
 Server::Server(const ServerConfig& config, gpusim::DeviceManager& devices,
                const nn::TransformerConfig& model)
-    : config_(config), devices_(&devices), model_(model) {
+    : config_(config),
+      devices_(&devices),
+      model_(model),
+      token_rng_(config.base_seed ^ 0x6d656e6f73ULL /* "menos" */) {
   MENOS_CHECK_MSG(devices.gpu_count() >= 1, "server needs at least one GPU");
   model_.validate();
   if (shares_base_model(config_.mode)) {
@@ -56,13 +59,23 @@ void Server::start(net::Acceptor& acceptor) {
   MENOS_CHECK_MSG(!accept_thread_.joinable(), "server already started");
   acceptor_ = &acceptor;
   accept_thread_ = std::thread([this] { accept_loop(acceptor_); });
+  if (config_.lease_seconds > 0.0) {
+    reaper_thread_ = std::thread([this] { reaper_loop(); });
+  }
 }
 
 void Server::stop() {
   if (stopping_.exchange(true)) {
     if (accept_thread_.joinable()) accept_thread_.join();
+    if (reaper_thread_.joinable()) reaper_thread_.join();
     return;
   }
+  {
+    util::MutexLock lock(reaper_mutex_);
+    reaper_stop_ = true;
+    reaper_cv_.notify_all();
+  }
+  if (reaper_thread_.joinable()) reaper_thread_.join();
   if (acceptor_ != nullptr) acceptor_->close();
   if (accept_thread_.joinable()) accept_thread_.join();
   std::vector<std::unique_ptr<ServingSession>> sessions;
@@ -80,12 +93,48 @@ void Server::accept_loop(net::Acceptor* acceptor) {
     if (connection == nullptr) return;  // acceptor closed
     util::MutexLock lock(sessions_mutex_);
     reap_finished_locked();
+    // `| 1` keeps 0 reserved as "no token" (the Hello/HelloAck default).
+    const std::uint64_t token = token_rng_.next_u64() | 1;
     auto session = std::make_unique<ServingSession>(
-        next_client_id_++, std::move(connection), config_, store_.get(),
-        model_, *scheduler_, *devices_, profiling_mutex_, profile_cache_,
-        offload_.get());
+        next_client_id_++, token, std::move(connection), config_,
+        store_.get(), model_, *scheduler_, *devices_, profiling_mutex_,
+        profile_cache_, offload_.get());
+    session->set_resume_router(
+        [this](std::uint64_t t, std::shared_ptr<net::Connection> conn) {
+          return route_resume(t, std::move(conn));
+        });
     session->start();
     sessions_.push_back(std::move(session));
+  }
+}
+
+bool Server::route_resume(std::uint64_t token,
+                          std::shared_ptr<net::Connection> connection) {
+  if (token == 0) return false;
+  util::MutexLock lock(sessions_mutex_);
+  for (auto& session : sessions_) {
+    if (session->token() == token) {
+      return session->attach(std::move(connection));
+    }
+  }
+  return false;
+}
+
+void Server::reaper_loop() {
+  const double interval = config_.reaper_interval_s > 0.0
+                              ? config_.reaper_interval_s
+                              : config_.lease_seconds / 4.0;
+  while (true) {
+    {
+      util::MutexLock lock(reaper_mutex_);
+      while (!reaper_stop_) {
+        if (!reaper_cv_.wait_for(reaper_mutex_, interval)) break;  // tick
+      }
+      if (reaper_stop_) return;
+    }
+    util::MutexLock lock(sessions_mutex_);
+    for (auto& session : sessions_) session->expire_if_overdue();
+    reap_finished_locked();
   }
 }
 

@@ -9,6 +9,7 @@
 #include "core/session.h"
 #include "mem/offload_engine.h"
 #include "util/mutex.h"
+#include "util/rng.h"
 #include "util/thread_annotations.h"
 
 namespace menos::core {
@@ -53,6 +54,17 @@ class Server {
   void accept_loop(net::Acceptor* acceptor);
   void reap_finished_locked() MENOS_REQUIRES(sessions_mutex_);
 
+  /// ResumeRouter for sessions: find the parked session owning `token` and
+  /// attach the fresh connection to it. False -> the session is gone (lease
+  /// expired or never existed) and the caller answers Error.
+  bool route_resume(std::uint64_t token,
+                    std::shared_ptr<net::Connection> connection);
+
+  /// Lease reaper (lease_seconds > 0 only): periodically expires sessions
+  /// whose deadline passed and sweeps finished ones, so a crashed client's
+  /// GPU memory is reclaimed without waiting for the next accept.
+  void reaper_loop();
+
   ServerConfig config_;
   gpusim::DeviceManager* devices_;
   nn::TransformerConfig model_;
@@ -72,10 +84,18 @@ class Server {
   std::vector<std::unique_ptr<ServingSession>> sessions_
       MENOS_GUARDED_BY(sessions_mutex_);
   int next_client_id_ MENOS_GUARDED_BY(sessions_mutex_) = 0;
+  /// Mints session tokens; seeded from base_seed so runs are reproducible
+  /// but tokens are not trivially guessable across configurations.
+  util::Rng token_rng_ MENOS_GUARDED_BY(sessions_mutex_);
 
   net::Acceptor* acceptor_ = nullptr;
   std::thread accept_thread_;
   std::atomic<bool> stopping_{false};
+
+  util::Mutex reaper_mutex_;
+  util::CondVar reaper_cv_;
+  bool reaper_stop_ MENOS_GUARDED_BY(reaper_mutex_) = false;
+  std::thread reaper_thread_;
 };
 
 }  // namespace menos::core

@@ -24,7 +24,7 @@ void ProfileCache::insert(const std::string& key,
   cache_[key] = demands;
 }
 
-ServingSession::ServingSession(int id,
+ServingSession::ServingSession(int id, std::uint64_t token,
                                std::unique_ptr<net::Connection> connection,
                                const ServerConfig& config,
                                const ParameterStore* store,
@@ -35,6 +35,7 @@ ServingSession::ServingSession(int id,
                                ProfileCache& profile_cache,
                                mem::OffloadEngine* offload)
     : id_(id),
+      token_(token),
       connection_(std::move(connection)),
       config_(config),
       store_(store),
@@ -48,6 +49,11 @@ ServingSession::ServingSession(int id,
       offload_(offload) {
   MENOS_CHECK_MSG(!shares_base_model(config.mode) || store_ != nullptr,
                   "shared serving modes require a ParameterStore");
+  // Arm the lease immediately: a connection that never completes its
+  // handshake must still be reaped, or an attacker (or a crashed client)
+  // could strand a session thread forever.
+  util::MutexLock lock(conn_mutex_);
+  touch_lease_locked();
 }
 
 ServingSession::~ServingSession() {
@@ -65,7 +71,11 @@ void ServingSession::join() {
 
 void ServingSession::request_stop() {
   stop_requested_.store(true);
-  connection_->close();
+  {
+    util::MutexLock lock(conn_mutex_);
+    if (connection_ != nullptr) connection_->close();
+    conn_cv_.notify_all();  // unblock a session parked across link loss
+  }
   grant_.notify();  // unblock a session parked in acquire()
 }
 
@@ -97,29 +107,55 @@ SessionStats ServingSession::stats() const {
 }
 
 void ServingSession::run() {
-  bool registered = false;
+  {
+    util::MutexLock lock(conn_mutex_);
+    serving_conn_ = connection_;
+  }
   try {
-    auto first = connection_->receive();
+    std::optional<net::Message> first;
+    if (serving_conn_ != nullptr) first = serving_conn_->receive();
     if (!first.has_value()) {
       finished_.store(true);
       return;
     }
+    if (first->type == net::MessageType::ResumeSession) {
+      // A reconnecting client: hand the connection to the parked session
+      // that minted the token. This session existed only to read the first
+      // frame and never registered anything, so no cleanup is needed.
+      route_resume(first->session_token);
+      finished_.store(true);
+      return;
+    }
     if (first->type != net::MessageType::Hello) {
-      connection_->send(net::Message::error("expected Hello, got " +
-                                            std::string(net::message_type_name(
-                                                first->type))));
+      send_reply(net::Message::error("expected Hello, got " +
+                                     std::string(net::message_type_name(
+                                         first->type))));
       finished_.store(true);
       return;
     }
     handshake(*first);
-    registered = true;
     serve_loop();
   } catch (const Error& e) {
     MENOS_LOG(Warn) << "session " << id_ << " failed: " << e.what();
-    connection_->send(net::Message::error(e.what()));
+    send_reply(net::Message::error(e.what()));
   }
-  cleanup(/* registered deduced from state below */);
-  (void)registered;
+  cleanup();
+}
+
+void ServingSession::route_resume(std::uint64_t token) {
+  std::shared_ptr<net::Connection> conn;
+  {
+    // Disown the connection either way: on success the parked session owns
+    // it, and on failure it is closed below — never by our destructor.
+    util::MutexLock lock(conn_mutex_);
+    conn = std::move(connection_);
+    connection_ = nullptr;
+  }
+  serving_conn_.reset();
+  if (conn == nullptr) return;
+  if (resume_router_ != nullptr && resume_router_(token, conn)) return;
+  conn->send(net::Message::error("unknown or expired session token"));
+  conn->close();
 }
 
 void ServingSession::handshake(const net::Message& hello) {
@@ -189,8 +225,9 @@ void ServingSession::handshake(const net::Message& hello) {
     config_.trace->record(util::TraceCategory::Memory, "profile.backward",
                           id_, demands_.backward_bytes);
   }
-  connection_->send(net::Message::hello_ack(demands_.forward_bytes,
-                                            demands_.backward_bytes));
+  send_reply(net::Message::hello_ack(demands_.forward_bytes,
+                                     demands_.backward_bytes, token_,
+                                     config_.lease_seconds));
 }
 
 std::string ServingSession::profile_key() const {
@@ -395,7 +432,7 @@ void ServingSession::offload_ensure_resident() {
 }
 
 void ServingSession::serve_loop() {
-  while (auto msg = connection_->receive()) {
+  while (auto msg = next_message()) {
     switch (msg->type) {
       case net::MessageType::Forward:
         handle_forward(*msg);
@@ -409,15 +446,14 @@ void ServingSession::serve_loop() {
         // residency unit so an eviction cannot migrate the adapter tensors
         // mid-serialize.
         offload_begin_use();
-        connection_->send(net::Message::adapter_blob(
-            serialize_adapter(*section_)));
+        send_reply(net::Message::adapter_blob(serialize_adapter(*section_)));
         offload_end_use();
         break;
       case net::MessageType::PushAdapter:
         offload_begin_use();
         deserialize_adapter(msg->blob.data(), msg->blob.size(), *section_);
         offload_end_use();
-        connection_->send(net::Message::push_ack());
+        send_reply(net::Message::push_ack());
         break;
       case net::MessageType::Bye:
         return;
@@ -426,6 +462,127 @@ void ServingSession::serve_loop() {
                             std::string(net::message_type_name(msg->type)));
     }
   }
+}
+
+std::optional<net::Message> ServingSession::next_message() {
+  while (true) {
+    std::shared_ptr<net::Connection> conn;
+    {
+      util::MutexLock lock(conn_mutex_);
+      conn = connection_;
+    }
+    if (conn == nullptr) return std::nullopt;
+    // Replies for whatever arrives next must go back on this connection:
+    // if attach() swaps in a resumed link mid-computation, a reply sent
+    // there would race the client's re-sent request.
+    serving_conn_ = conn;
+
+    std::optional<net::Message> msg;
+    try {
+      msg = conn->receive();
+    } catch (const ProtocolError& e) {
+      // A frame failed CRC/length checks: the stream cannot be
+      // resynchronized. Without leases this stays fatal to the session
+      // (pre-fault-tolerance behavior); with leases only the link dies and
+      // the client reconnects with ResumeSession.
+      if (!lease_enabled()) throw;
+      MENOS_LOG(Warn) << "session " << id_
+                      << " dropping corrupt link: " << e.what();
+      conn->close();
+    }
+
+    if (msg.has_value()) {
+      {
+        util::MutexLock lock(conn_mutex_);
+        touch_lease_locked();
+      }
+      if (msg->type == net::MessageType::Heartbeat) {
+        conn->send(net::Message::heartbeat_ack());
+        continue;
+      }
+      return msg;
+    }
+
+    // Link down: closed by the peer, by an injected fault, or swapped out
+    // under us by attach()/request_stop()/the reaper.
+    util::MutexLock lock(conn_mutex_);
+    if (!lease_enabled() || stop_requested_.load() || expired_) {
+      return std::nullopt;
+    }
+    if (config_.trace != nullptr && connection_.get() == conn.get()) {
+      config_.trace->record(util::TraceCategory::Session, "session.parked",
+                            id_);
+    }
+    while (connection_.get() == conn.get() && !stop_requested_.load() &&
+           !expired_) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= lease_deadline_) {
+        expire_locked();
+        break;
+      }
+      conn_cv_.wait_for(
+          conn_mutex_,
+          std::chrono::duration<double>(lease_deadline_ - now).count());
+    }
+    if (stop_requested_.load() || expired_) return std::nullopt;
+    // attach() delivered a fresh connection; loop around and serve it.
+  }
+}
+
+bool ServingSession::send_reply(const net::Message& message) {
+  if (serving_conn_ == nullptr) return false;
+  return serving_conn_->send(message);
+}
+
+void ServingSession::touch_lease_locked() {
+  if (!lease_enabled()) return;
+  lease_deadline_ =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(config_.lease_seconds));
+}
+
+void ServingSession::expire_locked() {
+  if (expired_) return;
+  expired_ = true;
+  if (connection_ != nullptr) connection_->close();
+  if (config_.trace != nullptr) {
+    config_.trace->record(util::TraceCategory::Session,
+                          "session.lease_expired", id_);
+  }
+  conn_cv_.notify_all();
+  // Unblock acquire(): the grant never arrives for an expired session, and
+  // the resulting StateError unwinds the session thread into cleanup().
+  grant_.notify();
+}
+
+void ServingSession::expire_if_overdue() {
+  if (!lease_enabled() || finished_.load()) return;
+  util::MutexLock lock(conn_mutex_);
+  if (expired_ || stop_requested_.load()) return;
+  if (std::chrono::steady_clock::now() >= lease_deadline_) expire_locked();
+}
+
+bool ServingSession::attach(std::shared_ptr<net::Connection> connection) {
+  util::MutexLock lock(conn_mutex_);
+  if (!lease_enabled() || expired_ || stop_requested_.load() ||
+      finished_.load()) {
+    return false;
+  }
+  if (connection_ != nullptr) connection_->close();
+  connection_ = std::move(connection);
+  touch_lease_locked();
+  // ResumeAck carries how many Backwards actually landed, so the client
+  // knows whether its in-flight optimizer step applied before the link
+  // died (at-least-once dedup — docs/FAULTS.md).
+  connection_->send(net::Message::resume_ack(token_, backwards_applied_.load()));
+  resumes_.fetch_add(1);
+  if (config_.trace != nullptr) {
+    config_.trace->record(util::TraceCategory::Session, "session.resumed",
+                          id_);
+  }
+  conn_cv_.notify_all();
+  return true;
 }
 
 void ServingSession::handle_forward(const net::Message& msg) {
@@ -503,11 +660,20 @@ void ServingSession::handle_forward(const net::Message& msg) {
                                                     msg.iteration);
   reply.compute_seconds = compute_s;
   reply.schedule_wait_seconds = wait_s;
-  connection_->send(reply);
+  send_reply(reply);
 }
 
 void ServingSession::handle_backward(const net::Message& msg) {
   using tensor::Tensor;
+  // At-least-once redelivery: if this Backward's optimizer step already
+  // landed but the BackwardResult was lost with the link, resend the cached
+  // reply. Re-applying would double-step the adapter and fork the loss
+  // curve from the fault-free run.
+  if (lease_enabled() && msg.iteration + 1 == backwards_applied_.load() &&
+      last_backward_reply_.type == net::MessageType::BackwardResult) {
+    send_reply(last_backward_reply_);
+    return;
+  }
   // Modes that hold the graph across the iteration are still pinned from
   // their Forward; the re-forward modes pin afresh here.
   if (!holds_across_iteration(config_.mode)) offload_begin_use();
@@ -597,7 +763,9 @@ void ServingSession::handle_backward(const net::Message& msg) {
                                                      msg.iteration);
   reply.compute_seconds = compute_s;
   reply.schedule_wait_seconds = wait_s;
-  connection_->send(reply);
+  backwards_applied_.store(msg.iteration + 1);
+  if (lease_enabled()) last_backward_reply_ = reply;
+  send_reply(reply);
 }
 
 void ServingSession::cleanup() {
@@ -633,7 +801,11 @@ void ServingSession::cleanup() {
   cached_activation_ = net::WireTensor();
   section_.reset();
   optimizer_.reset();
-  connection_->close();
+  {
+    util::MutexLock lock(conn_mutex_);
+    if (connection_ != nullptr) connection_->close();
+  }
+  serving_conn_.reset();
   if (config_.trace != nullptr) {
     config_.trace->record(util::TraceCategory::Session, "disconnect", id_);
   }

@@ -8,6 +8,8 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <functional>
 #include <memory>
 #include <thread>
 
@@ -49,9 +51,19 @@ struct SessionStats {
 
 class ServingSession {
  public:
+  /// Routes a ResumeSession received on a fresh connection to the parked
+  /// session holding `token`; returns true once the connection has been
+  /// handed over (set by the Server, which owns the session table).
+  using ResumeRouter =
+      std::function<bool(std::uint64_t token,
+                         std::shared_ptr<net::Connection> connection)>;
+
   /// `offload` is non-null only under Policy::SwapOnIdle (shared modes):
   /// the session registers its A + O as a residency unit at handshake.
-  ServingSession(int id, std::unique_ptr<net::Connection> connection,
+  /// `token` is the opaque session identity echoed in HelloAck; a
+  /// reconnecting client presents it in ResumeSession (docs/FAULTS.md).
+  ServingSession(int id, std::uint64_t token,
+                 std::unique_ptr<net::Connection> connection,
                  const ServerConfig& config, const ParameterStore* store,
                  const nn::TransformerConfig& model,
                  sched::Scheduler& scheduler,
@@ -64,11 +76,33 @@ class ServingSession {
   void join();         ///< wait for the serve loop to finish
   void request_stop(); ///< close the connection, unblocking receive()
 
+  /// Must be set before start() for ResumeSession routing to work; without
+  /// it a resume attempt is answered with Error.
+  void set_resume_router(ResumeRouter router) {
+    resume_router_ = std::move(router);
+  }
+
+  /// Hand a reconnecting client's fresh connection to this session. Closes
+  /// the dead one, refreshes the lease, replies ResumeAck, and wakes the
+  /// parked serve loop. False if the session cannot be resumed (leases off,
+  /// already expired/stopped/finished).
+  bool attach(std::shared_ptr<net::Connection> connection);
+
+  /// Reaper hook: expire the session if its lease deadline passed — close
+  /// the connection and wake any park/grant wait so the session thread runs
+  /// cleanup() and releases every byte it holds.
+  void expire_if_overdue();
+
   /// Scheduler grant arrived for this session.
   void on_grant(const sched::Grant& grant);
 
   int id() const noexcept { return id_; }
+  std::uint64_t token() const noexcept { return token_; }
+  bool lease_enabled() const noexcept { return config_.lease_seconds > 0.0; }
   bool finished() const noexcept { return finished_.load(); }
+
+  /// Times a fresh connection was attached via ResumeSession.
+  std::uint64_t resumes() const noexcept { return resumes_.load(); }
 
   /// Persistent GPU bytes attributable to this client: A + O in shared
   /// modes; the whole task copy in vanilla mode (0 while swapped out).
@@ -84,6 +118,26 @@ class ServingSession {
   void handle_forward(const net::Message& msg);
   void handle_backward(const net::Message& msg);
   void cleanup();
+
+  /// First frame was ResumeSession: hand our connection to the parked
+  /// session owning `token` via the router, or answer Error and close.
+  void route_resume(std::uint64_t token);
+
+  /// Receive the next protocol message for the serve loop. Handles
+  /// Heartbeat inline, refreshes the lease on every frame, and — when
+  /// leases are enabled — parks across link loss until attach() delivers a
+  /// fresh connection, the lease expires, or stop is requested. Returns
+  /// nullopt when the session should wind down. Also snapshots the
+  /// connection the message arrived on into serving_conn_ so replies go to
+  /// that connection and never to one attached mid-computation.
+  std::optional<net::Message> next_message();
+
+  /// Send on the connection the current request arrived on; a false return
+  /// means the link died mid-reply (the client will resume and resend).
+  bool send_reply(const net::Message& message);
+
+  void touch_lease_locked() MENOS_REQUIRES(conn_mutex_);
+  void expire_locked() MENOS_REQUIRES(conn_mutex_);
 
   /// Profile M_f / M_b (§3.3) with random inputs on the real device.
   sched::ClientDemands profile();
@@ -105,7 +159,20 @@ class ServingSession {
   void offload_ensure_resident();
 
   int id_;
-  std::unique_ptr<net::Connection> connection_;
+  std::uint64_t token_;
+  ResumeRouter resume_router_;
+  // The live connection. Shared so the serve loop can hold a snapshot
+  // across a blocking receive while attach()/request_stop()/the reaper
+  // replace or close it; the CondVar wakes a parked serve loop when a
+  // resumed connection lands (or the lease runs out).
+  mutable util::Mutex conn_mutex_;
+  util::CondVar conn_cv_;
+  std::shared_ptr<net::Connection> connection_ MENOS_GUARDED_BY(conn_mutex_);
+  std::chrono::steady_clock::time_point lease_deadline_
+      MENOS_GUARDED_BY(conn_mutex_);
+  bool expired_ MENOS_GUARDED_BY(conn_mutex_) = false;
+  /// Session-thread-only: the connection the in-flight request arrived on.
+  std::shared_ptr<net::Connection> serving_conn_;
   ServerConfig config_;
   const ParameterStore* store_;  // null in vanilla mode
   nn::TransformerConfig model_;
@@ -132,6 +199,14 @@ class ServingSession {
   std::atomic<bool> stop_requested_{false};
   bool holding_allocation_ = false;
   bool on_gpu_ = true;
+
+  // At-least-once delivery bookkeeping (docs/FAULTS.md): count of applied
+  // backward steps, and — when leases are enabled — the last BackwardResult
+  // so a resumed client resending a Backward whose reply was lost gets the
+  // cached result instead of a double optimizer step.
+  std::atomic<std::uint64_t> backwards_applied_{0};
+  net::Message last_backward_reply_;  // session thread only
+  std::atomic<std::uint64_t> resumes_{0};
 
   // Iteration state for modes that hold the graph across fwd -> bwd.
   tensor::Tensor held_input_;

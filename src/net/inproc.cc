@@ -27,17 +27,27 @@ class InprocConnection final : public Connection {
     // model sees exactly what TCP would carry.
     const std::size_t frame_bytes =
         frame_message(message).size();
-    bytes_sent_ += frame_bytes;
     const double delay =
         conditioner_.transfer_seconds(frame_bytes) * conditioner_.time_scale;
     if (delay > 0.0) {
       std::this_thread::sleep_for(std::chrono::duration<double>(delay));
     }
-    out_->queue.push(message);
+    // The peer may have closed while the frame was "on the wire": a push
+    // onto a closed queue is dropped, and a dropped frame must not count
+    // as sent or the comm accounting reports bytes nobody received.
+    if (!out_->queue.push(message)) return false;
+    bytes_sent_ += frame_bytes;
     return true;
   }
 
-  std::optional<Message> receive() override { return in_->queue.pop(); }
+  std::optional<Message> receive() override {
+    const double timeout_s = receive_timeout_.load();
+    return timeout_s > 0.0 ? in_->queue.pop_for(timeout_s) : in_->queue.pop();
+  }
+
+  void set_receive_timeout(double seconds) override {
+    receive_timeout_.store(seconds);
+  }
 
   void close() override {
     out_->queue.close();
@@ -51,6 +61,7 @@ class InprocConnection final : public Connection {
   std::shared_ptr<Pipe> in_;
   NetworkConditioner conditioner_;
   std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<double> receive_timeout_{0.0};
 };
 
 }  // namespace

@@ -19,6 +19,10 @@ const char* message_type_name(MessageType type) noexcept {
     case MessageType::AdapterBlob:    return "AdapterBlob";
     case MessageType::PushAdapter:    return "PushAdapter";
     case MessageType::PushAck:        return "PushAck";
+    case MessageType::Heartbeat:      return "Heartbeat";
+    case MessageType::HeartbeatAck:   return "HeartbeatAck";
+    case MessageType::ResumeSession:  return "ResumeSession";
+    case MessageType::ResumeAck:      return "ResumeAck";
   }
   return "?";
 }
@@ -31,11 +35,15 @@ Message Message::hello(FinetuneConfig config) {
 }
 
 Message Message::hello_ack(std::uint64_t forward_bytes,
-                           std::uint64_t backward_bytes) {
+                           std::uint64_t backward_bytes,
+                           std::uint64_t session_token,
+                           double lease_seconds) {
   Message m;
   m.type = MessageType::HelloAck;
   m.forward_bytes = forward_bytes;
   m.backward_bytes = backward_bytes;
+  m.session_token = session_token;
+  m.lease_seconds = lease_seconds;
   return m;
 }
 
@@ -107,6 +115,34 @@ Message Message::push_adapter(std::vector<std::uint8_t> blob) {
 Message Message::push_ack() {
   Message m;
   m.type = MessageType::PushAck;
+  return m;
+}
+
+Message Message::heartbeat() {
+  Message m;
+  m.type = MessageType::Heartbeat;
+  return m;
+}
+
+Message Message::heartbeat_ack() {
+  Message m;
+  m.type = MessageType::HeartbeatAck;
+  return m;
+}
+
+Message Message::resume_session(std::uint64_t session_token) {
+  Message m;
+  m.type = MessageType::ResumeSession;
+  m.session_token = session_token;
+  return m;
+}
+
+Message Message::resume_ack(std::uint64_t session_token,
+                            std::uint64_t iteration) {
+  Message m;
+  m.type = MessageType::ResumeAck;
+  m.session_token = session_token;
+  m.iteration = iteration;
   return m;
 }
 
@@ -211,6 +247,8 @@ std::vector<std::uint8_t> encode_message(const Message& message) {
     case MessageType::HelloAck:
       w.put_u64(message.forward_bytes);
       w.put_u64(message.backward_bytes);
+      w.put_u64(message.session_token);
+      w.put_f64(message.lease_seconds);
       break;
     case MessageType::Forward:
     case MessageType::ForwardResult:
@@ -227,6 +265,8 @@ std::vector<std::uint8_t> encode_message(const Message& message) {
     case MessageType::Bye:
     case MessageType::FetchAdapter:
     case MessageType::PushAck:
+    case MessageType::Heartbeat:
+    case MessageType::HeartbeatAck:
       break;
     case MessageType::Error:
       w.put_string(message.text);
@@ -235,6 +275,13 @@ std::vector<std::uint8_t> encode_message(const Message& message) {
     case MessageType::PushAdapter:
       w.put_bytes(message.blob);
       break;
+    case MessageType::ResumeSession:
+      w.put_u64(message.session_token);
+      break;
+    case MessageType::ResumeAck:
+      w.put_u64(message.session_token);
+      w.put_u64(message.iteration);
+      break;
   }
   return w.take();
 }
@@ -242,7 +289,7 @@ std::vector<std::uint8_t> encode_message(const Message& message) {
 Message decode_message(const std::uint8_t* data, std::size_t size) {
   Reader r(data, size);
   const std::uint8_t raw_type = r.get_u8();
-  if (raw_type < 1 || raw_type > 12) {
+  if (raw_type < 1 || raw_type > 16) {
     throw ProtocolError("unknown message type " + std::to_string(raw_type));
   }
   Message m;
@@ -254,6 +301,8 @@ Message decode_message(const std::uint8_t* data, std::size_t size) {
     case MessageType::HelloAck:
       m.forward_bytes = r.get_u64();
       m.backward_bytes = r.get_u64();
+      m.session_token = r.get_u64();
+      m.lease_seconds = r.get_f64();
       break;
     case MessageType::Forward:
     case MessageType::ForwardResult:
@@ -270,6 +319,8 @@ Message decode_message(const std::uint8_t* data, std::size_t size) {
     case MessageType::Bye:
     case MessageType::FetchAdapter:
     case MessageType::PushAck:
+    case MessageType::Heartbeat:
+    case MessageType::HeartbeatAck:
       break;
     case MessageType::Error:
       m.text = r.get_string();
@@ -277,6 +328,13 @@ Message decode_message(const std::uint8_t* data, std::size_t size) {
     case MessageType::AdapterBlob:
     case MessageType::PushAdapter:
       m.blob = r.get_bytes();
+      break;
+    case MessageType::ResumeSession:
+      m.session_token = r.get_u64();
+      break;
+    case MessageType::ResumeAck:
+      m.session_token = r.get_u64();
+      m.iteration = r.get_u64();
       break;
   }
   if (!r.exhausted()) {

@@ -32,6 +32,14 @@ enum class MessageType : std::uint8_t {
   AdapterBlob = 10,
   PushAdapter = 11,
   PushAck = 12,
+  // Fault tolerance (docs/FAULTS.md): leases are refreshed by any client
+  // traffic, Heartbeat exists for clients that are idle on the wire;
+  // ResumeSession reattaches a reconnecting client to its server-held
+  // session (adapter + optimizer state) after a transport failure.
+  Heartbeat = 13,
+  HeartbeatAck = 14,
+  ResumeSession = 15,
+  ResumeAck = 16,
 };
 
 const char* message_type_name(MessageType type) noexcept;
@@ -90,6 +98,13 @@ struct Message {
   std::uint64_t forward_bytes = 0;
   std::uint64_t backward_bytes = 0;
 
+  // HelloAck / ResumeSession / ResumeAck: opaque session identity minted by
+  // the server at handshake; a reconnecting client presents it to reattach.
+  std::uint64_t session_token = 0;
+  // HelloAck: the server's lease duration (0 = leases disabled). A session
+  // silent for longer than this — no traffic, no Heartbeat — may be reaped.
+  double lease_seconds = 0.0;
+
   // ForwardResult / BackwardResult: server-side timing breakdown for this
   // operation, so clients can assemble the Table 2/3 decomposition.
   double compute_seconds = 0.0;
@@ -104,7 +119,9 @@ struct Message {
 
   static Message hello(FinetuneConfig config);
   static Message hello_ack(std::uint64_t forward_bytes,
-                           std::uint64_t backward_bytes);
+                           std::uint64_t backward_bytes,
+                           std::uint64_t session_token = 0,
+                           double lease_seconds = 0.0);
   static Message forward(WireTensor tensor, std::uint64_t iteration);
   static Message forward_result(WireTensor tensor, std::uint64_t iteration);
   static Message backward(WireTensor tensor, std::uint64_t iteration);
@@ -115,6 +132,13 @@ struct Message {
   static Message adapter_blob(std::vector<std::uint8_t> blob);
   static Message push_adapter(std::vector<std::uint8_t> blob);
   static Message push_ack();
+  static Message heartbeat();
+  static Message heartbeat_ack();
+  static Message resume_session(std::uint64_t session_token);
+  /// `iteration` echoes the server's last completed iteration so clients
+  /// can sanity-check where the session left off.
+  static Message resume_ack(std::uint64_t session_token,
+                            std::uint64_t iteration);
 };
 
 /// Encode the message payload (no frame header).

@@ -2,11 +2,13 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <cerrno>
 #include <cstring>
+#include <thread>
 
 #include "net/transport.h"
 #include "util/logging.h"
@@ -15,7 +17,93 @@
 namespace menos::net {
 namespace {
 
-/// Write the whole buffer; false on peer reset.
+/// Deferred-close guard around a POSIX descriptor.
+///
+/// close() used to ::close(fd) while another thread could still be blocked
+/// in recv/send on the same integer; the kernel recycles descriptor
+/// numbers immediately, so that stale int could suddenly address an
+/// UNRELATED socket and the in-flight I/O would read or corrupt someone
+/// else's connection. The guard splits teardown in two: close() only
+/// ::shutdown()s (which wakes blocked I/O but keeps the number reserved),
+/// and the real ::close() happens once the last in-flight operation
+/// drains. The seq_cst handshake (I/O: inflight++ then read closing; close:
+/// closing=true then read inflight) guarantees an operation either sees
+/// closing and never touches the fd, or is visible to close() and defers
+/// the ::close to its own release.
+class FdGuard {
+ public:
+  explicit FdGuard(int fd) : fd_(fd) {}
+
+  ~FdGuard() {
+    close();
+    // The fd must be returned to the kernel before the guard dies; anyone
+    // still in enter() holds a stale `this`. Owners join their I/O threads
+    // before destruction — this spin is the backstop, and shutdown() has
+    // already unblocked them.
+    while (inflight_.load() != 0) std::this_thread::yield();
+    finalize();
+  }
+
+  FdGuard(const FdGuard&) = delete;
+  FdGuard& operator=(const FdGuard&) = delete;
+
+  /// Begin an I/O operation. Returns false (and records no operation) if
+  /// the descriptor is closing.
+  bool enter() {
+    inflight_.fetch_add(1);
+    if (closing_.load()) {
+      exit();
+      return false;
+    }
+    return true;
+  }
+
+  /// End an I/O operation begun with a successful enter().
+  void exit() {
+    if (inflight_.fetch_sub(1) == 1) finalize();
+  }
+
+  /// Wake any blocked I/O and schedule the ::close for when it drains.
+  void close() {
+    if (closing_.exchange(true)) return;
+    ::shutdown(fd_, SHUT_RDWR);
+    finalize();
+  }
+
+  int fd() const noexcept { return fd_; }
+  bool closing() const noexcept { return closing_.load(); }
+
+ private:
+  void finalize() {
+    if (!closing_.load() || inflight_.load() != 0) return;
+    if (!closed_.exchange(true)) ::close(fd_);
+  }
+
+  const int fd_;
+  std::atomic<std::uint32_t> inflight_{0};
+  std::atomic<bool> closing_{false};
+  std::atomic<bool> closed_{false};
+};
+
+/// RAII enter/exit pairing for one I/O call.
+class FdRef {
+ public:
+  explicit FdRef(FdGuard& guard) : guard_(guard), ok_(guard.enter()) {}
+  ~FdRef() {
+    if (ok_) guard_.exit();
+  }
+  FdRef(const FdRef&) = delete;
+  FdRef& operator=(const FdRef&) = delete;
+
+  bool ok() const noexcept { return ok_; }
+  int fd() const noexcept { return guard_.fd(); }
+
+ private:
+  FdGuard& guard_;
+  bool ok_;
+};
+
+/// Write the whole buffer; false on peer reset (or send timeout).
 bool write_all(int fd, const std::uint8_t* data, std::size_t size) {
   std::size_t sent = 0;
   while (sent < size) {
@@ -29,7 +117,8 @@ bool write_all(int fd, const std::uint8_t* data, std::size_t size) {
   return true;
 }
 
-/// Read exactly `size` bytes; false on orderly close or reset.
+/// Read exactly `size` bytes; false on orderly close, reset, or receive
+/// timeout (SO_RCVTIMEO surfaces as EAGAIN/EWOULDBLOCK).
 bool read_all(int fd, std::uint8_t* data, std::size_t size) {
   std::size_t got = 0;
   while (got < size) {
@@ -46,25 +135,28 @@ bool read_all(int fd, std::uint8_t* data, std::size_t size) {
 
 class TcpConnection final : public Connection {
  public:
-  explicit TcpConnection(int fd) : fd_(fd) {
+  explicit TcpConnection(int fd) : guard_(fd) {
     const int one = 1;
-    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   }
 
-  ~TcpConnection() override { close(); }
+  ~TcpConnection() override = default;  // ~FdGuard drains and closes
 
   bool send(const Message& message) override {
     const std::vector<std::uint8_t> frame = frame_message(message);
     util::MutexLock lock(send_mutex_);
-    if (fd_ < 0) return false;
-    if (!write_all(fd_, frame.data(), frame.size())) return false;
+    FdRef ref(guard_);
+    if (!ref.ok()) return false;
+    if (!write_all(ref.fd(), frame.data(), frame.size())) return false;
     bytes_sent_ += frame.size();
     return true;
   }
 
   std::optional<Message> receive() override {
+    FdRef ref(guard_);
+    if (!ref.ok()) return std::nullopt;
     std::uint8_t header[kFrameHeaderBytes];
-    if (fd_ < 0 || !read_all(fd_, header, sizeof(header))) return std::nullopt;
+    if (!read_all(ref.fd(), header, sizeof(header))) return std::nullopt;
     std::uint32_t magic = 0;
     std::uint64_t payload_len = 0;
     std::memcpy(&magic, header, 4);
@@ -77,28 +169,37 @@ class TcpConnection final : public Connection {
         sizeof(header) + static_cast<std::size_t>(payload_len) +
         kFrameTrailerBytes);
     std::memcpy(rest.data(), header, sizeof(header));
-    if (!read_all(fd_, rest.data() + sizeof(header),
+    if (!read_all(ref.fd(), rest.data() + sizeof(header),
                   rest.size() - sizeof(header))) {
-      return std::nullopt;  // peer vanished mid-frame
+      return std::nullopt;  // peer vanished mid-frame (or receive timeout)
     }
     return parse_frame(rest.data(), rest.size());
   }
 
-  void close() override {
-    const int fd = fd_.exchange(-1);
-    if (fd >= 0) {
-      ::shutdown(fd, SHUT_RDWR);
-      ::close(fd);
+  void set_receive_timeout(double seconds) override {
+    FdRef ref(guard_);
+    if (!ref.ok()) return;
+    timeval tv{};
+    if (seconds > 0.0) {
+      tv.tv_sec = static_cast<time_t>(seconds);
+      tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(
+                                                tv.tv_sec)) * 1e6);
+      // A zero timeval means "block forever" to the kernel; a tiny
+      // positive timeout must stay positive.
+      if (tv.tv_sec == 0 && tv.tv_usec == 0) tv.tv_usec = 1;
     }
+    ::setsockopt(ref.fd(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
   }
+
+  void close() override { guard_.close(); }
 
   std::uint64_t bytes_sent() const override { return bytes_sent_; }
 
  private:
-  std::atomic<int> fd_;
+  FdGuard guard_;
   // Serializes whole-frame writes on the socket so concurrent senders
-  // cannot interleave partial frames; fd_ itself is atomic, so there is no
-  // guarded data member.
+  // cannot interleave partial frames; the fd's lifetime is handled by the
+  // lock-free FdGuard, so there is no guarded data member.
   // NOLINTNEXTLINE(mutex-annotation)
   util::Mutex send_mutex_;
   std::atomic<std::uint64_t> bytes_sent_{0};
@@ -106,29 +207,39 @@ class TcpConnection final : public Connection {
 
 class TcpListenerImpl final : public TcpListener {
  public:
-  TcpListenerImpl(int fd, int port) : fd_(fd), port_(port) {}
-  ~TcpListenerImpl() override { close(); }
+  TcpListenerImpl(int fd, int port) : guard_(fd), port_(port) {}
+  ~TcpListenerImpl() override = default;
 
   std::unique_ptr<Connection> accept() override {
-    const int fd = fd_.load();
-    if (fd < 0) return nullptr;
-    const int client = ::accept(fd, nullptr, nullptr);
-    if (client < 0) return nullptr;
-    return std::make_unique<TcpConnection>(client);
-  }
-
-  void close() override {
-    const int fd = fd_.exchange(-1);
-    if (fd >= 0) {
-      ::shutdown(fd, SHUT_RDWR);
-      ::close(fd);
+    // ::accept fails transiently for reasons that say nothing about the
+    // listener's health: EINTR (a signal landed), ECONNABORTED / EPROTO
+    // (that one handshake died before we picked it up). Returning nullptr
+    // there used to kill the server's whole accept loop on the first
+    // hiccup; retry instead, and report nullptr only once the listener is
+    // really closed (or irrecoverably broken).
+    while (true) {
+      FdRef ref(guard_);
+      if (!ref.ok()) return nullptr;
+      const int client = ::accept(ref.fd(), nullptr, nullptr);
+      if (client >= 0) return std::make_unique<TcpConnection>(client);
+      if (errno == EINTR || errno == ECONNABORTED || errno == EPROTO ||
+          errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
+      if (!guard_.closing()) {
+        MENOS_LOG(Warn) << "tcp accept failed unrecoverably: "
+                        << std::strerror(errno);
+      }
+      return nullptr;
     }
   }
+
+  void close() override { guard_.close(); }
 
   int port() const override { return port_; }
 
  private:
-  std::atomic<int> fd_;
+  FdGuard guard_;
   int port_;
 };
 

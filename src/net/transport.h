@@ -13,6 +13,7 @@
 // ProtocolError.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <utility>
@@ -30,14 +31,25 @@ class Connection {
   virtual bool send(const Message& message) = 0;
 
   /// Block until a message arrives; nullopt once the peer closed and the
-  /// inbound queue drained. Throws ProtocolError on corrupted input.
+  /// inbound queue drained — or, when a receive timeout is set, once that
+  /// much time passes without a frame. Throws ProtocolError on corrupted
+  /// input.
   virtual std::optional<Message> receive() = 0;
+
+  /// Bound future receive() calls to `seconds` (<= 0 restores blocking
+  /// forever). A timed-out receive returns nullopt, which callers treat as
+  /// a lost link; transports without timeout support ignore this.
+  virtual void set_receive_timeout(double seconds) { (void)seconds; }
 
   virtual void close() = 0;
 
   /// Bytes sent so far on this endpoint (wire-level, for comm accounting).
   virtual std::uint64_t bytes_sent() const = 0;
 };
+
+/// Factory for (re)establishing a client's transport — the reconnect hook
+/// used by core::Client's retry loop. Returns nullptr on failure.
+using Dialer = std::function<std::unique_ptr<Connection>()>;
 
 /// WAN conditioner for the in-process transport. Each send is delayed by
 /// latency + bytes/bandwidth, scaled by time_scale so tests can run the

@@ -17,6 +17,7 @@
 // function).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -73,6 +74,16 @@ class CondVar {
     std::unique_lock<std::mutex> lock(mu.m_, std::adopt_lock);
     cv_.wait(lock);
     lock.release();  // ownership stays with the caller's MutexLock
+  }
+
+  /// Timed wait. Returns false on timeout, true when notified (subject to
+  /// spurious wakeups — callers keep their predicate loop either way).
+  bool wait_for(Mutex& mu, double seconds) MENOS_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.m_, std::adopt_lock);
+    const auto status =
+        cv_.wait_for(lock, std::chrono::duration<double>(seconds));
+    lock.release();  // ownership stays with the caller's MutexLock
+    return status == std::cv_status::no_timeout;
   }
 
   void notify_one() noexcept { cv_.notify_one(); }

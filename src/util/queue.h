@@ -7,6 +7,7 @@
 // can see holds the lock.
 #pragma once
 
+#include <chrono>
 #include <deque>
 #include <optional>
 #include <utility>
@@ -26,21 +27,43 @@ class BlockingQueue {
   BlockingQueue(const BlockingQueue&) = delete;
   BlockingQueue& operator=(const BlockingQueue&) = delete;
 
-  /// Enqueue an item. Throws nothing; pushing to a closed queue is a no-op
-  /// (the item is dropped), which keeps shutdown races benign.
-  void push(T item) {
+  /// Enqueue an item. Throws nothing; pushing to a closed queue drops the
+  /// item and returns false so producers can tell delivery from loss (the
+  /// inproc transport's byte accounting depends on this), while shutdown
+  /// races stay benign for producers that ignore the result.
+  bool push(T item) {
     {
       MutexLock lock(mutex_);
-      if (closed_) return;
+      if (closed_) return false;
       items_.push_back(std::move(item));
     }
     cv_.notify_one();
+    return true;
   }
 
   /// Block until an item is available or the queue is closed and empty.
   std::optional<T> pop() {
     MutexLock lock(mutex_);
     while (items_.empty() && !closed_) cv_.wait(mutex_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Like pop(), but gives up after `seconds`. Returns nullopt on timeout
+  /// as well as on close-and-drained; callers that need to distinguish the
+  /// two can check closed(). Used by connection receive timeouts.
+  std::optional<T> pop_for(double seconds) {
+    MutexLock lock(mutex_);
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration<double>(seconds);
+    while (items_.empty() && !closed_) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) return std::nullopt;
+      cv_.wait_for(mutex_,
+                   std::chrono::duration<double>(deadline - now).count());
+    }
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();

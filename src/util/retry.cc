@@ -1,0 +1,19 @@
+#include "util/retry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace menos::util {
+
+double RetryPolicy::backoff_s(int attempt, Rng& rng) const noexcept {
+  if (attempt < 0) attempt = 0;
+  double base = initial_backoff_s * std::pow(multiplier, attempt);
+  base = std::min(base, max_backoff_s);
+  if (jitter > 0.0) {
+    base *= 1.0 + jitter * (2.0 * rng.next_double() - 1.0);
+    base = std::min(base, max_backoff_s);
+  }
+  return std::max(base, 0.0) * time_scale;
+}
+
+}  // namespace menos::util

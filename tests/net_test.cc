@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <thread>
+#include <vector>
 
+#include "net/faulty.h"
 #include "net/transport.h"
 #include "net/wire.h"
 
@@ -115,11 +117,37 @@ TEST(Message, AllTypesEncodeDecode) {
       Message::hello(sample_config()), Message::hello_ack(100, 200),
       Message::forward(t, 1),          Message::forward_result(t, 1),
       Message::backward(t, 2),         Message::backward_result(t, 2),
-      Message::bye(),                  Message::error("nope")};
+      Message::bye(),                  Message::error("nope"),
+      Message::heartbeat(),            Message::heartbeat_ack(),
+      Message::resume_session(77),     Message::resume_ack(77, 5)};
   for (const Message& m : messages) {
     auto payload = encode_message(m);
     Message d = decode_message(payload.data(), payload.size());
     EXPECT_EQ(d.type, m.type);
+  }
+}
+
+TEST(Message, FaultToleranceFieldsRoundTrip) {
+  {
+    // HelloAck now carries the session identity and lease.
+    auto payload =
+        encode_message(Message::hello_ack(100, 200, 0xdeadbeefULL, 2.5));
+    const Message d = decode_message(payload.data(), payload.size());
+    EXPECT_EQ(d.forward_bytes, 100u);
+    EXPECT_EQ(d.backward_bytes, 200u);
+    EXPECT_EQ(d.session_token, 0xdeadbeefULL);
+    EXPECT_DOUBLE_EQ(d.lease_seconds, 2.5);
+  }
+  {
+    auto payload = encode_message(Message::resume_session(0x1234ULL));
+    const Message d = decode_message(payload.data(), payload.size());
+    EXPECT_EQ(d.session_token, 0x1234ULL);
+  }
+  {
+    auto payload = encode_message(Message::resume_ack(0x1234ULL, 9));
+    const Message d = decode_message(payload.data(), payload.size());
+    EXPECT_EQ(d.session_token, 0x1234ULL);
+    EXPECT_EQ(d.iteration, 9u);
   }
 }
 
@@ -157,6 +185,90 @@ TEST(Frame, RoundTripAndCrc) {
 
   // Truncation.
   EXPECT_THROW(parse_frame(frame.data(), frame.size() - 1), ProtocolError);
+}
+
+std::vector<FaultInjector::Action> drive_injector(const FaultPlan& plan,
+                                                  int frames) {
+  FaultInjector injector(plan);
+  std::vector<FaultInjector::Action> actions;
+  for (int i = 0; i < frames; ++i) {
+    actions.push_back(injector.next_send_action());
+    actions.push_back(injector.next_receive_action());
+  }
+  return actions;
+}
+
+TEST(FaultInjector, SameSeedSameSchedule) {
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.drop_send_prob = 0.2;
+  plan.drop_receive_prob = 0.2;
+  plan.corrupt_receive_prob = 0.1;
+  const auto a = drive_injector(plan, 200);
+  const auto b = drive_injector(plan, 200);
+  EXPECT_EQ(a, b);
+  // And the schedule is not degenerate.
+  int faults = 0;
+  for (auto action : a) {
+    if (action != FaultInjector::Action::None) ++faults;
+  }
+  EXPECT_GT(faults, 0);
+}
+
+TEST(FaultInjector, DisablingOneClassDoesNotShiftAnother) {
+  // One uniform draw per frame against cumulative thresholds: zeroing the
+  // send-drop class must not move *which frames* the corruption class hits
+  // (only reclassify the frames that used to be send-drops).
+  FaultPlan both;
+  both.seed = 7;
+  both.drop_send_prob = 0.15;
+  both.corrupt_receive_prob = 0.15;
+  FaultPlan corrupt_only = both;
+  corrupt_only.drop_send_prob = 0.0;
+
+  FaultInjector a(both);
+  FaultInjector b(corrupt_only);
+  for (int i = 0; i < 300; ++i) {
+    a.next_send_action();
+    b.next_send_action();
+    const auto ra = a.next_receive_action();
+    const auto rb = b.next_receive_action();
+    EXPECT_EQ(ra, rb) << "receive schedule shifted at frame " << i;
+  }
+}
+
+TEST(FaultInjector, MaxFaultsCapsInjection) {
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.drop_receive_prob = 0.5;
+  plan.max_faults = 2;
+  FaultInjector injector(plan);
+  for (int i = 0; i < 200; ++i) injector.next_receive_action();
+  EXPECT_EQ(injector.stats().faults(), 2u);
+}
+
+TEST(FaultyConnection, KilledSendClosesLink) {
+  FaultPlan plan;
+  plan.seed = 1;
+  plan.drop_send_prob = 1.0;  // first frame dies
+  auto injector = std::make_shared<FaultInjector>(plan);
+  auto [a, b] = make_inproc_pair();
+  auto faulty = decorate_with_faults(std::move(a), injector);
+  EXPECT_FALSE(faulty->send(Message::heartbeat()));
+  EXPECT_FALSE(b->receive().has_value());  // peer sees an orderly close
+  EXPECT_EQ(injector->stats().sends_dropped, 1u);
+}
+
+TEST(FaultyConnection, CorruptReceiveThrowsProtocolError) {
+  FaultPlan plan;
+  plan.seed = 1;
+  plan.corrupt_receive_prob = 1.0;
+  auto injector = std::make_shared<FaultInjector>(plan);
+  auto [a, b] = make_inproc_pair();
+  auto faulty = decorate_with_faults(std::move(a), injector);
+  ASSERT_TRUE(b->send(Message::heartbeat()));
+  EXPECT_THROW(faulty->receive(), ProtocolError);
+  EXPECT_EQ(injector->stats().receives_corrupted, 1u);
 }
 
 TEST(Inproc, DuplexDelivery) {

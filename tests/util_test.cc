@@ -1,11 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <thread>
 
 #include "util/bytes.h"
 #include "util/check.h"
 #include "util/crc32.h"
 #include "util/queue.h"
+#include "util/retry.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
 #include "util/trace.h"
@@ -216,6 +219,58 @@ TEST(Trace, JsonlEscapesSpecialCharactersInNames) {
   for (char c : out) {
     EXPECT_FALSE(static_cast<unsigned char>(c) < 0x20 && c != '\n')
         << "raw control character in jsonl output";
+  }
+}
+
+TEST(RetryPolicy, ExponentialGrowthAndCap) {
+  RetryPolicy policy;
+  policy.initial_backoff_s = 0.1;
+  policy.max_backoff_s = 1.0;
+  policy.multiplier = 2.0;
+  policy.jitter = 0.0;
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(policy.backoff_s(0, rng), 0.1);
+  EXPECT_DOUBLE_EQ(policy.backoff_s(1, rng), 0.2);
+  EXPECT_DOUBLE_EQ(policy.backoff_s(2, rng), 0.4);
+  EXPECT_DOUBLE_EQ(policy.backoff_s(3, rng), 0.8);
+  EXPECT_DOUBLE_EQ(policy.backoff_s(4, rng), 1.0);   // capped
+  EXPECT_DOUBLE_EQ(policy.backoff_s(40, rng), 1.0);  // no overflow blow-up
+}
+
+TEST(RetryPolicy, JitterIsSeededAndBounded) {
+  RetryPolicy policy;
+  policy.initial_backoff_s = 0.1;
+  policy.jitter = 0.2;
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 8; ++i) {
+    const double da = policy.backoff_s(i, a);
+    const double db = policy.backoff_s(i, b);
+    EXPECT_DOUBLE_EQ(da, db);  // same seed, same schedule
+    const double base =
+        std::min(policy.max_backoff_s,
+                 policy.initial_backoff_s * std::pow(policy.multiplier, i));
+    EXPECT_GE(da, base * (1.0 - policy.jitter));
+    EXPECT_LE(da, base * (1.0 + policy.jitter));
+  }
+}
+
+TEST(RetryPolicy, ZeroJitterConsumesNoRngDraws) {
+  RetryPolicy policy;
+  policy.jitter = 0.0;
+  Rng rng(5);
+  Rng untouched(5);
+  (void)policy.backoff_s(0, rng);
+  (void)policy.backoff_s(1, rng);
+  EXPECT_EQ(rng.next_u64(), untouched.next_u64());
+}
+
+TEST(RetryPolicy, TimeScaleZeroSleepsNothing) {
+  RetryPolicy policy;
+  policy.time_scale = 0.0;
+  Rng rng(5);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(policy.backoff_s(i, rng), 0.0);
   }
 }
 

@@ -27,6 +27,12 @@ Rules (see docs/ANALYSIS.md for rationale and examples):
   nondeterminism         No std::rand/srand/std::random_device in src/
                          outside src/util/rng.* — every experiment must be
                          reproducible from a single util::Rng seed.
+  raw-close              No ::close()/::shutdown() in src/ outside src/net/
+                         — file descriptors are transport-layer property.
+                         The TCP transport defers the real close until
+                         blocked receives drain (the fd-reuse race of
+                         docs/FAULTS.md); a stray ::close() elsewhere
+                         reintroduces exactly that bug.
 
 Suppression: append `// NOLINT(<rule>)` to the offending line, or put
 `// NOLINTNEXTLINE(<rule>)` on the line above it. A bare NOLINT (no rule
@@ -138,6 +144,7 @@ RAW_MUTEX_RE = re.compile(
     r"|lock_guard|unique_lock|scoped_lock|shared_lock)\b"
 )
 NONDET_RE = re.compile(r"std::rand\b|\bsrand\s*\(|std::random_device\b")
+RAW_CLOSE_RE = re.compile(r"::close\s*\(|::shutdown\s*\(")
 MUTEX_MEMBER_RE = re.compile(
     r"^\s*(?:mutable\s+)?(?:(?:menos::)?util::)?Mutex\s+(\w+)\s*;"
 )
@@ -189,6 +196,15 @@ def check_nondeterminism(path: Path, raw: str) -> list:
          and p.parts[-1].startswith("rng")),
         message="unseeded randomness — all randomness flows through "
                 "util::Rng so experiments reproduce from one seed")
+
+
+def check_raw_close(path: Path, raw: str) -> list:
+    return check_pattern_rule(
+        path, raw, "raw-close", RAW_CLOSE_RE,
+        exempt=lambda p: "src" not in p.parts or "net" in p.parts,
+        message="raw ::close()/::shutdown() — file descriptors belong to "
+                "src/net, whose deferred-close protocol prevents the "
+                "fd-reuse race (docs/FAULTS.md)")
 
 
 def check_mutex_annotation(path: Path, raw: str) -> list:
@@ -243,6 +259,7 @@ ALL_RULES = [
     check_iostream,
     check_raw_mutex,
     check_nondeterminism,
+    check_raw_close,
     check_mutex_annotation,
     check_pragma_once,
 ]
@@ -299,6 +316,19 @@ SELF_TEST_CASES = [
      "  int x_ MENOS_GUARDED_BY(mutex_);\n};\n", None),
     ("src/util/bad_header.h", "struct X {};\n", "pragma-once"),
     ("src/core/bad_rand.cc", "int r = std::rand();\n", "nondeterminism"),
+    ("src/core/bad_close.cc",
+     "#include <unistd.h>\nvoid f(int fd) { ::close(fd); }\n", "raw-close"),
+    ("src/sched/bad_shutdown.cc",
+     "void f(int fd) { ::shutdown(fd, 2); }\n", "raw-close"),
+    ("src/net/ok_close.cc",
+     "#include <unistd.h>\nvoid f(int fd) { ::close(fd); }\n",
+     None),  # the transport layer owns fd lifecycle
+    ("src/core/ok_close_comment.cc",
+     "// transports must ::close() via FdGuard, see src/net/tcp.cc\n",
+     None),  # prose may name the banned call
+    ("src/core/ok_close_nolint.cc",
+     "void f(int fd) { ::close(fd); }  // NOLINT(raw-close) inherited fd\n",
+     None),
     ("src/util/rng_extra.cc", "#include <random>\nstd::random_device rd;\n",
      None),  # rng* files are the sanctioned home for entropy
     ("src/core/ok_comment.cc", "// std::mutex is banned here, use util::Mutex\n",
