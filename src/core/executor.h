@@ -1,0 +1,35 @@
+// Shared serving executor: the fixed worker pool that drives every
+// ServingSession state machine (docs/ARCHITECTURE.md).
+//
+// Width resolution (resolve_width): an explicit ServerConfig value wins,
+// then the MENOS_EXECUTOR_THREADS environment variable (so CI can force
+// heavy interleaving on few workers), then min(8, hardware_concurrency).
+#pragma once
+
+#include "util/executor.h"
+
+namespace menos::core {
+
+class Executor {
+ public:
+  /// `configured` <= 0 means "resolve from environment/hardware".
+  explicit Executor(int configured_width = 0);
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  static int resolve_width(int configured);
+
+  util::TaskPool& pool() noexcept { return pool_; }
+  util::Strand make_strand() { return util::Strand(pool_); }
+  int width() const noexcept { return pool_.width(); }
+
+  /// Drain queued events and join the workers. Idempotent; called by
+  /// Server::stop after the last session has finished.
+  void stop_and_join() { pool_.stop_and_join(); }
+
+ private:
+  util::TaskPool pool_;
+};
+
+}  // namespace menos::core

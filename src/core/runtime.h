@@ -61,6 +61,11 @@ struct ServerConfig {
   /// Reaper wake-up period; <= 0 derives lease_seconds / 4.
   double reaper_interval_s = 0.0;
 
+  /// Width of the shared serving executor (the worker pool every session's
+  /// state machine runs on). <= 0 resolves through the MENOS_EXECUTOR_THREADS
+  /// environment variable, then min(8, hardware_concurrency).
+  int executor_threads = 0;
+
   /// Optional event trace (not owned; must outlive the server). Sessions
   /// record lifecycle, scheduling-wait, compute, and swap events into it.
   util::EventTrace* trace = nullptr;

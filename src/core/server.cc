@@ -40,9 +40,12 @@ Server::Server(const ServerConfig& config, gpusim::DeviceManager& devices,
           return offload_->evict_idle(bytes_needed);
         });
   }
+  executor_ = std::make_unique<Executor>(config_.executor_threads);
+  poller_ = std::make_unique<net::Poller>();
   scheduler_->set_grant_callback([this](const sched::Grant& grant) {
+    // Dispatched after the scheduler mutex drops (see sched::Scheduler).
     // Sessions never vanish while registered (cleanup unregisters before
-    // the session object dies), so the lookup here is safe.
+    // the session leaves the table), so the lookup here is safe.
     util::MutexLock lock(sessions_mutex_);
     for (auto& session : sessions_) {
       if (session->id() == grant.client_id) {
@@ -58,33 +61,48 @@ Server::~Server() { stop(); }
 void Server::start(net::Acceptor& acceptor) {
   MENOS_CHECK_MSG(!accept_thread_.joinable(), "server already started");
   acceptor_ = &acceptor;
-  accept_thread_ = std::thread([this] { accept_loop(acceptor_); });
+  poller_->start();
   if (config_.lease_seconds > 0.0) {
-    reaper_thread_ = std::thread([this] { reaper_loop(); });
+    const double interval = config_.reaper_interval_s > 0.0
+                                ? config_.reaper_interval_s
+                                : config_.lease_seconds / 4.0;
+    reaper_timer_ = poller_->schedule_every(interval, [this] { reap_tick(); });
   }
+  // Infrastructure thread: accept() blocks in ways the poller cannot demux
+  // for every Acceptor flavor. One per server, not per client.
+  accept_thread_ = std::thread([this] { accept_loop(acceptor_); });  // NOLINT(raw-thread)
 }
 
 void Server::stop() {
   if (stopping_.exchange(true)) {
+    // A concurrent or repeated stop() only needs the accept thread gone;
+    // the first caller performs the teardown.
     if (accept_thread_.joinable()) accept_thread_.join();
-    if (reaper_thread_.joinable()) reaper_thread_.join();
     return;
   }
-  {
-    util::MutexLock lock(reaper_mutex_);
-    reaper_stop_ = true;
-    reaper_cv_.notify_all();
+  if (reaper_timer_ != 0) {
+    poller_->cancel_timer(reaper_timer_);
+    reaper_timer_ = 0;
   }
-  if (reaper_thread_.joinable()) reaper_thread_.join();
   if (acceptor_ != nullptr) acceptor_->close();
   if (accept_thread_.joinable()) accept_thread_.join();
-  std::vector<std::unique_ptr<ServingSession>> sessions;
+  // Wind every session down through its state machine and wait for the
+  // executor to run them all to Finished.
+  std::vector<std::shared_ptr<ServingSession>> sessions;
   {
     util::MutexLock lock(sessions_mutex_);
-    sessions.swap(sessions_);
+    sessions = sessions_;
   }
   for (auto& session : sessions) session->request_stop();
-  for (auto& session : sessions) session->join();
+  sessions.clear();
+  {
+    util::MutexLock lock(live_mutex_);
+    while (live_sessions_ > 0) live_cv_.wait(live_mutex_);
+  }
+  poller_->stop();
+  executor_->stop_and_join();
+  util::MutexLock lock(sessions_mutex_);
+  sessions_.clear();
 }
 
 void Server::accept_loop(net::Acceptor* acceptor) {
@@ -95,14 +113,23 @@ void Server::accept_loop(net::Acceptor* acceptor) {
     reap_finished_locked();
     // `| 1` keeps 0 reserved as "no token" (the Hello/HelloAck default).
     const std::uint64_t token = token_rng_.next_u64() | 1;
-    auto session = std::make_unique<ServingSession>(
+    auto session = std::make_shared<ServingSession>(
         next_client_id_++, token, std::move(connection), config_,
         store_.get(), model_, *scheduler_, *devices_, profiling_mutex_,
-        profile_cache_, offload_.get());
+        profile_cache_, *executor_, *poller_, offload_.get());
     session->set_resume_router(
         [this](std::uint64_t t, std::shared_ptr<net::Connection> conn) {
           return route_resume(t, std::move(conn));
         });
+    {
+      util::MutexLock live(live_mutex_);
+      ++live_sessions_;
+    }
+    session->set_on_finished([this] {
+      util::MutexLock live(live_mutex_);
+      --live_sessions_;
+      live_cv_.notify_all();
+    });
     session->start();
     sessions_.push_back(std::move(session));
   }
@@ -120,28 +147,18 @@ bool Server::route_resume(std::uint64_t token,
   return false;
 }
 
-void Server::reaper_loop() {
-  const double interval = config_.reaper_interval_s > 0.0
-                              ? config_.reaper_interval_s
-                              : config_.lease_seconds / 4.0;
-  while (true) {
-    {
-      util::MutexLock lock(reaper_mutex_);
-      while (!reaper_stop_) {
-        if (!reaper_cv_.wait_for(reaper_mutex_, interval)) break;  // tick
-      }
-      if (reaper_stop_) return;
-    }
-    util::MutexLock lock(sessions_mutex_);
-    for (auto& session : sessions_) session->expire_if_overdue();
-    reap_finished_locked();
-  }
+void Server::reap_tick() {
+  util::MutexLock lock(sessions_mutex_);
+  for (auto& session : sessions_) session->expire_if_overdue();
+  reap_finished_locked();
 }
 
 void Server::reap_finished_locked() {
+  // No join: a finished session's strand holds no further work (posted
+  // events bail out at Finished), so dropping the table reference is
+  // enough — the shared_ptr keeps it alive through any stragglers.
   for (auto it = sessions_.begin(); it != sessions_.end();) {
     if ((*it)->finished()) {
-      (*it)->join();
       it = sessions_.erase(it);
     } else {
       ++it;

@@ -1,13 +1,20 @@
 // The Menos server (Fig 4): accepts clients, profiles them, and serves
 // forward/backward computation under the operation-level scheduler.
+//
+// Serving is event-driven (docs/ARCHITECTURE.md): sessions are state
+// machines multiplexed onto a shared core::Executor, with readiness demuxed
+// by one net::Poller service thread. The server's OS thread count is
+// therefore O(executor width), not O(clients).
 #pragma once
 
 #include <memory>
 #include <thread>
 #include <vector>
 
+#include "core/executor.h"
 #include "core/session.h"
 #include "mem/offload_engine.h"
+#include "net/poller.h"
 #include "util/mutex.h"
 #include "util/rng.h"
 #include "util/thread_annotations.h"
@@ -29,7 +36,8 @@ class Server {
   /// Start accepting clients on `acceptor` (runs on a background thread).
   void start(net::Acceptor& acceptor);
 
-  /// Stop accepting, close all sessions, join all threads.
+  /// Stop accepting, wind every session down through its state machine,
+  /// then stop the poller and executor. Idempotent.
   void stop();
 
   // ----- introspection for tests/benches -----
@@ -44,6 +52,9 @@ class Server {
 
   /// Non-null iff sched_policy == Policy::SwapOnIdle.
   mem::OffloadEngine* offload_engine() noexcept { return offload_.get(); }
+
+  /// The shared serving executor (width = ServerConfig::executor_threads).
+  Executor& executor() noexcept { return *executor_; }
 
   int session_count() const;
 
@@ -60,10 +71,11 @@ class Server {
   bool route_resume(std::uint64_t token,
                     std::shared_ptr<net::Connection> connection);
 
-  /// Lease reaper (lease_seconds > 0 only): periodically expires sessions
-  /// whose deadline passed and sweeps finished ones, so a crashed client's
-  /// GPU memory is reclaimed without waiting for the next accept.
-  void reaper_loop();
+  /// Lease-reaper tick, hosted on the poller's timer wheel (lease_seconds
+  /// > 0 only): expires sessions whose deadline passed and sweeps finished
+  /// ones, so a crashed client's GPU memory is reclaimed without waiting
+  /// for the next accept.
+  void reap_tick();
 
   ServerConfig config_;
   gpusim::DeviceManager* devices_;
@@ -74,6 +86,10 @@ class Server {
   // the engine must be destroyed first) and before sessions_ (sessions hold
   // a raw pointer and unregister their units in cleanup()).
   std::unique_ptr<mem::OffloadEngine> offload_;  // SwapOnIdle only
+  // The serving core. Declared before sessions_: a session's destructor
+  // may still unwatch itself, so the poller must outlive every session.
+  std::unique_ptr<Executor> executor_;
+  std::unique_ptr<net::Poller> poller_;
   // Serializes the profiling runs themselves (device headroom), not a data
   // member — sessions lock it around profile().
   // NOLINTNEXTLINE(mutex-annotation)
@@ -81,7 +97,7 @@ class Server {
   ProfileCache profile_cache_;
 
   mutable util::Mutex sessions_mutex_;
-  std::vector<std::unique_ptr<ServingSession>> sessions_
+  std::vector<std::shared_ptr<ServingSession>> sessions_
       MENOS_GUARDED_BY(sessions_mutex_);
   int next_client_id_ MENOS_GUARDED_BY(sessions_mutex_) = 0;
   /// Mints session tokens; seeded from base_seed so runs are reproducible
@@ -89,13 +105,17 @@ class Server {
   util::Rng token_rng_ MENOS_GUARDED_BY(sessions_mutex_);
 
   net::Acceptor* acceptor_ = nullptr;
-  std::thread accept_thread_;
+  // The accept thread is infrastructure (it blocks in accept(), which the
+  // poller cannot demux for every Acceptor flavor), not a per-client thread.
+  std::thread accept_thread_;  // NOLINT(raw-thread)
   std::atomic<bool> stopping_{false};
+  std::uint64_t reaper_timer_ = 0;  ///< poller timer token (0 = none)
 
-  util::Mutex reaper_mutex_;
-  util::CondVar reaper_cv_;
-  bool reaper_stop_ MENOS_GUARDED_BY(reaper_mutex_) = false;
-  std::thread reaper_thread_;
+  /// Sessions that exist but have not fired on_finished yet. stop() waits
+  /// for this to reach zero before tearing the executor down.
+  mutable util::Mutex live_mutex_;
+  util::CondVar live_cv_;
+  int live_sessions_ MENOS_GUARDED_BY(live_mutex_) = 0;
 };
 
 }  // namespace menos::core

@@ -33,10 +33,10 @@ ServingSession::ServingSession(int id, std::uint64_t token,
                                gpusim::DeviceManager& devices,
                                util::Mutex& profiling_mutex,
                                ProfileCache& profile_cache,
+                               Executor& executor, net::Poller& poller,
                                mem::OffloadEngine* offload)
     : id_(id),
       token_(token),
-      connection_(std::move(connection)),
       config_(config),
       store_(store),
       model_(model),
@@ -46,27 +46,29 @@ ServingSession::ServingSession(int id, std::uint64_t token,
       host_(&devices.host()),
       profiling_mutex_(&profiling_mutex),
       profile_cache_(&profile_cache),
-      offload_(offload) {
+      executor_(&executor),
+      poller_(&poller),
+      offload_(offload),
+      strand_(executor.pool()) {
   MENOS_CHECK_MSG(!shares_base_model(config.mode) || store_ != nullptr,
                   "shared serving modes require a ParameterStore");
+  util::MutexLock lock(conn_mutex_);
+  connection_ = std::move(connection);
+  serving_conn_ = connection_;
   // Arm the lease immediately: a connection that never completes its
   // handshake must still be reaped, or an attacker (or a crashed client)
-  // could strand a session thread forever.
-  util::MutexLock lock(conn_mutex_);
+  // could strand a session slot forever.
   touch_lease_locked();
 }
 
 ServingSession::~ServingSession() {
-  request_stop();
-  join();
+  // Normal teardown unwatches on the strand (finish_now/finish_session);
+  // this is the backstop for a session destroyed without ever starting.
+  if (watch_token_ != 0) poller_->unwatch(watch_token_);
 }
 
 void ServingSession::start() {
-  thread_ = std::thread([this] { run(); });
-}
-
-void ServingSession::join() {
-  if (thread_.joinable()) thread_.join();
+  watch_conn(serving_conn_);
 }
 
 void ServingSession::request_stop() {
@@ -74,31 +76,29 @@ void ServingSession::request_stop() {
   {
     util::MutexLock lock(conn_mutex_);
     if (connection_ != nullptr) connection_->close();
-    conn_cv_.notify_all();  // unblock a session parked across link loss
   }
-  grant_.notify();  // unblock a session parked in acquire()
+  post_event([](ServingSession& s) { s.stop_event(); });
 }
 
 void ServingSession::on_grant(const sched::Grant& grant) {
   (void)grant;  // single-GPU runtime: partition is always 0
   if (unit_registered_.load()) {
     // Prefetch-on-grant: start the swap-in on the background task lane so
-    // it overlaps other clients' compute; the session thread's
-    // ensure_resident() joins it (or retries a failed charge).
+    // it overlaps other clients' compute; the strand's ensure_resident()
+    // joins it (or retries a failed charge).
     offload_->prefetch(id_);
   }
-  granted_.store(true);
-  grant_.notify();
+  post_event([](ServingSession& s) { s.grant_event(); });
 }
 
 std::size_t ServingSession::persistent_gpu_bytes() const {
   if (config_.mode == ServingMode::VanillaTaskSwap) {
-    return on_gpu_ ? task_bytes_ : 0;
+    return on_gpu_.load() ? task_bytes_.load() : 0;
   }
   if (unit_registered_.load() && !offload_->resident(id_)) {
     return 0;  // A + O currently evicted to host memory
   }
-  return persistent_bytes_;
+  return persistent_bytes_.load();
 }
 
 SessionStats ServingSession::stats() const {
@@ -106,43 +106,144 @@ SessionStats ServingSession::stats() const {
   return stats_;
 }
 
-void ServingSession::run() {
-  {
-    util::MutexLock lock(conn_mutex_);
-    serving_conn_ = connection_;
-  }
-  try {
-    std::optional<net::Message> first;
-    if (serving_conn_ != nullptr) first = serving_conn_->receive();
-    if (!first.has_value()) {
-      finished_.store(true);
+// ----- event plumbing --------------------------------------------------
+
+void ServingSession::post_event(std::function<void(ServingSession&)> event) {
+  strand_.post([self = shared_from_this(), event = std::move(event)] {
+    if (self->state_ == State::Finished) return;
+    try {
+      event(*self);
+    } catch (const Error& e) {
+      // The serve loop's error contract: surface the failure to the client
+      // and tear the session down through cleanup.
+      MENOS_LOG(Warn) << "session " << self->id_ << " failed: " << e.what();
+      self->send_reply(net::Message::error(e.what()));
+      self->finish_session();
+    }
+  });
+}
+
+void ServingSession::watch_conn(
+    const std::shared_ptr<net::Connection>& conn) {
+  std::weak_ptr<ServingSession> weak = weak_from_this();
+  watch_token_ = poller_->watch(*conn, [weak] {
+    if (auto self = weak.lock()) {
+      self->post_event([](ServingSession& s) { s.pump(); });
+    }
+  });
+  // Watches start disarmed with a latched signal; delivery (including the
+  // initial "there may be buffered frames" kick) begins here, after
+  // watch_token_ is safely stored for rearm_watch().
+  poller_->rearm(watch_token_);
+}
+
+void ServingSession::unwatch_conn() {
+  if (watch_token_ == 0) return;
+  poller_->unwatch(watch_token_);
+  watch_token_ = 0;
+}
+
+void ServingSession::rearm_watch() {
+  if (watch_token_ != 0) poller_->rearm(watch_token_);
+}
+
+void ServingSession::pump() {
+  while (state_ == State::Handshake || state_ == State::AwaitRequest) {
+    std::shared_ptr<net::Connection> conn = serving_conn_;
+    if (conn == nullptr) {
+      if (!handle_link_down()) return;
+      continue;
+    }
+    net::Message msg;
+    net::RecvStatus status;
+    try {
+      status = conn->try_receive(&msg);
+    } catch (const ProtocolError& e) {
+      // A frame failed CRC/length checks: the stream cannot be
+      // resynchronized. Without leases this stays fatal to the session
+      // (pre-fault-tolerance behavior); with leases only the link dies and
+      // the client reconnects with ResumeSession.
+      if (!lease_enabled() || state_ == State::Handshake) throw;
+      MENOS_LOG(Warn) << "session " << id_
+                      << " dropping corrupt link: " << e.what();
+      conn->close();
+      continue;
+    }
+    if (status == net::RecvStatus::Empty) {
+      rearm_watch();
       return;
     }
-    if (first->type == net::MessageType::ResumeSession) {
+    if (status == net::RecvStatus::Closed) {
+      if (!handle_link_down()) return;
+      continue;
+    }
+    {
+      util::MutexLock lock(conn_mutex_);
+      touch_lease_locked();
+    }
+    if (msg.type == net::MessageType::Heartbeat) {
+      conn->send(net::Message::heartbeat_ack());
+      continue;
+    }
+    handle_frame(msg);
+  }
+}
+
+void ServingSession::handle_frame(const net::Message& msg) {
+  if (state_ == State::Handshake) {
+    if (msg.type == net::MessageType::ResumeSession) {
       // A reconnecting client: hand the connection to the parked session
       // that minted the token. This session existed only to read the first
       // frame and never registered anything, so no cleanup is needed.
-      route_resume(first->session_token);
-      finished_.store(true);
+      route_resume(msg.session_token);
+      finish_now();
       return;
     }
-    if (first->type != net::MessageType::Hello) {
-      send_reply(net::Message::error("expected Hello, got " +
-                                     std::string(net::message_type_name(
-                                         first->type))));
-      finished_.store(true);
+    if (msg.type != net::MessageType::Hello) {
+      send_reply(net::Message::error(
+          "expected Hello, got " +
+          std::string(net::message_type_name(msg.type))));
+      finish_now();
       return;
     }
-    handshake(*first);
-    serve_loop();
-  } catch (const Error& e) {
-    MENOS_LOG(Warn) << "session " << id_ << " failed: " << e.what();
-    send_reply(net::Message::error(e.what()));
+    handshake(msg);
+    return;
   }
-  cleanup();
+  switch (msg.type) {
+    case net::MessageType::Forward:
+      start_forward(msg);
+      break;
+    case net::MessageType::Backward:
+      start_backward(msg);
+      break;
+    case net::MessageType::FetchAdapter:
+      // The server-side adapter phi_s belongs to the client: hand over a
+      // serialized copy (never the frozen base parameters). Busy-pin the
+      // residency unit so an eviction cannot migrate the adapter tensors
+      // mid-serialize.
+      offload_begin_use();
+      send_reply(net::Message::adapter_blob(serialize_adapter(*section_)));
+      offload_end_use();
+      break;
+    case net::MessageType::PushAdapter:
+      offload_begin_use();
+      deserialize_adapter(msg.blob.data(), msg.blob.size(), *section_);
+      offload_end_use();
+      send_reply(net::Message::push_ack());
+      break;
+    case net::MessageType::Bye:
+      finish_session();
+      break;
+    default:
+      throw ProtocolError("unexpected message in serve loop: " +
+                          std::string(net::message_type_name(msg.type)));
+  }
 }
 
 void ServingSession::route_resume(std::uint64_t token) {
+  // Clear our readiness hook before handing the connection over: the
+  // parked session installs its own watch on attach.
+  unwatch_conn();
   std::shared_ptr<net::Connection> conn;
   {
     // Disown the connection either way: on success the parked session owns
@@ -158,7 +259,125 @@ void ServingSession::route_resume(std::uint64_t token) {
   conn->close();
 }
 
+bool ServingSession::handle_link_down() {
+  unwatch_conn();
+  if (state_ == State::Handshake) {
+    // The peer vanished before its first frame; nothing was registered, so
+    // no cleanup is needed.
+    finish_now();
+    return false;
+  }
+  std::shared_ptr<net::Connection> conn;
+  bool expired = false;
+  {
+    util::MutexLock lock(conn_mutex_);
+    conn = connection_;
+    expired = expired_;
+  }
+  const bool stopped = stop_requested_.load();
+  if (conn != nullptr && conn != serving_conn_ && !stopped && !expired) {
+    // attach() already delivered a resumed link (possibly while we were
+    // computing); switch to it and keep serving.
+    serving_conn_ = conn;
+    watch_conn(conn);
+    return true;
+  }
+  if (!lease_enabled() || stopped || expired) {
+    finish_session();
+    return false;
+  }
+  // Park across link loss until attach() posts a resume event or the lease
+  // reaper expires us (docs/FAULTS.md).
+  state_ = State::Parked;
+  serving_conn_.reset();
+  if (config_.trace != nullptr) {
+    config_.trace->record(util::TraceCategory::Session, "session.parked",
+                          id_);
+  }
+  return false;
+}
+
+void ServingSession::grant_event() {
+  if (state_ == State::AwaitForwardGrant) {
+    holding_allocation_ = true;
+    state_ = State::Forward;
+    net::Message msg = std::move(pending_msg_);
+    pending_msg_ = net::Message();
+    finish_forward(msg, wait_sw_.elapsed_seconds());
+  } else if (state_ == State::AwaitBackwardGrant) {
+    holding_allocation_ = true;
+    state_ = State::Backward;
+    net::Message msg = std::move(pending_msg_);
+    pending_msg_ = net::Message();
+    finish_backward(msg, wait_sw_.elapsed_seconds());
+  }
+  // Any other state: a stale grant that raced a stop/expiry; cleanup's
+  // allocated_to() check reclaims the allocation.
+}
+
+void ServingSession::resume_event() {
+  std::shared_ptr<net::Connection> conn;
+  {
+    util::MutexLock lock(conn_mutex_);
+    conn = connection_;
+  }
+  if (conn == nullptr || conn == serving_conn_) return;
+  if (state_ == State::Parked || state_ == State::AwaitRequest) {
+    state_ = State::AwaitRequest;
+    unwatch_conn();
+    serving_conn_ = conn;
+    watch_conn(conn);
+    pump();
+  }
+  // Grant-wait states keep replying on the connection the in-flight
+  // request arrived on; the switch happens through handle_link_down once
+  // that reply fails.
+}
+
+void ServingSession::stop_event() {
+  switch (state_) {
+    case State::Handshake:
+      finish_now();
+      return;
+    case State::AwaitForwardGrant:
+    case State::AwaitBackwardGrant:
+      // The grant never arrives for a stopped/expired session; surface the
+      // same error the blocking acquire() used to throw, then tear down
+      // (cleanup's unregister drops the pending request).
+      fail_session("session stopped while waiting to be scheduled");
+      return;
+    default:
+      finish_session();
+  }
+}
+
+void ServingSession::expire_event() { stop_event(); }
+
+void ServingSession::finish_now() {
+  if (finished_.exchange(true)) return;
+  state_ = State::Finished;
+  unwatch_conn();
+  if (on_finished_) on_finished_();
+}
+
+void ServingSession::finish_session() {
+  if (finished_.load()) return;
+  state_ = State::Finished;
+  unwatch_conn();
+  cleanup();  // sets finished_
+  if (on_finished_) on_finished_();
+}
+
+void ServingSession::fail_session(const std::string& reason) {
+  MENOS_LOG(Warn) << "session " << id_ << " failed: " << reason;
+  send_reply(net::Message::error(reason));
+  finish_session();
+}
+
+// ----- handshake + profiling -------------------------------------------
+
 void ServingSession::handshake(const net::Message& hello) {
+  state_ = State::Profiling;
   client_config_ = hello.config;
   client_config_.model.validate();
   client_config_.split.validate(client_config_.model);
@@ -186,7 +405,7 @@ void ServingSession::handshake(const net::Message& hello) {
         client_config_.model, client_config_.split, client_config_.adapter,
         init, *host_, server_rng);
     gpu_ = &devices_->gpu(0);
-    on_gpu_ = false;
+    on_gpu_.store(false);
   } else {
     // The structure follows the store's block-to-GPU layer assignment, so
     // a multi-GPU server splits every client's section the same way.
@@ -199,7 +418,7 @@ void ServingSession::handshake(const net::Message& hello) {
         client_config_.model, client_config_.split, client_config_.adapter,
         source, device_for, server_rng);
     gpu_ = &section_->entry_device();
-    on_gpu_ = true;
+    on_gpu_.store(true);
   }
 
   optimizer_ = optim::make_optimizer(client_config_.optimizer,
@@ -207,12 +426,13 @@ void ServingSession::handshake(const net::Message& hello) {
                                      client_config_.lr);
 
   if (vanilla) {
-    task_bytes_ = section_->parameter_bytes() + optimizer_->state_bytes();
+    task_bytes_.store(section_->parameter_bytes() +
+                      optimizer_->state_bytes());
   } else {
     const std::size_t wanted =
         section_->trainable_parameter_bytes() + optimizer_->state_bytes();
     scheduler_->reserve_persistent(0, wanted);  // throws OutOfMemory if full
-    persistent_bytes_ = wanted;
+    persistent_bytes_.store(wanted);
   }
 
   demands_ = profile();
@@ -228,6 +448,7 @@ void ServingSession::handshake(const net::Message& hello) {
   send_reply(net::Message::hello_ack(demands_.forward_bytes,
                                      demands_.backward_bytes, token_,
                                      config_.lease_seconds));
+  state_ = State::AwaitRequest;
 }
 
 std::string ServingSession::profile_key() const {
@@ -256,8 +477,8 @@ sched::ClientDemands ServingSession::profile() {
       // Activation demands transfer between identical configs; the task
       // residency component is this session's own.
       sched::ClientDemands d = *cached;
-      d.forward_bytes += task_bytes_;
-      d.backward_bytes += task_bytes_;
+      d.forward_bytes += task_bytes_.load();
+      d.backward_bytes += task_bytes_.load();
       return d;
     }
     return *cached;
@@ -346,26 +567,13 @@ sched::ClientDemands ServingSession::profile() {
   profile_cache_->insert(key, d);
   if (vanilla) {
     swap_to(*host_);
-    d.forward_bytes += task_bytes_;
-    d.backward_bytes += task_bytes_;
+    d.forward_bytes += task_bytes_.load();
+    d.backward_bytes += task_bytes_.load();
   }
   return d;
 }
 
-double ServingSession::acquire(sched::OpKind kind) {
-  if (holding_allocation_) return 0.0;
-  util::Stopwatch sw;
-  granted_.store(false);
-  scheduler_->on_request(id_, kind);
-  grant_.wait_and_reset();
-  if (!granted_.load()) {
-    // Woken by request_stop, not by a grant; the pending request is removed
-    // by cleanup()'s unregister.
-    throw StateError("session stopped while waiting to be scheduled");
-  }
-  holding_allocation_ = true;
-  return sw.elapsed_seconds();
-}
+// ----- scheduler + residency helpers -----------------------------------
 
 void ServingSession::release() {
   if (!holding_allocation_) return;
@@ -375,10 +583,11 @@ void ServingSession::release() {
 
 void ServingSession::swap_to(gpusim::Device& device) {
   const bool to_gpu = &device == gpu_;
-  if (on_gpu_ == to_gpu) return;
+  if (on_gpu_.load() == to_gpu) return;
   if (config_.trace != nullptr) {
     config_.trace->record(util::TraceCategory::Memory,
-                          to_gpu ? "swap.in" : "swap.out", id_, task_bytes_);
+                          to_gpu ? "swap.in" : "swap.out", id_,
+                          task_bytes_.load());
   }
   for (nn::Parameter& p : section_->parameters()) {
     p.value.migrate(device);
@@ -386,7 +595,7 @@ void ServingSession::swap_to(gpusim::Device& device) {
   for (tensor::Tensor t : optimizer_->state_tensors()) {
     t.migrate(device);
   }
-  on_gpu_ = to_gpu;
+  on_gpu_.store(to_gpu);
 }
 
 void ServingSession::register_residency_unit() {
@@ -406,16 +615,17 @@ void ServingSession::register_residency_unit() {
     if (config_.trace != nullptr) {
       config_.trace->record(util::TraceCategory::Memory,
                             to_device ? "swap.in" : "swap.out", id_,
-                            persistent_bytes_);
+                            persistent_bytes_.load());
     }
     for (auto& [t, home] : homed) t.migrate(to_device ? *home : *host_);
   };
   callbacks.charge = [this] {
     // SwapOnIdle: reserve_persistent runs its own reclaim pass before
     // giving up, so a move-in can in turn evict somebody idler.
-    scheduler_->reserve_persistent(0, persistent_bytes_);
+    scheduler_->reserve_persistent(0, persistent_bytes_.load());
   };
-  offload_->register_unit(id_, persistent_bytes_, std::move(callbacks));
+  offload_->register_unit(id_, persistent_bytes_.load(),
+                          std::move(callbacks));
   unit_registered_.store(true);
 }
 
@@ -431,103 +641,7 @@ void ServingSession::offload_ensure_resident() {
   if (unit_registered_.load()) offload_->ensure_resident(id_);
 }
 
-void ServingSession::serve_loop() {
-  while (auto msg = next_message()) {
-    switch (msg->type) {
-      case net::MessageType::Forward:
-        handle_forward(*msg);
-        break;
-      case net::MessageType::Backward:
-        handle_backward(*msg);
-        break;
-      case net::MessageType::FetchAdapter:
-        // The server-side adapter phi_s belongs to the client: hand over a
-        // serialized copy (never the frozen base parameters). Busy-pin the
-        // residency unit so an eviction cannot migrate the adapter tensors
-        // mid-serialize.
-        offload_begin_use();
-        send_reply(net::Message::adapter_blob(serialize_adapter(*section_)));
-        offload_end_use();
-        break;
-      case net::MessageType::PushAdapter:
-        offload_begin_use();
-        deserialize_adapter(msg->blob.data(), msg->blob.size(), *section_);
-        offload_end_use();
-        send_reply(net::Message::push_ack());
-        break;
-      case net::MessageType::Bye:
-        return;
-      default:
-        throw ProtocolError("unexpected message in serve loop: " +
-                            std::string(net::message_type_name(msg->type)));
-    }
-  }
-}
-
-std::optional<net::Message> ServingSession::next_message() {
-  while (true) {
-    std::shared_ptr<net::Connection> conn;
-    {
-      util::MutexLock lock(conn_mutex_);
-      conn = connection_;
-    }
-    if (conn == nullptr) return std::nullopt;
-    // Replies for whatever arrives next must go back on this connection:
-    // if attach() swaps in a resumed link mid-computation, a reply sent
-    // there would race the client's re-sent request.
-    serving_conn_ = conn;
-
-    std::optional<net::Message> msg;
-    try {
-      msg = conn->receive();
-    } catch (const ProtocolError& e) {
-      // A frame failed CRC/length checks: the stream cannot be
-      // resynchronized. Without leases this stays fatal to the session
-      // (pre-fault-tolerance behavior); with leases only the link dies and
-      // the client reconnects with ResumeSession.
-      if (!lease_enabled()) throw;
-      MENOS_LOG(Warn) << "session " << id_
-                      << " dropping corrupt link: " << e.what();
-      conn->close();
-    }
-
-    if (msg.has_value()) {
-      {
-        util::MutexLock lock(conn_mutex_);
-        touch_lease_locked();
-      }
-      if (msg->type == net::MessageType::Heartbeat) {
-        conn->send(net::Message::heartbeat_ack());
-        continue;
-      }
-      return msg;
-    }
-
-    // Link down: closed by the peer, by an injected fault, or swapped out
-    // under us by attach()/request_stop()/the reaper.
-    util::MutexLock lock(conn_mutex_);
-    if (!lease_enabled() || stop_requested_.load() || expired_) {
-      return std::nullopt;
-    }
-    if (config_.trace != nullptr && connection_.get() == conn.get()) {
-      config_.trace->record(util::TraceCategory::Session, "session.parked",
-                            id_);
-    }
-    while (connection_.get() == conn.get() && !stop_requested_.load() &&
-           !expired_) {
-      const auto now = std::chrono::steady_clock::now();
-      if (now >= lease_deadline_) {
-        expire_locked();
-        break;
-      }
-      conn_cv_.wait_for(
-          conn_mutex_,
-          std::chrono::duration<double>(lease_deadline_ - now).count());
-    }
-    if (stop_requested_.load() || expired_) return std::nullopt;
-    // attach() delivered a fresh connection; loop around and serve it.
-  }
-}
+// ----- lease + resume ---------------------------------------------------
 
 bool ServingSession::send_reply(const net::Message& message) {
   if (serving_conn_ == nullptr) return false;
@@ -550,53 +664,79 @@ void ServingSession::expire_locked() {
     config_.trace->record(util::TraceCategory::Session,
                           "session.lease_expired", id_);
   }
-  conn_cv_.notify_all();
-  // Unblock acquire(): the grant never arrives for an expired session, and
-  // the resulting StateError unwinds the session thread into cleanup().
-  grant_.notify();
 }
 
 void ServingSession::expire_if_overdue() {
   if (!lease_enabled() || finished_.load()) return;
-  util::MutexLock lock(conn_mutex_);
-  if (expired_ || stop_requested_.load()) return;
-  if (std::chrono::steady_clock::now() >= lease_deadline_) expire_locked();
+  bool fired = false;
+  {
+    util::MutexLock lock(conn_mutex_);
+    if (expired_ || stop_requested_.load()) return;
+    if (std::chrono::steady_clock::now() >= lease_deadline_) {
+      expire_locked();
+      fired = true;
+    }
+  }
+  // The expiry event tears the state machine down on the strand — in
+  // particular a session waiting on a grant, which no longer has a watch
+  // to notice the closed connection.
+  if (fired) post_event([](ServingSession& s) { s.expire_event(); });
 }
 
 bool ServingSession::attach(std::shared_ptr<net::Connection> connection) {
-  util::MutexLock lock(conn_mutex_);
-  if (!lease_enabled() || expired_ || stop_requested_.load() ||
-      finished_.load()) {
-    return false;
+  {
+    util::MutexLock lock(conn_mutex_);
+    if (!lease_enabled() || expired_ || stop_requested_.load() ||
+        finished_.load()) {
+      return false;
+    }
+    if (connection_ != nullptr) connection_->close();
+    connection_ = std::move(connection);
+    touch_lease_locked();
+    // ResumeAck carries how many Backwards actually landed, so the client
+    // knows whether its in-flight optimizer step applied before the link
+    // died (at-least-once dedup — docs/FAULTS.md).
+    connection_->send(
+        net::Message::resume_ack(token_, backwards_applied_.load()));
+    resumes_.fetch_add(1);
+    if (config_.trace != nullptr) {
+      config_.trace->record(util::TraceCategory::Session, "session.resumed",
+                            id_);
+    }
   }
-  if (connection_ != nullptr) connection_->close();
-  connection_ = std::move(connection);
-  touch_lease_locked();
-  // ResumeAck carries how many Backwards actually landed, so the client
-  // knows whether its in-flight optimizer step applied before the link
-  // died (at-least-once dedup — docs/FAULTS.md).
-  connection_->send(net::Message::resume_ack(token_, backwards_applied_.load()));
-  resumes_.fetch_add(1);
-  if (config_.trace != nullptr) {
-    config_.trace->record(util::TraceCategory::Session, "session.resumed",
-                          id_);
-  }
-  conn_cv_.notify_all();
+  post_event([](ServingSession& s) { s.resume_event(); });
   return true;
 }
 
-void ServingSession::handle_forward(const net::Message& msg) {
-  using tensor::Tensor;
-  const bool eval = msg.eval_only;
-  const bool keep = !eval && holds_across_iteration(config_.mode);
+// ----- forward / backward ----------------------------------------------
+
+void ServingSession::start_forward(const net::Message& msg) {
   // Busy-pin before requesting so eviction cannot race the computation;
   // swap the adapter + optimizer back in (if evicted) once granted.
   offload_begin_use();
-  const double wait_s = acquire(sched::OpKind::Forward);
+  if (holding_allocation_) {
+    // holds_across_iteration modes still own the allocation from the
+    // previous grant — no scheduler round trip.
+    state_ = State::Forward;
+    finish_forward(msg, 0.0);
+    return;
+  }
+  pending_msg_ = msg;
+  state_ = State::AwaitForwardGrant;
+  wait_sw_.reset();
+  scheduler_->on_request(id_, sched::OpKind::Forward);
+  // The grant arrives as a strand event (possibly already queued if the
+  // scheduler granted synchronously).
+}
+
+void ServingSession::finish_forward(const net::Message& msg, double wait_s) {
+  using tensor::Tensor;
+  const bool eval = msg.eval_only;
+  const bool keep = !eval && holds_across_iteration(config_.mode);
   offload_ensure_resident();
 
   util::Stopwatch compute_sw;
-  if (!on_gpu_) {
+  if (!on_gpu_.load()) {
     swap_to(*gpu_);
     util::MutexLock lock(stats_mutex_);
     ++stats_.swaps;
@@ -661,10 +801,11 @@ void ServingSession::handle_forward(const net::Message& msg) {
   reply.compute_seconds = compute_s;
   reply.schedule_wait_seconds = wait_s;
   send_reply(reply);
+  state_ = State::AwaitRequest;
+  pump();  // drain frames that buffered while we were computing
 }
 
-void ServingSession::handle_backward(const net::Message& msg) {
-  using tensor::Tensor;
+void ServingSession::start_backward(const net::Message& msg) {
   // At-least-once redelivery: if this Backward's optimizer step already
   // landed but the BackwardResult was lost with the link, resend the cached
   // reply. Re-applying would double-step the adapter and fork the loss
@@ -677,11 +818,23 @@ void ServingSession::handle_backward(const net::Message& msg) {
   // Modes that hold the graph across the iteration are still pinned from
   // their Forward; the re-forward modes pin afresh here.
   if (!holds_across_iteration(config_.mode)) offload_begin_use();
-  const double wait_s = acquire(sched::OpKind::Backward);
+  if (holding_allocation_) {
+    state_ = State::Backward;
+    finish_backward(msg, 0.0);
+    return;
+  }
+  pending_msg_ = msg;
+  state_ = State::AwaitBackwardGrant;
+  wait_sw_.reset();
+  scheduler_->on_request(id_, sched::OpKind::Backward);
+}
+
+void ServingSession::finish_backward(const net::Message& msg, double wait_s) {
+  using tensor::Tensor;
   offload_ensure_resident();
 
   util::Stopwatch compute_sw;
-  if (!on_gpu_) {
+  if (!on_gpu_.load()) {
     swap_to(*gpu_);
     util::MutexLock lock(stats_mutex_);
     ++stats_.swaps;
@@ -737,7 +890,7 @@ void ServingSession::handle_backward(const net::Message& msg) {
   const double compute_s = compute_sw.elapsed_seconds();
 
   if (config_.mode != ServingMode::MenosPreserveAll) {
-    // Unpin before release() — see handle_forward. PreserveAll keeps the
+    // Unpin before release() — see finish_forward. PreserveAll keeps the
     // pin: its graph stays live, so its adapter must stay on device.
     offload_end_use();
     if (config_.mode == ServingMode::VanillaTaskSwap &&
@@ -766,7 +919,11 @@ void ServingSession::handle_backward(const net::Message& msg) {
   backwards_applied_.store(msg.iteration + 1);
   if (lease_enabled()) last_backward_reply_ = reply;
   send_reply(reply);
+  state_ = State::AwaitRequest;
+  pump();  // drain frames that buffered while we were computing
 }
+
+// ----- teardown ---------------------------------------------------------
 
 void ServingSession::cleanup() {
   // A grant may have raced the stop notification; reclaim it either way.
@@ -789,16 +946,17 @@ void ServingSession::cleanup() {
     // credited back to the pool by the reclaim path.
     const bool was_resident = offload_->unregister_unit(id_);
     unit_registered_.store(false);
-    if (!was_resident) persistent_bytes_ = 0;
+    if (!was_resident) persistent_bytes_.store(0);
   }
-  if (persistent_bytes_ != 0) {
-    scheduler_->release_persistent(0, persistent_bytes_);
-    persistent_bytes_ = 0;
+  if (persistent_bytes_.load() != 0) {
+    scheduler_->release_persistent(0, persistent_bytes_.load());
+    persistent_bytes_.store(0);
   }
   // Free the client's GPU state promptly.
   held_input_ = tensor::Tensor();
   held_output_ = tensor::Tensor();
   cached_activation_ = net::WireTensor();
+  pending_msg_ = net::Message();
   section_.reset();
   optimizer_.reset();
   {

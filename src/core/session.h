@@ -1,21 +1,37 @@
 // Per-client serving session (Algorithm 1 + Fig 4's "serving processes").
 //
-// Each connected client gets one session running on its own thread. The
-// session owns the client's model *structure* (built over the shared
-// ParameterStore in Menos modes, or over a private copy in the vanilla
-// baseline), the client's adapter + optimizer state, and drives the
-// four-step loop of §2.2 under the memory policy of its ServingMode.
+// Each connected client gets one session. The session owns the client's
+// model *structure* (built over the shared ParameterStore in Menos modes,
+// or over a private copy in the vanilla baseline), the client's adapter +
+// optimizer state, and drives the four-step loop of §2.2 under the memory
+// policy of its ServingMode.
+//
+// Sessions are event-driven state machines, not threads (see
+// docs/ARCHITECTURE.md):
+//
+//   Handshake -> Profiling -> AwaitRequest -> AwaitForwardGrant -> Forward
+//        -> AwaitRequest -> AwaitBackwardGrant -> Backward -> AwaitRequest
+//        ... -> Parked (link loss under a lease) -> AwaitRequest (resume)
+//        ... -> Finished
+//
+// All transitions run on the session's util::Strand over the server's
+// shared core::Executor, so events are serialized per session without a
+// per-session thread or lock. Readiness ("a frame may have arrived")
+// comes from the server's net::Poller; scheduler grants arrive as strand
+// events posted by on_grant. Server concurrency is therefore bounded by
+// GPU memory — the paper's resource — not by OS thread count.
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <functional>
 #include <memory>
-#include <thread>
 
+#include "core/executor.h"
 #include "core/parameter_store.h"
 #include "core/runtime.h"
 #include "mem/offload_engine.h"
+#include "net/poller.h"
 #include "net/transport.h"
 #include "optim/optimizer.h"
 #include "util/mutex.h"
@@ -49,7 +65,8 @@ struct SessionStats {
   std::uint64_t swaps = 0;       ///< vanilla task swaps (in+out pairs)
 };
 
-class ServingSession {
+class ServingSession
+    : public std::enable_shared_from_this<ServingSession> {
  public:
   /// Routes a ResumeSession received on a fresh connection to the parked
   /// session holding `token`; returns true once the connection has been
@@ -62,6 +79,8 @@ class ServingSession {
   /// the session registers its A + O as a residency unit at handshake.
   /// `token` is the opaque session identity echoed in HelloAck; a
   /// reconnecting client presents it in ResumeSession (docs/FAULTS.md).
+  /// `executor` and `poller` are the server's shared serving core; both
+  /// must outlive the session.
   ServingSession(int id, std::uint64_t token,
                  std::unique_ptr<net::Connection> connection,
                  const ServerConfig& config, const ParameterStore* store,
@@ -69,12 +88,17 @@ class ServingSession {
                  sched::Scheduler& scheduler,
                  gpusim::DeviceManager& devices,
                  util::Mutex& profiling_mutex, ProfileCache& profile_cache,
+                 Executor& executor, net::Poller& poller,
                  mem::OffloadEngine* offload = nullptr);
   ~ServingSession();
 
-  void start();        ///< spawn the session thread
-  void join();         ///< wait for the serve loop to finish
-  void request_stop(); ///< close the connection, unblocking receive()
+  /// Register with the poller and begin consuming events. Must be called
+  /// on a shared_ptr-owned session (shared_from_this).
+  void start();
+
+  /// Close the connection and post a stop event; the session winds down
+  /// through cleanup on its strand and then fires the on_finished hook.
+  void request_stop();
 
   /// Must be set before start() for ResumeSession routing to work; without
   /// it a resume attempt is answered with Error.
@@ -82,18 +106,24 @@ class ServingSession {
     resume_router_ = std::move(router);
   }
 
+  /// Invoked (from the strand) exactly once, after the session reaches
+  /// Finished — the Server uses it to wake stop() waiters.
+  void set_on_finished(std::function<void()> hook) {
+    on_finished_ = std::move(hook);
+  }
+
   /// Hand a reconnecting client's fresh connection to this session. Closes
-  /// the dead one, refreshes the lease, replies ResumeAck, and wakes the
-  /// parked serve loop. False if the session cannot be resumed (leases off,
-  /// already expired/stopped/finished).
+  /// the dead one, refreshes the lease, replies ResumeAck, and posts a
+  /// resume event that un-parks the state machine. False if the session
+  /// cannot be resumed (leases off, already expired/stopped/finished).
   bool attach(std::shared_ptr<net::Connection> connection);
 
   /// Reaper hook: expire the session if its lease deadline passed — close
-  /// the connection and wake any park/grant wait so the session thread runs
-  /// cleanup() and releases every byte it holds.
+  /// the connection and post an expiry event so the state machine runs
+  /// cleanup and releases every byte it holds.
   void expire_if_overdue();
 
-  /// Scheduler grant arrived for this session.
+  /// Scheduler grant arrived for this session (posted as a GrantEvent).
   void on_grant(const sched::Grant& grant);
 
   int id() const noexcept { return id_; }
@@ -112,28 +142,59 @@ class ServingSession {
   const sched::ClientDemands& demands() const noexcept { return demands_; }
 
  private:
-  void run();
-  void handshake(const net::Message& hello);
-  void serve_loop();
-  void handle_forward(const net::Message& msg);
-  void handle_backward(const net::Message& msg);
-  void cleanup();
+  enum class State : std::uint8_t {
+    Handshake,          ///< waiting for the first frame (Hello/Resume)
+    Profiling,          ///< measuring M_f / M_b inside handshake()
+    AwaitRequest,       ///< idle, watching the connection for a frame
+    AwaitForwardGrant,  ///< Forward queued on the scheduler
+    Forward,            ///< forward compute in progress (transient)
+    AwaitBackwardGrant, ///< Backward queued on the scheduler
+    Backward,           ///< backward compute in progress (transient)
+    Parked,             ///< link down, lease alive, awaiting resume
+    Finished,
+  };
 
-  /// First frame was ResumeSession: hand our connection to the parked
-  /// session owning `token` via the router, or answer Error and close.
+  // ----- event plumbing (everything below runs on the strand) -----
+
+  /// Post an event onto the strand with the session kept alive and the
+  /// serve loop's error contract applied: an Error escaping the event is
+  /// logged, answered with an Error frame, and finishes the session.
+  void post_event(std::function<void(ServingSession&)> event);
+
+  /// Drain frames while in a frame-consuming state; rearms the poller
+  /// watch once the connection runs Empty.
+  void pump();
+  void handle_frame(const net::Message& msg);
+  void handshake(const net::Message& hello);
   void route_resume(std::uint64_t token);
 
-  /// Receive the next protocol message for the serve loop. Handles
-  /// Heartbeat inline, refreshes the lease on every frame, and — when
-  /// leases are enabled — parks across link loss until attach() delivers a
-  /// fresh connection, the lease expires, or stop is requested. Returns
-  /// nullopt when the session should wind down. Also snapshots the
-  /// connection the message arrived on into serving_conn_ so replies go to
-  /// that connection and never to one attached mid-computation.
-  std::optional<net::Message> next_message();
+  void start_forward(const net::Message& msg);
+  void finish_forward(const net::Message& msg, double wait_s);
+  void start_backward(const net::Message& msg);
+  void finish_backward(const net::Message& msg, double wait_s);
+  void grant_event();
+  void resume_event();
+  void stop_event();
+  void expire_event();
 
-  /// Send on the connection the current request arrived on; a false return
-  /// means the link died mid-reply (the client will resume and resend).
+  /// The watched connection died (Closed). Switch to a freshly attached
+  /// link, park under a lease, or finish. Returns true when pumping may
+  /// continue on a new connection.
+  bool handle_link_down();
+
+  /// Terminal transitions. finish_now: the pre-handshake exits that leave
+  /// the connection open and skip cleanup (nothing was registered).
+  /// finish_session: the full teardown path through cleanup().
+  void finish_now();
+  void finish_session();
+  void fail_session(const std::string& reason);
+  void cleanup();
+
+  // ----- poller plumbing -----
+  void watch_conn(const std::shared_ptr<net::Connection>& conn);
+  void unwatch_conn();
+  void rearm_watch();
+
   bool send_reply(const net::Message& message);
 
   void touch_lease_locked() MENOS_REQUIRES(conn_mutex_);
@@ -143,9 +204,7 @@ class ServingSession {
   sched::ClientDemands profile();
   std::string profile_key() const;
 
-  /// Scheduler interaction helpers.
-  double acquire(sched::OpKind kind);  ///< request + block; returns wait s
-  void release();
+  void release();  ///< hand the live allocation back to the scheduler
 
   /// Vanilla task-swap helpers (migrate params + optimizer state).
   void swap_to(gpusim::Device& device);
@@ -161,18 +220,19 @@ class ServingSession {
   int id_;
   std::uint64_t token_;
   ResumeRouter resume_router_;
-  // The live connection. Shared so the serve loop can hold a snapshot
-  // across a blocking receive while attach()/request_stop()/the reaper
-  // replace or close it; the CondVar wakes a parked serve loop when a
-  // resumed connection lands (or the lease runs out).
+  std::function<void()> on_finished_;
+
+  // The live connection table. attach()/request_stop()/the reaper mutate
+  // it from foreign threads; the strand snapshots it into serving_conn_.
   mutable util::Mutex conn_mutex_;
-  util::CondVar conn_cv_;
   std::shared_ptr<net::Connection> connection_ MENOS_GUARDED_BY(conn_mutex_);
   std::chrono::steady_clock::time_point lease_deadline_
       MENOS_GUARDED_BY(conn_mutex_);
   bool expired_ MENOS_GUARDED_BY(conn_mutex_) = false;
-  /// Session-thread-only: the connection the in-flight request arrived on.
+  /// Strand-only: the connection the in-flight request arrived on. Replies
+  /// go here and never to a connection attached mid-computation.
   std::shared_ptr<net::Connection> serving_conn_;
+
   ServerConfig config_;
   const ParameterStore* store_;  // null in vanilla mode
   nn::TransformerConfig model_;
@@ -182,30 +242,39 @@ class ServingSession {
   gpusim::Device* host_;
   util::Mutex* profiling_mutex_;  // owned by the Server; serializes profiling
   ProfileCache* profile_cache_;
+  Executor* executor_;
+  net::Poller* poller_;
   mem::OffloadEngine* offload_;   // owned by the Server; null unless SwapOnIdle
 
   net::FinetuneConfig client_config_;
   std::unique_ptr<nn::ServerSection> section_;
   std::unique_ptr<optim::Optimizer> optimizer_;
   sched::ClientDemands demands_;
-  std::size_t persistent_bytes_ = 0;  ///< A + O reserved on the scheduler
-  std::size_t task_bytes_ = 0;        ///< vanilla: M_copy + A + O
+  /// A + O reserved on the scheduler (shared modes). Atomic because
+  /// persistent_gpu_bytes() reads it from introspection threads.
+  std::atomic<std::size_t> persistent_bytes_{0};
+  std::atomic<std::size_t> task_bytes_{0};  ///< vanilla: M_copy + A + O
   /// True once the A + O residency unit is registered with the offload
   /// engine (read by persistent_gpu_bytes from other threads).
   std::atomic<bool> unit_registered_{false};
 
-  util::Notification grant_;
-  std::atomic<bool> granted_{false};
   std::atomic<bool> stop_requested_{false};
-  bool holding_allocation_ = false;
-  bool on_gpu_ = true;
+  bool holding_allocation_ = false;        // strand only
+  std::atomic<bool> on_gpu_{true};
+
+  // ----- state machine (strand only) -----
+  State state_ = State::Handshake;
+  util::Strand strand_;
+  std::uint64_t watch_token_ = 0;          // 0 = not watching
+  net::Message pending_msg_;               ///< request awaiting its grant
+  util::Stopwatch wait_sw_;                ///< request -> grant timing
 
   // At-least-once delivery bookkeeping (docs/FAULTS.md): count of applied
   // backward steps, and — when leases are enabled — the last BackwardResult
   // so a resumed client resending a Backward whose reply was lost gets the
   // cached result instead of a double optimizer step.
   std::atomic<std::uint64_t> backwards_applied_{0};
-  net::Message last_backward_reply_;  // session thread only
+  net::Message last_backward_reply_;  // strand only
   std::atomic<std::uint64_t> resumes_{0};
 
   // Iteration state for modes that hold the graph across fwd -> bwd.
@@ -219,7 +288,6 @@ class ServingSession {
   mutable util::Mutex stats_mutex_;
   SessionStats stats_ MENOS_GUARDED_BY(stats_mutex_);
 
-  std::thread thread_;
   std::atomic<bool> finished_{false};
 };
 

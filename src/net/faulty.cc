@@ -51,6 +51,31 @@ class FaultyConnection final : public Connection {
     return inner_->receive();
   }
 
+  RecvStatus try_receive(Message* out) override {
+    // Probe the inner link first and only consume a fault draw when a real
+    // frame crossed the boundary — Empty polls must not advance the
+    // deterministic fault stream, or the schedule would depend on poll
+    // timing instead of on frame count.
+    const RecvStatus status = inner_->try_receive(out);
+    if (status != RecvStatus::Frame) return status;
+    switch (injector_->next_receive_action()) {
+      case FaultInjector::Action::Kill:
+        inner_->close();
+        return RecvStatus::Closed;  // mid-frame disconnect
+      case FaultInjector::Action::Corrupt:
+        inner_->close();
+        throw ProtocolError("injected frame corruption");
+      default:
+        return RecvStatus::Frame;
+    }
+  }
+
+  void set_ready_hook(std::function<void()> hook) override {
+    inner_->set_ready_hook(std::move(hook));
+  }
+
+  int poll_fd() const override { return inner_->poll_fd(); }
+
   void set_receive_timeout(double seconds) override {
     inner_->set_receive_timeout(seconds);
   }

@@ -3,7 +3,9 @@
 #include <thread>
 
 #include "net/transport.h"
+#include "util/mutex.h"
 #include "util/queue.h"
+#include "util/thread_annotations.h"
 
 namespace menos::net {
 namespace {
@@ -11,6 +13,25 @@ namespace {
 /// One direction of the duplex channel.
 struct Pipe {
   util::BlockingQueue<Message> queue;
+
+  // Readiness hook for the event-driven core (Connection::set_ready_hook):
+  // fired after every push and on close. Invoked *under* hook_mutex so that
+  // set_hook(nullptr) synchronizes with in-flight invocations — once it
+  // returns, the old hook cannot be entered again (the Poller relies on
+  // this to unwatch safely). Hook bodies must therefore not call back into
+  // this pipe.
+  util::Mutex hook_mutex;
+  std::function<void()> hook MENOS_GUARDED_BY(hook_mutex);
+
+  void set_hook(std::function<void()> h) {
+    util::MutexLock lock(hook_mutex);
+    hook = std::move(h);
+  }
+
+  void fire_hook() {
+    util::MutexLock lock(hook_mutex);
+    if (hook) hook();
+  }
 };
 
 class InprocConnection final : public Connection {
@@ -37,6 +58,7 @@ class InprocConnection final : public Connection {
     // as sent or the comm accounting reports bytes nobody received.
     if (!out_->queue.push(message)) return false;
     bytes_sent_ += frame_bytes;
+    out_->fire_hook();
     return true;
   }
 
@@ -49,9 +71,25 @@ class InprocConnection final : public Connection {
     receive_timeout_.store(seconds);
   }
 
+  RecvStatus try_receive(Message* out) override {
+    if (auto msg = in_->queue.try_pop()) {
+      *out = std::move(*msg);
+      return RecvStatus::Frame;
+    }
+    return in_->queue.closed() ? RecvStatus::Closed : RecvStatus::Empty;
+  }
+
+  void set_ready_hook(std::function<void()> hook) override {
+    in_->set_hook(std::move(hook));
+  }
+
   void close() override {
     out_->queue.close();
     in_->queue.close();
+    // Wake both poll loops: each peer's readiness hook hangs off its own
+    // inbound pipe, and close makes both directions "readable" (Closed).
+    out_->fire_hook();
+    in_->fire_hook();
   }
 
   std::uint64_t bytes_sent() const override { return bytes_sent_; }

@@ -1,0 +1,229 @@
+#include "net/poller.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace menos::net {
+namespace {
+
+/// Monotonic seconds for timer deadlines (origin irrelevant — only
+/// differences are used).
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+constexpr short kReadableMask = POLLIN | POLLHUP | POLLERR | POLLNVAL;
+
+}  // namespace
+
+Poller::Poller() {
+  if (::pipe(wake_pipe_) != 0) {
+    throw StateError("Poller: self-pipe creation failed");
+  }
+  set_nonblocking(wake_pipe_[0]);
+  set_nonblocking(wake_pipe_[1]);
+}
+
+Poller::~Poller() {
+  stop();
+  ::close(wake_pipe_[0]);
+  ::close(wake_pipe_[1]);
+}
+
+void Poller::start() {
+  {
+    util::MutexLock lock(mutex_);
+    if (started_ || stopping_) return;
+    started_ = true;
+  }
+  // Infrastructure thread, like the executor workers: ONE thread demuxing
+  // readiness for every session, not a per-session thread.
+  service_thread_ = std::thread([this] { service_loop(); });  // NOLINT(raw-thread)
+}
+
+void Poller::stop() {
+  {
+    util::MutexLock lock(mutex_);
+    stopping_ = true;
+  }
+  wake();
+  if (service_thread_.joinable()) service_thread_.join();
+}
+
+void Poller::wake() noexcept {
+  const char byte = 'w';
+  // A full pipe already guarantees a pending wakeup; EAGAIN is success.
+  [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+}
+
+std::uint64_t Poller::watch(Connection& conn, Callback on_ready) {
+  const int fd = conn.poll_fd();
+  std::uint64_t token = 0;
+  {
+    util::MutexLock lock(mutex_);
+    token = next_token_++;
+    // Watches start DISARMED with a latched signal: no callback can fire
+    // until the caller's first rearm(), which gives it a race-free window
+    // to store the token the callback will need. The latched signal makes
+    // that first rearm deliver promptly — the connection may already hold
+    // buffered frames from before the watch.
+    watches_.emplace(token,
+                     Watch{&conn, std::move(on_ready), fd,
+                           /*armed=*/false, /*signaled=*/true});
+  }
+  if (fd < 0) {
+    // Push transport: readiness arrives through the hook. Installed outside
+    // mutex_ so the pipe's hook mutex never nests inside ours.
+    conn.set_ready_hook([this, token] { notify_ready(token); });
+  }
+  return token;
+}
+
+void Poller::unwatch(std::uint64_t token) {
+  Connection* conn = nullptr;
+  int fd = -1;
+  {
+    util::MutexLock lock(mutex_);
+    auto it = watches_.find(token);
+    if (it == watches_.end()) return;
+    conn = it->second.conn;
+    fd = it->second.fd;
+    watches_.erase(it);
+  }
+  if (fd < 0 && conn != nullptr) {
+    // Clearing synchronizes with in-flight hook invocations (see
+    // inproc.cc): after this, the pipe cannot call back into us for this
+    // token. The caller guarantees `conn` is still alive here.
+    conn->set_ready_hook(nullptr);
+  }
+  wake();
+}
+
+void Poller::rearm(std::uint64_t token) {
+  {
+    util::MutexLock lock(mutex_);
+    auto it = watches_.find(token);
+    if (it == watches_.end()) return;
+    it->second.armed = true;
+  }
+  wake();
+}
+
+void Poller::notify_ready(std::uint64_t token) {
+  {
+    util::MutexLock lock(mutex_);
+    auto it = watches_.find(token);
+    if (it == watches_.end()) return;
+    it->second.signaled = true;
+  }
+  wake();
+}
+
+std::uint64_t Poller::schedule_every(double period_s, Callback tick) {
+  std::uint64_t token = 0;
+  {
+    util::MutexLock lock(mutex_);
+    token = next_token_++;
+    timers_.emplace(token, Timer{period_s, std::move(tick),
+                                 now_seconds() + period_s});
+  }
+  wake();
+  return token;
+}
+
+void Poller::cancel_timer(std::uint64_t token) {
+  util::MutexLock lock(mutex_);
+  timers_.erase(token);
+}
+
+void Poller::service_loop() {
+  std::vector<Callback> run_now;
+  std::vector<pollfd> pfds;
+  std::vector<std::uint64_t> pfd_tokens;
+  for (;;) {
+    run_now.clear();
+    pfds.clear();
+    pfd_tokens.clear();
+    double poll_timeout_s = -1.0;  // infinite
+    {
+      util::MutexLock lock(mutex_);
+      if (stopping_) return;
+      for (auto& [token, watch] : watches_) {
+        if (!watch.armed) continue;
+        if (watch.signaled) {
+          watch.armed = false;
+          watch.signaled = false;
+          run_now.push_back(watch.on_ready);
+        } else if (watch.fd >= 0) {
+          pfds.push_back(pollfd{watch.fd, POLLIN, 0});
+          pfd_tokens.push_back(token);
+        }
+      }
+      const double now = now_seconds();
+      for (auto& [token, timer] : timers_) {
+        if (now >= timer.next_due) {
+          run_now.push_back(timer.tick);
+          timer.next_due = now + timer.period_s;  // no catch-up bursts
+        } else if (poll_timeout_s < 0.0 ||
+                   timer.next_due - now < poll_timeout_s) {
+          poll_timeout_s = timer.next_due - now;
+        }
+      }
+    }
+    // Self-pipe last so its index is stable regardless of watch count.
+    pfds.push_back(pollfd{wake_pipe_[0], POLLIN, 0});
+    const int timeout_ms =
+        !run_now.empty()
+            ? 0
+            : (poll_timeout_s < 0.0
+                   ? -1
+                   : std::max(1, static_cast<int>(poll_timeout_s * 1e3)));
+    const int rc = ::poll(pfds.data(), pfds.size(), timeout_ms);
+    if (rc < 0 && errno != EINTR) {
+      MENOS_LOG(Error) << "Poller: poll failed: " << errno;
+    }
+    if (rc > 0) {
+      if (pfds.back().revents & kReadableMask) {
+        char drain[64];
+        while (::read(wake_pipe_[0], drain, sizeof(drain)) > 0) {
+        }
+      }
+      util::MutexLock lock(mutex_);
+      for (std::size_t i = 0; i + 1 < pfds.size(); ++i) {
+        if ((pfds[i].revents & kReadableMask) == 0) continue;
+        auto it = watches_.find(pfd_tokens[i]);
+        if (it == watches_.end() || !it->second.armed) continue;
+        it->second.armed = false;
+        it->second.signaled = false;
+        run_now.push_back(it->second.on_ready);
+      }
+    }
+    // Dispatch with no lock held: callbacks post to an executor and may
+    // re-enter rearm()/unwatch().
+    for (auto& cb : run_now) {
+      try {
+        cb();
+      } catch (const std::exception& e) {
+        MENOS_LOG(Error) << "Poller callback threw: " << e.what();
+      }
+    }
+  }
+}
+
+}  // namespace menos::net

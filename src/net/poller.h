@@ -1,0 +1,104 @@
+// Readiness demultiplexer for the event-driven serving core
+// (docs/ARCHITECTURE.md).
+//
+// One service thread turns "connection X may have a frame" into a callback
+// instead of N sessions blocking in receive(). Two readiness sources are
+// unified behind watch():
+//
+//  * fd transports (TCP): Connection::poll_fd() >= 0 — the service thread
+//    includes the fd in one poll(2) set.
+//  * push transports (inproc): Connection::set_ready_hook — the transport
+//    fires the hook on enqueue/close, which marks the entry signaled and
+//    wakes the service thread through a self-pipe.
+//
+// Readiness is one-shot: after a callback fires, the entry is disarmed and
+// the fd leaves the poll set (so a session that is busy computing is not
+// re-notified in a hot loop); the consumer drains with try_receive until
+// Empty and then rearm()s. Signals arriving while disarmed are latched and
+// delivered on rearm, so no frame is ever lost to the race.
+//
+// The Poller also hosts coarse recurring timers (schedule_every) on the
+// same service thread — the session-lease reaper runs here instead of on a
+// dedicated thread.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <unordered_map>
+
+#include "net/transport.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace menos::net {
+
+class Poller {
+ public:
+  using Callback = std::function<void()>;
+
+  Poller();
+  ~Poller();
+
+  Poller(const Poller&) = delete;
+  Poller& operator=(const Poller&) = delete;
+
+  void start();
+  /// Stop the service thread. Pending callbacks are dropped; watches and
+  /// timers stay registered but inert. Idempotent.
+  void stop();
+
+  /// Register `conn` and invoke `on_ready` (from the service thread) when
+  /// it may be readable. The watch starts DISARMED with a latched signal:
+  /// call rearm() once the returned token is stored to begin delivery (the
+  /// first callback then fires promptly, covering frames buffered before
+  /// the watch). `conn` must stay alive until unwatch() returns. `on_ready`
+  /// must not block — it should hand off to an executor.
+  std::uint64_t watch(Connection& conn, Callback on_ready);
+
+  /// Deregister and clear the transport's ready hook. After this returns,
+  /// `on_ready` will not be *started* again (an invocation already in
+  /// flight on the service thread may still be running; callbacks must
+  /// tolerate that, e.g. by posting to a strand that checks state).
+  void unwatch(std::uint64_t token);
+
+  /// Re-enable readiness delivery after a callback fired. A signal latched
+  /// while disarmed (or an fd that is still readable) fires promptly.
+  void rearm(std::uint64_t token);
+
+  /// Run `tick` every `period_s` seconds on the service thread. First run
+  /// is one period from now.
+  std::uint64_t schedule_every(double period_s, Callback tick);
+  void cancel_timer(std::uint64_t token);
+
+ private:
+  struct Watch {
+    Connection* conn;
+    Callback on_ready;
+    int fd;            ///< -1 for hook-based transports
+    bool armed;
+    bool signaled;     ///< hook fired (or poll saw readiness) while tracked
+  };
+  struct Timer {
+    double period_s;
+    Callback tick;
+    double next_due;   ///< seconds on the service thread's monotonic clock
+  };
+
+  void service_loop();
+  void wake() noexcept;
+  void notify_ready(std::uint64_t token);
+
+  mutable util::Mutex mutex_;
+  std::unordered_map<std::uint64_t, Watch> watches_ MENOS_GUARDED_BY(mutex_);
+  std::unordered_map<std::uint64_t, Timer> timers_ MENOS_GUARDED_BY(mutex_);
+  std::uint64_t next_token_ MENOS_GUARDED_BY(mutex_) = 1;
+  bool stopping_ MENOS_GUARDED_BY(mutex_) = false;
+  bool started_ MENOS_GUARDED_BY(mutex_) = false;
+
+  int wake_pipe_[2] = {-1, -1};  ///< self-pipe: [0] read, [1] write
+  // The single demux thread shared by all sessions (see start()).
+  std::thread service_thread_;  // NOLINT(raw-thread)
+};
+
+}  // namespace menos::net

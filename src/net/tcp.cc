@@ -176,6 +176,27 @@ class TcpConnection final : public Connection {
     return parse_frame(rest.data(), rest.size());
   }
 
+  RecvStatus try_receive(Message* out) override {
+    FdRef ref(guard_);
+    if (!ref.ok()) return RecvStatus::Closed;
+    for (;;) {
+      if (parse_buffered(out)) return RecvStatus::Frame;
+      std::uint8_t chunk[16384];
+      const ssize_t n = ::recv(ref.fd(), chunk, sizeof(chunk), MSG_DONTWAIT);
+      if (n > 0) {
+        recv_buffer_.insert(recv_buffer_.end(), chunk,
+                            chunk + static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n == 0) return RecvStatus::Closed;  // orderly close
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return RecvStatus::Empty;
+      return RecvStatus::Closed;  // reset etc.: treat as link down
+    }
+  }
+
+  int poll_fd() const override { return guard_.fd(); }
+
   void set_receive_timeout(double seconds) override {
     FdRef ref(guard_);
     if (!ref.ok()) return;
@@ -196,6 +217,29 @@ class TcpConnection final : public Connection {
   std::uint64_t bytes_sent() const override { return bytes_sent_; }
 
  private:
+  /// Extract one complete frame from recv_buffer_ into *out. Returns false
+  /// when more bytes are needed; throws ProtocolError on corrupt framing
+  /// (bad magic / oversized length), same contract as receive().
+  bool parse_buffered(Message* out) {
+    if (recv_buffer_.size() < kFrameHeaderBytes) return false;
+    std::uint32_t magic = 0;
+    std::uint64_t payload_len = 0;
+    std::memcpy(&magic, recv_buffer_.data(), 4);
+    std::memcpy(&payload_len, recv_buffer_.data() + 4, 8);
+    if (magic != kFrameMagic) throw ProtocolError("bad frame magic on TCP");
+    if (payload_len > kMaxFramePayload) {
+      throw ProtocolError("oversized TCP frame");
+    }
+    const std::size_t total = kFrameHeaderBytes +
+                              static_cast<std::size_t>(payload_len) +
+                              kFrameTrailerBytes;
+    if (recv_buffer_.size() < total) return false;
+    *out = parse_frame(recv_buffer_.data(), total);
+    recv_buffer_.erase(recv_buffer_.begin(),
+                       recv_buffer_.begin() + static_cast<std::ptrdiff_t>(total));
+    return true;
+  }
+
   FdGuard guard_;
   // Serializes whole-frame writes on the socket so concurrent senders
   // cannot interleave partial frames; the fd's lifetime is handled by the
@@ -203,6 +247,11 @@ class TcpConnection final : public Connection {
   // NOLINTNEXTLINE(mutex-annotation)
   util::Mutex send_mutex_;
   std::atomic<std::uint64_t> bytes_sent_{0};
+  // try_receive reassembly buffer. A connection has a single-reader
+  // contract: blocking receive() and try_receive() must not be mixed from
+  // different threads (event-driven sessions drain exclusively through
+  // try_receive on their strand, which serializes access).
+  std::vector<std::uint8_t> recv_buffer_;
 };
 
 class TcpListenerImpl final : public TcpListener {

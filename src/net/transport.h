@@ -13,14 +13,23 @@
 // ProtocolError.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
 #include <utility>
 
 #include "net/message.h"
+#include "util/check.h"
 
 namespace menos::net {
+
+/// Result of a non-blocking try_receive() probe.
+enum class RecvStatus : std::uint8_t {
+  Frame,   ///< a complete message was produced
+  Empty,   ///< no complete frame buffered right now; link still up
+  Closed,  ///< peer closed (or link error); no more frames will arrive
+};
 
 class Connection {
  public:
@@ -45,6 +54,35 @@ class Connection {
 
   /// Bytes sent so far on this endpoint (wire-level, for comm accounting).
   virtual std::uint64_t bytes_sent() const = 0;
+
+  // ---- Non-blocking event-driven interface (net::Poller) -----------------
+  //
+  // The event-driven serving core never blocks in receive(); it waits for
+  // readiness (set_ready_hook / poll_fd) and then drains frames with
+  // try_receive. Transports that predate the refactor may not support it —
+  // the default throws so a misuse is loud, not a silent hang.
+
+  /// Non-blocking receive: *out is filled only when RecvStatus::Frame is
+  /// returned. Throws ProtocolError on corrupted input (same contract as
+  /// receive()). Never blocks and never honours the receive timeout —
+  /// timeouts are the Poller's job in event-driven mode.
+  virtual RecvStatus try_receive(Message* out) {
+    (void)out;
+    throw StateError("this Connection does not support try_receive()");
+  }
+
+  /// Install a hook invoked whenever the connection *may* have become
+  /// readable (frame arrival or close). Edge-style and allowed to fire
+  /// spuriously; the consumer must drain with try_receive until Empty.
+  /// Pass nullptr to clear; clearing synchronizes with in-flight hook
+  /// invocations (after it returns, the old hook will not be entered).
+  /// The default is a no-op for transports polled by fd instead.
+  virtual void set_ready_hook(std::function<void()> hook) { (void)hook; }
+
+  /// File descriptor to poll(2) for readability, or -1 when the transport
+  /// signals readiness through set_ready_hook instead. At most one reader
+  /// may consume readiness from the fd at a time.
+  virtual int poll_fd() const { return -1; }
 };
 
 /// Factory for (re)establishing a client's transport — the reconnect hook

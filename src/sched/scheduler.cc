@@ -70,47 +70,63 @@ void Scheduler::register_client(int client_id, const ClientDemands& demands) {
 }
 
 void Scheduler::unregister_client(int client_id) {
-  util::MutexLock lock(mutex_);
-  if (allocations_.find(client_id) != allocations_.end()) {
-    throw StateError("unregistering client " + std::to_string(client_id) +
-                     " with a live allocation");
+  std::pair<std::vector<Grant>, std::function<void(const Grant&)>> out;
+  {
+    util::MutexLock lock(mutex_);
+    if (allocations_.find(client_id) != allocations_.end()) {
+      throw StateError("unregistering client " + std::to_string(client_id) +
+                       " with a live allocation");
+    }
+    waiting_.erase(std::remove_if(waiting_.begin(), waiting_.end(),
+                                  [client_id](const Waiting& w) {
+                                    return w.client_id == client_id;
+                                  }),
+                   waiting_.end());
+    demands_.erase(client_id);
+    // Departure frees nothing, but a slot may now be irrelevant to fairness
+    // ordering; re-run scheduling for uniformity.
+    schedule_locked();
+    out = take_pending_locked();
   }
-  waiting_.erase(std::remove_if(waiting_.begin(), waiting_.end(),
-                                [client_id](const Waiting& w) {
-                                  return w.client_id == client_id;
-                                }),
-                 waiting_.end());
-  demands_.erase(client_id);
-  // Departure frees nothing, but a slot may now be irrelevant to fairness
-  // ordering; re-run scheduling for uniformity.
-  schedule_locked();
+  for (const Grant& grant : out.first) out.second(grant);
 }
 
 void Scheduler::on_request(int client_id, OpKind kind) {
-  util::MutexLock lock(mutex_);
-  MENOS_CHECK_MSG(demands_.find(client_id) != demands_.end(),
-                  "request from unregistered client " << client_id);
-  MENOS_CHECK_MSG(allocations_.find(client_id) == allocations_.end(),
-                  "client " << client_id
-                            << " requested while holding an allocation");
-  for (const Waiting& w : waiting_) {
-    MENOS_CHECK_MSG(w.client_id != client_id,
-                    "client " << client_id << " already has a pending request");
+  std::pair<std::vector<Grant>, std::function<void(const Grant&)>> out;
+  {
+    util::MutexLock lock(mutex_);
+    MENOS_CHECK_MSG(demands_.find(client_id) != demands_.end(),
+                    "request from unregistered client " << client_id);
+    MENOS_CHECK_MSG(allocations_.find(client_id) == allocations_.end(),
+                    "client " << client_id
+                              << " requested while holding an allocation");
+    for (const Waiting& w : waiting_) {
+      MENOS_CHECK_MSG(w.client_id != client_id,
+                      "client " << client_id
+                                << " already has a pending request");
+    }
+    waiting_.push_back(Waiting{client_id, kind, next_seq_++});
+    ++stats_.requests;
+    schedule_locked();
+    out = take_pending_locked();
   }
-  waiting_.push_back(Waiting{client_id, kind, next_seq_++});
-  ++stats_.requests;
-  schedule_locked();
+  for (const Grant& grant : out.first) out.second(grant);
 }
 
 void Scheduler::on_complete(int client_id) {
-  util::MutexLock lock(mutex_);
-  auto it = allocations_.find(client_id);
-  MENOS_CHECK_MSG(it != allocations_.end(),
-                  "completion from client " << client_id
-                                            << " with no allocation");
-  free_[static_cast<std::size_t>(it->second.partition)] += it->second.bytes;
-  allocations_.erase(it);
-  schedule_locked();
+  std::pair<std::vector<Grant>, std::function<void(const Grant&)>> out;
+  {
+    util::MutexLock lock(mutex_);
+    auto it = allocations_.find(client_id);
+    MENOS_CHECK_MSG(it != allocations_.end(),
+                    "completion from client " << client_id
+                                              << " with no allocation");
+    free_[static_cast<std::size_t>(it->second.partition)] += it->second.bytes;
+    allocations_.erase(it);
+    schedule_locked();
+    out = take_pending_locked();
+  }
+  for (const Grant& grant : out.first) out.second(grant);
 }
 
 void Scheduler::reserve_persistent(int partition, std::size_t bytes) {
@@ -131,12 +147,27 @@ void Scheduler::reserve_persistent(int partition, std::size_t bytes) {
 }
 
 void Scheduler::release_persistent(int partition, std::size_t bytes) {
-  util::MutexLock lock(mutex_);
-  MENOS_CHECK_MSG(partition >= 0 && partition < static_cast<int>(free_.size()),
-                  "partition " << partition << " out of range");
-  free_[static_cast<std::size_t>(partition)] += bytes;
-  capacity_[static_cast<std::size_t>(partition)] += bytes;
-  schedule_locked();
+  std::pair<std::vector<Grant>, std::function<void(const Grant&)>> out;
+  {
+    util::MutexLock lock(mutex_);
+    MENOS_CHECK_MSG(partition >= 0 &&
+                        partition < static_cast<int>(free_.size()),
+                    "partition " << partition << " out of range");
+    free_[static_cast<std::size_t>(partition)] += bytes;
+    capacity_[static_cast<std::size_t>(partition)] += bytes;
+    schedule_locked();
+    out = take_pending_locked();
+  }
+  for (const Grant& grant : out.first) out.second(grant);
+}
+
+std::pair<std::vector<Grant>, std::function<void(const Grant&)>>
+Scheduler::take_pending_locked() {
+  std::vector<Grant> grants;
+  grants.swap(pending_grants_);
+  // A null callback can only coexist with zero grants (schedule_locked
+  // bails out without one), so dispatching over an empty vector is safe.
+  return {std::move(grants), grant_callback_};
 }
 
 void Scheduler::schedule_locked() {
@@ -182,9 +213,8 @@ void Scheduler::schedule_locked() {
       allocations_[w.client_id] = Allocation{bytes, *partition};
       ++stats_.grants;
       if (head_blocked || backward_blocked) ++stats_.backfill_grants;
-      const Grant grant{w.client_id, w.kind, *partition};
+      pending_grants_.push_back(Grant{w.client_id, w.kind, *partition});
       it = waiting_.erase(it);
-      grant_callback_(grant);
       continue;
     }
 

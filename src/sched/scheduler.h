@@ -22,10 +22,14 @@
 // fit entirely inside one GPU, and the "GPU memory" of Fig 2 is the union
 // of partitions. Single-GPU setups use one partition.
 //
-// The scheduler is thread-safe. The grant callback fires synchronously
-// from inside on_request/on_complete while the scheduler lock is held;
-// callbacks must not re-enter the scheduler (sessions just signal their
-// worker, simulators just enqueue an event).
+// The scheduler is thread-safe. Grants produced by a SCHEDULE pass are
+// buffered while the lock is held and the grant callback is invoked AFTER
+// the scheduler mutex drops, from the same thread that triggered the pass
+// (still in FCFS grant order). Callbacks may therefore re-enter the
+// scheduler — the event-driven serving core relies on this to enqueue
+// GrantEvents onto the executor without lock-ordering hazards. The reclaim
+// callback is different: it still fires with the lock held and must not
+// re-enter (see set_reclaim_callback).
 #pragma once
 
 #include <cstdint>
@@ -34,6 +38,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "util/check.h"
@@ -162,11 +167,15 @@ class Scheduler {
     int partition = -1;
   };
 
-  // SCHEDULE procedure (Algorithm 2 lines 14-24). Runs — and invokes the
-  // grant callback — with mutex_ held; the callback must not re-enter the
-  // scheduler (see the class comment), which the MENOS_REQUIRES contract
-  // makes visible to the thread-safety analysis.
+  // SCHEDULE procedure (Algorithm 2 lines 14-24). Runs with mutex_ held
+  // and appends grants to pending_grants_ instead of invoking the callback
+  // inline; every public mutator drains pending_grants_ into the callback
+  // after unlocking (see the class comment).
   void schedule_locked() MENOS_REQUIRES(mutex_);
+
+  /// Steal the buffered grants + a callback copy for post-unlock dispatch.
+  std::pair<std::vector<Grant>, std::function<void(const Grant&)>>
+  take_pending_locked() MENOS_REQUIRES(mutex_);
 
   /// Best-fit partition for `bytes`, or nullopt.
   std::optional<int> find_partition_locked(std::size_t bytes) const
@@ -189,6 +198,9 @@ class Scheduler {
       MENOS_GUARDED_BY(mutex_);  // live grants
   std::uint64_t next_seq_ MENOS_GUARDED_BY(mutex_) = 0;
   SchedulerStats stats_ MENOS_GUARDED_BY(mutex_);
+  /// Grants produced under the lock, dispatched after it drops. Always
+  /// empty between public calls (every mutator drains it before returning).
+  std::vector<Grant> pending_grants_ MENOS_GUARDED_BY(mutex_);
 };
 
 }  // namespace menos::sched

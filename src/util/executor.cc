@@ -1,0 +1,133 @@
+#include "util/executor.h"
+
+#include <utility>
+
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace menos::util {
+
+TaskPool::TaskPool(int width) : width_(width) {
+  MENOS_CHECK_MSG(width >= 1, "TaskPool width must be >= 1, got " << width);
+  workers_.reserve(static_cast<std::size_t>(width_));
+  for (int i = 0; i < width_; ++i) {
+    workers_.emplace_back([this] { worker_main(); });
+  }
+}
+
+TaskPool::~TaskPool() { stop_and_join(); }
+
+void TaskPool::post(std::function<void()> task) {
+  if (!task) return;
+  {
+    MutexLock lock(mutex_);
+    if (stopping_) return;  // producers are already winding down
+    tasks_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void TaskPool::stop_and_join() {
+  {
+    MutexLock lock(mutex_);
+    if (stopping_ && workers_.empty()) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+void TaskPool::worker_main() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      MutexLock lock(mutex_);
+      while (tasks_.empty() && !stopping_) cv_.wait(mutex_);
+      if (tasks_.empty()) return;  // stopping_ && drained
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    try {
+      task();
+    } catch (const std::exception& e) {
+      MENOS_LOG(Error) << "TaskPool task threw: " << e.what();
+    } catch (...) {
+      MENOS_LOG(Error) << "TaskPool task threw a non-std exception";
+    }
+  }
+}
+
+// One shared queue guarded by its own mutex; at most one drain task is in
+// flight on the pool at a time (`running_`), which is what serializes the
+// strand without pinning it to a worker.
+struct Strand::Impl : std::enable_shared_from_this<Strand::Impl> {
+  explicit Impl(TaskPool& pool) : pool(&pool) {}
+
+  void post(std::function<void()> task) {
+    bool schedule = false;
+    {
+      MutexLock lock(mutex);
+      pending.push_back(std::move(task));
+      if (!running) {
+        running = true;
+        schedule = true;
+      }
+    }
+    if (schedule) schedule_drain();
+  }
+
+  void schedule_drain() {
+    pool->post([self = shared_from_this()] { self->drain(); });
+  }
+
+  void drain() {
+    // Bounded batch per pool task so one chatty strand cannot starve the
+    // others; leftover work is reposted to the back of the pool queue.
+    constexpr int kBatch = 16;
+    for (int i = 0; i < kBatch; ++i) {
+      std::function<void()> task;
+      {
+        MutexLock lock(mutex);
+        if (pending.empty()) {
+          running = false;
+          return;
+        }
+        task = std::move(pending.front());
+        pending.pop_front();
+      }
+      try {
+        task();
+      } catch (const std::exception& e) {
+        MENOS_LOG(Error) << "Strand task threw: " << e.what();
+      } catch (...) {
+        MENOS_LOG(Error) << "Strand task threw a non-std exception";
+      }
+    }
+    bool repost = false;
+    {
+      MutexLock lock(mutex);
+      if (pending.empty()) {
+        running = false;
+      } else {
+        repost = true;  // keep `running` set: we still own the drain
+      }
+    }
+    if (repost) schedule_drain();
+  }
+
+  TaskPool* pool;
+  Mutex mutex;
+  std::deque<std::function<void()>> pending MENOS_GUARDED_BY(mutex);
+  bool running MENOS_GUARDED_BY(mutex) = false;
+};
+
+Strand::Strand(TaskPool& pool) : impl_(std::make_shared<Impl>(pool)) {}
+
+void Strand::post(std::function<void()> task) {
+  impl_->post(std::move(task));
+}
+
+}  // namespace menos::util

@@ -1,0 +1,77 @@
+// Fixed-width task executor + serial strands for the event-driven serving
+// core (docs/ARCHITECTURE.md).
+//
+// TaskPool generalizes ThreadPool::submit's single background task lane to
+// a fixed set of FIFO workers sharing one queue: sessions become event
+// handlers posted here instead of owning a thread each, so server
+// concurrency is bounded by GPU memory (the paper's resource), not by OS
+// thread count. Strand serializes the events of one session on top of the
+// pool — per-session ordering without a per-session mutex or thread.
+//
+// This header is the only place outside util/thread_pool.* allowed to
+// spawn threads (tools/menos_lint.py rule `raw-thread`).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace menos::util {
+
+/// Fixed pool of workers draining one FIFO task queue. Tasks posted after
+/// stop_and_join() (or during it, once the queue drains) are dropped — by
+/// then every producer has wound down and drops are stale by construction.
+class TaskPool {
+ public:
+  explicit TaskPool(int width);
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  /// Enqueue `task` (FIFO across the pool; no ordering between workers —
+  /// use a Strand for serialized execution). An exception escaping a task
+  /// is logged and dropped, like ThreadPool::submit.
+  void post(std::function<void()> task);
+
+  /// Finish every queued task, then join the workers. Idempotent.
+  void stop_and_join();
+
+  /// Configured worker count; fixed at construction, always >= 1.
+  int width() const noexcept { return width_; }
+
+ private:
+  void worker_main();
+
+  const int width_;
+  Mutex mutex_;
+  CondVar cv_;
+  std::deque<std::function<void()>> tasks_ MENOS_GUARDED_BY(mutex_);
+  bool stopping_ MENOS_GUARDED_BY(mutex_) = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Serial executor over a TaskPool (the asio "strand" idiom): tasks posted
+/// to one Strand run in post order and never concurrently with each other,
+/// while different Strands interleave freely across the pool's workers.
+///
+/// Copyable handle; the shared state is kept alive by any in-flight drain
+/// task, so a Strand may be destroyed while its tasks are still queued
+/// (they run to completion).
+class Strand {
+ public:
+  explicit Strand(TaskPool& pool);
+
+  void post(std::function<void()> task);
+
+ private:
+  struct Impl;
+  std::shared_ptr<Impl> impl_;
+};
+
+}  // namespace menos::util

@@ -2,6 +2,7 @@
 // handling.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -289,6 +290,37 @@ TEST(Inproc, CloseUnblocksReceiver) {
   EXPECT_FALSE(b->receive().has_value());
   closer.join();
   EXPECT_FALSE(a->send(Message::bye()));
+}
+
+TEST(Inproc, ReceiveTimeoutElapsesWithoutClosingTheLink) {
+  auto [a, b] = make_inproc_pair();
+  b->set_receive_timeout(0.05);
+
+  // Silence: receive() must give up after ~the timeout instead of blocking
+  // forever (the client maps this to "link lost" and redials)...
+  const auto before = std::chrono::steady_clock::now();
+  EXPECT_FALSE(b->receive().has_value());
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - before)
+          .count();
+  EXPECT_GE(waited, 0.04);
+
+  // ...but the link itself stays healthy: traffic after a timeout flows.
+  EXPECT_TRUE(a->send(Message::error("late")));
+  ASSERT_TRUE(b->receive().has_value());
+
+  // A frame already queued is returned immediately, timeout armed or not.
+  EXPECT_TRUE(a->send(Message::bye()));
+  EXPECT_EQ(b->receive()->type, MessageType::Bye);
+
+  // 0 restores block-forever semantics (close() must unblock again).
+  b->set_receive_timeout(0.0);
+  std::thread closer([&a] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    a->close();
+  });
+  EXPECT_FALSE(b->receive().has_value());
+  closer.join();
 }
 
 TEST(Inproc, ConditionerAccountsBytesWithoutSleeping) {

@@ -27,6 +27,13 @@ Rules (see docs/ANALYSIS.md for rationale and examples):
   nondeterminism         No std::rand/srand/std::random_device in src/
                          outside src/util/rng.* — every experiment must be
                          reproducible from a single util::Rng seed.
+  raw-thread             No std::thread / std::jthread / std::async in src/
+                         outside src/util/ — concurrency is owned by the
+                         shared serving core (util::TaskPool + Strand, the
+                         net::Poller service thread). Per-session threads
+                         are exactly what the event-driven refactor removed;
+                         the few legitimate infrastructure threads carry a
+                         NOLINT with a justification.
   raw-close              No ::close()/::shutdown() in src/ outside src/net/
                          — file descriptors are transport-layer property.
                          The TCP transport defers the real close until
@@ -144,6 +151,7 @@ RAW_MUTEX_RE = re.compile(
     r"|lock_guard|unique_lock|scoped_lock|shared_lock)\b"
 )
 NONDET_RE = re.compile(r"std::rand\b|\bsrand\s*\(|std::random_device\b")
+RAW_THREAD_RE = re.compile(r"std::j?thread\b(?!::)|std::async\s*\(")
 RAW_CLOSE_RE = re.compile(r"::close\s*\(|::shutdown\s*\(")
 MUTEX_MEMBER_RE = re.compile(
     r"^\s*(?:mutable\s+)?(?:(?:menos::)?util::)?Mutex\s+(\w+)\s*;"
@@ -196,6 +204,15 @@ def check_nondeterminism(path: Path, raw: str) -> list:
          and p.parts[-1].startswith("rng")),
         message="unseeded randomness — all randomness flows through "
                 "util::Rng so experiments reproduce from one seed")
+
+
+def check_raw_thread(path: Path, raw: str) -> list:
+    return check_pattern_rule(
+        path, raw, "raw-thread", RAW_THREAD_RE,
+        exempt=lambda p: "src" not in p.parts or "util" in p.parts,
+        message="raw thread spawn — sessions are event handlers on the "
+                "shared executor (util::TaskPool/Strand); infrastructure "
+                "threads live in src/util or carry a justified NOLINT")
 
 
 def check_raw_close(path: Path, raw: str) -> list:
@@ -259,6 +276,7 @@ ALL_RULES = [
     check_iostream,
     check_raw_mutex,
     check_nondeterminism,
+    check_raw_thread,
     check_raw_close,
     check_mutex_annotation,
     check_pragma_once,
@@ -315,6 +333,24 @@ SELF_TEST_CASES = [
      "#pragma once\nclass C {\n  mutable util::Mutex mutex_;\n"
      "  int x_ MENOS_GUARDED_BY(mutex_);\n};\n", None),
     ("src/util/bad_header.h", "struct X {};\n", "pragma-once"),
+    ("src/core/bad_thread.cc",
+     "#include <thread>\nstd::thread t([] {});\n", "raw-thread"),
+    ("src/sched/bad_jthread.cc",
+     "#include <thread>\nstd::jthread t([] {});\n", "raw-thread"),
+    ("src/core/bad_async.cc",
+     "#include <future>\nauto f = std::async([] {});\n", "raw-thread"),
+    ("src/util/ok_pool_thread.cc",
+     "#include <thread>\nstd::thread t([] {});\n",
+     None),  # src/util is the sanctioned home for thread spawns
+    ("src/core/ok_hw_concurrency.cc",
+     "int n = (int)std::thread::hardware_concurrency();\n",
+     None),  # querying parallelism is not spawning a thread
+    ("src/core/ok_thread_nolint.cc",
+     "std::thread t([] {});  // NOLINT(raw-thread) accept loop, one/server\n",
+     None),
+    ("tests/ok_test_thread.cc",
+     "#include <thread>\nstd::thread t([] {});\n",
+     None),  # test drivers may spawn client threads
     ("src/core/bad_rand.cc", "int r = std::rand();\n", "nondeterminism"),
     ("src/core/bad_close.cc",
      "#include <unistd.h>\nvoid f(int fd) { ::close(fd); }\n", "raw-close"),
