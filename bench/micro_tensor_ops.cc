@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
@@ -190,10 +191,26 @@ void json_samples(std::FILE* f, const std::vector<ThreadSample>& samples) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out_path =
-      argc > 1 ? argv[1] : std::string("BENCH_tensor_ops.json");
+  std::string out_path = "BENCH_tensor_ops.json";
+  double check_floor = -1.0;  // GFLOPS the 512^3 mm must reach, or exit 1
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--check-floor") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--check-floor needs a GFLOPS value\n");
+        return 2;
+      }
+      check_floor = std::atof(argv[++i]);
+    } else {
+      out_path = arg;
+    }
+  }
   const unsigned hw = std::thread::hardware_concurrency();
-  std::printf("micro_tensor_ops: hardware_concurrency=%u\n", hw);
+  std::printf("micro_tensor_ops: hardware_concurrency=%u arch=%s tile=%lldx%lld (%s)\n",
+              hw, menos::tensor::kernels::vector_arch(),
+              static_cast<long long>(menos::tensor::kernels::micro_tile_rows()),
+              static_cast<long long>(menos::tensor::kernels::micro_tile_cols()),
+              __VERSION__);
 
   // Matmul kernels on the 512-class shape (the fig8/fig9 training regime)
   // and a squatter attention-style contraction.
@@ -255,8 +272,37 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
     return 1;
   }
+  const auto blocks = menos::tensor::kernels::block_config();
   std::fprintf(f, "{\n  \"bench\": \"micro_tensor_ops\",\n");
-  std::fprintf(f, "  \"hardware_concurrency\": %u,\n", hw);
+  std::fprintf(f, "  \"environment\": {\n");
+  std::fprintf(f, "    \"hardware_concurrency\": %u,\n", hw);
+  std::fprintf(f, "    \"thread_widths\": [");
+  {
+    const std::vector<int> widths = bench_widths();
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      std::fprintf(f, "%s%d", i == 0 ? "" : ", ", widths[i]);
+    }
+  }
+  std::fprintf(f, "],\n");
+  std::fprintf(f, "    \"compiler\": \"%s\",\n", __VERSION__);
+#ifdef NDEBUG
+  std::fprintf(f, "    \"build\": \"release\",\n");
+#else
+  std::fprintf(f, "    \"build\": \"debug\",\n");
+#endif
+  std::fprintf(f, "    \"vector_arch\": \"%s\",\n",
+               menos::tensor::kernels::vector_arch());
+  std::fprintf(f, "    \"micro_tile\": [%lld, %lld],\n",
+               static_cast<long long>(
+                   menos::tensor::kernels::micro_tile_rows()),
+               static_cast<long long>(
+                   menos::tensor::kernels::micro_tile_cols()));
+  std::fprintf(f, "    \"block_config\": {\"mc\": %lld, \"nc\": %lld, "
+               "\"kc\": %lld}\n",
+               static_cast<long long>(blocks.mc),
+               static_cast<long long>(blocks.nc),
+               static_cast<long long>(blocks.kc));
+  std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"matmul_kernels\": [\n");
   for (std::size_t i = 0; i < matmuls.size(); ++i) {
     const MatmulResult& r = matmuls[i];
@@ -282,5 +328,24 @@ int main(int argc, char** argv) {
   std::fprintf(f, "\n  ]\n}\n");
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());
+
+  if (check_floor > 0.0) {
+    // CI smoke: the blocked 512^3 mm must clear the floor at SOME width
+    // (best-of keeps the check robust to a noisy shared runner).
+    double best = 0.0;
+    for (const MatmulResult& r : matmuls) {
+      if (r.op != "mm" || r.m != 512) continue;
+      for (const ThreadSample& s : r.parallel) best = std::max(best, s.gflops);
+    }
+    if (best < check_floor) {
+      std::fprintf(stderr,
+                   "FAIL: mm 512^3 peaked at %.2f GFLOPS, below the "
+                   "--check-floor of %.2f\n",
+                   best, check_floor);
+      return 1;
+    }
+    std::printf("check-floor ok: mm 512^3 best %.2f GFLOPS >= %.2f\n", best,
+                check_floor);
+  }
   return 0;
 }

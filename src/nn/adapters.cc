@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "tensor/graph.h"
+
 namespace menos::nn {
 
 const char* adapter_type_name(AdapterType type) noexcept {
@@ -62,6 +64,8 @@ namespace {
 /// general broadcast-expand.
 tensor::Tensor tile_batch(const tensor::Tensor& prefix, tensor::Index batch) {
   using namespace menos::tensor;
+  // Bespoke tape node the step graph cannot replay (tensor/graph.h).
+  graph::detail::note_unsupported("tile_batch");
   const Index p = prefix.dim(0);
   const Index c = prefix.dim(1);
   Tensor out = Tensor::empty({batch, p, c}, prefix.device());

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "tensor/graph.h"
+
 namespace menos::nn {
 
 CausalSelfAttention::CausalSelfAttention(const std::string& name,
@@ -64,6 +66,8 @@ namespace {
 tensor::Tensor repeat_heads(const tensor::Tensor& t, int repeat) {
   using namespace menos::tensor;
   if (repeat == 1) return t;
+  // Bespoke tape node the step graph cannot replay (tensor/graph.h).
+  graph::detail::note_unsupported("repeat_heads");
   const Index b = t.dim(0), hkv = t.dim(1), seq = t.dim(2), d = t.dim(3);
   Tensor out = Tensor::empty({b, hkv * repeat, seq, d}, t.device());
   const float* src = t.data();

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <vector>
 
+#include "tensor/graph.h"
+
 namespace menos::quant {
 namespace {
 
@@ -229,6 +231,8 @@ tensor::Tensor quantized_matmul(const tensor::Tensor& x,
   const Index m = x.numel() / in;
   Shape out_shape = x.shape();
   out_shape.back() = out_dim;
+  // Bespoke tape node the step graph cannot replay (tensor/graph.h).
+  tensor::graph::detail::note_unsupported("quantized_matmul");
   Tensor y = Tensor::zeros(out_shape, x.device());
 
   // Streaming: dequantize one weight row (out_dim floats) at a time.

@@ -1,0 +1,453 @@
+#include "tensor/graph.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "gpusim/audit.h"
+#include "mem/caching_allocator.h"
+#include "tensor/ops.h"
+#include "util/check.h"
+#include "util/stopwatch.h"
+
+namespace menos::tensor::graph {
+
+const char* op_kind_name(OpKind kind) noexcept {
+  switch (kind) {
+    case OpKind::Add: return "add";
+    case OpKind::Sub: return "sub";
+    case OpKind::Mul: return "mul";
+    case OpKind::Scale: return "scale";
+    case OpKind::AddBias: return "add_bias";
+    case OpKind::Relu: return "relu";
+    case OpKind::Gelu: return "gelu";
+    case OpKind::Silu: return "silu";
+    case OpKind::Reshape: return "reshape";
+    case OpKind::Permute: return "permute";
+    case OpKind::ConcatDim1: return "concat_dim1";
+    case OpKind::SliceDim1: return "slice_dim1";
+    case OpKind::Matmul: return "matmul";
+    case OpKind::Sum: return "sum";
+    case OpKind::Softmax: return "softmax";
+    case OpKind::CausalSoftmax: return "causal_softmax";
+    case OpKind::LayerNorm: return "layer_norm";
+    case OpKind::RmsNorm: return "rms_norm";
+    case OpKind::Embedding: return "embedding";
+    case OpKind::CrossEntropy: return "cross_entropy";
+    case OpKind::ToDevice: return "to_device";
+    case OpKind::BiasGelu: return "bias_gelu";
+    case OpKind::FusedAddLayerNorm: return "fused_add_layer_norm";
+  }
+  return "?";
+}
+
+namespace {
+
+/// One value flowing through the graph: a constant captured by handle
+/// (weights — in-place optimizer updates stay visible), or a node output.
+struct Value {
+  Tensor constant;        // defined() <=> captured leaf
+  std::size_t bytes = 0;  // output size (allocation plan)
+};
+
+struct GNode {
+  OpKind kind;
+  std::vector<int> in;
+  std::vector<int> out;  // one value, or {h, y} for FusedAddLayerNorm
+  // Attributes (meaning per kind, mirrors detail::NoteAttrs).
+  float f0 = 0.0f;
+  std::int32_t i0 = -1;
+  Index a = 0;
+  Index b = 0;
+  Shape shape;
+  std::vector<int> dims;
+  std::vector<std::int32_t> ids;  // baked id vector when feed < 0
+  int feed = -1;                  // index into the replay feeds
+  gpusim::Device* device = nullptr;
+  // Replay cost accounting.
+  std::int64_t calls = 0;
+  double millis = 0.0;
+};
+
+}  // namespace
+
+struct StepGraph::Impl {
+  std::vector<Value> values;
+  std::vector<GNode> nodes;
+  int output = -1;
+  std::vector<std::size_t> feed_sizes;
+  bool is_ready = false;
+  const char* failure = "";
+  int fused = 0;
+
+  // Valid only while capture() runs fn().
+  Feeds capture_feeds;
+
+  void reset() {
+    values.clear();
+    nodes.clear();
+    output = -1;
+    feed_sizes.clear();
+    is_ready = false;
+    failure = "";
+    fused = 0;
+    capture_feeds.clear();
+  }
+
+  void fuse();
+};
+
+namespace {
+
+/// Per-thread capture state. The pinned list keeps every recorded output
+/// tensor alive for the duration of the capture so TensorImpl addresses
+/// (the value-map keys) are never recycled mid-step.
+struct Recorder {
+  StepGraph::Impl* impl = nullptr;
+  bool broken = false;
+  const char* why = "";
+  std::unordered_map<const TensorImpl*, int> value_of;
+  std::vector<Tensor> pinned;
+};
+
+thread_local Recorder* t_recorder = nullptr;
+
+int value_for_input(Recorder& r, const Tensor& t) {
+  const auto it = r.value_of.find(t.impl().get());
+  if (it != r.value_of.end()) return it->second;
+  if (t.impl()->grad_fn != nullptr) {
+    // Produced by an op that did not note itself (a custom autograd node):
+    // replaying would silently drop it from the tape.
+    r.broken = true;
+    r.why = "input produced by an unrecorded op";
+    return -1;
+  }
+  const int id = static_cast<int>(r.impl->values.size());
+  r.impl->values.push_back(Value{t, t.bytes()});
+  r.value_of.emplace(t.impl().get(), id);
+  return id;
+}
+
+int value_for_output(Recorder& r, const Tensor& t) {
+  const int id = static_cast<int>(r.impl->values.size());
+  r.impl->values.push_back(Value{Tensor{}, t.bytes()});
+  r.value_of[t.impl().get()] = id;
+  r.pinned.push_back(t);
+  return id;
+}
+
+void record(OpKind kind, std::initializer_list<Tensor> inputs,
+            std::initializer_list<const Tensor*> outputs,
+            const detail::NoteAttrs& attrs) {
+  Recorder* r = t_recorder;
+  if (r == nullptr || r->broken) return;
+  GNode node;
+  node.kind = kind;
+  for (const Tensor& t : inputs) {
+    node.in.push_back(value_for_input(*r, t));
+    if (r->broken) return;
+  }
+  for (const Tensor* t : outputs) {
+    node.out.push_back(value_for_output(*r, *t));
+  }
+  node.f0 = attrs.f0;
+  node.i0 = attrs.i0;
+  node.a = attrs.a;
+  node.b = attrs.b;
+  if (attrs.shape != nullptr) node.shape = *attrs.shape;
+  if (attrs.dims != nullptr) node.dims = *attrs.dims;
+  if (attrs.ids != nullptr) {
+    const Feeds& feeds = r->impl->capture_feeds;
+    for (std::size_t i = 0; i < feeds.size(); ++i) {
+      if (feeds[i] == attrs.ids) {
+        node.feed = static_cast<int>(i);
+        break;
+      }
+    }
+    if (node.feed < 0) node.ids = *attrs.ids;  // bake (e.g. position ids)
+  }
+  node.device = attrs.device;
+  r->impl->nodes.push_back(std::move(node));
+}
+
+}  // namespace
+
+namespace detail {
+
+bool capturing() noexcept {
+  return t_recorder != nullptr && !t_recorder->broken;
+}
+
+void note(OpKind kind, std::initializer_list<Tensor> inputs,
+          const Tensor& out, const NoteAttrs& attrs) {
+  record(kind, inputs, {&out}, attrs);
+}
+
+void note2(OpKind kind, std::initializer_list<Tensor> inputs,
+           const Tensor& out0, const Tensor& out1, const NoteAttrs& attrs) {
+  record(kind, inputs, {&out0, &out1}, attrs);
+}
+
+void note_unsupported(const char* what) {
+  Recorder* r = t_recorder;
+  if (r == nullptr) return;
+  r->broken = true;
+  r->why = what;
+}
+
+}  // namespace detail
+
+// ----- fusion -----
+//
+// Patterns are matched on the recorded graph, not the source: anything
+// that produced the add_bias->gelu / add->layer_norm shape fuses, whatever
+// layer it came from. The fused ops attach tapes identical to the
+// composition (see ops.cc), so fusion never changes a single bit.
+
+void StepGraph::Impl::fuse() {
+  // uses[v] = how many node inputs (plus the step output) consume v.
+  std::vector<int> uses(values.size(), 0);
+  for (const GNode& n : nodes) {
+    for (int v : n.in) ++uses[static_cast<std::size_t>(v)];
+  }
+  if (output >= 0) ++uses[static_cast<std::size_t>(output)];
+
+  std::vector<char> dead(nodes.size(), 0);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (dead[i]) continue;
+    GNode& n = nodes[i];
+    if (n.kind == OpKind::AddBias) {
+      // add_bias -> gelu, intermediate consumed only by the gelu.
+      const int t = n.out[0];
+      if (uses[static_cast<std::size_t>(t)] != 1) continue;
+      for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+        if (dead[j]) continue;
+        GNode& g = nodes[j];
+        if (g.kind == OpKind::Gelu && g.in.size() == 1 && g.in[0] == t) {
+          n.kind = OpKind::BiasGelu;
+          n.out[0] = g.out[0];
+          dead[j] = 1;
+          ++fused;
+          break;
+        }
+      }
+    } else if (n.kind == OpKind::Add) {
+      // residual add -> layer_norm. The sum usually has a second consumer
+      // (the next residual), so the fused node keeps producing it.
+      const int h = n.out[0];
+      for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+        if (dead[j]) continue;
+        GNode& ln = nodes[j];
+        if (ln.kind == OpKind::LayerNorm && ln.in.size() == 3 &&
+            ln.in[0] == h) {
+          n.kind = OpKind::FusedAddLayerNorm;
+          n.in.push_back(ln.in[1]);  // gamma
+          n.in.push_back(ln.in[2]);  // beta
+          n.out.push_back(ln.out[0]);
+          n.f0 = ln.f0;  // eps
+          dead[j] = 1;
+          ++fused;
+          break;
+        }
+      }
+    }
+  }
+  std::vector<GNode> kept;
+  kept.reserve(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (!dead[i]) kept.push_back(std::move(nodes[i]));
+  }
+  nodes = std::move(kept);
+}
+
+// ----- StepGraph -----
+
+StepGraph::StepGraph() : impl_(std::make_unique<Impl>()) {}
+StepGraph::~StepGraph() = default;
+StepGraph::StepGraph(StepGraph&&) noexcept = default;
+StepGraph& StepGraph::operator=(StepGraph&&) noexcept = default;
+
+bool StepGraph::ready() const noexcept { return impl_->is_ready; }
+
+const char* StepGraph::failure_reason() const noexcept {
+  return impl_->failure;
+}
+
+Tensor StepGraph::capture(const Feeds& feeds,
+                          const std::function<Tensor()>& fn) {
+  MENOS_CHECK_MSG(t_recorder == nullptr, "nested StepGraph capture");
+  impl_->reset();
+  if (!grad_enabled()) {
+    // The graph exists to replay *training* steps; a no-grad run would
+    // capture a tape-free step and replay it where gradients are expected.
+    impl_->failure = "capture outside grad mode";
+    return fn();
+  }
+  impl_->capture_feeds = feeds;
+  for (const std::vector<std::int32_t>* f : feeds) {
+    impl_->feed_sizes.push_back(f == nullptr ? 0 : f->size());
+  }
+  Recorder rec;
+  rec.impl = impl_.get();
+  t_recorder = &rec;
+  Tensor out;
+  try {
+    out = fn();
+  } catch (...) {
+    t_recorder = nullptr;
+    impl_->reset();
+    impl_->failure = "capture threw";
+    throw;
+  }
+  t_recorder = nullptr;
+  impl_->capture_feeds.clear();  // feed pointers die with this call
+  if (rec.broken) {
+    const char* why = rec.why;
+    impl_->reset();
+    impl_->failure = why;
+    return out;
+  }
+  const auto it = rec.value_of.find(out.defined() ? out.impl().get() : nullptr);
+  if (it == rec.value_of.end()) {
+    impl_->reset();
+    impl_->failure = "step output not produced by a recorded op";
+    return out;
+  }
+  impl_->output = it->second;
+  impl_->fuse();
+  impl_->is_ready = true;
+  return out;
+}
+
+bool StepGraph::accepts(const Feeds& feeds) const noexcept {
+  if (!impl_->is_ready) return false;
+  if (feeds.size() != impl_->feed_sizes.size()) return false;
+  for (std::size_t i = 0; i < feeds.size(); ++i) {
+    const std::size_t got = feeds[i] == nullptr ? 0 : feeds[i]->size();
+    if (got != impl_->feed_sizes[i]) return false;
+  }
+  return true;
+}
+
+Tensor StepGraph::replay(const Feeds& feeds) {
+  MENOS_CHECK_MSG(impl_->is_ready, "StepGraph::replay before capture");
+  MENOS_CHECK_MSG(accepts(feeds),
+                  "StepGraph::replay feeds incompatible with capture");
+  std::vector<Tensor> slot(impl_->values.size());
+  for (std::size_t i = 0; i < impl_->values.size(); ++i) {
+    if (impl_->values[i].constant.defined()) {
+      slot[i] = impl_->values[i].constant;
+    }
+  }
+  const auto in = [&](const GNode& n, int i) -> const Tensor& {
+    return slot[static_cast<std::size_t>(n.in[static_cast<std::size_t>(i)])];
+  };
+  const auto ids_of = [&](const GNode& n) -> const std::vector<std::int32_t>& {
+    return n.feed >= 0 ? *feeds[static_cast<std::size_t>(n.feed)] : n.ids;
+  };
+  for (GNode& n : impl_->nodes) {
+    util::Stopwatch sw;
+    Tensor out;
+    switch (n.kind) {
+      case OpKind::Add: out = add(in(n, 0), in(n, 1)); break;
+      case OpKind::Sub: out = sub(in(n, 0), in(n, 1)); break;
+      case OpKind::Mul: out = mul(in(n, 0), in(n, 1)); break;
+      case OpKind::Scale: out = scale(in(n, 0), n.f0); break;
+      case OpKind::AddBias: out = add_bias(in(n, 0), in(n, 1)); break;
+      case OpKind::Relu: out = relu(in(n, 0)); break;
+      case OpKind::Gelu: out = gelu(in(n, 0)); break;
+      case OpKind::Silu: out = silu(in(n, 0)); break;
+      case OpKind::Reshape: out = reshape(in(n, 0), n.shape); break;
+      case OpKind::Permute: out = permute(in(n, 0), n.dims); break;
+      case OpKind::ConcatDim1:
+        out = concat_dim1(in(n, 0), in(n, 1));
+        break;
+      case OpKind::SliceDim1: out = slice_dim1(in(n, 0), n.a, n.b); break;
+      case OpKind::Matmul: out = matmul(in(n, 0), in(n, 1)); break;
+      case OpKind::Sum: out = sum(in(n, 0)); break;
+      case OpKind::Softmax: out = softmax_lastdim(in(n, 0)); break;
+      case OpKind::CausalSoftmax:
+        out = causal_masked_softmax(in(n, 0));
+        break;
+      case OpKind::LayerNorm:
+        out = layer_norm(in(n, 0), in(n, 1), in(n, 2), n.f0);
+        break;
+      case OpKind::RmsNorm: out = rms_norm(in(n, 0), in(n, 1), n.f0); break;
+      case OpKind::Embedding:
+        out = embedding(in(n, 0), ids_of(n), n.a, n.b);
+        break;
+      case OpKind::CrossEntropy:
+        out = cross_entropy(in(n, 0), ids_of(n), n.i0);
+        break;
+      case OpKind::ToDevice: out = to_device(in(n, 0), *n.device); break;
+      case OpKind::BiasGelu: out = bias_gelu(in(n, 0), in(n, 1)); break;
+      case OpKind::FusedAddLayerNorm: {
+        auto hy = fused_add_layer_norm(in(n, 0), in(n, 1), in(n, 2),
+                                       in(n, 3), n.f0);
+        slot[static_cast<std::size_t>(n.out[0])] = hy.first;
+        out = hy.second;
+        break;
+      }
+    }
+    slot[static_cast<std::size_t>(n.out.back())] = out;
+    ++n.calls;
+    n.millis += sw.elapsed_millis();
+  }
+  return slot[static_cast<std::size_t>(impl_->output)];
+}
+
+std::size_t StepGraph::size() const noexcept { return impl_->nodes.size(); }
+
+int StepGraph::fused_chains() const noexcept { return impl_->fused; }
+
+std::vector<std::size_t> StepGraph::planned_bytes() const {
+  std::vector<std::size_t> plan;
+  for (const GNode& n : impl_->nodes) {
+    for (int v : n.out) {
+      const std::size_t bytes = impl_->values[static_cast<std::size_t>(v)].bytes;
+      if (bytes > 0) plan.push_back(bytes);
+    }
+  }
+  return plan;
+}
+
+void StepGraph::warm_allocator(gpusim::Device& device) const {
+  if (!impl_->is_ready) return;
+  // Walk the decorator chain (audit(cache(meter)) in the default factory
+  // composition) down to the pooling layer, if there is one.
+  gpusim::Device* cur = &device;
+  while (cur != nullptr) {
+    if (auto* cache = dynamic_cast<mem::CachingAllocator*>(cur)) {
+      cache->warm(planned_bytes());
+      return;
+    }
+    auto* audit = dynamic_cast<gpusim::AuditDevice*>(cur);
+    cur = audit != nullptr ? &audit->inner() : nullptr;
+  }
+}
+
+std::vector<OpCost> StepGraph::cost_report() const {
+  std::vector<OpCost> report;
+  for (const GNode& n : impl_->nodes) {
+    if (n.calls == 0) continue;
+    const char* name = op_kind_name(n.kind);
+    OpCost* entry = nullptr;
+    for (OpCost& c : report) {
+      if (c.name == name) {
+        entry = &c;
+        break;
+      }
+    }
+    if (entry == nullptr) {
+      report.push_back(OpCost{name, 0, 0.0});
+      entry = &report.back();
+    }
+    entry->calls += n.calls;
+    entry->millis += n.millis;
+  }
+  std::sort(report.begin(), report.end(),
+            [](const OpCost& x, const OpCost& y) { return x.millis > y.millis; });
+  return report;
+}
+
+}  // namespace menos::tensor::graph

@@ -1,0 +1,154 @@
+// Captured per-step op graphs (record once, replay every step).
+//
+// A fine-tuning session runs the SAME op sequence every step: the model is
+// fixed, the batch shape is fixed, only the token ids / targets / weight
+// values change. StepGraph exploits that. The first step runs eagerly with
+// recording on (capture); every op in src/tensor/ops.cc reports itself via
+// graph::detail::note, and the recorder rebuilds the step as a small op
+// graph whose leaves are either *constants* (weight tensors — held by
+// handle, so in-place optimizer updates are visible on replay) or *feeds*
+// (the id vectors that change per step). Later steps replay the graph by
+// dispatching the recorded nodes back through the public ops — autograd
+// nodes are re-attached exactly as in eager mode, so backward() works
+// unchanged and the loss curve is bit-identical to eager execution
+// (asserted in tests/graph_test.cc).
+//
+// What replay buys:
+//   * fused elementwise chains — add_bias+gelu and residual-add+layer_norm
+//     are pattern-matched once at capture and replayed as the fused ops
+//     (tensor::bias_gelu / tensor::fused_add_layer_norm), which make one
+//     memory pass instead of two and attach tapes that reproduce the
+//     composed backward bit-for-bit;
+//   * preplanned buffer reuse — the graph knows every activation size in
+//     advance; warm_allocator() pre-populates a mem::CachingAllocator so
+//     the whole step replays as pool hits instead of cold segment growth;
+//   * per-op cost attribution — replay times each node; cost_report()
+//     aggregates per op kind, feeding the sim's calibration tables.
+//
+// Capture is conservative: any op the graph cannot reproduce (dropout's
+// rng, custom nn-level autograd nodes like tile_batch / repeat_heads /
+// quantized matmul) calls note_unsupported and the graph simply refuses to
+// become ready() — callers fall back to eager execution, losing only the
+// optimization, never correctness.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace menos::tensor::graph {
+
+enum class OpKind {
+  Add, Sub, Mul, Scale, AddBias, Relu, Gelu, Silu,
+  Reshape, Permute, ConcatDim1, SliceDim1,
+  Matmul, Sum, Softmax, CausalSoftmax, LayerNorm, RmsNorm,
+  Embedding, CrossEntropy, ToDevice,
+  // Produced by the fusion pass only, never recorded directly.
+  BiasGelu, FusedAddLayerNorm,
+};
+
+/// Stable display name ("add", "matmul", "bias_gelu", ...).
+const char* op_kind_name(OpKind kind) noexcept;
+
+/// Replay-time cost attribution for one op kind, summed over all replays.
+struct OpCost {
+  const char* name = "";
+  std::int64_t calls = 0;
+  double millis = 0.0;
+};
+
+/// The per-step varying integer inputs (token ids, targets), in a fixed
+/// order chosen by the caller. Pointers must outlive the capture/replay
+/// call they are passed to; they are never retained.
+using Feeds = std::vector<const std::vector<std::int32_t>*>;
+
+class StepGraph {
+ public:
+  StepGraph();
+  ~StepGraph();
+  StepGraph(StepGraph&&) noexcept;
+  StepGraph& operator=(StepGraph&&) noexcept;
+  StepGraph(const StepGraph&) = delete;
+  StepGraph& operator=(const StepGraph&) = delete;
+
+  /// Run `fn` eagerly with recording on and return its result. Id vectors
+  /// in `feeds` are matched by address against the id arguments ops
+  /// receive: matches become replay-time feeds, everything else (e.g.
+  /// position ids built inside the model) is baked into the graph. On any
+  /// unsupported op the graph stays un-ready and `fn`'s eager result is
+  /// still returned. Capture with gradients disabled records nothing.
+  Tensor capture(const Feeds& feeds, const std::function<Tensor()>& fn);
+
+  /// True after a successful capture: replay() may be called.
+  bool ready() const noexcept;
+
+  /// Why the last capture did not produce a replayable graph ("" if it
+  /// did, or no capture ran yet).
+  const char* failure_reason() const noexcept;
+
+  /// True when `feeds` line up with the capture (same count and sizes).
+  bool accepts(const Feeds& feeds) const noexcept;
+
+  /// Execute the captured step with fresh feed values. Dispatches through
+  /// the public tensor ops, so autograd works exactly as in eager mode.
+  Tensor replay(const Feeds& feeds);
+
+  /// Node count after fusion / number of chains the fusion pass collapsed.
+  std::size_t size() const noexcept;
+  int fused_chains() const noexcept;
+
+  /// Byte size of every node output, in execution order — the step's
+  /// activation allocation plan.
+  std::vector<std::size_t> planned_bytes() const;
+
+  /// Pre-populate `device`'s pool (if it is, or decorates, a
+  /// mem::CachingAllocator) with the allocation plan, so replay's
+  /// activations are pool hits from the first step. No-op otherwise.
+  void warm_allocator(gpusim::Device& device) const;
+
+  /// Per-kind replay cost, most expensive first. Empty before any replay.
+  std::vector<OpCost> cost_report() const;
+
+  struct Impl;
+
+ private:
+  std::unique_ptr<Impl> impl_;
+};
+
+namespace detail {
+
+/// Optional op attributes carried by a note. Pointer fields are copied by
+/// the recorder during the call; they are never retained.
+struct NoteAttrs {
+  float f0 = 0.0f;          ///< scale factor / norm eps
+  std::int32_t i0 = -1;     ///< cross_entropy ignore_index
+  Index a = 0;              ///< slice start / embedding batch
+  Index b = 0;              ///< slice len / embedding seq
+  const Shape* shape = nullptr;               ///< reshape target
+  const std::vector<int>* dims = nullptr;     ///< permute axes
+  const std::vector<std::int32_t>* ids = nullptr;  ///< embedding/CE ids
+  gpusim::Device* device = nullptr;           ///< to_device target
+};
+
+/// True while a StepGraph capture is recording on this thread.
+bool capturing() noexcept;
+
+/// Record one executed op (called by ops.cc just before returning). No-op
+/// unless a capture is active on this thread.
+void note(OpKind kind, std::initializer_list<Tensor> inputs,
+          const Tensor& out, const NoteAttrs& attrs = {});
+
+/// Same, for the two-output fused ops.
+void note2(OpKind kind, std::initializer_list<Tensor> inputs,
+           const Tensor& out0, const Tensor& out1,
+           const NoteAttrs& attrs = {});
+
+/// Mark the active capture (if any) as non-replayable. Called by ops the
+/// graph cannot reproduce (dropout randomness, custom autograd nodes).
+void note_unsupported(const char* what);
+
+}  // namespace detail
+}  // namespace menos::tensor::graph

@@ -1,0 +1,442 @@
+// Cache-blocked packed-panel matmul kernels (see kernels.h for the
+// contract, docs/PERF.md for the design).
+//
+// Structure, outermost to innermost (the GotoBLAS/BLIS decomposition):
+//
+//   for jc : NC-wide column panels of C
+//     for pc : KC-deep contraction panels
+//       pack B[pc:pc+KC, jc:jc+NC] into contiguous NR-wide strips
+//       parallel_for over output rows              <- the ONLY fork point
+//         for ic : MC-tall row blocks of this thread's range
+//           pack A[ic:ic+MC, pc:pc+KC] into MR-wide strips (thread scratch)
+//           for each (MR x NR) tile: micro-kernel
+//
+// The micro-kernel keeps an MR x NR accumulator block in vector registers
+// and adds one rank-1 update per contraction step p, p ascending. Because C
+// round-trips through memory between KC-panels losslessly (float loads and
+// stores are exact) and every a*b term is added individually, the value of
+// every C element is the result of the SAME sequence of fused
+// multiply-adds regardless of MC/NC/KC, chunk boundaries, or thread count
+// — which is exactly what the serial *_ref kernels compute.
+//
+// Scratch never touches the gpusim Device layer: packing buffers are
+// per-thread aligned pools from util/aligned.h (the `kernel-scratch` lint
+// rule enforces this).
+#include "tensor/kernels.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/aligned.h"
+#include "util/thread_pool.h"
+
+namespace menos::tensor::kernels {
+namespace {
+
+// ----- architecture selection -----
+//
+// GNU vector extensions, not intrinsics: the same source compiles to SSE2,
+// AVX2+FMA or AVX-512 depending on -march (see MENOS_NATIVE_ARCH in the
+// top-level CMakeLists). Lane arithmetic is element-wise identical to the
+// scalar form, so the choice affects speed only within one build; the
+// determinism contract is per build, same as any -ffp-contract effect.
+
+#if defined(__AVX512F__)
+constexpr int kVecLanes = 16;
+constexpr int kMR = 6;        // rows per register tile
+constexpr int kNVecs = 2;     // vectors per tile row -> 12 accumulators
+constexpr char kArchLabel[] = "avx512";
+#elif defined(__AVX__)
+constexpr int kVecLanes = 8;
+constexpr int kMR = 4;
+constexpr int kNVecs = 3;     // 12 ymm accumulators + 3 B + 1 broadcast
+constexpr char kArchLabel[] = "avx2";
+#else
+constexpr int kVecLanes = 4;
+constexpr int kMR = 4;
+constexpr int kNVecs = 2;     // 8 xmm accumulators
+constexpr char kArchLabel[] = "sse2";
+#endif
+constexpr int kNR = kVecLanes * kNVecs;  // cols per register tile
+
+typedef float Vec __attribute__((vector_size(kVecLanes * sizeof(float))));
+
+// Default cache blocking: A block (MC x KC) ~96 KiB stays in L2, the B
+// panel (KC x NC) streams through L3, the B strip (KC x NR) lives in L1.
+constexpr Index kDefaultMc = 96;
+constexpr Index kDefaultNc = 512;
+constexpr Index kDefaultKc = 256;
+
+BlockConfig g_config;  // zeros = defaults; set between kernels only
+
+Index resolved(Index value, Index fallback) {
+  return value > 0 ? value : fallback;
+}
+
+// The scalar reduction loops (edge tiles, serial references) must make the
+// SAME per-element rounding decisions as the vector micro-kernel, and a
+// plain `acc += a[p]*b[p]` does not guarantee that: the compiler may
+// contract it to an fma, leave it as mul+add, or — worst — partially
+// vectorize it into a vmulps + sequential vaddss mix that keeps the
+// summation order but rounds some products separately. madd() pins the
+// choice explicitly: fused when the target ISA has FMA (what the
+// vectorizer emits for the micro-kernel under -ffp-contract=fast), plain
+// mul+add otherwise (SSE2 has no fma instruction, so the vector code
+// rounds products separately too). One contraction decision per build,
+// every path. The functions are additionally kept scalar so the
+// vectorizer cannot re-mix them.
+inline float madd(float acc, float a, float b) {
+#if defined(__FMA__)
+  return __builtin_fmaf(a, b, acc);
+#else
+  return acc + a * b;
+#endif
+}
+
+#if defined(__GNUC__) && !defined(__clang__)
+#define MENOS_SCALAR_ONLY __attribute__((optimize("no-tree-vectorize")))
+#else
+#define MENOS_SCALAR_ONLY
+#endif
+
+// Scratch slots (per thread, util::scratch_floats): 0 = A panels packed by
+// whichever thread runs the row chunk, 1 = the shared B panel packed by
+// the dispatching thread (or by each thread in the self-packing batched
+// path — still its own slot, never shared).
+constexpr int kScratchA = 0;
+constexpr int kScratchB = 1;
+
+// ----- packing -----
+//
+// A is packed contraction-major in MR-wide row strips: ap[s][p*MR + i]
+// holds A-element (strip_row s*MR+i, contraction p). B likewise in NR-wide
+// column strips: bp[s][p*NR + j]. Partial strips are zero-padded; padded
+// lanes are computed and discarded, never stored.
+
+/// `trans == false`: element (i, p) at a[i * lda + p] (A row-major).
+/// `trans == true` : element (i, p) at a[p * lda + i] (A^T view).
+void pack_a(const float* __restrict__ a, Index lda, bool trans, Index mc,
+            Index kc, float* __restrict__ ap) {
+  for (Index i0 = 0; i0 < mc; i0 += kMR) {
+    const Index mr = std::min<Index>(kMR, mc - i0);
+    if (trans) {
+      for (Index p = 0; p < kc; ++p) {
+        const float* src = a + p * lda + i0;
+        for (Index ii = 0; ii < kMR; ++ii) {
+          ap[p * kMR + ii] = ii < mr ? src[ii] : 0.0f;
+        }
+      }
+    } else {
+      for (Index p = 0; p < kc; ++p) {
+        for (Index ii = 0; ii < kMR; ++ii) {
+          ap[p * kMR + ii] = ii < mr ? a[(i0 + ii) * lda + p] : 0.0f;
+        }
+      }
+    }
+    ap += kc * kMR;
+  }
+}
+
+/// `trans == false`: element (p, j) at b[p * ldb + j] (B row-major).
+/// `trans == true` : element (p, j) at b[j * ldb + p] (B^T view).
+void pack_b(const float* __restrict__ b, Index ldb, bool trans, Index kc,
+            Index nc, float* __restrict__ bp) {
+  for (Index j0 = 0; j0 < nc; j0 += kNR) {
+    const Index nr = std::min<Index>(kNR, nc - j0);
+    if (trans) {
+      for (Index p = 0; p < kc; ++p) {
+        for (Index jj = 0; jj < kNR; ++jj) {
+          bp[p * kNR + jj] = jj < nr ? b[(j0 + jj) * ldb + p] : 0.0f;
+        }
+      }
+    } else {
+      for (Index p = 0; p < kc; ++p) {
+        const float* src = b + p * ldb + j0;
+        for (Index jj = 0; jj < kNR; ++jj) {
+          bp[p * kNR + jj] = jj < nr ? src[jj] : 0.0f;
+        }
+      }
+    }
+    bp += kc * kNR;
+  }
+}
+
+// ----- micro-kernels -----
+
+/// Full MR x NR tile: C_tile += sum_p apack[p][:] (x) bpack[p][:], one
+/// rank-1 update per p, kept entirely in vector registers.
+void micro(const float* __restrict__ ap, const float* __restrict__ bp,
+           float* __restrict__ c, Index ldc, Index kc) {
+  Vec acc[kMR][kNVecs];
+  for (int i = 0; i < kMR; ++i) {
+    for (int v = 0; v < kNVecs; ++v) {
+      std::memcpy(&acc[i][v], c + i * ldc + v * kVecLanes, sizeof(Vec));
+    }
+  }
+  for (Index p = 0; p < kc; ++p) {
+    Vec b[kNVecs];
+    for (int v = 0; v < kNVecs; ++v) {
+      std::memcpy(&b[v], bp + p * kNR + v * kVecLanes, sizeof(Vec));
+    }
+    const float* acol = ap + p * kMR;
+    for (int i = 0; i < kMR; ++i) {
+      const float a = acol[i];
+      for (int v = 0; v < kNVecs; ++v) acc[i][v] += a * b[v];
+    }
+  }
+  for (int i = 0; i < kMR; ++i) {
+    for (int v = 0; v < kNVecs; ++v) {
+      std::memcpy(c + i * ldc + v * kVecLanes, &acc[i][v], sizeof(Vec));
+    }
+  }
+}
+
+/// Partial tile at the m/n edges: scalar, same per-element order.
+MENOS_SCALAR_ONLY
+void micro_edge(const float* __restrict__ ap, const float* __restrict__ bp,
+                float* __restrict__ c, Index ldc, Index kc, Index mr,
+                Index nr) {
+  for (Index i = 0; i < mr; ++i) {
+    for (Index j = 0; j < nr; ++j) {
+      float acc = c[i * ldc + j];
+      for (Index p = 0; p < kc; ++p) {
+        acc = madd(acc, ap[p * kMR + i], bp[p * kNR + j]);
+      }
+      c[i * ldc + j] = acc;
+    }
+  }
+}
+
+// ----- panel drivers -----
+
+/// Compute C rows [r0, r1) against one pre-packed B panel of `nc` columns
+/// (kc deep). `a` addresses element (i, p) per `at`; `c` points at column 0
+/// of the panel (the jc offset is applied by the caller).
+void panel_rows(const float* a, Index lda, bool at, const float* bpack,
+                float* c, Index ldc, Index r0, Index r1, Index kc, Index nc,
+                Index mc_blk) {
+  for (Index ic = r0; ic < r1; ic += mc_blk) {
+    const Index mc = std::min(mc_blk, r1 - ic);
+    const Index strips = (mc + kMR - 1) / kMR;
+    float* apack = util::scratch_floats(
+        kScratchA, static_cast<std::size_t>(strips * kMR * kc));
+    pack_a(at ? a + ic : a + ic * lda, lda, at, mc, kc, apack);
+    for (Index j0 = 0; j0 < nc; j0 += kNR) {
+      const Index nr = std::min<Index>(kNR, nc - j0);
+      const float* bp = bpack + (j0 / kNR) * kc * kNR;
+      for (Index i0 = 0; i0 < mc; i0 += kMR) {
+        const Index mr = std::min<Index>(kMR, mc - i0);
+        const float* ap = apack + (i0 / kMR) * kc * kMR;
+        float* cp = c + (ic + i0) * ldc + j0;
+        if (mr == kMR && nr == kNR) {
+          micro(ap, bp, cp, ldc, kc);
+        } else {
+          micro_edge(ap, bp, cp, ldc, kc, mr, nr);
+        }
+      }
+    }
+  }
+}
+
+/// Minimum rows per parallel chunk: at least one full register tile, and
+/// enough flops (~2^18) to be worth shipping to another thread.
+Index row_grain(Index k, Index n) {
+  const Index flops_per_row = 2 * std::max<Index>(k, 1) * std::max<Index>(n, 1);
+  const Index rows = (Index{1} << 18) / flops_per_row;
+  return std::max<Index>(kMR, rows);
+}
+
+/// One C = A * B product, parallel over output rows. `at`/`bt` select the
+/// transposed addressing of pack_a/pack_b; M/K/N are the logical
+/// (output rows, contraction, output cols).
+void gemm(const float* a, Index lda, bool at, const float* b, Index ldb,
+          bool bt, float* c, Index M, Index K, Index N) {
+  if (M <= 0 || K <= 0 || N <= 0) return;
+  const BlockConfig blk = block_config();
+  const Index grain = row_grain(K, N);
+  for (Index jc = 0; jc < N; jc += blk.nc) {
+    const Index nc = std::min(blk.nc, N - jc);
+    const Index bstrips = (nc + kNR - 1) / kNR;
+    for (Index pc = 0; pc < K; pc += blk.kc) {
+      const Index kc = std::min(blk.kc, K - pc);
+      float* bpack = util::scratch_floats(
+          kScratchB, static_cast<std::size_t>(bstrips * kNR * kc));
+      pack_b(bt ? b + jc * ldb + pc : b + pc * ldb + jc, ldb, bt, kc, nc,
+             bpack);
+      const float* abase = at ? a + pc * lda : a + pc;
+      util::parallel_for(0, M, grain, [&](Index lo, Index hi) {
+        panel_rows(abase, lda, at, bpack, c + jc, N, lo, hi, kc, nc, blk.mc);
+      });
+    }
+  }
+}
+
+/// Serial single-thread variant computing only C rows [r0, r1), packing
+/// its own B panels into this thread's scratch. Used inside the batched
+/// fan-out, where the parallel_for already runs one level up.
+void gemm_rows_selfpack(const float* a, Index lda, bool at, const float* b,
+                        Index ldb, bool bt, float* c, Index r0, Index r1,
+                        Index K, Index N) {
+  if (r0 >= r1 || K <= 0 || N <= 0) return;
+  const BlockConfig blk = block_config();
+  for (Index jc = 0; jc < N; jc += blk.nc) {
+    const Index nc = std::min(blk.nc, N - jc);
+    const Index bstrips = (nc + kNR - 1) / kNR;
+    for (Index pc = 0; pc < K; pc += blk.kc) {
+      const Index kc = std::min(blk.kc, K - pc);
+      float* bpack = util::scratch_floats(
+          kScratchB, static_cast<std::size_t>(bstrips * kNR * kc));
+      pack_b(bt ? b + jc * ldb + pc : b + pc * ldb + jc, ldb, bt, kc, nc,
+             bpack);
+      const float* abase = at ? a + pc * lda : a + pc;
+      panel_rows(abase, lda, at, bpack, c + jc, N, r0, r1, kc, nc, blk.mc);
+    }
+  }
+}
+
+/// Fan a batch of independent products out over one flattened row space.
+/// `fn(bi, i0, i1)` computes output rows [i0, i1) of batch item bi.
+template <typename Fn>
+void batched_fan_out(Index batch, Index rows, Index k, Index n,
+                     const Fn& fn) {
+  util::parallel_for(0, batch * rows, row_grain(k, n),
+                     [&](Index r0, Index r1) {
+    Index r = r0;
+    while (r < r1) {
+      const Index bi = r / rows;
+      const Index i0 = r - bi * rows;
+      const Index i1 = std::min(rows, i0 + (r1 - r));
+      fn(bi, i0, i1);
+      r += i1 - i0;
+    }
+  });
+}
+
+}  // namespace
+
+// ----- public kernels -----
+
+void mm(const float* a, const float* b, float* c, Index m, Index k,
+        Index n) {
+  gemm(a, k, false, b, n, false, c, m, k, n);
+}
+
+void mm_nt(const float* a, const float* b, float* c, Index m, Index n,
+           Index k) {
+  // C[m,k] = A[m,n] * B[k,n]^T: contraction over n, B addressed transposed.
+  gemm(a, n, false, b, n, true, c, m, n, k);
+}
+
+void mm_tn(const float* a, const float* b, float* c, Index m, Index k,
+           Index n) {
+  // C[k,n] = A[m,k]^T * B[m,n]: contraction over m, A addressed transposed.
+  gemm(a, k, true, b, n, false, c, k, m, n);
+}
+
+void mm_batched(const float* a, const float* b, float* c, Index batch,
+                Index m, Index k, Index n, bool shared_b) {
+  if (batch <= 0) return;
+  if (shared_b) {
+    // [batch, m, k] x [k, n] is one [batch*m, k] x [k, n] product.
+    mm(a, b, c, batch * m, k, n);
+    return;
+  }
+  if (batch == 1) {
+    mm(a, b, c, m, k, n);
+    return;
+  }
+  batched_fan_out(batch, m, k, n, [&](Index bi, Index i0, Index i1) {
+    gemm_rows_selfpack(a + bi * m * k, k, false, b + bi * k * n, n, false,
+                       c + bi * m * n, i0, i1, k, n);
+  });
+}
+
+void mm_nt_batched(const float* a, const float* b, float* c, Index batch,
+                   Index m, Index n, Index k, bool shared_b) {
+  if (batch <= 0) return;
+  if (shared_b) {
+    mm_nt(a, b, c, batch * m, n, k);
+    return;
+  }
+  if (batch == 1) {
+    mm_nt(a, b, c, m, n, k);
+    return;
+  }
+  batched_fan_out(batch, m, n, k, [&](Index bi, Index i0, Index i1) {
+    gemm_rows_selfpack(a + bi * m * n, n, false, b + bi * k * n, n, true,
+                       c + bi * m * k, i0, i1, n, k);
+  });
+}
+
+void mm_tn_batched(const float* a, const float* b, float* c, Index batch,
+                   Index m, Index k, Index n) {
+  if (batch <= 0) return;
+  if (batch == 1) {
+    mm_tn(a, b, c, m, k, n);
+    return;
+  }
+  batched_fan_out(batch, k, m, n, [&](Index bi, Index p0, Index p1) {
+    gemm_rows_selfpack(a + bi * m * k, k, true, b + bi * m * n, n, false,
+                       c + bi * k * n, p0, p1, m, n);
+  });
+}
+
+// ----- serial references -----
+
+MENOS_SCALAR_ONLY
+void mm_ref(const float* a, const float* b, float* c, Index m, Index k,
+            Index n) {
+  for (Index i = 0; i < m; ++i) {
+    for (Index j = 0; j < n; ++j) {
+      float acc = c[i * n + j];
+      for (Index p = 0; p < k; ++p) acc = madd(acc, a[i * k + p], b[p * n + j]);
+      c[i * n + j] = acc;
+    }
+  }
+}
+
+MENOS_SCALAR_ONLY
+void mm_nt_ref(const float* a, const float* b, float* c, Index m, Index n,
+               Index k) {
+  for (Index i = 0; i < m; ++i) {
+    for (Index p = 0; p < k; ++p) {
+      float acc = c[i * k + p];
+      for (Index j = 0; j < n; ++j) acc = madd(acc, a[i * n + j], b[p * n + j]);
+      c[i * k + p] = acc;
+    }
+  }
+}
+
+MENOS_SCALAR_ONLY
+void mm_tn_ref(const float* a, const float* b, float* c, Index m, Index k,
+               Index n) {
+  for (Index p = 0; p < k; ++p) {
+    for (Index j = 0; j < n; ++j) {
+      float acc = c[p * n + j];
+      for (Index i = 0; i < m; ++i) acc = madd(acc, a[i * k + p], b[i * n + j]);
+      c[p * n + j] = acc;
+    }
+  }
+}
+
+// ----- configuration -----
+
+BlockConfig block_config() noexcept {
+  BlockConfig out;
+  out.mc = resolved(g_config.mc, kDefaultMc);
+  out.nc = resolved(g_config.nc, kDefaultNc);
+  out.kc = resolved(g_config.kc, kDefaultKc);
+  return out;
+}
+
+void set_block_config(const BlockConfig& cfg) {
+  MENOS_CHECK_MSG(cfg.mc >= 0 && cfg.nc >= 0 && cfg.kc >= 0,
+                  "BlockConfig fields must be >= 0 (0 = default)");
+  g_config = cfg;
+}
+
+Index micro_tile_rows() noexcept { return kMR; }
+Index micro_tile_cols() noexcept { return kNR; }
+const char* vector_arch() noexcept { return kArchLabel; }
+
+}  // namespace menos::tensor::kernels

@@ -3,11 +3,18 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <utility>
 
+#include "tensor/graph.h"
 #include "tensor/kernels.h"
+#include "util/fastmath.h"
 #include "util/thread_pool.h"
 
 namespace menos::tensor {
+
+namespace gd = graph::detail;
+using graph::OpKind;
+
 namespace {
 
 using detail::attach_node;
@@ -41,134 +48,107 @@ Tensor view_as(const Tensor& t, Shape shape) {
 
 constexpr Index kEwGrain = 1 << 15;    // plain elementwise arithmetic
 constexpr Index kMathGrain = 1 << 12;  // exp/tanh-heavy elementwise
-constexpr Index kMinChunkFlops = 1 << 18;  // matmul rows per chunk, in flops
 
 Index rows_grain(Index row_len, Index grain = kEwGrain) {
   return std::max<Index>(1, grain / std::max<Index>(row_len, 1));
 }
 
-Index mm_grain(Index flops_per_row) {
-  return std::max<Index>(1,
-                         kMinChunkFlops / std::max<Index>(flops_per_row, 1));
+// ----- shared elementwise / backward helpers -----
+//
+// Factored out so each fused op (bias_gelu, fused_add_layer_norm) and the
+// ops it replaces run literally the same code in forward and backward —
+// bit-identity between the fused and composed forms is by construction,
+// not by tolerance. The raw matmul loops live in tensor/kernels.cc (the
+// cache-blocked packed-panel implementation).
+
+constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+constexpr float kGeluA = 0.044715f;
+
+/// gelu(x), tanh approximation, on the deterministic fast_tanh.
+inline float gelu_fwd(float x) {
+  const float t = util::fast_tanh(kGeluC * (x + kGeluA * x * x * x));
+  return 0.5f * x * (1.0f + t);
 }
 
-// ----- raw matmul cores (row-major, accumulate into C) -----
-//
-// Each core handles a block of output rows; the public kernels in
-// tensor/kernels.h and the batched fan-out in matmul() parallelize over
-// these blocks. The contraction index always advances in ascending order
-// per output element, so block boundaries never change the arithmetic.
+/// d gelu(x) / dx.
+inline float gelu_grad(float x) {
+  const float u = kGeluC * (x + kGeluA * x * x * x);
+  const float t = util::fast_tanh(u);
+  const float du = kGeluC * (1.0f + 3.0f * kGeluA * x * x);
+  return 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * du;
+}
 
-constexpr Index kPanel = 64;  // contraction rows kept hot per pass
+/// db[j] = sum_r g[r, j]: the bias gradient. Column-partitioned — each
+/// thread owns a block of columns and sweeps rows in ascending order, so
+/// every db[j] sees the same addition order at any thread count.
+Tensor bias_grad_columns(const Tensor& g, Index rows, Index n) {
+  Tensor db = Tensor::zeros({n}, g.device());
+  const float* pg = g.data();
+  float* pdb = db.data();
+  util::parallel_for(0, n, rows_grain(rows), [&](Index j0, Index j1) {
+    for (Index r = 0; r < rows; ++r) {
+      const float* grow = pg + r * n;
+      for (Index j = j0; j < j1; ++j) pdb[j] += grow[j];
+    }
+  });
+  return db;
+}
 
-// The cores are noinline with __restrict__ operands: every call site (the
-// public kernels and the batched fan-out lambdas) shares one copy whose
-// inner loops vectorize without runtime alias versioning. Inlining them
-// into each std::function body both bloats the lambdas and leaves the hot
-// loop's layout to luck.
-#if defined(__GNUC__)
-#define MENOS_NOINLINE __attribute__((noinline))
-#else
-#define MENOS_NOINLINE
-#endif
-
-// C rows [i0, i1): C[i,j] += sum_p A[i,p] * B[p,j], p ascending. The panel
-// loop keeps a kPanel x n slab of B resident while it is reused across
-// every row of the block.
-MENOS_NOINLINE void mm_rows(const float* __restrict__ a,
-                            const float* __restrict__ b, float* __restrict__ c,
-                            Index i0, Index i1, Index k, Index n) {
-  for (Index p0 = 0; p0 < k; p0 += kPanel) {
-    const Index p1 = std::min(k, p0 + kPanel);
-    for (Index i = i0; i < i1; ++i) {
-      const float* arow = a + i * k;
-      float* crow = c + i * n;
-      for (Index p = p0; p < p1; ++p) {
-        const float av = arow[p];
-        const float* brow = b + p * n;
-        for (Index j = 0; j < n; ++j) crow[j] += av * brow[j];
+/// The layer_norm backward body, shared by layer_norm and
+/// fused_add_layer_norm: {dx, dgamma, dbeta} from the saved normalized
+/// activations and per-row 1/sigma.
+std::vector<Tensor> layer_norm_backward(const Tensor& xhat,
+                                        const Tensor& inv_sigma,
+                                        const Tensor& gamma_saved, Index n,
+                                        Index rows, const Tensor& g) {
+  Tensor dx = Tensor::empty(g.shape(), g.device());
+  Tensor dgamma = Tensor::zeros({n}, g.device());
+  Tensor dbeta = Tensor::zeros({n}, g.device());
+  const float* ph2 = xhat.data();
+  const float* pis2 = inv_sigma.data();
+  const float* pgam = gamma_saved.data();
+  const float* pgr = g.data();
+  float* pdx = dx.data();
+  float* pdg = dgamma.data();
+  float* pdb = dbeta.data();
+  // Pass 1 (rows): dx, which only needs per-row statistics.
+  util::parallel_for(0, rows, rows_grain(n), [&](Index lo, Index hi) {
+    for (Index r = lo; r < hi; ++r) {
+      const float* hr = ph2 + r * n;
+      const float* gr = pgr + r * n;
+      float* dxr = pdx + r * n;
+      float mean_gy = 0.0f, mean_gyh = 0.0f;
+      for (Index j = 0; j < n; ++j) {
+        const float gy = gr[j] * pgam[j];
+        mean_gy += gy;
+        mean_gyh += gy * hr[j];
+      }
+      mean_gy /= static_cast<float>(n);
+      mean_gyh /= static_cast<float>(n);
+      const float is = pis2[r];
+      for (Index j = 0; j < n; ++j) {
+        const float gy = gr[j] * pgam[j];
+        dxr[j] = is * (gy - mean_gy - hr[j] * mean_gyh);
       }
     }
-  }
-}
-
-// Dot product over eight independent lanes combined by a fixed tree. The
-// lanes let the compiler vectorize the reduction without relaxed-FP flags;
-// the result depends only on the inputs, never on threading.
-float dot_fixed(const float* __restrict__ x, const float* __restrict__ y,
-                Index n) {
-  float lane[8] = {0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f};
-  Index j = 0;
-  for (; j + 8 <= n; j += 8) {
-    lane[0] += x[j] * y[j];
-    lane[1] += x[j + 1] * y[j + 1];
-    lane[2] += x[j + 2] * y[j + 2];
-    lane[3] += x[j + 3] * y[j + 3];
-    lane[4] += x[j + 4] * y[j + 4];
-    lane[5] += x[j + 5] * y[j + 5];
-    lane[6] += x[j + 6] * y[j + 6];
-    lane[7] += x[j + 7] * y[j + 7];
-  }
-  float acc = ((lane[0] + lane[4]) + (lane[1] + lane[5])) +
-              ((lane[2] + lane[6]) + (lane[3] + lane[7]));
-  for (; j < n; ++j) acc += x[j] * y[j];
-  return acc;
-}
-
-// C rows [i0, i1): C[i,p] += dot(A[i,:], B[p,:]).
-MENOS_NOINLINE void mm_nt_rows(const float* __restrict__ a,
-                               const float* __restrict__ b,
-                               float* __restrict__ c, Index i0, Index i1,
-                               Index n, Index k) {
-  for (Index i = i0; i < i1; ++i) {
-    const float* arow = a + i * n;
-    float* crow = c + i * k;
-    for (Index p = 0; p < k; ++p) crow[p] += dot_fixed(arow, b + p * n, n);
-  }
-}
-
-// C rows [p0, p1): C[p,j] += sum_i A[i,p] * B[i,j], i ascending. A thread
-// owns whole output rows of C, so concurrent blocks never share writes.
-MENOS_NOINLINE void mm_tn_cols(const float* __restrict__ a,
-                               const float* __restrict__ b,
-                               float* __restrict__ c, Index m, Index k,
-                               Index n, Index p0, Index p1) {
-  for (Index i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    const float* brow = b + i * n;
-    for (Index p = p0; p < p1; ++p) {
-      const float av = arow[p];
-      float* crow = c + p * n;
-      for (Index j = 0; j < n; ++j) crow[j] += av * brow[j];
+  });
+  // Pass 2 (columns): dgamma/dbeta. Each thread owns a column block and
+  // sweeps rows in ascending order, so the reduction order per parameter
+  // is thread-count invariant.
+  util::parallel_for(0, n, rows_grain(rows), [&](Index j0, Index j1) {
+    for (Index r = 0; r < rows; ++r) {
+      const float* hr = ph2 + r * n;
+      const float* gr = pgr + r * n;
+      for (Index j = j0; j < j1; ++j) {
+        pdg[j] += gr[j] * hr[j];
+        pdb[j] += gr[j];
+      }
     }
-  }
+  });
+  return {dx, dgamma, dbeta};
 }
 
 }  // namespace
-
-namespace kernels {
-
-void mm(const float* a, const float* b, float* c, Index m, Index k, Index n) {
-  util::parallel_for(0, m, mm_grain(2 * k * n), [&](Index lo, Index hi) {
-    mm_rows(a, b, c, lo, hi, k, n);
-  });
-}
-
-void mm_nt(const float* a, const float* b, float* c, Index m, Index n,
-           Index k) {
-  util::parallel_for(0, m, mm_grain(2 * n * k), [&](Index lo, Index hi) {
-    mm_nt_rows(a, b, c, lo, hi, n, k);
-  });
-}
-
-void mm_tn(const float* a, const float* b, float* c, Index m, Index k,
-           Index n) {
-  util::parallel_for(0, k, mm_grain(2 * m * n), [&](Index lo, Index hi) {
-    mm_tn_cols(a, b, c, m, k, n, lo, hi);
-  });
-}
-
-}  // namespace kernels
 
 // ----- elementwise -----
 
@@ -189,6 +169,7 @@ Tensor add(const Tensor& a, const Tensor& b) {
       return std::vector<Tensor>{g, g};
     });
   }
+  gd::note(OpKind::Add, {a, b}, out);
   return out;
 }
 
@@ -209,6 +190,7 @@ Tensor sub(const Tensor& a, const Tensor& b) {
       return std::vector<Tensor>{g, scale(g, -1.0f)};
     });
   }
+  gd::note(OpKind::Sub, {a, b}, out);
   return out;
 }
 
@@ -230,6 +212,7 @@ Tensor mul(const Tensor& a, const Tensor& b) {
       return std::vector<Tensor>{mul(g, sb), mul(g, sa)};
     });
   }
+  gd::note(OpKind::Mul, {a, b}, out);
   return out;
 }
 
@@ -247,6 +230,7 @@ Tensor scale(const Tensor& a, float s) {
       return std::vector<Tensor>{scale(g, s)};
     });
   }
+  gd::note(OpKind::Scale, {a}, out, {.f0 = s});
   return out;
 }
 
@@ -273,21 +257,10 @@ Tensor add_bias(const Tensor& x, const Tensor& bias) {
   });
   if (should_record({x, bias})) {
     attach_node(out, "add_bias", {x, bias}, [n, rows](const Tensor& g) {
-      Tensor db = Tensor::zeros({n}, g.device());
-      const float* pg = g.data();
-      float* pdb = db.data();
-      // Column-partitioned reduction: each thread owns a block of bias
-      // columns and sweeps rows in ascending order, so every pdb[j] sees
-      // the same addition order at any thread count.
-      util::parallel_for(0, n, rows_grain(rows), [&](Index j0, Index j1) {
-        for (Index r = 0; r < rows; ++r) {
-          const float* grow = pg + r * n;
-          for (Index j = j0; j < j1; ++j) pdb[j] += grow[j];
-        }
-      });
-      return std::vector<Tensor>{g, db};
+      return std::vector<Tensor>{g, bias_grad_columns(g, rows, n)};
     });
   }
+  gd::note(OpKind::AddBias, {x, bias}, out);
   return out;
 }
 
@@ -314,13 +287,9 @@ Tensor relu(const Tensor& a) {
       return std::vector<Tensor>{dx};
     });
   }
+  gd::note(OpKind::Relu, {a}, out);
   return out;
 }
-
-namespace {
-constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
-constexpr float kGeluA = 0.044715f;
-}  // namespace
 
 Tensor gelu(const Tensor& a) {
   check_defined(a, "gelu");
@@ -328,12 +297,11 @@ Tensor gelu(const Tensor& a) {
   const float* pa = a.data();
   float* po = out.data();
   const Index n = a.numel();
+  // gelu_fwd is branch-free inline arithmetic (util/fastmath.h), so this
+  // loop vectorizes — the libm tanh it replaces pinned gelu at scalar
+  // speed regardless of width (the flat scaling in BENCH_tensor_ops.json).
   util::parallel_for(0, n, kMathGrain, [&](Index lo, Index hi) {
-    for (Index i = lo; i < hi; ++i) {
-      const float x = pa[i];
-      const float t = std::tanh(kGeluC * (x + kGeluA * x * x * x));
-      po[i] = 0.5f * x * (1.0f + t);
-    }
+    for (Index i = lo; i < hi; ++i) po[i] = gelu_fwd(pa[i]);
   });
   if (should_record({a})) {
     Tensor sa = a.detach();
@@ -344,18 +312,63 @@ Tensor gelu(const Tensor& a) {
       float* pd = dx.data();
       const Index m = g.numel();
       util::parallel_for(0, m, kMathGrain, [&](Index lo, Index hi) {
-        for (Index i = lo; i < hi; ++i) {
-          const float x = px[i];
-          const float u = kGeluC * (x + kGeluA * x * x * x);
-          const float t = std::tanh(u);
-          const float du = kGeluC * (1.0f + 3.0f * kGeluA * x * x);
-          const float d = 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * du;
-          pd[i] = pg[i] * d;
-        }
+        for (Index i = lo; i < hi; ++i) pd[i] = pg[i] * gelu_grad(px[i]);
       });
       return std::vector<Tensor>{dx};
     });
   }
+  gd::note(OpKind::Gelu, {a}, out);
+  return out;
+}
+
+Tensor bias_gelu(const Tensor& x, const Tensor& bias) {
+  check_defined(x, "bias_gelu");
+  check_defined(bias, "bias_gelu");
+  MENOS_CHECK_MSG(bias.ndim() == 1, "bias_gelu: bias must be 1-D, got "
+                                        << shape_to_string(bias.shape()));
+  const Index n = bias.dim(0);
+  MENOS_CHECK_MSG(x.ndim() >= 1 && x.shape().back() == n,
+                  "bias_gelu: last dim of x " << shape_to_string(x.shape())
+                                              << " != bias size " << n);
+  // One pass computes both the pre-activation t = x + bias (saved for
+  // backward, exactly as the composed tape saves it) and gelu(t). The
+  // float round-trip of t through memory is lossless, so using v directly
+  // matches the composition bit-for-bit.
+  Tensor t = Tensor::empty(x.shape(), x.device());
+  Tensor out = Tensor::empty(x.shape(), x.device());
+  const Index rows = x.numel() / n;
+  const float* px = x.data();
+  const float* pb = bias.data();
+  float* pt = t.data();
+  float* po = out.data();
+  util::parallel_for(0, rows, rows_grain(n), [&](Index lo, Index hi) {
+    for (Index r = lo; r < hi; ++r) {
+      const float* xr = px + r * n;
+      float* tr = pt + r * n;
+      float* orow = po + r * n;
+      for (Index j = 0; j < n; ++j) {
+        const float v = xr[j] + pb[j];
+        tr[j] = v;
+        orow[j] = gelu_fwd(v);
+      }
+    }
+  });
+  if (should_record({x, bias})) {
+    attach_node(out, "bias_gelu", {x, bias}, [t, n, rows](const Tensor& g) {
+      // dt = g * gelu'(t); dx = dt and db = column sums of dt — the same
+      // two steps (same loops) the composed gelu+add_bias tape runs.
+      Tensor dt = Tensor::empty(g.shape(), g.device());
+      const float* ptt = t.data();
+      const float* pg = g.data();
+      float* pd = dt.data();
+      const Index m = g.numel();
+      util::parallel_for(0, m, kMathGrain, [&](Index lo, Index hi) {
+        for (Index i = lo; i < hi; ++i) pd[i] = pg[i] * gelu_grad(ptt[i]);
+      });
+      return std::vector<Tensor>{dt, bias_grad_columns(dt, rows, n)};
+    });
+  }
+  gd::note(OpKind::BiasGelu, {x, bias}, out);
   return out;
 }
 
@@ -368,8 +381,7 @@ Tensor silu(const Tensor& a) {
   util::parallel_for(0, n, kMathGrain, [&](Index lo, Index hi) {
     for (Index i = lo; i < hi; ++i) {
       const float x = pa[i];
-      const float s = 1.0f / (1.0f + std::exp(-x));
-      po[i] = x * s;
+      po[i] = x * util::fast_sigmoid(x);
     }
   });
   if (should_record({a})) {
@@ -383,13 +395,14 @@ Tensor silu(const Tensor& a) {
       util::parallel_for(0, m, kMathGrain, [&](Index lo, Index hi) {
         for (Index i = lo; i < hi; ++i) {
           const float x = px[i];
-          const float s = 1.0f / (1.0f + std::exp(-x));
+          const float s = util::fast_sigmoid(x);
           pd[i] = pg[i] * s * (1.0f + x * (1.0f - s));
         }
       });
       return std::vector<Tensor>{dx};
     });
   }
+  gd::note(OpKind::Silu, {a}, out);
   return out;
 }
 
@@ -416,6 +429,9 @@ Tensor dropout(const Tensor& a, float p, util::Rng& rng) {
       return std::vector<Tensor>{mul(g, mask)};
     });
   }
+  // The mask consumes rng state a replay could not reproduce; a step with
+  // active dropout stays eager.
+  gd::note_unsupported("dropout");
   return out;
 }
 
@@ -430,6 +446,7 @@ Tensor reshape(const Tensor& a, Shape new_shape) {
       return std::vector<Tensor>{view_as(g, original)};
     });
   }
+  gd::note(OpKind::Reshape, {a}, out, {.shape = &out.shape()});
   return out;
 }
 
@@ -503,6 +520,7 @@ Tensor permute(const Tensor& a, const std::vector<int>& dims) {
       return std::vector<Tensor>{permute_copy(g, inverse)};
     });
   }
+  gd::note(OpKind::Permute, {a}, out, {.dims = &dims});
   return out;
 }
 
@@ -550,6 +568,7 @@ Tensor concat_dim1(const Tensor& a, const Tensor& b) {
       return std::vector<Tensor>{ga, gb};
     });
   }
+  gd::note(OpKind::ConcatDim1, {a, b}, out);
   return out;
 }
 
@@ -578,6 +597,7 @@ Tensor slice_dim1(const Tensor& a, Index start, Index len) {
       return std::vector<Tensor>{gx};
     });
   }
+  gd::note(OpKind::SliceDim1, {a}, out, {.a = start, .b = len});
   return out;
 }
 
@@ -617,20 +637,10 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
-  // Fan out across batch * m output rows as one index space, so small
-  // per-matrix row counts still saturate the pool when the batch is deep.
-  util::parallel_for(
-      0, batch * m, mm_grain(2 * k * n), [&](Index r0, Index r1) {
-        Index r = r0;
-        while (r < r1) {
-          const Index bi = r / m;
-          const Index i0 = r - bi * m;
-          const Index i1 = std::min(m, i0 + (r1 - r));
-          const float* bmat = shared_b ? pb : pb + bi * k * n;
-          mm_rows(pa + bi * m * k, bmat, po + bi * m * n, i0, i1, k, n);
-          r += i1 - i0;
-        }
-      });
+  // The packed-panel kernels parallelize internally (and flatten the
+  // shared-B case into one big product), so deep batches of small
+  // matrices saturate the pool as well as one large matmul.
+  kernels::mm_batched(pa, pb, po, batch, m, k, n, shared_b);
 
   if (should_record({a, b})) {
     Tensor saved_a = a.detach();
@@ -644,23 +654,9 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
                   const float* pb2 = saved_b.data();
                   float* pda = da.data();
                   float* pdb = db.data();
-                  // dA_i = dC_i * B_i^T: rows of dA are independent across
-                  // the whole batch, so fan out over batch * m rows.
-                  util::parallel_for(
-                      0, batch * m, mm_grain(2 * n * k),
-                      [&](Index r0, Index r1) {
-                        Index r = r0;
-                        while (r < r1) {
-                          const Index bi = r / m;
-                          const Index i0 = r - bi * m;
-                          const Index i1 = std::min(m, i0 + (r1 - r));
-                          const float* bmat =
-                              shared_b ? pb2 : pb2 + bi * k * n;
-                          mm_nt_rows(pg + bi * m * n, bmat,
-                                     pda + bi * m * k, i0, i1, n, k);
-                          r += i1 - i0;
-                        }
-                      });
+                  // dA_i = dC_i * B_i^T.
+                  kernels::mm_nt_batched(pg, pb2, pda, batch, m, n, k,
+                                         shared_b);
                   // dB (+)= A_i^T * dC_i.
                   if (shared_b) {
                     // Every batch accumulates into the same dB, so keep the
@@ -671,23 +667,12 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
                                      k, n);
                     }
                   } else {
-                    util::parallel_for(
-                        0, batch * k, mm_grain(2 * m * n),
-                        [&](Index r0, Index r1) {
-                          Index r = r0;
-                          while (r < r1) {
-                            const Index bi = r / k;
-                            const Index p0 = r - bi * k;
-                            const Index p1 = std::min(k, p0 + (r1 - r));
-                            mm_tn_cols(pa2 + bi * m * k, pg + bi * m * n,
-                                       pdb + bi * k * n, m, k, n, p0, p1);
-                            r += p1 - p0;
-                          }
-                        });
+                    kernels::mm_tn_batched(pa2, pg, pdb, batch, m, k, n);
                   }
                   return std::vector<Tensor>{da, db};
                 });
   }
+  gd::note(OpKind::Matmul, {a, b}, out);
   return out;
 }
 
@@ -707,6 +692,7 @@ Tensor sum(const Tensor& a) {
           Tensor::full(in_shape, g.item(), g.device())};
     });
   }
+  gd::note(OpKind::Sum, {a}, out);
   return out;
 }
 
@@ -759,7 +745,7 @@ Tensor softmax_lastdim(const Tensor& a) {
       for (Index j = 1; j < n; ++j) mx = std::max(mx, xr[j]);
       float z = 0.0f;
       for (Index j = 0; j < n; ++j) {
-        yr[j] = std::exp(xr[j] - mx);
+        yr[j] = util::fast_exp(xr[j] - mx);
         z += yr[j];
       }
       const float inv = 1.0f / z;
@@ -772,6 +758,7 @@ Tensor softmax_lastdim(const Tensor& a) {
       return softmax_backward(saved_y, g, n);
     });
   }
+  gd::note(OpKind::Softmax, {a}, out);
   return out;
 }
 
@@ -798,7 +785,7 @@ Tensor causal_masked_softmax(const Tensor& scores) {
       for (Index j = 1; j < valid; ++j) mx = std::max(mx, xr[j]);
       float z = 0.0f;
       for (Index j = 0; j < valid; ++j) {
-        yr[j] = std::exp(xr[j] - mx);
+        yr[j] = util::fast_exp(xr[j] - mx);
         z += yr[j];
       }
       const float inv = 1.0f / z;
@@ -815,6 +802,7 @@ Tensor causal_masked_softmax(const Tensor& scores) {
                   return softmax_backward(saved_y, g, t_cols);
                 });
   }
+  gd::note(OpKind::CausalSoftmax, {scores}, out);
   return out;
 }
 
@@ -867,56 +855,88 @@ Tensor layer_norm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
     Tensor sg = gamma.detach();
     attach_node(out, "layer_norm", {x, gamma, beta},
                 [xhat, inv_sigma, sg, n, rows](const Tensor& g) {
-                  Tensor dx = Tensor::empty(g.shape(), g.device());
-                  Tensor dgamma = Tensor::zeros({n}, g.device());
-                  Tensor dbeta = Tensor::zeros({n}, g.device());
-                  const float* ph2 = xhat.data();
-                  const float* pis2 = inv_sigma.data();
-                  const float* pgam = sg.data();
-                  const float* pgr = g.data();
-                  float* pdx = dx.data();
-                  float* pdg = dgamma.data();
-                  float* pdb = dbeta.data();
-                  // Pass 1 (rows): dx, which only needs per-row statistics.
-                  util::parallel_for(
-                      0, rows, rows_grain(n), [&](Index lo, Index hi) {
-                        for (Index r = lo; r < hi; ++r) {
-                          const float* hr = ph2 + r * n;
-                          const float* gr = pgr + r * n;
-                          float* dxr = pdx + r * n;
-                          float mean_gy = 0.0f, mean_gyh = 0.0f;
-                          for (Index j = 0; j < n; ++j) {
-                            const float gy = gr[j] * pgam[j];
-                            mean_gy += gy;
-                            mean_gyh += gy * hr[j];
-                          }
-                          mean_gy /= static_cast<float>(n);
-                          mean_gyh /= static_cast<float>(n);
-                          const float is = pis2[r];
-                          for (Index j = 0; j < n; ++j) {
-                            const float gy = gr[j] * pgam[j];
-                            dxr[j] = is * (gy - mean_gy - hr[j] * mean_gyh);
-                          }
-                        }
-                      });
-                  // Pass 2 (columns): dgamma/dbeta. Each thread owns a
-                  // column block and sweeps rows in ascending order, so the
-                  // reduction order per parameter is thread-count invariant.
-                  util::parallel_for(
-                      0, n, rows_grain(rows), [&](Index j0, Index j1) {
-                        for (Index r = 0; r < rows; ++r) {
-                          const float* hr = ph2 + r * n;
-                          const float* gr = pgr + r * n;
-                          for (Index j = j0; j < j1; ++j) {
-                            pdg[j] += gr[j] * hr[j];
-                            pdb[j] += gr[j];
-                          }
-                        }
-                      });
-                  return std::vector<Tensor>{dx, dgamma, dbeta};
+                  return layer_norm_backward(xhat, inv_sigma, sg, n, rows, g);
                 });
   }
+  gd::note(OpKind::LayerNorm, {x, gamma, beta}, out, {.f0 = eps});
   return out;
+}
+
+std::pair<Tensor, Tensor> fused_add_layer_norm(const Tensor& a,
+                                               const Tensor& b,
+                                               const Tensor& gamma,
+                                               const Tensor& beta, float eps) {
+  check_defined(a, "fused_add_layer_norm");
+  check_defined(b, "fused_add_layer_norm");
+  check_defined(gamma, "fused_add_layer_norm");
+  check_defined(beta, "fused_add_layer_norm");
+  check_same_shape(a, b, "fused_add_layer_norm");
+  MENOS_CHECK_MSG(gamma.ndim() == 1 && beta.ndim() == 1,
+                  "fused_add_layer_norm: gamma/beta must be 1-D");
+  const Index n = a.shape().back();
+  MENOS_CHECK_MSG(gamma.dim(0) == n && beta.dim(0) == n,
+                  "fused_add_layer_norm: param size mismatch");
+  const Index rows = a.numel() / n;
+  Tensor h = Tensor::empty(a.shape(), a.device());
+  Tensor out = Tensor::empty(a.shape(), a.device());
+  Tensor xhat = Tensor::empty(a.shape(), a.device());
+  Tensor inv_sigma = Tensor::empty({rows}, a.device());
+
+  const float* pa = a.data();
+  const float* pb = b.data();
+  const float* pgm = gamma.data();
+  const float* pbt = beta.data();
+  float* psum = h.data();
+  float* po = out.data();
+  float* ph = xhat.data();
+  float* pis = inv_sigma.data();
+  // One pass per row: the residual sum h (which stays available for later
+  // consumers) immediately feeds the normalization while it is still hot.
+  // Per-element arithmetic is identical to add() followed by layer_norm().
+  util::parallel_for(0, rows, rows_grain(n), [&](Index lo, Index hi) {
+    for (Index r = lo; r < hi; ++r) {
+      const float* ar = pa + r * n;
+      const float* br = pb + r * n;
+      float* sr = psum + r * n;
+      for (Index j = 0; j < n; ++j) sr[j] = ar[j] + br[j];
+      float mu = 0.0f;
+      for (Index j = 0; j < n; ++j) mu += sr[j];
+      mu /= static_cast<float>(n);
+      float var = 0.0f;
+      for (Index j = 0; j < n; ++j) {
+        const float d = sr[j] - mu;
+        var += d * d;
+      }
+      var /= static_cast<float>(n);
+      const float is = 1.0f / std::sqrt(var + eps);
+      pis[r] = is;
+      float* hr = ph + r * n;
+      float* orow = po + r * n;
+      for (Index j = 0; j < n; ++j) {
+        hr[j] = (sr[j] - mu) * is;
+        orow[j] = hr[j] * pgm[j] + pbt[j];
+      }
+    }
+  });
+
+  // The tape is the composition's tape: an "add" node on h and a
+  // "layer_norm" node on out (with h as input), running the same backward
+  // lambdas — so gradients are bit-identical to the unfused pair.
+  if (should_record({a, b})) {
+    attach_node(h, "add", {a, b}, [](const Tensor& g) {
+      return std::vector<Tensor>{g, g};
+    });
+  }
+  if (should_record({h, gamma, beta})) {
+    Tensor sg = gamma.detach();
+    attach_node(out, "layer_norm", {h, gamma, beta},
+                [xhat, inv_sigma, sg, n, rows](const Tensor& g) {
+                  return layer_norm_backward(xhat, inv_sigma, sg, n, rows, g);
+                });
+  }
+  gd::note2(OpKind::FusedAddLayerNorm, {a, b, gamma, beta}, h, out,
+            {.f0 = eps});
+  return {h, out};
 }
 
 Tensor rms_norm(const Tensor& x, const Tensor& gamma, float eps) {
@@ -995,6 +1015,7 @@ Tensor rms_norm(const Tensor& x, const Tensor& gamma, float eps) {
                   return std::vector<Tensor>{dx, dgamma};
                 });
   }
+  gd::note(OpKind::RmsNorm, {x, gamma}, out, {.f0 = eps});
   return out;
 }
 
@@ -1041,6 +1062,8 @@ Tensor embedding(const Tensor& weight, const std::vector<std::int32_t>& ids,
                   return std::vector<Tensor>{dw};
                 });
   }
+  gd::note(OpKind::Embedding, {weight}, out,
+           {.a = batch, .b = seq, .ids = &ids});
   return out;
 }
 
@@ -1127,6 +1150,8 @@ Tensor cross_entropy(const Tensor& logits,
                   return std::vector<Tensor>{dl};
                 });
   }
+  gd::note(OpKind::CrossEntropy, {logits}, out,
+           {.i0 = ignore_index, .ids = &targets});
   return out;
 }
 
@@ -1142,11 +1167,13 @@ Tensor to_device(const Tensor& a, gpusim::Device& device) {
       return std::vector<Tensor>{back};
     });
   }
+  gd::note(OpKind::ToDevice, {a}, out, {.device = &device});
   return out;
 }
 
 std::vector<std::int32_t> argmax_lastdim(const Tensor& a) {
   check_defined(a, "argmax_lastdim");
+  gd::note_unsupported("argmax_lastdim");
   MENOS_CHECK_MSG(a.ndim() >= 1 && a.shape().back() > 0,
                   "argmax needs a non-empty last dimension");
   const Index n = a.shape().back();

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "tensor/autograd.h"
@@ -35,6 +36,22 @@ Tensor add_bias(const Tensor& x, const Tensor& bias);
 Tensor relu(const Tensor& a);
 Tensor gelu(const Tensor& a);  ///< tanh approximation (GPT/OPT family)
 Tensor silu(const Tensor& a);  ///< x * sigmoid(x) (Llama family)
+
+/// gelu(x + bias) in one memory pass. Bit-identical to the composition
+/// gelu(add_bias(x, bias)) — forward and backward use the same per-element
+/// formulas and the same column-partitioned bias reduction, so graph
+/// replay may substitute it freely (see tensor/graph.h).
+Tensor bias_gelu(const Tensor& x, const Tensor& bias);
+
+/// {h, y} with h = a + b and y = layer_norm(h, gamma, beta, eps), computed
+/// in one pass over rows. Both results carry the same autograd nodes the
+/// composition would (an "add" on h, a "layer_norm" on y), so gradients
+/// are bit-identical; h stays available for residual consumers.
+std::pair<Tensor, Tensor> fused_add_layer_norm(const Tensor& a,
+                                               const Tensor& b,
+                                               const Tensor& gamma,
+                                               const Tensor& beta,
+                                               float eps = 1e-5f);
 
 /// Inverted dropout: each element survives with probability 1-p and is
 /// scaled by 1/(1-p), so the expectation is preserved; the mask comes from

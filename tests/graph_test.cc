@@ -1,0 +1,230 @@
+// StepGraph capture/replay: the captured per-step op graph must reproduce
+// eager execution bit-exactly over a full training run (loss curve AND
+// weights), fuse the elementwise chains it promises, fall back to eager on
+// anything it cannot replay, and feed the caching allocator a usable
+// activation plan.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "data/dataset.h"
+#include "gpusim/audit.h"
+#include "mem/caching_allocator.h"
+#include "nn/transformer.h"
+#include "optim/optimizer.h"
+#include "tensor/graph.h"
+#include "tensor/ops.h"
+#include "test_helpers.h"
+
+namespace menos {
+namespace {
+
+using tensor::Tensor;
+
+nn::TransformerConfig gtest_model(nn::ModelFamily family) {
+  nn::TransformerConfig c = family == nn::ModelFamily::Opt
+                                ? nn::TransformerConfig::tiny_opt()
+                                : nn::TransformerConfig::tiny_llama();
+  c.dim = 32;
+  c.n_heads = 2;
+  c.ffn_hidden = 64;
+  c.n_layers = 2;
+  c.max_seq = 32;
+  return c;
+}
+
+/// A finished training run. The device member is declared first so it
+/// outlives the model (whose tensors free into it).
+struct TrainRun {
+  std::unique_ptr<gpusim::Device> owned_device;
+  std::unique_ptr<nn::LocalModel> model;
+  std::vector<float> losses;
+};
+
+/// Run `steps` optimizer steps; `stepped` switches between plain loss()
+/// and the captured-graph loss_stepped() path. If `device` is null a host
+/// device is created and owned by the returned TrainRun.
+TrainRun train(nn::ModelFamily family, nn::AdapterType adapter_type,
+               int steps, bool stepped, gpusim::Device* device = nullptr) {
+  TrainRun run;
+  if (device == nullptr) {
+    run.owned_device = gpusim::make_host_device();
+    device = run.owned_device.get();
+  }
+  nn::FreshInit init(42);
+  nn::AdapterSpec adapter;
+  adapter.type = adapter_type;
+  adapter.rank = 4;
+  adapter.alpha = 8.0f;
+  nn::SplitSpec split;
+  run.model = std::make_unique<nn::LocalModel>(gtest_model(family), split,
+                                               adapter, init, *device, 9);
+  auto optimizer = optim::make_optimizer(
+      optim::OptimizerKind::Adam, run.model->trainable_parameters(), 3e-3f);
+  data::CharTokenizer tok;
+  auto tokens = tok.encode(data::make_shakespeare_like(3000, 17).text);
+  data::DataLoader loader(std::move(tokens), 2, 8, 5);
+  for (int i = 0; i < steps; ++i) {
+    data::Batch batch = loader.next();
+    Tensor loss = stepped ? run.model->loss_stepped(batch.inputs,
+                                                    batch.targets, 2, 8)
+                          : run.model->loss(batch.inputs, batch.targets, 2, 8);
+    run.losses.push_back(loss.item());
+    tensor::backward(loss);
+    optimizer->step();
+    optimizer->zero_grad();
+  }
+  return run;
+}
+
+void expect_same_curve(const std::vector<float>& eager,
+                       const std::vector<float>& stepped) {
+  ASSERT_EQ(eager.size(), stepped.size());
+  for (std::size_t i = 0; i < eager.size(); ++i) {
+    ASSERT_EQ(eager[i], stepped[i])
+        << "loss diverges from eager at step " << i;
+  }
+}
+
+TEST(StepGraph, ReplayReproducesEagerTrainingBitExactlyOpt) {
+  // Weight updates feed back into later steps, so ten identical losses
+  // mean capture, fusion, feed rebinding AND backward all match eager
+  // bit-for-bit — one wrong ULP anywhere diverges the curve immediately.
+  TrainRun eager = train(nn::ModelFamily::Opt, nn::AdapterType::Lora, 10,
+                         /*stepped=*/false);
+  TrainRun stepped = train(nn::ModelFamily::Opt, nn::AdapterType::Lora, 10,
+                           /*stepped=*/true);
+  ASSERT_TRUE(stepped.model->step_graph().ready())
+      << "capture failed: " << stepped.model->step_graph().failure_reason();
+  expect_same_curve(eager.losses, stepped.losses);
+  // The OPT block is gelu-MLP + pre-LN residuals: both fusion patterns
+  // must have fired.
+  EXPECT_GT(stepped.model->step_graph().fused_chains(), 0);
+  EXPECT_GT(stepped.model->step_graph().size(), 0u);
+  EXPECT_FALSE(stepped.model->step_graph().cost_report().empty());
+}
+
+TEST(StepGraph, ReplayReproducesEagerTrainingBitExactlyLlama) {
+  TrainRun eager = train(nn::ModelFamily::Llama, nn::AdapterType::Lora, 8,
+                         /*stepped=*/false);
+  TrainRun stepped = train(nn::ModelFamily::Llama, nn::AdapterType::Lora, 8,
+                           /*stepped=*/true);
+  ASSERT_TRUE(stepped.model->step_graph().ready())
+      << "capture failed: " << stepped.model->step_graph().failure_reason();
+  expect_same_curve(eager.losses, stepped.losses);
+}
+
+TEST(StepGraph, UnsupportedOpsFallBackToEagerWithoutChangingResults) {
+  // The Prefix adapter uses a bespoke tape node (tile_batch) the graph
+  // cannot replay: capture must refuse, and loss_stepped must keep
+  // producing exactly the eager losses through the fallback.
+  TrainRun eager = train(nn::ModelFamily::Opt, nn::AdapterType::Prefix, 5,
+                         /*stepped=*/false);
+  TrainRun stepped = train(nn::ModelFamily::Opt, nn::AdapterType::Prefix, 5,
+                           /*stepped=*/true);
+  EXPECT_FALSE(stepped.model->step_graph().ready());
+  EXPECT_STREQ(stepped.model->step_graph().failure_reason(), "tile_batch");
+  expect_same_curve(eager.losses, stepped.losses);
+}
+
+TEST(StepGraph, CaptureWithoutGradModeStaysEagerAndReportsWhy) {
+  auto host = gpusim::make_host_device();
+  tensor::graph::StepGraph graph;
+  util::Rng rng(3);
+  Tensor a = menos::testing::random_leaf({4, 8}, rng, *host);
+  tensor::NoGradGuard no_grad;
+  const tensor::graph::Feeds no_feeds;
+  Tensor out = graph.capture(no_feeds, [&] { return tensor::sum(a); });
+  EXPECT_TRUE(out.defined());
+  EXPECT_FALSE(graph.ready());
+  EXPECT_STREQ(graph.failure_reason(), "capture outside grad mode");
+}
+
+TEST(StepGraph, AcceptsChecksFeedCountAndSizes) {
+  auto host = gpusim::make_host_device();
+  tensor::graph::StepGraph graph;
+  util::Rng rng(4);
+  Tensor w = menos::testing::random_leaf({16, 8}, rng, *host);
+  std::vector<std::int32_t> ids{1, 2, 3, 4};
+  const tensor::graph::Feeds feeds{&ids};
+  graph.capture(feeds, [&] {
+    return tensor::sum(tensor::embedding(w, ids, 2, 2));
+  });
+  ASSERT_TRUE(graph.ready()) << graph.failure_reason();
+
+  std::vector<std::int32_t> same_size{4, 3, 2, 1};
+  std::vector<std::int32_t> wrong_size{1, 2};
+  EXPECT_TRUE(graph.accepts({&same_size}));
+  EXPECT_FALSE(graph.accepts({&wrong_size}));
+  EXPECT_FALSE(graph.accepts({&same_size, &same_size}));
+
+  // Replay with fresh ids must gather the NEW rows, not the captured ones.
+  Tensor replayed = graph.replay({&same_size});
+  Tensor expected = tensor::sum(tensor::embedding(w, same_size, 2, 2));
+  EXPECT_EQ(replayed.item(), expected.item());
+}
+
+TEST(StepGraph, WarmAllocatorPrimesTheCachePoolFromThePlan) {
+  // Capture one step on a pooled device, flush the pool, warm it from the
+  // plan, and replay: the replay's activation allocations must be pool
+  // hits (no new segments beyond what warm() created).
+  auto pooled = std::make_unique<mem::CachingAllocator>(
+      gpusim::make_host_device("pool-inner"));
+  mem::CachingAllocator& cache = *pooled;
+
+  TrainRun run = train(nn::ModelFamily::Opt, nn::AdapterType::Lora, 3,
+                       /*stepped=*/true, &cache);
+  ASSERT_TRUE(run.model->step_graph().ready())
+      << run.model->step_graph().failure_reason();
+
+  const auto plan = run.model->step_graph().planned_bytes();
+  ASSERT_FALSE(plan.empty());
+  std::size_t total = 0;
+  for (std::size_t b : plan) total += b;
+  ASSERT_GT(total, 0u);
+
+  cache.empty_cache();
+  run.model->step_graph().warm_allocator(cache);
+  EXPECT_GT(cache.cache_stats().segment_bytes, 0u)
+      << "warm_allocator should leave pooled segments behind";
+
+  const auto before = cache.cache_stats();
+  data::CharTokenizer tok;
+  auto tokens = tok.encode(data::make_shakespeare_like(500, 23).text);
+  data::DataLoader loader(std::move(tokens), 2, 8, 7);
+  data::Batch batch = loader.next();
+  Tensor loss = run.model->loss_stepped(batch.inputs, batch.targets, 2, 8);
+  EXPECT_TRUE(loss.defined());
+  const auto after = cache.cache_stats();
+  EXPECT_EQ(after.segments_allocated, before.segments_allocated)
+      << "a warmed pool should serve the whole replay without new segments";
+}
+
+TEST(StepGraph, WarmAllocatorSeesThroughAuditDecorators) {
+  // The factory composition is audit(cache(meter)); warm_allocator must
+  // walk the decorator chain to find the pool. A plain host device (no
+  // pool anywhere) must be a harmless no-op.
+  auto host = gpusim::make_host_device();
+  auto audited = gpusim::make_audit_device(
+      std::make_unique<mem::CachingAllocator>(
+          gpusim::make_host_device("audited-inner")));
+  {
+    tensor::graph::StepGraph graph;
+    util::Rng rng(5);
+    Tensor a = menos::testing::random_leaf({4, 4}, rng, *host);
+    std::vector<std::int32_t> ids{0, 1, 2, 3};
+    const tensor::graph::Feeds feeds{&ids};
+    graph.capture(feeds, [&] {
+      return tensor::sum(tensor::embedding(a, ids, 2, 2));
+    });
+    ASSERT_TRUE(graph.ready());
+    graph.warm_allocator(*host);     // no pool: must not throw
+    graph.warm_allocator(*audited);  // through the auditor into the pool
+  }
+}
+
+}  // namespace
+}  // namespace menos

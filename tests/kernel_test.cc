@@ -1,0 +1,318 @@
+// The packed-panel matmul kernels' determinism contract: blocked output ==
+// serial reference, BIT-identical, for every block configuration, thread
+// count, and awkward shape — plus the fused elementwise ops' equivalence
+// to their compositions and the fastmath accuracy bounds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "tensor/kernels.h"
+#include "tensor/ops.h"
+#include "test_helpers.h"
+#include "util/fastmath.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace menos {
+namespace {
+
+using menos::testing::host_device;
+using tensor::Index;
+using tensor::Tensor;
+using tensor::kernels::BlockConfig;
+using util::ThreadPool;
+
+class KernelGuard {
+ public:
+  ~KernelGuard() {
+    ThreadPool::instance().set_num_threads(1);
+    tensor::kernels::set_block_config(BlockConfig{});  // back to defaults
+  }
+};
+
+std::vector<float> random_vec(std::size_t n, std::uint64_t seed) {
+  std::vector<float> v(n);
+  util::Rng rng(seed);
+  rng.fill_normal(v.data(), v.size(), 1.0f);
+  return v;
+}
+
+/// Shapes chosen to hit every edge path: non-multiples of the register
+/// tile in both axes, size-1 extents, k == 1 (no accumulation chain), and
+/// dimensions larger than the default KC/NC panels.
+struct Shape3 {
+  Index m, k, n;
+};
+const Shape3 kShapes[] = {
+    {37, 53, 41},  {1, 1, 1},   {1, 64, 1},   {5, 1, 33},
+    {64, 64, 64},  {13, 300, 7}, {96, 17, 160}, {61, 613, 129},
+};
+
+const BlockConfig kConfigs[] = {
+    {},              // defaults
+    {8, 16, 8},      // tiles everywhere smaller than one register block
+    {32, 48, 32},    // non-multiples of MR/NR
+    {64, 512, 128},  // single jc panel, multiple kc panels
+};
+
+void expect_same(const std::vector<float>& got, const std::vector<float>& want,
+                 const char* what, const Shape3& s) {
+  ASSERT_EQ(got.size(), want.size());
+  EXPECT_EQ(std::memcmp(got.data(), want.data(), got.size() * sizeof(float)),
+            0)
+      << what << " diverges from serial reference at m=" << s.m
+      << " k=" << s.k << " n=" << s.n;
+}
+
+TEST(KernelBitIdentity, MmMatchesReferenceForAllBlocksAndWidths) {
+  KernelGuard guard;
+  for (const Shape3& s : kShapes) {
+    const auto a = random_vec(static_cast<std::size_t>(s.m * s.k), 7);
+    const auto b = random_vec(static_cast<std::size_t>(s.k * s.n), 11);
+    std::vector<float> ref(static_cast<std::size_t>(s.m * s.n), 0.0f);
+    tensor::kernels::mm_ref(a.data(), b.data(), ref.data(), s.m, s.k, s.n);
+    for (const BlockConfig& cfg : kConfigs) {
+      tensor::kernels::set_block_config(cfg);
+      for (int width : {1, 2, 4, 8}) {
+        ThreadPool::instance().set_num_threads(width);
+        std::vector<float> c(ref.size(), 0.0f);
+        tensor::kernels::mm(a.data(), b.data(), c.data(), s.m, s.k, s.n);
+        expect_same(c, ref, "mm", s);
+      }
+    }
+  }
+}
+
+TEST(KernelBitIdentity, MmNtMatchesReferenceForAllBlocksAndWidths) {
+  KernelGuard guard;
+  for (const Shape3& s : kShapes) {
+    // A:[m,n] x B:[k,n]^T -> C:[m,k]; n is the contraction width.
+    const auto a = random_vec(static_cast<std::size_t>(s.m * s.n), 13);
+    const auto b = random_vec(static_cast<std::size_t>(s.k * s.n), 17);
+    std::vector<float> ref(static_cast<std::size_t>(s.m * s.k), 0.0f);
+    tensor::kernels::mm_nt_ref(a.data(), b.data(), ref.data(), s.m, s.n, s.k);
+    for (const BlockConfig& cfg : kConfigs) {
+      tensor::kernels::set_block_config(cfg);
+      for (int width : {1, 2, 4, 8}) {
+        ThreadPool::instance().set_num_threads(width);
+        std::vector<float> c(ref.size(), 0.0f);
+        tensor::kernels::mm_nt(a.data(), b.data(), c.data(), s.m, s.n, s.k);
+        expect_same(c, ref, "mm_nt", s);
+      }
+    }
+  }
+}
+
+TEST(KernelBitIdentity, MmTnMatchesReferenceForAllBlocksAndWidths) {
+  KernelGuard guard;
+  for (const Shape3& s : kShapes) {
+    // A:[m,k]^T x B:[m,n] -> C:[k,n]; m is the contraction depth.
+    const auto a = random_vec(static_cast<std::size_t>(s.m * s.k), 19);
+    const auto b = random_vec(static_cast<std::size_t>(s.m * s.n), 23);
+    std::vector<float> ref(static_cast<std::size_t>(s.k * s.n), 0.0f);
+    tensor::kernels::mm_tn_ref(a.data(), b.data(), ref.data(), s.m, s.k, s.n);
+    for (const BlockConfig& cfg : kConfigs) {
+      tensor::kernels::set_block_config(cfg);
+      for (int width : {1, 2, 4, 8}) {
+        ThreadPool::instance().set_num_threads(width);
+        std::vector<float> c(ref.size(), 0.0f);
+        tensor::kernels::mm_tn(a.data(), b.data(), c.data(), s.m, s.k, s.n);
+        expect_same(c, ref, "mm_tn", s);
+      }
+    }
+  }
+}
+
+TEST(KernelBitIdentity, AccumulationIntoNonZeroOutputIsPreserved) {
+  KernelGuard guard;
+  // C += A*B must add on top of existing values, and the pre-existing
+  // values must not perturb determinism across widths.
+  const Index m = 23, k = 31, n = 29;
+  const auto a = random_vec(static_cast<std::size_t>(m * k), 29);
+  const auto b = random_vec(static_cast<std::size_t>(k * n), 31);
+  const auto c0 = random_vec(static_cast<std::size_t>(m * n), 37);
+  std::vector<float> ref = c0;
+  tensor::kernels::mm_ref(a.data(), b.data(), ref.data(), m, k, n);
+  for (int width : {1, 4}) {
+    ThreadPool::instance().set_num_threads(width);
+    std::vector<float> c = c0;
+    tensor::kernels::mm(a.data(), b.data(), c.data(), m, k, n);
+    ASSERT_EQ(std::memcmp(c.data(), ref.data(), c.size() * sizeof(float)), 0);
+  }
+}
+
+TEST(KernelBitIdentity, BatchedFormsMatchPerMatrixCalls) {
+  KernelGuard guard;
+  const Index batch = 5, m = 9, k = 26, n = 33;
+  const auto a = random_vec(static_cast<std::size_t>(batch * m * k), 41);
+  const auto bs = random_vec(static_cast<std::size_t>(batch * k * n), 43);
+  const auto b1 = random_vec(static_cast<std::size_t>(k * n), 47);
+
+  for (bool shared : {false, true}) {
+    const float* bp = shared ? b1.data() : bs.data();
+    std::vector<float> ref(static_cast<std::size_t>(batch * m * n), 0.0f);
+    for (Index i = 0; i < batch; ++i) {
+      tensor::kernels::mm_ref(a.data() + i * m * k,
+                              shared ? bp : bp + i * k * n,
+                              ref.data() + i * m * n, m, k, n);
+    }
+    for (int width : {1, 4}) {
+      ThreadPool::instance().set_num_threads(width);
+      std::vector<float> c(ref.size(), 0.0f);
+      tensor::kernels::mm_batched(a.data(), bp, c.data(), batch, m, k, n,
+                                  shared);
+      ASSERT_EQ(std::memcmp(c.data(), ref.data(), c.size() * sizeof(float)),
+                0)
+          << "mm_batched shared=" << shared << " width=" << width;
+    }
+  }
+}
+
+TEST(KernelBitIdentity, BatchedTransposedFormsMatchPerMatrixCalls) {
+  KernelGuard guard;
+  const Index batch = 4, m = 11, n = 27, k = 19;
+  const auto a = random_vec(static_cast<std::size_t>(batch * m * n), 53);
+  const auto b = random_vec(static_cast<std::size_t>(batch * k * n), 59);
+  std::vector<float> ref_nt(static_cast<std::size_t>(batch * m * k), 0.0f);
+  for (Index i = 0; i < batch; ++i) {
+    tensor::kernels::mm_nt_ref(a.data() + i * m * n, b.data() + i * k * n,
+                               ref_nt.data() + i * m * k, m, n, k);
+  }
+  std::vector<float> ref_tn(static_cast<std::size_t>(batch * k * n), 0.0f);
+  const auto a2 = random_vec(static_cast<std::size_t>(batch * m * k), 61);
+  const auto g2 = random_vec(static_cast<std::size_t>(batch * m * n), 67);
+  for (Index i = 0; i < batch; ++i) {
+    tensor::kernels::mm_tn_ref(a2.data() + i * m * k, g2.data() + i * m * n,
+                               ref_tn.data() + i * k * n, m, k, n);
+  }
+  for (int width : {1, 4}) {
+    ThreadPool::instance().set_num_threads(width);
+    std::vector<float> c(ref_nt.size(), 0.0f);
+    tensor::kernels::mm_nt_batched(a.data(), b.data(), c.data(), batch, m, n,
+                                   k, /*shared_b=*/false);
+    ASSERT_EQ(
+        std::memcmp(c.data(), ref_nt.data(), c.size() * sizeof(float)), 0)
+        << "mm_nt_batched width=" << width;
+    std::vector<float> ctn(ref_tn.size(), 0.0f);
+    tensor::kernels::mm_tn_batched(a2.data(), g2.data(), ctn.data(), batch, m,
+                                   k, n);
+    ASSERT_EQ(
+        std::memcmp(ctn.data(), ref_tn.data(), ctn.size() * sizeof(float)), 0)
+        << "mm_tn_batched width=" << width;
+  }
+}
+
+TEST(KernelConfig, RejectsNegativeBlockSizes) {
+  KernelGuard guard;
+  EXPECT_THROW(tensor::kernels::set_block_config({-1, 0, 0}), Error);
+  EXPECT_GT(tensor::kernels::micro_tile_rows(), 0);
+  EXPECT_GT(tensor::kernels::micro_tile_cols(), 0);
+  EXPECT_NE(tensor::kernels::vector_arch(), nullptr);
+}
+
+// ----- fused elementwise ops == their compositions -----
+
+TEST(FusedOps, BiasGeluMatchesCompositionForwardAndBackward) {
+  const Index rows = 17, n = 45;
+  util::Rng rng(71);
+  Tensor x1 = testing::random_leaf({rows, n}, rng, host_device());
+  Tensor b1 = testing::random_leaf({n}, rng, host_device());
+  Tensor x2 = Tensor::from_vector(x1.to_vector(), x1.shape(), host_device(),
+                                  /*requires_grad=*/true);
+  Tensor b2 = Tensor::from_vector(b1.to_vector(), b1.shape(), host_device(),
+                                  /*requires_grad=*/true);
+
+  Tensor composed = tensor::gelu(tensor::add_bias(x1, b1));
+  Tensor fused = tensor::bias_gelu(x2, b2);
+  ASSERT_EQ(std::memcmp(composed.data(), fused.data(), composed.bytes()), 0)
+      << "bias_gelu forward differs from gelu(add_bias(..))";
+
+  tensor::backward(tensor::sum(tensor::mul(composed, composed)));
+  tensor::backward(tensor::sum(tensor::mul(fused, fused)));
+  ASSERT_EQ(
+      std::memcmp(x1.grad().data(), x2.grad().data(), x1.grad().bytes()), 0)
+      << "bias_gelu dx differs";
+  ASSERT_EQ(
+      std::memcmp(b1.grad().data(), b2.grad().data(), b1.grad().bytes()), 0)
+      << "bias_gelu dbias differs";
+}
+
+TEST(FusedOps, FusedAddLayerNormMatchesCompositionForwardAndBackward) {
+  const Index rows = 13, n = 40;
+  util::Rng rng(73);
+  Tensor a1 = testing::random_leaf({rows, n}, rng, host_device());
+  Tensor b1 = testing::random_leaf({rows, n}, rng, host_device());
+  Tensor g1 = testing::random_leaf({n}, rng, host_device());
+  Tensor be1 = testing::random_leaf({n}, rng, host_device());
+  const auto leaf_copy = [](const Tensor& t) {
+    return Tensor::from_vector(t.to_vector(), t.shape(), host_device(),
+                               /*requires_grad=*/true);
+  };
+  Tensor a2 = leaf_copy(a1);
+  Tensor b2 = leaf_copy(b1);
+  Tensor g2 = leaf_copy(g1);
+  Tensor be2 = leaf_copy(be1);
+
+  Tensor h1 = tensor::add(a1, b1);
+  Tensor y1 = tensor::layer_norm(h1, g1, be1);
+  auto [h2, y2] = tensor::fused_add_layer_norm(a2, b2, g2, be2);
+  ASSERT_EQ(std::memcmp(h1.data(), h2.data(), h1.bytes()), 0)
+      << "fused residual h differs from add(a, b)";
+  ASSERT_EQ(std::memcmp(y1.data(), y2.data(), y1.bytes()), 0)
+      << "fused layer_norm output differs";
+
+  // Drive gradients through BOTH outputs, as a transformer block does
+  // (h feeds the residual, y feeds the MLP).
+  tensor::backward(
+      tensor::sum(tensor::add(tensor::mul(y1, y1), tensor::mul(h1, h1))));
+  tensor::backward(
+      tensor::sum(tensor::add(tensor::mul(y2, y2), tensor::mul(h2, h2))));
+  for (auto [lhs, rhs, what] :
+       {std::tuple{&a1, &a2, "da"}, std::tuple{&b1, &b2, "db"},
+        std::tuple{&g1, &g2, "dgamma"}, std::tuple{&be1, &be2, "dbeta"}}) {
+    ASSERT_EQ(std::memcmp(lhs->grad().data(), rhs->grad().data(),
+                          lhs->grad().bytes()),
+              0)
+        << "fused_add_layer_norm " << what << " differs";
+  }
+}
+
+// ----- fastmath accuracy -----
+
+TEST(FastMath, ExpTanhSigmoidStayWithinAbsoluteBounds) {
+  // The fast transcendentals trade exactness for vectorizability; the ops
+  // that use them only need ~1e-6 absolute accuracy on the ranges a
+  // normalized activation can reach.
+  double worst_exp = 0.0, worst_tanh = 0.0, worst_sig = 0.0;
+  for (int i = -80000; i <= 80000; ++i) {
+    const float x = static_cast<float>(i) / 8000.0f;  // [-10, 10]
+    worst_exp = std::max(
+        worst_exp,
+        std::abs(static_cast<double>(util::fast_exp(x)) -
+                 std::exp(static_cast<double>(x))) /
+            std::max(1.0, std::exp(static_cast<double>(x))));
+    worst_tanh =
+        std::max(worst_tanh, std::abs(static_cast<double>(util::fast_tanh(x)) -
+                                      std::tanh(static_cast<double>(x))));
+    worst_sig = std::max(
+        worst_sig,
+        std::abs(static_cast<double>(util::fast_sigmoid(x)) -
+                 1.0 / (1.0 + std::exp(-static_cast<double>(x)))));
+  }
+  EXPECT_LT(worst_exp, 1e-6) << "fast_exp relative error too large";
+  EXPECT_LT(worst_tanh, 1e-6);
+  EXPECT_LT(worst_sig, 1e-6);
+  // Saturation: no NaN/inf surprises at the clamp boundaries.
+  // fast_exp clamps its argument near the float-denormal boundary, so
+  // deeply negative inputs land at a tiny positive value, not exactly 0.
+  EXPECT_GE(util::fast_exp(-200.0f), 0.0f);
+  EXPECT_LT(util::fast_exp(-200.0f), 1e-37f);
+  EXPECT_TRUE(std::isfinite(util::fast_exp(88.0f)));
+  EXPECT_FLOAT_EQ(util::fast_tanh(30.0f), 1.0f);
+  EXPECT_FLOAT_EQ(util::fast_tanh(-30.0f), -1.0f);
+}
+
+}  // namespace
+}  // namespace menos

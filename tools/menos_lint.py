@@ -156,6 +156,10 @@ RAW_CLOSE_RE = re.compile(r"::close\s*\(|::shutdown\s*\(")
 MUTEX_MEMBER_RE = re.compile(
     r"^\s*(?:mutable\s+)?(?:(?:menos::)?util::)?Mutex\s+(\w+)\s*;"
 )
+KERNEL_SCRATCH_RE = re.compile(
+    r"std::vector\s*<\s*float\s*>|std::aligned_alloc\s*\("
+    r"|std::make_unique\s*<\s*float\s*\[\]|alloca\s*\("
+)
 
 
 def check_pattern_rule(path, raw, rule, regex, exempt, message):
@@ -260,6 +264,19 @@ def check_mutex_annotation(path: Path, raw: str) -> list:
     return findings
 
 
+def check_kernel_scratch(path: Path, raw: str) -> list:
+    # The matmul kernels pack panels on every call; ad-hoc heap scratch
+    # there is unaligned (vector loads degrade) and reallocates per call.
+    # util/aligned.h::scratch_floats is the sanctioned per-thread buffer.
+    return check_pattern_rule(
+        path, raw, "kernel-scratch", KERNEL_SCRATCH_RE,
+        exempt=lambda p: p.parts[-2:] not in (("tensor", "kernels.cc"),
+                                              ("tensor", "kernels.h")),
+        message="ad-hoc scratch in the matmul kernels — pack panels into "
+                "util::scratch_floats (util/aligned.h) so scratch is "
+                "vector-aligned and reused across calls")
+
+
 def check_pragma_once(path: Path, raw: str) -> list:
     if path.suffix != ".h":
         return []
@@ -279,6 +296,7 @@ ALL_RULES = [
     check_raw_thread,
     check_raw_close,
     check_mutex_annotation,
+    check_kernel_scratch,
     check_pragma_once,
 ]
 
@@ -371,6 +389,14 @@ SELF_TEST_CASES = [
      None),  # prose may name banned constructs
     ("src/core/ok_nextline.cc",
      "// NOLINTNEXTLINE(nondeterminism)\nint r = std::rand();\n", None),
+    ("src/tensor/kernels.cc",
+     "void pack() { std::vector<float> tmp(64); }\n", "kernel-scratch"),
+    ("src/tensor/kernels.h",
+     "#pragma once\nvoid pack() { float* t = util::scratch_floats(0, 64); }\n",
+     None),  # the sanctioned scratch API
+    ("src/tensor/ops_scratch.cc",
+     "void f() { std::vector<float> tmp(8); }\n",
+     None),  # rule is scoped to the kernel files
 ]
 
 
