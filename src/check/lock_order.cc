@@ -1,0 +1,363 @@
+#include "check/lock_order.h"
+
+#include <cstdio>
+#include <cstdlib>
+// The detector cannot be built on the instrumented util::Mutex it is
+// checking (every acquisition would recurse into the detector), so its
+// internal registry lock is the one sanctioned raw std::mutex outside
+// src/util/mutex.h.
+#include <mutex>  // NOLINT(raw-mutex)
+#include <sstream>
+#include <unordered_map>
+
+namespace menos::check {
+namespace {
+
+struct Edge {
+  /// Hold-stack at the moment this edge was first recorded.
+  std::string stack;
+  bool reported = false;
+};
+
+}  // namespace
+
+struct LockClass {
+  std::string name;
+  int rank = 0;
+  /// Outgoing lock-order edges: this class was held while the key class
+  /// was acquired. Guarded by Registry::mutex.
+  std::unordered_map<const LockClass*, Edge> succ;
+};
+
+namespace {
+
+struct Held {
+  const LockClass* cls;
+  const void* instance;
+};
+
+// The calling thread's stack of held lock classes, in acquisition order.
+// Deliberately a trivially-destructible POD: static-storage objects
+// (ThreadPool::instance(), the logging mutex) take named locks in their
+// destructors, which run AFTER thread_locals with destructors are gone —
+// a plain array has no destructor, so it stays valid through teardown.
+struct HeldStack {
+  static constexpr int kMax = 64;
+  Held items[kMax];
+  int size;
+  /// Acquisitions past kMax are counted, not tracked (never happens in
+  /// practice; 64 simultaneously-held locks would be its own bug).
+  int overflow;
+};
+thread_local HeldStack t_held;
+
+struct Registry {
+  // Internal lock; see the <mutex> include note. NOLINT(raw-mutex)
+  std::mutex mutex;  // NOLINT(raw-mutex)
+  std::unordered_map<std::string, LockClass*> classes;
+  std::function<void(const LockOrderReport&)> handler;
+  std::uint64_t report_count = 0;
+};
+
+// Leaked singleton: mutexes with static storage duration (e.g. the logging
+// emit lock) intern during static init and note acquisitions during static
+// teardown, so the registry must outlive every other static.
+Registry& registry() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+void default_report(const LockOrderReport& report) {
+  // Mirrors detail::dcheck_failure: straight to stderr so the diagnostic
+  // survives even if the logging subsystem is mid-teardown.
+  std::fprintf(stderr, "%s", report.to_string().c_str());  // NOLINT(iostream-side-channel)
+  std::fflush(stderr);
+  std::abort();
+}
+
+void push_held(const LockClass* cls, const void* instance) {
+  if (t_held.size < HeldStack::kMax) {
+    t_held.items[t_held.size] = {cls, instance};
+    ++t_held.size;
+  } else {
+    ++t_held.overflow;
+  }
+}
+
+std::string held_stack_string(const LockClass* acquiring) {
+  std::ostringstream os;
+  os << "held [";
+  for (int i = 0; i < t_held.size; ++i) {
+    if (i != 0) os << " -> ";
+    os << t_held.items[i].cls->name;
+  }
+  os << "] acquiring " << acquiring->name;
+  return os.str();
+}
+
+/// Fire a report through the installed handler (default: print + abort).
+/// The handler runs without the registry lock so a collecting handler may
+/// allocate freely; `registry().mutex` must NOT be held by the caller.
+void fire(LockOrderReport report) {
+  std::function<void(const LockOrderReport&)> handler;
+  {
+    std::lock_guard<std::mutex> lock(registry().mutex);  // NOLINT(raw-mutex)
+    ++registry().report_count;
+    handler = registry().handler;
+  }
+  if (handler) {
+    handler(report);
+  } else {
+    default_report(report);
+  }
+}
+
+/// Depth-first search for a path `from` => `to` over the edge graph.
+/// Returns the path (from ... to) or empty. Registry lock held.
+std::vector<const LockClass*> find_path(const LockClass* from,
+                                        const LockClass* to) {
+  std::vector<const LockClass*> path;
+  std::vector<const LockClass*> visited;
+  std::function<bool(const LockClass*)> dfs = [&](const LockClass* node) {
+    for (const LockClass* seen : visited) {
+      if (seen == node) return false;
+    }
+    visited.push_back(node);
+    path.push_back(node);
+    if (node == to) return true;
+    for (const auto& [next, edge] : node->succ) {
+      if (dfs(next)) return true;
+    }
+    path.pop_back();
+    return false;
+  };
+  dfs(from);
+  return path;
+}
+
+}  // namespace
+
+std::string LockOrderReport::to_string() const {
+  std::ostringstream os;
+  os << "menos::check lock-order violation (" << kind << "): " << summary
+     << '\n';
+  if (!first_stack.empty()) {
+    os << "  first direction:  " << first_stack << '\n';
+  }
+  if (!second_stack.empty()) {
+    os << "  this acquisition: " << second_stack << '\n';
+  }
+  return os.str();
+}
+
+LockClass* intern_lock_class(const char* name, int rank) {
+  bool conflict = false;
+  LockClass* cls = nullptr;
+  int prior_rank = 0;
+  {
+    std::lock_guard<std::mutex> lock(registry().mutex);  // NOLINT(raw-mutex)
+    auto it = registry().classes.find(name);
+    if (it != registry().classes.end()) {
+      cls = it->second;
+      if (rank != 0 && cls->rank != 0 && cls->rank != rank) {
+        conflict = true;
+        prior_rank = cls->rank;
+      } else if (cls->rank == 0) {
+        cls->rank = rank;
+      }
+    } else {
+      cls = new LockClass();  // interned forever, like the registry
+      cls->name = name;
+      cls->rank = rank;
+      registry().classes.emplace(cls->name, cls);
+    }
+  }
+  if (conflict) {
+    LockOrderReport report;
+    report.kind = "rank-conflict";
+    std::ostringstream os;
+    os << "lock class '" << name << "' interned with rank " << rank
+       << " but already registered with rank " << prior_rank;
+    report.summary = os.str();
+    fire(std::move(report));
+  }
+  return cls;
+}
+
+const char* lock_class_name(const LockClass* cls) noexcept {
+  return cls->name.c_str();
+}
+
+int lock_class_rank(const LockClass* cls) noexcept { return cls->rank; }
+
+void note_acquire(const LockClass* cls, const void* instance) {
+  // Recursive self-deadlock: this exact mutex is already held by us. The
+  // underlying std::mutex would deadlock (or worse, UB) on the lock()
+  // about to happen, so this must be reported unconditionally.
+  for (int i = 0; i < t_held.size; ++i) {
+    if (t_held.items[i].instance == instance) {
+      LockOrderReport report;
+      report.kind = "recursive";
+      report.summary =
+          "recursive acquisition of mutex '" + cls->name + "' (guaranteed deadlock)";
+      report.second_stack = held_stack_string(cls);
+      fire(std::move(report));
+      push_held(cls, instance);
+      return;
+    }
+  }
+
+  // Rank discipline: a nonzero-ranked class may not be acquired below the
+  // highest nonzero rank already held (docs/ANALYSIS.md). Catches an
+  // inversion on its FIRST execution, before the reverse order ever runs.
+  if (cls->rank != 0) {
+    const LockClass* worst = nullptr;
+    for (int i = 0; i < t_held.size; ++i) {
+      const LockClass* held_cls = t_held.items[i].cls;
+      if (held_cls->rank != 0 &&
+          (worst == nullptr || held_cls->rank > worst->rank)) {
+        worst = held_cls;
+      }
+    }
+    if (worst != nullptr && cls->rank < worst->rank) {
+      LockOrderReport report;
+      report.kind = "rank";
+      std::ostringstream os;
+      os << "acquired '" << cls->name << "' (rank " << cls->rank
+         << ") while holding '" << worst->name << "' (rank " << worst->rank
+         << ") — ranks must be acquired in ascending order";
+      report.summary = os.str();
+      report.second_stack = held_stack_string(cls);
+      fire(std::move(report));
+      push_held(cls, instance);
+      return;
+    }
+  }
+
+  // Lock-order graph: record holder -> cls edges and check each new edge
+  // for a cycle. A report is produced at most once per closing edge.
+  if (t_held.size > 0) {
+    LockOrderReport report;
+    bool report_ready = false;
+    {
+      std::lock_guard<std::mutex> lock(registry().mutex);  // NOLINT(raw-mutex)
+      for (int i = 0; i < t_held.size; ++i) {
+        LockClass* holder = const_cast<LockClass*>(t_held.items[i].cls);
+        auto [it, inserted] =
+            holder->succ.try_emplace(cls, Edge{held_stack_string(cls), false});
+        if (!inserted || it->second.reported || report_ready) continue;
+        // New edge holder -> cls: a cycle exists iff cls already reaches
+        // holder. (Self-edges — same class, distinct instances — fall out
+        // naturally: cls trivially reaches itself via the new edge's
+        // holder == cls, and the report tells the developer to give the
+        // two roles distinct names if the nesting is intentional.)
+        std::vector<const LockClass*> path =
+            holder == cls ? std::vector<const LockClass*>{cls}
+                          : find_path(cls, holder);
+        if (path.empty()) continue;
+        it->second.reported = true;
+        std::ostringstream os;
+        os << "cycle ";
+        for (const LockClass* node : path) os << node->name << " -> ";
+        os << cls->name;
+        if (holder == cls) {
+          os << " (same-class nesting of two '" << cls->name
+             << "' instances — name the two roles distinctly if intended)";
+        }
+        report.kind = "cycle";
+        report.summary = os.str();
+        // The stack stored on the first edge of the return path is the
+        // other direction's acquisition context ("the first hold-stack");
+        // for an ABBA pair this is exactly where B -> A was established.
+        const auto back = path.front()->succ.find(
+            path.size() > 1 ? path[1] : cls);
+        if (back != path.front()->succ.end()) {
+          report.first_stack = back->second.stack;
+        }
+        report.second_stack = it->second.stack;
+        report_ready = true;
+      }
+    }
+    if (report_ready) fire(std::move(report));
+  }
+
+  push_held(cls, instance);
+}
+
+void note_try_acquire(const LockClass* cls, const void* instance) {
+  push_held(cls, instance);
+}
+
+void note_release(const LockClass* cls, const void* instance) {
+  for (int i = t_held.size - 1; i >= 0; --i) {
+    if (t_held.items[i].instance != instance) continue;
+    for (int j = i + 1; j < t_held.size; ++j) {
+      t_held.items[j - 1] = t_held.items[j];
+    }
+    --t_held.size;
+    return;
+  }
+  if (t_held.overflow > 0) {
+    --t_held.overflow;  // one of the untracked past-capacity acquisitions
+    return;
+  }
+  // Releasing a mutex this thread never noted: a lock()/unlock() pair
+  // split across threads. std::mutex makes that UB; say so loudly.
+  LockOrderReport report;
+  report.kind = "recursive";
+  report.summary = "mutex '" + cls->name +
+                   "' released by a thread that never acquired it";
+  fire(std::move(report));
+}
+
+void set_lock_report_handler(
+    std::function<void(const LockOrderReport&)> handler) {
+  std::lock_guard<std::mutex> lock(registry().mutex);  // NOLINT(raw-mutex)
+  registry().handler = std::move(handler);
+}
+
+std::uint64_t lock_report_count() noexcept {
+  std::lock_guard<std::mutex> lock(registry().mutex);  // NOLINT(raw-mutex)
+  return registry().report_count;
+}
+
+std::vector<std::pair<std::string, std::string>> lock_order_edges() {
+  std::vector<std::pair<std::string, std::string>> out;
+  std::lock_guard<std::mutex> lock(registry().mutex);  // NOLINT(raw-mutex)
+  for (const auto& [name, cls] : registry().classes) {
+    for (const auto& [next, edge] : cls->succ) {
+      out.emplace_back(name, next->name);
+    }
+  }
+  return out;
+}
+
+bool lock_order_edge_seen(const std::string& holder,
+                          const std::string& acquired) {
+  std::lock_guard<std::mutex> lock(registry().mutex);  // NOLINT(raw-mutex)
+  auto it = registry().classes.find(holder);
+  if (it == registry().classes.end()) return false;
+  for (const auto& [next, edge] : it->second->succ) {
+    if (next->name == acquired) return true;
+  }
+  return false;
+}
+
+void reset_lock_graph_for_test() {
+  std::lock_guard<std::mutex> lock(registry().mutex);  // NOLINT(raw-mutex)
+  for (auto& [name, cls] : registry().classes) cls->succ.clear();
+  registry().report_count = 0;
+}
+
+ScopedLockReportCapture::ScopedLockReportCapture() {
+  reset_lock_graph_for_test();
+  set_lock_report_handler(
+      [this](const LockOrderReport& report) { reports_.push_back(report); });
+}
+
+ScopedLockReportCapture::~ScopedLockReportCapture() {
+  set_lock_report_handler(nullptr);
+  reset_lock_graph_for_test();
+}
+
+}  // namespace menos::check

@@ -1,0 +1,114 @@
+// menos::check — runtime lock-order (deadlock) detection.
+//
+// Every named util::Mutex belongs to a *lock class* (interned by name, the
+// way Linux's lockdep keys on lock-site classes rather than instances).
+// Acquisitions maintain a thread-local stack of held classes; acquiring B
+// while holding A records the directed edge A -> B in a process-wide
+// lock-order graph. The first time a new edge closes a cycle — the
+// classic ABBA inversion, generalized to any length — a diagnostic fires
+// with BOTH hold-stacks: the one recorded when the forward edge was first
+// seen, and the one performing the inverted acquisition now. Classes may
+// additionally carry a *rank* (docs/ANALYSIS.md tabulates the per-
+// subsystem convention): acquiring a nonzero-ranked class below the
+// highest nonzero rank already held is reported immediately, without
+// waiting for the reverse order to ever execute.
+//
+// This header is dependency-free (menos_util links menos_check, so this
+// library must not reach back into util). The instrumentation calls are
+// compiled into util::Mutex only under MENOS_DEADLOCK_DETECT (a CMake
+// option, default ON in Debug); an unnamed Mutex costs one null check
+// when detection is on and nothing at all when it is off.
+//
+// Reports follow the MENOS_DCHECK philosophy (util/check.h): internal
+// invariant breakage aborts, with the diagnostic on stderr so it survives
+// even mid-teardown. Tests install a collecting handler instead
+// (ScopedLockReportCapture).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace menos::check {
+
+/// Opaque interned lock class; one per distinct name, never deallocated.
+struct LockClass;
+
+/// Intern `name` (with ordering rank `rank`; 0 = unranked, graph-only).
+/// Re-interning an existing name returns the same class; a conflicting
+/// rank for an existing name is itself reported (two subsystems disagree
+/// about the discipline).
+LockClass* intern_lock_class(const char* name, int rank = 0);
+
+/// Record a blocking acquisition of `cls` by the calling thread. Called by
+/// util::Mutex::lock BEFORE the underlying lock is taken, so an inversion
+/// that is about to deadlock for real still gets its diagnostic out first.
+/// `instance` distinguishes recursive self-deadlock from same-class
+/// nesting of distinct objects.
+void note_acquire(const LockClass* cls, const void* instance);
+
+/// Record a successful try_lock. A trylock cannot block, hence cannot
+/// deadlock: the class joins the held stack (so later acquisitions record
+/// edges from it) but records no incoming edge and fires no report.
+void note_try_acquire(const LockClass* cls, const void* instance);
+
+/// Record a release (out-of-order releases are fine).
+void note_release(const LockClass* cls, const void* instance);
+
+const char* lock_class_name(const LockClass* cls) noexcept;
+int lock_class_rank(const LockClass* cls) noexcept;
+
+/// One diagnostic from the detector.
+struct LockOrderReport {
+  /// "cycle", "rank", "recursive", or "rank-conflict".
+  std::string kind;
+  /// Human-readable one-line summary (lock names involved).
+  std::string summary;
+  /// Hold-stack recorded when the *first* direction was established
+  /// (empty for non-cycle reports).
+  std::string first_stack;
+  /// Hold-stack of the acquisition that completed the inversion.
+  std::string second_stack;
+
+  std::string to_string() const;
+};
+
+/// Replace the report sink. An empty handler restores the default, which
+/// prints the report to stderr and aborts (MENOS_DCHECK semantics).
+void set_lock_report_handler(std::function<void(const LockOrderReport&)> handler);
+
+/// Reports fired since process start (or the last reset).
+std::uint64_t lock_report_count() noexcept;
+
+/// Snapshot of the lock-order graph as (holder, acquired) name pairs —
+/// introspection for tests that pin down the verified clean orderings.
+std::vector<std::pair<std::string, std::string>> lock_order_edges();
+
+/// True iff the edge holder -> acquired has been observed.
+bool lock_order_edge_seen(const std::string& holder,
+                          const std::string& acquired);
+
+/// Drop every recorded edge and report (interned classes survive; live
+/// mutexes keep their class pointers). Test-only: callers must be
+/// single-threaded with respect to lock activity.
+void reset_lock_graph_for_test();
+
+/// RAII test helper: resets the graph and collects reports instead of
+/// aborting; restores the default handler (and resets again) on exit.
+class ScopedLockReportCapture {
+ public:
+  ScopedLockReportCapture();
+  ~ScopedLockReportCapture();
+
+  ScopedLockReportCapture(const ScopedLockReportCapture&) = delete;
+  ScopedLockReportCapture& operator=(const ScopedLockReportCapture&) = delete;
+
+  const std::vector<LockOrderReport>& reports() const { return reports_; }
+
+ private:
+  std::vector<LockOrderReport> reports_;
+};
+
+}  // namespace menos::check

@@ -1,0 +1,137 @@
+#include "check/schedule.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+
+namespace menos::check {
+namespace {
+
+std::atomic<SchedulerHook*> g_hook{nullptr};
+
+/// splitmix64 step: advances `state` and returns a well-mixed 64-bit
+/// value. Deterministic — the whole exploration harness derives from it.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless hash of (seed, id) — the PCT base priority.
+std::uint64_t mix(std::uint64_t seed, std::uint64_t id) {
+  std::uint64_t state = seed ^ (id * 0xd6e8feb86659fd93ULL);
+  return splitmix64(state);
+}
+
+}  // namespace
+
+void set_scheduler_hook(SchedulerHook* hook) noexcept {
+  g_hook.store(hook, std::memory_order_release);
+}
+
+SchedulerHook* scheduler_hook() noexcept {
+  return g_hook.load(std::memory_order_acquire);
+}
+
+std::size_t RandomWalkSchedule::pick(const std::uint64_t* ids,
+                                     std::size_t n) {
+  (void)ids;
+  if (n <= 1) return 0;
+  return static_cast<std::size_t>(splitmix64(state_) % n);
+}
+
+PctSchedule::PctSchedule(std::uint64_t seed, int depth) : seed_(seed) {
+  std::uint64_t state = seed ^ 0xa0761d6478bd642fULL;
+  for (int i = 0; i < depth; ++i) {
+    change_points_.push_back(1 + splitmix64(state) % kHorizon);
+  }
+  std::sort(change_points_.begin(), change_points_.end(),
+            std::greater<std::uint64_t>());
+}
+
+std::size_t PctSchedule::pick(const std::uint64_t* ids, std::size_t n) {
+  ++step_;
+
+  // Effective priority: every demoted id ranks below every base priority;
+  // among demoted ids, the earliest demotion ranks lowest.
+  auto priority = [&](std::uint64_t id) -> std::pair<std::uint64_t, std::uint64_t> {
+    auto it = demoted_.find(id);
+    if (it != demoted_.end()) return {0, it->second};
+    return {1, mix(seed_, id)};
+  };
+  auto argmax = [&] {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < n; ++i) {
+      if (priority(ids[i]) > priority(ids[best])) best = i;
+    }
+    return best;
+  };
+
+  // Priority change point: demote the current front-runner so a different
+  // task overtakes it mid-scenario (the "d-1 changes" of PCT).
+  if (!change_points_.empty() && step_ >= change_points_.back()) {
+    change_points_.pop_back();
+    demoted_.emplace(ids[argmax()], next_demotion_tier_++);
+  }
+
+  return argmax();
+}
+
+ExploreResult explore(const std::function<void()>& scenario,
+                      const ExploreOptions& options) {
+  int seeds = options.seeds;
+  if (const char* env = std::getenv("MENOS_CHECK_SEEDS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) seeds = static_cast<int>(parsed);
+  }
+
+  ExploreResult result;
+  const char* modes[] = {"random-walk", "pct"};
+  for (const char* mode : modes) {
+    for (int i = 0; i < seeds; ++i) {
+      const std::uint64_t seed = options.base_seed + static_cast<std::uint64_t>(i);
+      const std::string what =
+          replay(scenario, seed, mode, options.pct_depth);
+      ++result.schedules;
+      if (what.empty()) continue;
+      result.ok = false;
+      result.failing_seed = seed;
+      result.failing_mode = mode;
+      result.what = what;
+      // One grep-able line: paste the seed/mode into check::replay (or
+      // MENOS_CHECK_SEEDS + base_seed) to reproduce locally.
+      std::fprintf(  // NOLINT(iostream-side-channel)
+          stderr,
+          "menos::check explore FAILED: mode=%s seed=%llu pct_depth=%d "
+          "after %d schedules: %s\n",
+          mode, static_cast<unsigned long long>(seed), options.pct_depth,
+          result.schedules, what.c_str());
+      std::fflush(stderr);
+      return result;
+    }
+  }
+  return result;
+}
+
+std::string replay(const std::function<void()>& scenario, std::uint64_t seed,
+                   const std::string& mode, int pct_depth) {
+  RandomWalkSchedule walk(seed);
+  PctSchedule pct(seed, pct_depth);
+  SchedulerHook* hook = mode == "pct" ? static_cast<SchedulerHook*>(&pct)
+                                      : static_cast<SchedulerHook*>(&walk);
+  ScopedSchedulerHook install(hook);
+  try {
+    scenario();
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "non-std exception";
+  }
+  return "";
+}
+
+}  // namespace menos::check

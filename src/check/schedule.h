@@ -1,0 +1,136 @@
+// menos::check — seeded schedule exploration for the event-driven core.
+//
+// util::TaskPool (the executor under every core::Session strand) normally
+// pops its queue FIFO. When a SchedulerHook is installed, the pool instead
+// asks the hook which ready task runs next — turning the scheduler into a
+// deterministic, seed-driven adversary. Two schedule families are
+// provided:
+//
+//   * RandomWalkSchedule — an unbiased splitmix64 walk over the ready set.
+//   * PctSchedule — PCT-style priority scheduling (Burckhardt et al.,
+//     "A Randomized Scheduler with Probabilistic Guarantees of Finding
+//     Bugs"): each task gets a seed-derived priority, the highest-priority
+//     ready task always runs, and at `depth` seed-chosen steps the current
+//     front-runner is demoted. Small `depth` values concentrate
+//     probability on the rare near-miss interleavings FIFO never hits.
+//
+// explore() runs a scenario under both families across N seeds and prints
+// the exact seed/mode on failure; replay() re-runs one seed so a CI
+// failure reproduces locally from its log line alone. The hook seam costs
+// one relaxed atomic load per task when no hook is installed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace menos::check {
+
+/// Decides which ready task a TaskPool worker runs next. pick() is invoked
+/// under the pool's queue lock with the post-order ids of every queued
+/// task (n >= 1); it must return an index < n and must not acquire any
+/// instrumented lock or call back into the pool.
+class SchedulerHook {
+ public:
+  virtual ~SchedulerHook() = default;
+  virtual std::size_t pick(const std::uint64_t* ids, std::size_t n) = 0;
+};
+
+/// Install `hook` process-wide (nullptr restores FIFO). The caller must
+/// swap hooks only while no TaskPool worker is mid-pick — in practice:
+/// before constructing / after destroying the pools under test.
+void set_scheduler_hook(SchedulerHook* hook) noexcept;
+
+/// The currently installed hook, or nullptr for FIFO.
+SchedulerHook* scheduler_hook() noexcept;
+
+/// RAII hook installation; restores the previous hook on destruction.
+class ScopedSchedulerHook {
+ public:
+  explicit ScopedSchedulerHook(SchedulerHook* hook)
+      : previous_(scheduler_hook()) {
+    set_scheduler_hook(hook);
+  }
+  ~ScopedSchedulerHook() { set_scheduler_hook(previous_); }
+
+  ScopedSchedulerHook(const ScopedSchedulerHook&) = delete;
+  ScopedSchedulerHook& operator=(const ScopedSchedulerHook&) = delete;
+
+ private:
+  SchedulerHook* previous_;
+};
+
+/// Uniform random walk over the ready set (splitmix64, fully determined
+/// by the seed and the sequence of ready-set sizes).
+class RandomWalkSchedule : public SchedulerHook {
+ public:
+  explicit RandomWalkSchedule(std::uint64_t seed) : state_(seed) {}
+  std::size_t pick(const std::uint64_t* ids, std::size_t n) override;
+
+ private:
+  std::uint64_t state_;
+};
+
+/// PCT-style priority schedule: priority(id) = hash(seed, id); always run
+/// the highest-priority ready task; at `depth` seed-derived change points
+/// (pick-call counts within kHorizon) the currently highest-priority ready
+/// task is demoted below every base priority.
+class PctSchedule : public SchedulerHook {
+ public:
+  PctSchedule(std::uint64_t seed, int depth);
+  std::size_t pick(const std::uint64_t* ids, std::size_t n) override;
+
+ private:
+  /// Change points are drawn from the first kHorizon pick calls; scenarios
+  /// longer than the horizon simply run their tail undisturbed.
+  static constexpr std::uint64_t kHorizon = 2048;
+
+  const std::uint64_t seed_;
+  std::uint64_t step_ = 0;
+  /// Remaining change points, descending (back() is the next one).
+  std::vector<std::uint64_t> change_points_;
+  /// id -> demotion tier; demoted ids rank below all base priorities,
+  /// earlier demotions below later ones.
+  std::unordered_map<std::uint64_t, std::uint64_t> demoted_;
+  std::uint64_t next_demotion_tier_ = 0;
+};
+
+struct ExploreOptions {
+  /// Seeds per schedule family. MENOS_CHECK_SEEDS (env) overrides when
+  /// set, so CI can widen the sweep without a code change.
+  int seeds = 25;
+  /// PCT priority-change budget per schedule.
+  int pct_depth = 3;
+  /// First seed; schedule i uses base_seed + i.
+  std::uint64_t base_seed = 1;
+};
+
+struct ExploreResult {
+  /// False iff some schedule made the scenario throw.
+  bool ok = true;
+  /// Schedules actually executed (counts the failing one).
+  int schedules = 0;
+  std::uint64_t failing_seed = 0;
+  /// "random-walk" or "pct" (empty when ok).
+  std::string failing_mode;
+  /// what() of the escaping exception.
+  std::string what;
+};
+
+/// Run `scenario` under every (family, seed) pair, stopping at the first
+/// failure. A scenario signals failure by throwing (MENOS_CHECK throws;
+/// tests may throw std::runtime_error directly). On failure the seed and
+/// mode are printed to stderr in a grep-able one-line form and returned.
+ExploreResult explore(const std::function<void()>& scenario,
+                      const ExploreOptions& options = {});
+
+/// Re-run `scenario` under one schedule — `mode` is "random-walk" or
+/// "pct" — exactly as explore() ran it. Returns the scenario's exception
+/// text, or an empty string if it passed.
+std::string replay(const std::function<void()>& scenario, std::uint64_t seed,
+                   const std::string& mode, int pct_depth = 3);
+
+}  // namespace menos::check

@@ -34,6 +34,9 @@ class Server {
   Server& operator=(const Server&) = delete;
 
   /// Start accepting clients on `acceptor` (runs on a background thread).
+  /// `acceptor` is borrowed, not owned: it must stay alive until stop()
+  /// returns — declare it before the Server (or stop in a destructor) so
+  /// exception unwinding cannot destroy it under the accept loop.
   void start(net::Acceptor& acceptor);
 
   /// Stop accepting, wind every session down through its state machine,
@@ -93,10 +96,10 @@ class Server {
   // Serializes the profiling runs themselves (device headroom), not a data
   // member — sessions lock it around profile().
   // NOLINTNEXTLINE(mutex-annotation)
-  util::Mutex profiling_mutex_;
+  util::Mutex profiling_mutex_{"core.server.profiling", 14};
   ProfileCache profile_cache_;
 
-  mutable util::Mutex sessions_mutex_;
+  mutable util::Mutex sessions_mutex_{"core.server.sessions", 10};
   std::vector<std::shared_ptr<ServingSession>> sessions_
       MENOS_GUARDED_BY(sessions_mutex_);
   int next_client_id_ MENOS_GUARDED_BY(sessions_mutex_) = 0;
@@ -113,7 +116,7 @@ class Server {
 
   /// Sessions that exist but have not fired on_finished yet. stop() waits
   /// for this to reach zero before tearing the executor down.
-  mutable util::Mutex live_mutex_;
+  mutable util::Mutex live_mutex_{"core.server.live", 12};
   util::CondVar live_cv_;
   int live_sessions_ MENOS_GUARDED_BY(live_mutex_) = 0;
 };

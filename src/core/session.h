@@ -50,7 +50,7 @@ class ProfileCache {
   void insert(const std::string& key, const sched::ClientDemands& demands);
 
  private:
-  mutable util::Mutex mutex_;
+  mutable util::Mutex mutex_{"core.profile_cache", 16};
   std::unordered_map<std::string, sched::ClientDemands> cache_
       MENOS_GUARDED_BY(mutex_);
 };
@@ -224,7 +224,7 @@ class ServingSession
 
   // The live connection table. attach()/request_stop()/the reaper mutate
   // it from foreign threads; the strand snapshots it into serving_conn_.
-  mutable util::Mutex conn_mutex_;
+  mutable util::Mutex conn_mutex_{"core.session.conn", 20};
   std::shared_ptr<net::Connection> connection_ MENOS_GUARDED_BY(conn_mutex_);
   std::chrono::steady_clock::time_point lease_deadline_
       MENOS_GUARDED_BY(conn_mutex_);
@@ -285,7 +285,7 @@ class ServingSession
   // computation, which is negligible" — §3.2).
   net::WireTensor cached_activation_;
 
-  mutable util::Mutex stats_mutex_;
+  mutable util::Mutex stats_mutex_{"core.session.stats", 22};
   SessionStats stats_ MENOS_GUARDED_BY(stats_mutex_);
 
   std::atomic<bool> finished_{false};

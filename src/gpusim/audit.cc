@@ -40,7 +40,10 @@ const std::string& AllocTagScope::current() noexcept {
 }
 
 AuditDevice::AuditDevice(std::unique_ptr<Device> inner, AuditOptions options)
-    : inner_(std::move(inner)), options_(options) {}
+    : inner_(std::move(inner)),
+      options_(options),
+      mutex_(decorator_lock_name("gpusim.audit", inner_.get()).c_str(),
+             decorator_lock_rank(50, inner_.get())) {}
 
 AuditDevice::~AuditDevice() {
   util::MutexLock lock(mutex_);

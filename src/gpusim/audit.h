@@ -99,6 +99,7 @@ class AuditDevice final : public Device {
   std::string leak_report() const;
 
   Device& inner() noexcept { return *inner_; }
+  const Device* unwrap() const noexcept override { return inner_.get(); }
 
  private:
   struct Live {
@@ -118,7 +119,9 @@ class AuditDevice final : public Device {
   std::unique_ptr<Device> inner_;
   AuditOptions options_;
 
-  mutable util::Mutex mutex_;
+  // Lock class assigned in the constructor via decorator_lock_name():
+  // nested audit layers get depth-suffixed classes. NOLINT(mutex-name)
+  mutable util::Mutex mutex_;  // NOLINT(mutex-name)
   std::unordered_map<void*, Live> live_ MENOS_GUARDED_BY(mutex_);
   // Pointers that went through a full free already; a second deallocate of
   // one of these is a double free (entries are dropped when the allocator

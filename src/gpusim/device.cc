@@ -107,7 +107,7 @@ class MeteredDevice final : public Device {
   std::string name_;
   std::size_t capacity_;  // 0 = unlimited; immutable after construction
 
-  mutable util::Mutex mutex_;
+  mutable util::Mutex mutex_{"gpusim.meter", 54};
   std::size_t allocated_ MENOS_GUARDED_BY(mutex_) = 0;
   std::size_t peak_ MENOS_GUARDED_BY(mutex_) = 0;
   std::size_t lifetime_allocs_ MENOS_GUARDED_BY(mutex_) = 0;
@@ -153,6 +153,31 @@ std::unique_ptr<Device> maybe_cache(std::unique_ptr<Device> device) {
 }
 
 }  // namespace
+
+namespace {
+
+/// Decorator layers strictly below `inner` (inclusive of `inner` itself
+/// when it is a decorator). A terminal device (meter/host) is depth 0.
+int decorator_depth(const Device* inner) noexcept {
+  int depth = 0;
+  for (const Device* cur = inner;
+       cur != nullptr && cur->unwrap() != nullptr; cur = cur->unwrap()) {
+    ++depth;
+  }
+  return depth;
+}
+
+}  // namespace
+
+std::string decorator_lock_name(const char* base, const Device* inner) {
+  const int depth = decorator_depth(inner);
+  if (depth == 0) return base;
+  return std::string(base) + "." + std::to_string(depth);
+}
+
+int decorator_lock_rank(int base_rank, const Device* inner) noexcept {
+  return decorator_depth(inner) == 0 ? base_rank : 0;
+}
 
 std::size_t Device::available() const {
   const MemoryStats s = stats();

@@ -83,7 +83,24 @@ class Device {
 
   /// Remaining capacity; SIZE_MAX for unlimited devices.
   std::size_t available() const;
+
+  /// The device this one decorates, or nullptr for a terminal device.
+  /// Lets chain walkers (StepGraph::warm_allocator, the decorator
+  /// lock-class helpers below) see through audit/pooling layers.
+  virtual const Device* unwrap() const noexcept { return nullptr; }
 };
+
+/// Lock-class naming for decorator devices (AuditDevice, the pooling
+/// CachingAllocator). The same decorator type can legitimately sit at two
+/// depths of one chain — the factory composes audit(cache(meter)) while
+/// tests pool over an already-audited device — and acquisition always
+/// follows the object graph outer -> inner, so each layer needs its own
+/// lock class or the class-level lock-order graph sees a spurious cycle.
+/// The class name gains a ".N" suffix per decorator layer below it, and
+/// only the innermost layer (depth 0, adjacent to the meter) carries the
+/// subsystem rank from docs/ANALYSIS.md.
+std::string decorator_lock_name(const char* base, const Device* inner);
+int decorator_lock_rank(int base_rank, const Device* inner) noexcept;
 
 /// The host: unlimited capacity, but still metered (swap experiments report
 /// host-side footprints too).

@@ -7,7 +7,11 @@
 namespace menos::mem {
 
 CachingAllocator::CachingAllocator(std::unique_ptr<gpusim::Device> inner)
-    : inner_(std::move(inner)) {
+    : inner_(std::move(inner)),
+      mutex_(
+          gpusim::decorator_lock_name("mem.caching_alloc", inner_.get())
+              .c_str(),
+          gpusim::decorator_lock_rank(52, inner_.get())) {
   MENOS_CHECK_MSG(inner_ != nullptr, "CachingAllocator needs an inner device");
 }
 

@@ -100,6 +100,7 @@ class CachingAllocator final : public gpusim::Device {
   static std::size_t round_size(std::size_t bytes) noexcept;
 
   Device& inner() noexcept { return *inner_; }
+  const Device* unwrap() const noexcept override { return inner_.get(); }
 
  private:
   struct Segment;
@@ -132,7 +133,9 @@ class CachingAllocator final : public gpusim::Device {
 
   std::unique_ptr<gpusim::Device> inner_;
 
-  mutable util::Mutex mutex_;
+  // Lock class assigned in the constructor via decorator_lock_name():
+  // pooling over an already-decorated device gets a depth-suffixed class.
+  mutable util::Mutex mutex_;  // NOLINT(mutex-name)
   std::set<FreeKey> free_blocks_ MENOS_GUARDED_BY(mutex_);
   // Owning storage: segment base -> Segment; block ptr -> Block.
   std::map<void*, std::unique_ptr<Segment>> segments_ MENOS_GUARDED_BY(mutex_);

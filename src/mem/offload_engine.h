@@ -137,7 +137,7 @@ class OffloadEngine {
 
   gpusim::TransferModel transfer_;
 
-  mutable util::Mutex mutex_;
+  mutable util::Mutex mutex_{"mem.offload", 40};
   util::CondVar state_cv_;  ///< signaled on every residency transition
   std::map<int, Unit> units_ MENOS_GUARDED_BY(mutex_);
   std::uint64_t clock_ MENOS_GUARDED_BY(mutex_) = 0;

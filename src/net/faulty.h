@@ -84,7 +84,7 @@ class FaultInjector {
       MENOS_REQUIRES(mutex_);
 
   const FaultPlan plan_;
-  mutable util::Mutex mutex_;
+  mutable util::Mutex mutex_{"net.faulty", 66};
   util::Rng rng_ MENOS_GUARDED_BY(mutex_);
   FaultStats stats_ MENOS_GUARDED_BY(mutex_);
 };

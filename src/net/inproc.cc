@@ -20,7 +20,7 @@ struct Pipe {
   // returns, the old hook cannot be entered again (the Poller relies on
   // this to unwatch safely). Hook bodies must therefore not call back into
   // this pipe.
-  util::Mutex hook_mutex;
+  util::Mutex hook_mutex{"net.inproc.hook", 58};
   std::function<void()> hook MENOS_GUARDED_BY(hook_mutex);
 
   void set_hook(std::function<void()> h) {

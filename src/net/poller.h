@@ -89,7 +89,7 @@ class Poller {
   void wake() noexcept;
   void notify_ready(std::uint64_t token);
 
-  mutable util::Mutex mutex_;
+  mutable util::Mutex mutex_{"net.poller", 60};
   std::unordered_map<std::uint64_t, Watch> watches_ MENOS_GUARDED_BY(mutex_);
   std::unordered_map<std::uint64_t, Timer> timers_ MENOS_GUARDED_BY(mutex_);
   std::uint64_t next_token_ MENOS_GUARDED_BY(mutex_) = 1;

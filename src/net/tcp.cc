@@ -245,7 +245,7 @@ class TcpConnection final : public Connection {
   // cannot interleave partial frames; the fd's lifetime is handled by the
   // lock-free FdGuard, so there is no guarded data member.
   // NOLINTNEXTLINE(mutex-annotation)
-  util::Mutex send_mutex_;
+  util::Mutex send_mutex_{"net.tcp.send", 64};
   std::atomic<std::uint64_t> bytes_sent_{0};
   // try_receive reassembly buffer. A connection has a single-reader
   // contract: blocking receive() and try_receive() must not be mixed from

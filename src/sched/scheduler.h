@@ -186,7 +186,7 @@ class Scheduler {
   bool try_reclaim_locked(int partition, std::size_t bytes)
       MENOS_REQUIRES(mutex_);
 
-  mutable util::Mutex mutex_;
+  mutable util::Mutex mutex_{"sched.scheduler", 30};
   std::vector<std::size_t> capacity_ MENOS_GUARDED_BY(mutex_);
   std::vector<std::size_t> free_ MENOS_GUARDED_BY(mutex_);
   Policy policy_;  // immutable after construction

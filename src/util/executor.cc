@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "check/schedule.h"
 #include "util/check.h"
 #include "util/logging.h"
 
@@ -22,7 +23,7 @@ void TaskPool::post(std::function<void()> task) {
   {
     MutexLock lock(mutex_);
     if (stopping_) return;  // producers are already winding down
-    tasks_.push_back(std::move(task));
+    tasks_.push_back(Task{next_task_id_++, std::move(task)});
   }
   cv_.notify_one();
 }
@@ -47,8 +48,19 @@ void TaskPool::worker_main() {
       MutexLock lock(mutex_);
       while (tasks_.empty() && !stopping_) cv_.wait(mutex_);
       if (tasks_.empty()) return;  // stopping_ && drained
-      task = std::move(tasks_.front());
-      tasks_.pop_front();
+      std::size_t index = 0;
+      if (check::SchedulerHook* hook = check::scheduler_hook()) {
+        // Schedule exploration: let the installed hook choose which ready
+        // task runs. The id buffer is only built when a hook is live, so
+        // production runs pay one atomic load here and nothing else.
+        std::vector<std::uint64_t> ids;
+        ids.reserve(tasks_.size());
+        for (const Task& t : tasks_) ids.push_back(t.id);
+        index = hook->pick(ids.data(), ids.size());
+        if (index >= tasks_.size()) index = 0;  // defensive: bad hook
+      }
+      task = std::move(tasks_[index].fn);
+      tasks_.erase(tasks_.begin() + static_cast<std::ptrdiff_t>(index));
     }
     try {
       task();
@@ -119,7 +131,7 @@ struct Strand::Impl : std::enable_shared_from_this<Strand::Impl> {
   }
 
   TaskPool* pool;
-  Mutex mutex;
+  Mutex mutex{"util.strand", 68};
   std::deque<std::function<void()>> pending MENOS_GUARDED_BY(mutex);
   bool running MENOS_GUARDED_BY(mutex) = false;
 };

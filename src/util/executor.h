@@ -12,6 +12,7 @@
 // spawn threads (tools/menos_lint.py rule `raw-thread`).
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -26,6 +27,11 @@ namespace menos::util {
 /// Fixed pool of workers draining one FIFO task queue. Tasks posted after
 /// stop_and_join() (or during it, once the queue drains) are dropped — by
 /// then every producer has wound down and drops are stale by construction.
+///
+/// Dequeue order is FIFO unless a check::SchedulerHook is installed
+/// (src/check/schedule.h): then each worker hands the hook the post-order
+/// ids of every queued task and runs the one it picks — the seam the
+/// seeded schedule-exploration tests drive to force rare interleavings.
 class TaskPool {
  public:
   explicit TaskPool(int width);
@@ -46,12 +52,20 @@ class TaskPool {
   int width() const noexcept { return width_; }
 
  private:
+  /// A queued task and its monotonically increasing post sequence number
+  /// (the id the scheduler hook keys its priorities on).
+  struct Task {
+    std::uint64_t id;
+    std::function<void()> fn;
+  };
+
   void worker_main();
 
   const int width_;
-  Mutex mutex_;
+  Mutex mutex_{"util.taskpool", 70};
   CondVar cv_;
-  std::deque<std::function<void()>> tasks_ MENOS_GUARDED_BY(mutex_);
+  std::deque<Task> tasks_ MENOS_GUARDED_BY(mutex_);
+  std::uint64_t next_task_id_ MENOS_GUARDED_BY(mutex_) = 0;
   bool stopping_ MENOS_GUARDED_BY(mutex_) = false;
   std::vector<std::thread> workers_;
 };

@@ -10,7 +10,9 @@ namespace menos::util {
 namespace {
 
 std::atomic<LogLevel> g_threshold{LogLevel::Warn};
-Mutex g_emit_mutex;  // serializes stream emission; no guarded members NOLINT(mutex-annotation)
+// Serializes stream emission; no guarded members. Highest rank: logging
+// happens under arbitrary locks and takes none itself.
+Mutex g_emit_mutex{"util.logging", 95};  // NOLINT(mutex-annotation)
 
 const char* basename_of(const char* path) {
   const char* slash = std::strrchr(path, '/');

@@ -15,6 +15,14 @@
 // guarded reads in `condition` sit in an analysis context that can see the
 // held lock (a predicate lambda would be analyzed as a separate, lockless
 // function).
+//
+// Under MENOS_DEADLOCK_DETECT (CMake option, default ON in Debug) every
+// *named* Mutex additionally reports its acquisitions to the lock-order
+// graph in src/check/lock_order.h: a name interns a lock class, an
+// optional rank declares its position in the repo-wide acquisition order
+// (docs/ANALYSIS.md tabulates the conventions), and the first inverted
+// acquisition aborts with both hold-stacks. tools/menos_lint.py rule
+// `mutex-name` requires every Mutex member in src/ to be named.
 #pragma once
 
 #include <chrono>
@@ -22,6 +30,10 @@
 #include <mutex>
 
 #include "util/thread_annotations.h"
+
+#ifdef MENOS_DEADLOCK_DETECT
+#include "check/lock_order.h"
+#endif
 
 namespace menos::util {
 
@@ -31,16 +43,54 @@ class CondVar;
 class MENOS_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+
+  /// Named mutex: joins lock class `name` for deadlock detection. `rank`
+  /// (0 = unranked) places the class in the global acquisition order —
+  /// nonzero ranks must be acquired in ascending order.
+  explicit Mutex(const char* name, int rank = 0)
+#ifdef MENOS_DEADLOCK_DETECT
+      : cls_(check::intern_lock_class(name, rank))
+#endif
+  {
+    (void)name;
+    (void)rank;
+  }
+
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() MENOS_ACQUIRE() { m_.lock(); }
-  void unlock() MENOS_RELEASE() { m_.unlock(); }
-  bool try_lock() MENOS_TRY_ACQUIRE(true) { return m_.try_lock(); }
+  void lock() MENOS_ACQUIRE() {
+#ifdef MENOS_DEADLOCK_DETECT
+    // Before m_.lock(): if this acquisition is about to deadlock for
+    // real, the diagnostic must get out first.
+    if (cls_ != nullptr) check::note_acquire(cls_, this);
+#endif
+    m_.lock();
+  }
+
+  void unlock() MENOS_RELEASE() {
+#ifdef MENOS_DEADLOCK_DETECT
+    if (cls_ != nullptr) check::note_release(cls_, this);
+#endif
+    m_.unlock();
+  }
+
+  bool try_lock() MENOS_TRY_ACQUIRE(true) {
+    const bool acquired = m_.try_lock();
+#ifdef MENOS_DEADLOCK_DETECT
+    // A trylock cannot block, hence records no ordering edge — but the
+    // class joins the held stack so later acquisitions order after it.
+    if (acquired && cls_ != nullptr) check::note_try_acquire(cls_, this);
+#endif
+    return acquired;
+  }
 
  private:
   friend class CondVar;
   std::mutex m_;
+#ifdef MENOS_DEADLOCK_DETECT
+  const check::LockClass* cls_ = nullptr;
+#endif
 };
 
 /// RAII lock (std::lock_guard shape) understood by the analysis.

@@ -100,7 +100,7 @@ class BlockingQueue {
   }
 
  private:
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{"util.queue", 80};
   CondVar cv_;
   std::deque<T> items_ MENOS_GUARDED_BY(mutex_);
   bool closed_ MENOS_GUARDED_BY(mutex_) = false;
@@ -136,7 +136,7 @@ class Notification {
   }
 
  private:
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{"util.notification", 82};
   CondVar cv_;
   bool notified_ MENOS_GUARDED_BY(mutex_) = false;
 };
@@ -163,7 +163,7 @@ class WaitGroup {
   }
 
  private:
-  Mutex mutex_;
+  Mutex mutex_{"util.waitgroup", 84};
   CondVar cv_;
   int count_ MENOS_GUARDED_BY(mutex_) = 0;
 };

@@ -59,17 +59,20 @@ struct ThreadPool::Region {
   std::atomic<Index> next{0};       // next unclaimed chunk
   std::atomic<Index> completed{0};  // chunks fully executed
 
-  Mutex error_mutex;
+  Mutex error_mutex{"util.threadpool.error", 48};
   std::exception_ptr first_error MENOS_GUARDED_BY(error_mutex);
 };
 
 struct ThreadPool::State {
-  Mutex mutex;
+  // Rank band 44..48 (docs/ANALYSIS.md): below the gpusim/mem allocator
+  // locks because parallel_for bodies run with submit_mutex held and may
+  // allocate; above mem.offload, whose move callbacks dispatch copies.
+  Mutex mutex{"util.threadpool.state", 46};
   CondVar work_cv;      // workers wait here for a new epoch
   CondVar done_cv;      // submitter waits here for completion
   // Serializes whole dispatches (one region in flight at a time); it has
   // no guarded members of its own.
-  Mutex submit_mutex;  // NOLINT(mutex-annotation)
+  Mutex submit_mutex{"util.threadpool.submit", 44};  // NOLINT(mutex-annotation)
   std::shared_ptr<Region> region MENOS_GUARDED_BY(mutex);
   std::uint64_t epoch MENOS_GUARDED_BY(mutex) = 0;
   bool stop MENOS_GUARDED_BY(mutex) = false;
@@ -77,7 +80,7 @@ struct ThreadPool::State {
 
   // Background task lane (submit): independent of the fork/join fields so
   // a long-running task never interferes with parallel_for dispatch.
-  Mutex task_mutex;
+  Mutex task_mutex{"util.threadpool.task", 47};
   CondVar task_cv;
   std::deque<std::function<void()>> tasks MENOS_GUARDED_BY(task_mutex);
   bool task_stop MENOS_GUARDED_BY(task_mutex) = false;

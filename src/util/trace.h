@@ -59,7 +59,7 @@ class EventTrace {
   std::string to_jsonl() const;
 
  private:
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{"util.trace", 90};
   std::vector<TraceEvent> ring_ MENOS_GUARDED_BY(mutex_);
   std::size_t capacity_;  // immutable after construction
   std::size_t next_ MENOS_GUARDED_BY(mutex_) = 0;

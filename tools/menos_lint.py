@@ -40,6 +40,16 @@ Rules (see docs/ANALYSIS.md for rationale and examples):
                          blocked receives drain (the fd-reuse race of
                          docs/FAULTS.md); a stray ::close() elsewhere
                          reintroduces exactly that bug.
+  check-side-effect      No side effects (++, --, assignment, .pop()/.take())
+                         inside MENOS_CHECK/MENOS_DCHECK arguments. DCHECK
+                         compiles out in Release builds, so a side effect in
+                         its argument makes Debug and Release behave
+                         differently — the worst possible heisenbug.
+  mutex-name             Every util::Mutex member in src/ carries a lock
+                         class name (and usually a rank) for the deadlock
+                         detector: `Mutex m_{"area.role", N};`. A mutex
+                         named dynamically in its constructor (the device
+                         decorators) carries a NOLINT saying so.
 
 Suppression: append `// NOLINT(<rule>)` to the offending line, or put
 `// NOLINTNEXTLINE(<rule>)` on the line above it. A bare NOLINT (no rule
@@ -55,6 +65,7 @@ Usage:
 from __future__ import annotations
 
 import argparse
+import os
 import re
 import sys
 import tempfile
@@ -133,6 +144,14 @@ class Finding:
     def __str__(self) -> str:
         return f"{self.path}:{self.lineno}: [{self.rule}] {self.message}"
 
+    def github_annotation(self) -> str:
+        """A GitHub Actions `::error` workflow command for this finding, so
+        CI failures surface inline on the PR diff. The message data must
+        escape %, CR and LF per the workflow-command encoding."""
+        msg = f"[{self.rule}] {self.message}"
+        msg = msg.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+        return f"::error file={self.path},line={self.lineno}::{msg}"
+
 
 # ---------------------------------------------------------------------------
 # Rules. Each rule is a function (path, raw_text) -> list[Finding].
@@ -154,7 +173,14 @@ NONDET_RE = re.compile(r"std::rand\b|\bsrand\s*\(|std::random_device\b")
 RAW_THREAD_RE = re.compile(r"std::j?thread\b(?!::)|std::async\s*\(")
 RAW_CLOSE_RE = re.compile(r"::close\s*\(|::shutdown\s*\(")
 MUTEX_MEMBER_RE = re.compile(
-    r"^\s*(?:mutable\s+)?(?:(?:menos::)?util::)?Mutex\s+(\w+)\s*;"
+    r"^\s*(?:mutable\s+)?(?:(?:menos::)?util::)?Mutex\s+(\w+)\s*"
+    r"(\{[^}]*\})?\s*;"
+)
+CHECK_MACRO_RE = re.compile(r"\bMENOS_D?CHECK(?:_MSG)?\s*\(")
+# ++/--, assignment or compound assignment (== <= >= != are comparisons),
+# and consuming calls: .pop()/.pop_front()/.take()/... via . or ->.
+SIDE_EFFECT_RE = re.compile(
+    r"\+\+|--|(?<![=!<>])=(?!=)|(?:\.|->)\s*(?:pop\w*|take\w*)\s*\("
 )
 KERNEL_SCRATCH_RE = re.compile(
     r"std::vector\s*<\s*float\s*>|std::aligned_alloc\s*\("
@@ -277,6 +303,110 @@ def check_kernel_scratch(path: Path, raw: str) -> list:
                 "vector-aligned and reused across calls")
 
 
+def blank_strings(text: str) -> str:
+    """Replace the contents of string/char literals with spaces.
+
+    strip_comments keeps literals so quoted examples don't trip line rules;
+    the side-effect scan must not match `--flag` or `pop()` inside one.
+    """
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch in "\"'":
+            quote = ch
+            out.append(ch)
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    out.append(" ")
+                    i += 1
+                out.append("\n" if text[i] == "\n" else " ")
+                i += 1
+            if i < n:
+                out.append(quote)
+                i += 1
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def extract_balanced(text: str, open_idx: int):
+    """The argument text between the paren at `open_idx` and its match.
+
+    Skips parens inside string/char literals. Returns None when the file
+    ends before the parens balance (macro split by preprocessor games).
+    """
+    depth = 0
+    i, n = open_idx, len(text)
+    while i < n:
+        ch = text[i]
+        if ch in "\"'":
+            quote = ch
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    i += 1
+                i += 1
+        elif ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+            if depth == 0:
+                return text[open_idx + 1:i]
+        i += 1
+    return None
+
+
+def check_check_side_effect(path: Path, raw: str) -> list:
+    # The macro definitions themselves (do-while plumbing) are exempt; every
+    # *use* in src/, tests/ and bench/ is held to the rule.
+    if path.parts[-2:] == ("util", "check.h"):
+        return []
+    raw_lines = raw.splitlines()
+    stripped = strip_comments(raw)
+    findings = []
+    for m in CHECK_MACRO_RE.finditer(stripped):
+        macro = m.group(0).rstrip("( \t\n")
+        arg = extract_balanced(stripped, m.end() - 1)
+        if arg is None:
+            continue
+        lineno = stripped.count("\n", 0, m.start()) + 1
+        if suppressed(raw_lines, lineno, "check-side-effect"):
+            continue
+        if SIDE_EFFECT_RE.search(blank_strings(arg)):
+            findings.append(Finding(
+                path, lineno, "check-side-effect",
+                f"side effect in {macro}(...) argument — DCHECKs compile "
+                f"out in Release, so the effect silently disappears; hoist "
+                f"it onto its own statement"))
+    return findings
+
+
+def check_mutex_name(path: Path, raw: str) -> list:
+    if "src" not in path.parts or path.parts[-2:] == ("util", "mutex.h"):
+        return []
+    raw_lines = raw.splitlines()
+    findings = []
+    for lineno, line in enumerate(strip_comments(raw).splitlines(), start=1):
+        m = MUTEX_MEMBER_RE.match(line)
+        if not m:
+            continue
+        init = m.group(2)
+        if init is not None and '"' in init:
+            continue  # named (and possibly ranked) — what the rule wants
+        if suppressed(raw_lines, lineno, "mutex-name"):
+            continue
+        findings.append(Finding(
+            path, lineno, "mutex-name",
+            f"mutex '{m.group(1)}' has no lock-class name — the deadlock "
+            f"detector needs `Mutex m_{{\"area.role\", rank}};` "
+            f"(docs/ANALYSIS.md); constructor-named mutexes carry a "
+            f"NOLINT with the reason"))
+    return findings
+
+
 def check_pragma_once(path: Path, raw: str) -> list:
     if path.suffix != ".h":
         return []
@@ -297,6 +427,8 @@ ALL_RULES = [
     check_raw_close,
     check_mutex_annotation,
     check_kernel_scratch,
+    check_check_side_effect,
+    check_mutex_name,
     check_pragma_once,
 ]
 
@@ -335,20 +467,22 @@ SELF_TEST_CASES = [
     ("src/core/ok_log.cc", 'void f() { MENOS_LOG(Info) << "x"; }\n', None),
     ("src/net/bad_mutex.cc", "#include <mutex>\nstd::mutex m;\n", "raw-mutex"),
     ("src/net/ok_mutex.cc",
-     "struct S { util::Mutex mu_; int x MENOS_GUARDED_BY(mu_); };\n", None),
+     'struct S { util::Mutex mu_{"net.s"}; int x MENOS_GUARDED_BY(mu_); };\n',
+     None),
     ("src/sched/bad_unannotated.h",
      "#pragma once\nclass C {\n  mutable util::Mutex mutex_;\n  int x_;\n};\n",
      "mutex-annotation"),
     ("src/sched/ok_suppressed.h",
      "#pragma once\nclass C {\n  // serializes connect(), guards nothing\n"
-     "  util::Mutex mutex_;  // NOLINT(mutex-annotation)\n};\n", None),
+     '  util::Mutex mutex_{"sched.c"};  // NOLINT(mutex-annotation)\n};\n',
+     None),
     # src/mem is strict: the same NOLINT that exempts src/sched still fires.
     ("src/mem/bad_nolint.h",
      "#pragma once\nclass C {\n  // serializes something, honest!\n"
      "  util::Mutex mutex_;  // NOLINT(mutex-annotation)\n};\n",
      "mutex-annotation"),
     ("src/mem/ok_annotated.h",
-     "#pragma once\nclass C {\n  mutable util::Mutex mutex_;\n"
+     '#pragma once\nclass C {\n  mutable util::Mutex mutex_{"mem.c", 52};\n'
      "  int x_ MENOS_GUARDED_BY(mutex_);\n};\n", None),
     ("src/util/bad_header.h", "struct X {};\n", "pragma-once"),
     ("src/core/bad_thread.cc",
@@ -397,6 +531,36 @@ SELF_TEST_CASES = [
     ("src/tensor/ops_scratch.cc",
      "void f() { std::vector<float> tmp(8); }\n",
      None),  # rule is scoped to the kernel files
+    ("src/core/bad_check_incr.cc",
+     "void f(int i) { MENOS_DCHECK(i++ < 4); }\n", "check-side-effect"),
+    ("src/core/bad_check_assign.cc",
+     'void f(int x) { MENOS_CHECK_MSG(x = next(), "got " << x); }\n',
+     "check-side-effect"),
+    ("src/sched/bad_check_pop.cc",
+     "void f(Queue& q) {\n  MENOS_CHECK(\n      q.pending() != 0 &&\n"
+     "      q.take().has_value());\n}\n",
+     "check-side-effect"),  # multi-line argument, consuming call
+    ("src/core/ok_check_compare.cc",
+     "void f(int a, int b) { MENOS_DCHECK(a == b && a <= 4 && b >= -1); }\n",
+     None),  # comparisons and unary minus are not side effects
+    ("src/core/ok_check_string.cc",
+     'void f(bool ok) { MENOS_CHECK_MSG(ok, "pass --retry or q.pop()"); }\n',
+     None),  # literals may name side effects
+    ("src/core/ok_check_nolint.cc",
+     "void f(int i) { MENOS_CHECK(i++ < 4); }"
+     "  // NOLINT(check-side-effect) counted probe, Release keeps CHECK\n",
+     None),
+    ("src/core/bad_unnamed_mutex.h",
+     "#pragma once\nclass C {\n  util::Mutex mutex_;\n"
+     "  int x_ MENOS_GUARDED_BY(mutex_);\n};\n", "mutex-name"),
+    ("src/core/ok_ctor_named_mutex.h",
+     "#pragma once\nclass C {\n  // lock class named in the constructor "
+     "via decorator_lock_name()\n"
+     "  util::Mutex mutex_;  // NOLINT(mutex-name)\n"
+     "  int x_ MENOS_GUARDED_BY(mutex_);\n};\n", None),
+    ("tests/ok_unnamed_mutex.cc",
+     "struct S { util::Mutex mu_; int x MENOS_GUARDED_BY(mu_); };\n",
+     None),  # mutex-name is a src/ rule; test fixtures may stay anonymous
 ]
 
 
@@ -418,6 +582,15 @@ def self_test() -> int:
                 failures.append(f"{rel}: expected clean, got {sorted(got)}")
             elif expected is not None and expected not in got:
                 failures.append(f"{rel}: expected [{expected}], got {sorted(got)}")
+    # The CI annotation path: exact workflow-command format, data escaped.
+    annotation = Finding(
+        Path("src/a.cc"), 3, "raw-alloc", "50% worse\nsecond line").github_annotation()
+    expected_annotation = (
+        "::error file=src/a.cc,line=3::[raw-alloc] 50%25 worse%0Asecond line")
+    if annotation != expected_annotation:
+        failures.append(
+            f"github_annotation: expected {expected_annotation!r}, "
+            f"got {annotation!r}")
     if failures:
         print("menos_lint self-test FAILED:")
         for f in failures:
@@ -441,8 +614,11 @@ def main() -> int:
         return self_test()
 
     findings = lint_tree(args.root)
+    annotate = os.environ.get("GITHUB_ACTIONS") == "true"
     for f in findings:
         print(f)
+        if annotate:
+            print(f.github_annotation())
     if findings:
         print(f"menos_lint: {len(findings)} finding(s)")
         return 1
