@@ -10,7 +10,13 @@
 #include "tensor/tensor.h"
 #include "util/trace.h"
 
+namespace menos::net {
+class Poller;
+}  // namespace menos::net
+
 namespace menos::core {
+
+class Executor;
 
 /// How a serving session manages GPU memory across the four-step loop of
 /// §2.2. The first four are the optimization ladder of Fig 3; the last is
@@ -69,6 +75,21 @@ struct ServerConfig {
   /// Optional event trace (not owned; must outlive the server). Sessions
   /// record lifecycle, scheduling-wait, compute, and swap events into it.
   util::EventTrace* trace = nullptr;
+
+  /// Fleet mode: run this server on an externally owned serving core
+  /// instead of creating its own executor/poller. Both must outlive the
+  /// server, and the owner starts the poller before Server::start() and
+  /// stops it after Server::stop() (the server then only schedules/cancels
+  /// its own reaper timer on it). Null (the default) = the server owns a
+  /// private core, as before.
+  Executor* shared_executor = nullptr;
+  net::Poller* shared_poller = nullptr;
+
+  /// Seed for minting session tokens; 0 derives one from base_seed. Fleet
+  /// shards share base_seed (their ParameterStores must be bit-identical)
+  /// and so MUST set distinct token seeds, or every shard would mint the
+  /// same token sequence and resume routing could not tell them apart.
+  std::uint64_t token_seed = 0;
 };
 
 /// Copy a device tensor into a wire carrier.

@@ -9,7 +9,9 @@ Server::Server(const ServerConfig& config, gpusim::DeviceManager& devices,
     : config_(config),
       devices_(&devices),
       model_(model),
-      token_rng_(config.base_seed ^ 0x6d656e6f73ULL /* "menos" */) {
+      token_rng_(config.token_seed != 0
+                     ? config.token_seed
+                     : config.base_seed ^ 0x6d656e6f73ULL /* "menos" */) {
   MENOS_CHECK_MSG(devices.gpu_count() >= 1, "server needs at least one GPU");
   model_.validate();
   if (shares_base_model(config_.mode)) {
@@ -40,8 +42,21 @@ Server::Server(const ServerConfig& config, gpusim::DeviceManager& devices,
           return offload_->evict_idle(bytes_needed);
         });
   }
-  executor_ = std::make_unique<Executor>(config_.executor_threads);
-  poller_ = std::make_unique<net::Poller>();
+  if (config_.shared_executor != nullptr || config_.shared_poller != nullptr) {
+    // Fleet mode: all shards multiplex onto one serving core. Both halves
+    // come together — a shard with its own poller but a shared executor
+    // (or vice versa) has no sane stop() ordering.
+    MENOS_CHECK_MSG(
+        config_.shared_executor != nullptr && config_.shared_poller != nullptr,
+        "shared_executor and shared_poller must be set together");
+    executor_ = config_.shared_executor;
+    poller_ = config_.shared_poller;
+  } else {
+    owned_executor_ = std::make_unique<Executor>(config_.executor_threads);
+    owned_poller_ = std::make_unique<net::Poller>();
+    executor_ = owned_executor_.get();
+    poller_ = owned_poller_.get();
+  }
   scheduler_->set_grant_callback([this](const sched::Grant& grant) {
     // Dispatched after the scheduler mutex drops (see sched::Scheduler).
     // Sessions never vanish while registered (cleanup unregisters before
@@ -58,16 +73,23 @@ Server::Server(const ServerConfig& config, gpusim::DeviceManager& devices,
 
 Server::~Server() { stop(); }
 
-void Server::start(net::Acceptor& acceptor) {
-  MENOS_CHECK_MSG(!accept_thread_.joinable(), "server already started");
-  acceptor_ = &acceptor;
-  poller_->start();
+void Server::start_core() {
+  MENOS_CHECK_MSG(!started_.exchange(true), "server already started");
+  // A shared poller is started by its owner (the fleet) before any shard.
+  if (owns_core()) poller_->start();
   if (config_.lease_seconds > 0.0) {
     const double interval = config_.reaper_interval_s > 0.0
                                 ? config_.reaper_interval_s
                                 : config_.lease_seconds / 4.0;
     reaper_timer_ = poller_->schedule_every(interval, [this] { reap_tick(); });
   }
+}
+
+void Server::start() { start_core(); }
+
+void Server::start(net::Acceptor& acceptor) {
+  acceptor_ = &acceptor;
+  start_core();
   // Infrastructure thread: accept() blocks in ways the poller cannot demux
   // for every Acceptor flavor. One per server, not per client.
   accept_thread_ = std::thread([this] { accept_loop(acceptor_); });  // NOLINT(raw-thread)
@@ -99,10 +121,36 @@ void Server::stop() {
     util::MutexLock lock(live_mutex_);
     while (live_sessions_ > 0) live_cv_.wait(live_mutex_);
   }
-  poller_->stop();
-  executor_->stop_and_join();
+  // A shared core keeps running — other shards' sessions live on it; the
+  // fleet stops it once every shard has drained.
+  if (owns_core()) {
+    poller_->stop();
+    executor_->stop_and_join();
+  }
   util::MutexLock lock(sessions_mutex_);
   sessions_.clear();
+}
+
+void Server::install_session_locked(
+    const std::shared_ptr<ServingSession>& session) {
+  session->set_resume_router(
+      [this](std::uint64_t t, std::shared_ptr<net::Connection> conn) {
+        return route_resume(t, std::move(conn));
+      });
+  {
+    util::MutexLock live(live_mutex_);
+    ++live_sessions_;
+  }
+  const std::uint64_t token = session->token();
+  session->set_on_finished([this, token] {
+    // The closed hook runs first, with no server locks held (we are on the
+    // session's strand): it may take fleet-level locks freely.
+    if (session_closed_hook_) session_closed_hook_(token);
+    util::MutexLock live(live_mutex_);
+    --live_sessions_;
+    live_cv_.notify_all();
+  });
+  sessions_.push_back(session);
 }
 
 void Server::accept_loop(net::Acceptor* acceptor) {
@@ -117,22 +165,86 @@ void Server::accept_loop(net::Acceptor* acceptor) {
         next_client_id_++, token, std::move(connection), config_,
         store_.get(), model_, *scheduler_, *devices_, profiling_mutex_,
         profile_cache_, *executor_, *poller_, offload_.get());
-    session->set_resume_router(
-        [this](std::uint64_t t, std::shared_ptr<net::Connection> conn) {
-          return route_resume(t, std::move(conn));
-        });
-    {
-      util::MutexLock live(live_mutex_);
-      ++live_sessions_;
-    }
-    session->set_on_finished([this] {
-      util::MutexLock live(live_mutex_);
-      --live_sessions_;
-      live_cv_.notify_all();
-    });
+    install_session_locked(session);
     session->start();
-    sessions_.push_back(std::move(session));
   }
+}
+
+std::uint64_t Server::adopt_connection(
+    std::unique_ptr<net::Connection> connection) {
+  MENOS_CHECK_MSG(connection != nullptr, "adopting a null connection");
+  if (stopping_.load()) return 0;
+  util::MutexLock lock(sessions_mutex_);
+  reap_finished_locked();
+  const std::uint64_t token = token_rng_.next_u64() | 1;
+  auto session = std::make_shared<ServingSession>(
+      next_client_id_++, token, std::move(connection), config_, store_.get(),
+      model_, *scheduler_, *devices_, profiling_mutex_, profile_cache_,
+      *executor_, *poller_, offload_.get());
+  install_session_locked(session);
+  session->start();
+  return token;
+}
+
+std::optional<MigrationTicket> Server::migrate_out(std::uint64_t token) {
+  std::shared_ptr<ServingSession> session;
+  {
+    util::MutexLock lock(sessions_mutex_);
+    for (auto& s : sessions_) {
+      if (s->token() == token && !s->finished()) {
+        session = s;
+        break;
+      }
+    }
+  }
+  if (session == nullptr) return std::nullopt;
+  // Off-lock: the export event runs scheduler calls whose post-unlock grant
+  // dispatch takes sessions_mutex_ — waiting under it would deadlock.
+  return session->export_for_migration();
+}
+
+bool Server::migrate_in(const MigrationTicket& ticket) {
+  if (stopping_.load()) return false;
+  MENOS_CHECK_MSG(ticket.token != 0, "migration ticket without a token");
+  int id = 0;
+  {
+    util::MutexLock lock(sessions_mutex_);
+    reap_finished_locked();
+    id = next_client_id_++;
+  }
+  auto session = std::make_shared<ServingSession>(
+      id, ticket.token, nullptr, config_, store_.get(), model_, *scheduler_,
+      *devices_, profiling_mutex_, profile_cache_, *executor_, *poller_,
+      offload_.get());
+  try {
+    session->import_migrated(ticket);
+  } catch (const Error& e) {
+    MENOS_LOG(Warn) << "migrate_in of session token " << ticket.token
+                    << " refused: " << e.what();
+    return false;
+  }
+  {
+    util::MutexLock lock(sessions_mutex_);
+    install_session_locked(session);
+    // No start(): the session has no connection yet. The client's
+    // ResumeSession attach() installs the watch; until then the session is
+    // Parked under its lease.
+  }
+  // Stop may have raced the publish: either its snapshot (taken under
+  // sessions_mutex_) already includes this session, or the stopping_ store
+  // is visible here — both orders leave exactly one stop request.
+  if (stopping_.load()) session->request_stop();
+  return true;
+}
+
+std::vector<std::uint64_t> Server::session_tokens() const {
+  util::MutexLock lock(sessions_mutex_);
+  std::vector<std::uint64_t> tokens;
+  tokens.reserve(sessions_.size());
+  for (const auto& session : sessions_) {
+    if (!session->finished()) tokens.push_back(session->token());
+  }
+  return tokens;
 }
 
 bool Server::route_resume(std::uint64_t token,

@@ -39,9 +39,52 @@ class Server {
   /// exception unwinding cannot destroy it under the accept loop.
   void start(net::Acceptor& acceptor);
 
+  /// Start serving WITHOUT an acceptor: connections arrive only through
+  /// adopt_connection / migrate_in. This is the fleet-shard mode, where the
+  /// fleet's Router owns the single accept loop.
+  void start();
+
   /// Stop accepting, wind every session down through its state machine,
-  /// then stop the poller and executor. Idempotent.
+  /// then stop the poller and executor (owned core only — a shared core is
+  /// stopped by its owner after every shard has stopped). Idempotent.
   void stop();
+
+  /// Hand an externally accepted connection to a new session and return
+  /// its token (the same identity HelloAck echoes to the client). The
+  /// fleet Router calls this after placing a connection on this shard.
+  /// Returns 0 while the server is stopping (the caller closes the
+  /// connection).
+  std::uint64_t adopt_connection(std::unique_ptr<net::Connection> connection);
+
+  /// Route a reconnecting client's fresh connection to the parked session
+  /// owning `token`. False -> the session is gone (lease expired or never
+  /// existed) and the caller answers Error. Sessions use this through
+  /// their ResumeRouter hook; the fleet Router calls it directly.
+  bool route_resume(std::uint64_t token,
+                    std::shared_ptr<net::Connection> connection);
+
+  /// Live-migration source side: synchronously export the session holding
+  /// `token`. Blocks on the session's strand, so it must be called from a
+  /// thread OUTSIDE the executor (the fleet's migrator thread). Nullopt if
+  /// the token is unknown or the session is not migratable right now.
+  std::optional<MigrationTicket> migrate_out(std::uint64_t token);
+
+  /// Live-migration target side: rebuild the exported session here. False
+  /// if the import failed (e.g. this shard cannot fit its A + O); the
+  /// ticket stays valid for re-import elsewhere (including the source).
+  bool migrate_in(const MigrationTicket& ticket);
+
+  /// Observer fired (from a session's strand, with no server locks held)
+  /// whenever a session reaches Finished, keyed by its token. Set before
+  /// start(); the fleet Router uses it to drop its placement entry.
+  using SessionClosedHook = std::function<void(std::uint64_t token)>;
+  void set_session_closed_hook(SessionClosedHook hook) {
+    session_closed_hook_ = std::move(hook);
+  }
+
+  /// Tokens of the live (non-finished) sessions, for migration victim
+  /// selection.
+  std::vector<std::uint64_t> session_tokens() const;
 
   // ----- introspection for tests/benches -----
 
@@ -68,11 +111,16 @@ class Server {
   void accept_loop(net::Acceptor* acceptor);
   void reap_finished_locked() MENOS_REQUIRES(sessions_mutex_);
 
-  /// ResumeRouter for sessions: find the parked session owning `token` and
-  /// attach the fresh connection to it. False -> the session is gone (lease
-  /// expired or never existed) and the caller answers Error.
-  bool route_resume(std::uint64_t token,
-                    std::shared_ptr<net::Connection> connection);
+  /// Shared start()/start(acceptor) body: start the owned poller (a shared
+  /// one is already running) and schedule the lease reaper.
+  void start_core();
+
+  /// Wire a freshly built session into the server: resume router, live
+  /// count, and the on_finished hook. Does not start() it.
+  void install_session_locked(const std::shared_ptr<ServingSession>& session)
+      MENOS_REQUIRES(sessions_mutex_);
+
+  bool owns_core() const noexcept { return owned_executor_ != nullptr; }
 
   /// Lease-reaper tick, hosted on the poller's timer wheel (lease_seconds
   /// > 0 only): expires sessions whose deadline passed and sweeps finished
@@ -91,8 +139,13 @@ class Server {
   std::unique_ptr<mem::OffloadEngine> offload_;  // SwapOnIdle only
   // The serving core. Declared before sessions_: a session's destructor
   // may still unwatch itself, so the poller must outlive every session.
-  std::unique_ptr<Executor> executor_;
-  std::unique_ptr<net::Poller> poller_;
+  // When ServerConfig::shared_executor/shared_poller are set (fleet mode)
+  // the owned pointers stay null and the raw ones alias the shared core.
+  std::unique_ptr<Executor> owned_executor_;
+  std::unique_ptr<net::Poller> owned_poller_;
+  Executor* executor_ = nullptr;
+  net::Poller* poller_ = nullptr;
+  SessionClosedHook session_closed_hook_;  ///< immutable after start
   // Serializes the profiling runs themselves (device headroom), not a data
   // member — sessions lock it around profile().
   // NOLINTNEXTLINE(mutex-annotation)
@@ -108,6 +161,7 @@ class Server {
   util::Rng token_rng_ MENOS_GUARDED_BY(sessions_mutex_);
 
   net::Acceptor* acceptor_ = nullptr;
+  std::atomic<bool> started_{false};
   // The accept thread is infrastructure (it blocks in accept(), which the
   // poller cannot demux for every Acceptor flavor), not a per-client thread.
   std::thread accept_thread_;  // NOLINT(raw-thread)

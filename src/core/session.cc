@@ -1,5 +1,6 @@
 #include "core/session.h"
 
+#include <algorithm>
 #include <sstream>
 #include <utility>
 #include <vector>
@@ -598,7 +599,7 @@ void ServingSession::swap_to(gpusim::Device& device) {
   on_gpu_.store(to_gpu);
 }
 
-void ServingSession::register_residency_unit() {
+mem::UnitCallbacks ServingSession::make_unit_callbacks() {
   // Snapshot the unit's tensors with their home devices: the trainable
   // adapter parameters plus the optimizer state (exactly the A + O the
   // scheduler charge covers). Tensors are shared handles, so migrating
@@ -624,8 +625,12 @@ void ServingSession::register_residency_unit() {
     // giving up, so a move-in can in turn evict somebody idler.
     scheduler_->reserve_persistent(0, persistent_bytes_.load());
   };
+  return callbacks;
+}
+
+void ServingSession::register_residency_unit() {
   offload_->register_unit(id_, persistent_bytes_.load(),
-                          std::move(callbacks));
+                          make_unit_callbacks());
   unit_registered_.store(true);
 }
 
@@ -921,6 +926,206 @@ void ServingSession::finish_backward(const net::Message& msg, double wait_s) {
   send_reply(reply);
   state_ = State::AwaitRequest;
   pump();  // drain frames that buffered while we were computing
+}
+
+// ----- live migration (fleet) -------------------------------------------
+
+std::optional<MigrationTicket> ServingSession::export_for_migration() {
+  // Raw strand post, not post_event: the export must answer even when it
+  // loses a race with Finished, and its failure mode is "return nullopt",
+  // never "error-reply and tear down".
+  auto result = std::make_shared<
+      util::BlockingQueue<std::optional<MigrationTicket>>>();
+  strand_.post([self = shared_from_this(), result] {
+    std::optional<MigrationTicket> ticket;
+    try {
+      ticket = self->export_event();
+    } catch (const Error& e) {
+      MENOS_LOG(Warn) << "session " << self->id_
+                      << " export failed: " << e.what();
+    }
+    result->push(std::move(ticket));
+  });
+  auto out = result->pop();
+  return out.has_value() ? std::move(*out) : std::nullopt;
+}
+
+std::optional<MigrationTicket> ServingSession::export_event() {
+  // Only an idle, fully handshaken session in a shared mode migrates: no
+  // live allocation, no held graph (PreserveAll's pinned tape and the
+  // holds-across-iteration window both decline), not already finishing.
+  if (state_ != State::AwaitRequest && state_ != State::Parked) {
+    return std::nullopt;
+  }
+  if (finished_.load() || stop_requested_.load()) return std::nullopt;
+  if (holding_allocation_ || held_output_.defined() || held_input_.defined()) {
+    return std::nullopt;
+  }
+  if (section_ == nullptr || !shares_base_model(config_.mode)) {
+    return std::nullopt;
+  }
+  // The client can only follow the move through ResumeSession, so a
+  // leaseless session has nowhere to go.
+  if (!lease_enabled()) return std::nullopt;
+  {
+    util::MutexLock lock(conn_mutex_);
+    if (expired_) return std::nullopt;
+  }
+
+  MigrationTicket ticket;
+  ticket.token = token_;
+  ticket.client_config = client_config_;
+  ticket.demands = demands_;
+  ticket.adapter_blob = serialize_adapter(*section_);
+  for (const tensor::Tensor& t : optimizer_->state_tensors()) {
+    ticket.optimizer_state.push_back(t.to_vector());
+  }
+  ticket.optimizer_steps = optimizer_->step_count();
+  ticket.backwards_applied = backwards_applied_.load();
+  ticket.last_backward_reply = last_backward_reply_;
+  ticket.cached_activation = cached_activation_;
+  ticket.resumes = resumes_.load();
+  ticket.persistent_bytes = persistent_bytes_.load();
+
+  // Hand this shard's claims back. The engine path swaps the unit out
+  // through the source's OffloadEngine (the satellite API this PR adds),
+  // so the move is metered like any other eviction; a unit already evicted
+  // had its charge credited back by the reclaim pass, so only a resident
+  // one releases the scheduler reservation here.
+  if (unit_registered_.load()) {
+    ticket.unit = offload_->release_unit(id_);
+    ticket.had_unit = true;
+    unit_registered_.store(false);
+    if (ticket.unit.was_resident) {
+      scheduler_->release_persistent(0, ticket.persistent_bytes);
+    }
+  } else if (ticket.persistent_bytes != 0) {
+    ticket.unit.bytes = ticket.persistent_bytes;
+    ticket.unit.was_resident = true;
+    scheduler_->release_persistent(0, ticket.persistent_bytes);
+  }
+  persistent_bytes_.store(0);
+  scheduler_->unregister_client(id_);
+  if (config_.trace != nullptr) {
+    config_.trace->record(util::TraceCategory::Session, "session.exported",
+                          id_, ticket.persistent_bytes);
+  }
+  finish_migrated();
+  return ticket;
+}
+
+void ServingSession::finish_migrated() {
+  // Terminal path for a session whose state now lives in a ticket: drop
+  // everything WITHOUT the releases cleanup() performs — the scheduler and
+  // engine claims were already transferred by export_event.
+  state_ = State::Finished;
+  unwatch_conn();
+  held_input_ = tensor::Tensor();
+  held_output_ = tensor::Tensor();
+  cached_activation_ = net::WireTensor();
+  pending_msg_ = net::Message();
+  last_backward_reply_ = net::Message();
+  section_.reset();
+  optimizer_.reset();
+  {
+    util::MutexLock lock(conn_mutex_);
+    if (connection_ != nullptr) connection_->close();
+    connection_ = nullptr;
+  }
+  serving_conn_.reset();
+  finished_.store(true);
+  if (on_finished_) on_finished_();
+}
+
+void ServingSession::import_migrated(const MigrationTicket& ticket) {
+  MENOS_CHECK_MSG(shares_base_model(config_.mode) && store_ != nullptr,
+                  "session migration requires a shared serving mode");
+  MENOS_CHECK_MSG(lease_enabled(),
+                  "session migration requires session leases");
+  client_config_ = ticket.client_config;
+  demands_ = ticket.demands;
+  // Cheapest-to-roll-back first: validate demands against this shard's
+  // partitions before building anything on the GPU.
+  scheduler_->register_client(id_, demands_);
+  try {
+    // Same derivation as handshake(): the fresh adapters are overwritten
+    // by the blob below, but building them identically keeps the section
+    // layout (and RNG stream consumption) in lockstep with the source.
+    util::Rng root(client_config_.adapter_seed);
+    (void)root.fork();
+    util::Rng server_rng = root.fork();
+    nn::SharedSource source = store_->source();
+    const std::function<gpusim::Device&(int)> device_for =
+        [this](int block) -> gpusim::Device& {
+      return store_->device_for_block(block);
+    };
+    section_ = std::make_unique<nn::ServerSection>(
+        client_config_.model, client_config_.split, client_config_.adapter,
+        source, device_for, server_rng);
+    gpu_ = &section_->entry_device();
+    on_gpu_.store(true);
+    optimizer_ = optim::make_optimizer(client_config_.optimizer,
+                                       section_->trainable_parameters(),
+                                       client_config_.lr);
+    deserialize_adapter(ticket.adapter_blob.data(),
+                        ticket.adapter_blob.size(), *section_);
+    std::vector<tensor::Tensor> state = optimizer_->state_tensors();
+    MENOS_CHECK_MSG(state.size() == ticket.optimizer_state.size(),
+                    "migrated optimizer state layout mismatch");
+    for (std::size_t i = 0; i < state.size(); ++i) {
+      const std::vector<float>& src = ticket.optimizer_state[i];
+      MENOS_CHECK_MSG(
+          static_cast<std::size_t>(state[i].numel()) == src.size(),
+          "migrated optimizer state size mismatch at buffer " << i);
+      std::copy(src.begin(), src.end(), state[i].data());
+    }
+    optimizer_->set_step_count(ticket.optimizer_steps);
+
+    persistent_bytes_.store(ticket.persistent_bytes);
+    if (offload_ != nullptr) {
+      // Land as an adopted unit: OnHost and uncharged, exactly like a
+      // post-eviction unit — the charge is paid on first use through the
+      // charge callback, which may in turn evict idler units here.
+      mem::UnitCallbacks callbacks = make_unit_callbacks();  // homes = GPU
+      for (nn::Parameter& p : section_->trainable_parameters()) {
+        p.value.migrate(*host_);
+      }
+      for (tensor::Tensor t : optimizer_->state_tensors()) {
+        t.migrate(*host_);
+      }
+      mem::ExportedUnit unit;
+      unit.bytes = ticket.persistent_bytes;
+      unit.was_resident = false;
+      offload_->adopt_unit(id_, unit, std::move(callbacks));
+      unit_registered_.store(true);
+    } else if (ticket.persistent_bytes != 0) {
+      // No engine: the A + O lands resident, charged up front. This is the
+      // one call that can refuse (OutOfMemory) — last, so rollback is easy.
+      scheduler_->reserve_persistent(0, ticket.persistent_bytes);
+    }
+  } catch (...) {
+    try {
+      scheduler_->unregister_client(id_);
+    } catch (const Error&) {
+      // Rollback is best-effort; the registration may not have happened.
+    }
+    section_.reset();
+    optimizer_.reset();
+    persistent_bytes_.store(0);
+    unit_registered_.store(false);
+    throw;
+  }
+  backwards_applied_.store(ticket.backwards_applied);
+  last_backward_reply_ = ticket.last_backward_reply;
+  cached_activation_ = ticket.cached_activation;
+  resumes_.store(ticket.resumes);
+  // Park until the client's ResumeSession attaches a connection; the lease
+  // armed in the constructor reaps the session if it never does.
+  state_ = State::Parked;
+  if (config_.trace != nullptr) {
+    config_.trace->record(util::TraceCategory::Session, "session.imported",
+                          id_, ticket.persistent_bytes);
+  }
 }
 
 // ----- teardown ---------------------------------------------------------

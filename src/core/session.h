@@ -24,8 +24,11 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
+#include <vector>
 
 #include "core/executor.h"
 #include "core/parameter_store.h"
@@ -53,6 +56,34 @@ class ProfileCache {
   mutable util::Mutex mutex_{"core.profile_cache", 16};
   std::unordered_map<std::string, sched::ClientDemands> cache_
       MENOS_GUARDED_BY(mutex_);
+};
+
+/// Everything needed to recreate a live session on another shard
+/// (fleet::Fleet drives Server::migrate_out -> Server::migrate_in). The
+/// ticket is in-memory only: the client's adapter and optimizer state
+/// travel as host-side serialized bytes, while the base model is NOT
+/// carried — every shard shares base_seed, so their ParameterStores are
+/// bit-identical by construction and only the per-client state moves.
+/// The at-least-once bookkeeping (backwards_applied, last_backward_reply,
+/// cached_activation) rides along so a replayed iteration on the target
+/// shard stays bit-identical to the uninterrupted run.
+struct MigrationTicket {
+  std::uint64_t token = 0;
+  net::FinetuneConfig client_config;
+  sched::ClientDemands demands;
+  std::vector<std::uint8_t> adapter_blob;  ///< serialize_adapter output
+  /// Optimizer state buffers in state_tensors() order, plus the step
+  /// counter (Adam's bias correction depends on it).
+  std::vector<std::vector<float>> optimizer_state;
+  std::int64_t optimizer_steps = 0;
+  std::uint64_t backwards_applied = 0;
+  net::Message last_backward_reply;
+  net::WireTensor cached_activation;
+  std::uint64_t resumes = 0;
+  std::size_t persistent_bytes = 0;  ///< the A + O scheduler charge
+  /// Offload-engine accounting carried across shards (SwapOnIdle only).
+  mem::ExportedUnit unit;
+  bool had_unit = false;
 };
 
 /// Aggregate per-session timing, mirroring the paper's Table 1-3 breakdown
@@ -126,6 +157,23 @@ class ServingSession
   /// Scheduler grant arrived for this session (posted as a GrantEvent).
   void on_grant(const sched::Grant& grant);
 
+  /// Fleet migration, source side. Blocks until the strand runs the export
+  /// event, so it must be called OFF the executor (the fleet's migrator
+  /// thread) — a worker waiting on its own pool could deadlock. Returns
+  /// nullopt if the session is not migratable right now: mid-iteration,
+  /// holding an allocation or a live graph, vanilla mode, leases off, or
+  /// already finishing. On success the session is finished locally WITHOUT
+  /// releasing what the ticket now owns; the client's next frame finds the
+  /// link closed and its retry/ResumeSession path replays on the target.
+  std::optional<MigrationTicket> export_for_migration();
+
+  /// Fleet migration, target side: rebuild the exported session over THIS
+  /// server's store/scheduler. Runs caller-side (no strand activity yet —
+  /// the session must not be published before this returns). Throws on
+  /// failure (e.g. the shard cannot fit A + O) after rolling back its own
+  /// registrations; the ticket stays valid for re-import elsewhere.
+  void import_migrated(const MigrationTicket& ticket);
+
   int id() const noexcept { return id_; }
   std::uint64_t token() const noexcept { return token_; }
   bool lease_enabled() const noexcept { return config_.lease_seconds > 0.0; }
@@ -182,6 +230,12 @@ class ServingSession
   /// continue on a new connection.
   bool handle_link_down();
 
+  /// Strand half of export_for_migration: checks migratability, fills the
+  /// ticket, releases this shard's claims, and finishes the session via
+  /// finish_migrated (which must NOT double-release what the ticket owns).
+  std::optional<MigrationTicket> export_event();
+  void finish_migrated();
+
   /// Terminal transitions. finish_now: the pre-handshake exits that leave
   /// the connection open and skip cleanup (nothing was registered).
   /// finish_session: the full teardown path through cleanup().
@@ -213,6 +267,10 @@ class ServingSession
   /// nests; MenosPreserveAll never drops its last nesting level, so its
   /// unit — like its graph — stays pinned for the session's lifetime.
   void register_residency_unit();
+  /// Build the unit's move/charge callbacks, snapshotting each tensor's
+  /// CURRENT device as its home — so an import must call this before
+  /// migrating the freshly built section to host.
+  mem::UnitCallbacks make_unit_callbacks();
   void offload_begin_use();
   void offload_end_use();
   void offload_ensure_resident();

@@ -1,0 +1,87 @@
+#include "fleet/policy.h"
+
+#include <sstream>
+
+#include "nn/transformer.h"
+#include "util/check.h"
+
+namespace menos::fleet {
+namespace {
+
+/// Load ordering shared by the load-aware policies: persistent bytes
+/// first (the paper's contended resource), live sessions as tiebreak, then
+/// the index for determinism.
+bool lighter(const ShardLoad& a, const ShardLoad& b) {
+  if (a.reserved_bytes != b.reserved_bytes) {
+    return a.reserved_bytes < b.reserved_bytes;
+  }
+  if (a.sessions != b.sessions) return a.sessions < b.sessions;
+  return a.shard < b.shard;
+}
+
+int least_loaded_of(const std::vector<ShardLoad>& loads) {
+  MENOS_CHECK_MSG(!loads.empty(), "placement over an empty fleet");
+  int best = 0;
+  for (std::size_t i = 1; i < loads.size(); ++i) {
+    if (lighter(loads[i], loads[static_cast<std::size_t>(best)])) {
+      best = static_cast<int>(i);
+    }
+  }
+  return loads[static_cast<std::size_t>(best)].shard;
+}
+
+}  // namespace
+
+int RoundRobin::place(const net::FinetuneConfig& /*config*/,
+                      const std::vector<ShardLoad>& loads) {
+  MENOS_CHECK_MSG(!loads.empty(), "placement over an empty fleet");
+  return static_cast<int>(next_++ % loads.size());
+}
+
+int LeastLoaded::place(const net::FinetuneConfig& /*config*/,
+                       const std::vector<ShardLoad>& loads) {
+  return least_loaded_of(loads);
+}
+
+int PowerOfTwoChoices::place(const net::FinetuneConfig& /*config*/,
+                             const std::vector<ShardLoad>& loads) {
+  MENOS_CHECK_MSG(!loads.empty(), "placement over an empty fleet");
+  const std::size_t n = loads.size();
+  if (n == 1) return loads[0].shard;
+  const std::size_t a = rng_.next_below(n);
+  std::size_t b = rng_.next_below(n - 1);
+  if (b >= a) ++b;  // distinct second choice, uniform over the rest
+  return lighter(loads[a], loads[b]) ? loads[a].shard : loads[b].shard;
+}
+
+std::string AdapterAffinity::model_key(const net::FinetuneConfig& config) {
+  std::ostringstream os;
+  const nn::TransformerConfig& m = config.model;
+  os << nn::model_family_name(m.family) << '|' << m.dim << 'x' << m.n_layers
+     << 'h' << m.n_heads << 'f' << m.ffn_hidden << 'v' << m.vocab_size << 's'
+     << m.max_seq;
+  return os.str();
+}
+
+int AdapterAffinity::place(const net::FinetuneConfig& config,
+                           const std::vector<ShardLoad>& loads) {
+  const std::string key = model_key(config);
+  auto it = sticky_.find(key);
+  if (it != sticky_.end() &&
+      it->second < static_cast<int>(loads.size())) {
+    return it->second;
+  }
+  const int shard = least_loaded_of(loads);
+  sticky_[key] = shard;
+  return shard;
+}
+
+std::unique_ptr<PlacementPolicy> make_policy(const std::string& name) {
+  if (name == "round-robin") return std::make_unique<RoundRobin>();
+  if (name == "least-loaded") return std::make_unique<LeastLoaded>();
+  if (name == "power-of-two") return std::make_unique<PowerOfTwoChoices>();
+  if (name == "adapter-affinity") return std::make_unique<AdapterAffinity>();
+  throw InvalidArgument("unknown placement policy: " + name);
+}
+
+}  // namespace menos::fleet

@@ -1,0 +1,97 @@
+// Placement policies for fleet::Router: which shard gets a new session.
+//
+// A policy sees one ShardLoad snapshot per shard and returns an index. The
+// Router serializes placement decisions under its own mutex, so policies
+// need no internal locking; stateful policies (round-robin counters,
+// affinity maps, the power-of-two RNG) can use plain members.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/message.h"
+#include "util/rng.h"
+
+namespace menos::fleet {
+
+/// A shard's load as sampled at placement time.
+struct ShardLoad {
+  int shard = 0;
+  int sessions = 0;                ///< live sessions on the shard
+  std::size_t reserved_bytes = 0;  ///< persistent GPU bytes (base + A + O)
+  std::size_t available_bytes = 0; ///< schedulable bytes currently free
+};
+
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  virtual const char* name() const noexcept = 0;
+
+  /// Pick a shard for a new session announcing `config`. `loads` is indexed
+  /// by shard and never empty; the returned index must be in range.
+  virtual int place(const net::FinetuneConfig& config,
+                    const std::vector<ShardLoad>& loads) = 0;
+};
+
+/// Cycle through the shards in order, ignoring load.
+class RoundRobin final : public PlacementPolicy {
+ public:
+  const char* name() const noexcept override { return "round-robin"; }
+  int place(const net::FinetuneConfig& config,
+            const std::vector<ShardLoad>& loads) override;
+
+ private:
+  std::uint64_t next_ = 0;
+};
+
+/// The shard with the least (reserved_bytes, sessions) — a global scan, the
+/// strongest balance at O(shards) per placement.
+class LeastLoaded final : public PlacementPolicy {
+ public:
+  const char* name() const noexcept override { return "least-loaded"; }
+  int place(const net::FinetuneConfig& config,
+            const std::vector<ShardLoad>& loads) override;
+};
+
+/// Sample two distinct shards, keep the less loaded — the classic
+/// two-choices balancer: near-LeastLoaded quality at O(1), and the
+/// comparison stays cheap when shard counts grow.
+class PowerOfTwoChoices final : public PlacementPolicy {
+ public:
+  explicit PowerOfTwoChoices(std::uint64_t seed = 0x70327063ULL /* "p2pc" */)
+      : rng_(seed) {}
+  const char* name() const noexcept override { return "power-of-two"; }
+  int place(const net::FinetuneConfig& config,
+            const std::vector<ShardLoad>& loads) override;
+
+ private:
+  util::Rng rng_;
+};
+
+/// Co-locate sessions that share a base ModelSpec: the first session with a
+/// given spec lands least-loaded, later ones stick to that shard (profile
+/// cache hits, and a future per-spec store only needs loading once per
+/// shard). Falls back to least-loaded when the sticky shard is unknown.
+class AdapterAffinity final : public PlacementPolicy {
+ public:
+  const char* name() const noexcept override { return "adapter-affinity"; }
+  int place(const net::FinetuneConfig& config,
+            const std::vector<ShardLoad>& loads) override;
+
+  /// The grouping key: base-model architecture only (no adapter/client
+  /// fields — those differ between sessions that still share the store).
+  static std::string model_key(const net::FinetuneConfig& config);
+
+ private:
+  std::unordered_map<std::string, int> sticky_;
+};
+
+/// Factory by name ("round-robin", "least-loaded", "power-of-two",
+/// "adapter-affinity") for benches/CLIs; throws InvalidArgument otherwise.
+std::unique_ptr<PlacementPolicy> make_policy(const std::string& name);
+
+}  // namespace menos::fleet

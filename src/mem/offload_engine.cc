@@ -143,6 +143,44 @@ bool OffloadEngine::complete_move_in(int id, bool is_prefetch) {
   return true;
 }
 
+ExportedUnit OffloadEngine::release_unit(int id) {
+  util::MutexLock lock(mutex_);
+  Unit& unit = unit_locked(id);
+  wait_while_moving_locked(unit);
+  MENOS_CHECK_MSG(unit.busy == 0,
+                  "cannot release busy residency unit " << id);
+  ExportedUnit out;
+  out.bytes = unit.bytes;
+  out.was_resident = unit.state == Residency::OnDevice;
+  if (out.was_resident) {
+    // Synchronous move-out, same rationale as evict_idle: the move
+    // callback touches only devices/trace, never the engine or scheduler.
+    unit.state = Residency::MovingOut;
+    unit.callbacks.move(/*to_device=*/false);
+    ++stats_.swap_outs;
+    stats_.bytes_out += unit.bytes;
+    stats_.modeled_transfer_s += transfer_.seconds_for(unit.bytes);
+  }
+  units_.erase(id);
+  state_cv_.notify_all();
+  return out;
+}
+
+void OffloadEngine::adopt_unit(int id, const ExportedUnit& unit,
+                               UnitCallbacks callbacks) {
+  MENOS_CHECK_MSG(callbacks.move != nullptr && callbacks.charge != nullptr,
+                  "residency unit needs move and charge callbacks");
+  util::MutexLock lock(mutex_);
+  MENOS_CHECK_MSG(units_.find(id) == units_.end(),
+                  "residency unit " << id << " already registered");
+  Unit adopted;
+  adopted.bytes = unit.bytes;
+  adopted.callbacks = std::move(callbacks);
+  adopted.state = Residency::OnHost;  // lands uncharged, like post-eviction
+  adopted.last_used = ++clock_;
+  units_.emplace(id, std::move(adopted));
+}
+
 std::size_t OffloadEngine::evict_idle(std::size_t bytes_needed,
                                       int except_id) {
   util::MutexLock lock(mutex_);

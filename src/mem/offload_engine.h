@@ -57,6 +57,19 @@ struct UnitCallbacks {
   std::function<void()> charge;
 };
 
+/// A residency unit detached from its engine (release_unit), ready to be
+/// adopted by another engine on a different shard. Carries accounting only
+/// — the tensors themselves travel via the owner's move callback before
+/// release and fresh callbacks at adoption.
+struct ExportedUnit {
+  std::size_t bytes = 0;
+  /// True if the unit held its scheduler charge at release time (it was
+  /// OnDevice before release_unit swapped it out): the caller must
+  /// release_persistent those bytes on the source shard. False means the
+  /// unit had already been evicted and its charge credited back.
+  bool was_resident = false;
+};
+
 struct OffloadStats {
   std::uint64_t swap_ins = 0;
   std::uint64_t swap_outs = 0;   ///< evictions (always via evict_idle)
@@ -105,6 +118,20 @@ class OffloadEngine {
   /// immediately. Failure to charge quietly leaves the unit OnHost — the
   /// caller's ensure_resident() will retry and surface the error.
   void prefetch(int id);
+
+  /// Detach the unit for migration to another engine: wait for any
+  /// in-flight move, swap the tensors out to host if resident (counted as
+  /// a swap-out), and forget the unit. The unit must be idle (no busy
+  /// pins). Returns the unit's accounting; if `was_resident` the caller
+  /// still holds the scheduler charge and must release it on this shard.
+  ExportedUnit release_unit(int id);
+
+  /// Register a unit previously detached with release_unit on another
+  /// engine. The unit's tensors must already live on the host; it starts
+  /// OnHost with NO scheduler charge — the first ensure_resident() (or
+  /// prefetch) charges the destination shard and moves it in, exactly like
+  /// an evicted unit coming back.
+  void adopt_unit(int id, const ExportedUnit& unit, UnitCallbacks callbacks);
 
   /// Evict least-recently-used idle resident units (skipping `except_id`)
   /// until at least `bytes_needed` of charged bytes are freed, moving

@@ -106,27 +106,42 @@ class InprocConnection final : public Connection {
 
 std::pair<std::unique_ptr<Connection>, std::unique_ptr<Connection>>
 make_inproc_pair(const NetworkConditioner& conditioner) {
-  auto a_to_b = std::make_shared<Pipe>();
-  auto b_to_a = std::make_shared<Pipe>();
-  auto a = std::make_unique<InprocConnection>(a_to_b, b_to_a, conditioner);
-  auto b = std::make_unique<InprocConnection>(b_to_a, a_to_b, conditioner);
+  return make_inproc_pair(conditioner, conditioner);
+}
+
+std::pair<std::unique_ptr<Connection>, std::unique_ptr<Connection>>
+make_inproc_pair(const NetworkConditioner& a_to_b,
+                 const NetworkConditioner& b_to_a) {
+  auto ab = std::make_shared<Pipe>();
+  auto ba = std::make_shared<Pipe>();
+  // The conditioner delay is paid in the SENDER's thread, so each endpoint
+  // carries the conditioner of its own outbound direction.
+  auto a = std::make_unique<InprocConnection>(ab, ba, a_to_b);
+  auto b = std::make_unique<InprocConnection>(ba, ab, b_to_a);
   return {std::move(a), std::move(b)};
 }
 
 struct InprocAcceptor::State {
   util::BlockingQueue<std::unique_ptr<Connection>> pending;
-  NetworkConditioner conditioner;
+  NetworkConditioner uplink;
+  NetworkConditioner downlink;
 };
 
 InprocAcceptor::InprocAcceptor(const NetworkConditioner& conditioner)
+    : InprocAcceptor(conditioner, conditioner) {}
+
+InprocAcceptor::InprocAcceptor(const NetworkConditioner& uplink,
+                               const NetworkConditioner& downlink)
     : state_(std::make_shared<State>()) {
-  state_->conditioner = conditioner;
+  state_->uplink = uplink;
+  state_->downlink = downlink;
 }
 
 InprocAcceptor::~InprocAcceptor() { close(); }
 
 std::unique_ptr<Connection> InprocAcceptor::connect() {
-  auto [client_end, server_end] = make_inproc_pair(state_->conditioner);
+  auto [client_end, server_end] =
+      make_inproc_pair(state_->uplink, state_->downlink);
   state_->pending.push(std::move(server_end));
   return std::move(client_end);
 }

@@ -1,0 +1,75 @@
+// Connection decorator that re-delivers one already-consumed frame.
+//
+// The fleet router must read a connection's first message (Hello or
+// ResumeSession) to decide WHICH shard gets the connection, but the shard's
+// session handshake also needs that frame. make_prefixed() puts it back at
+// the head of the stream.
+
+#include <utility>
+
+#include "net/transport.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace menos::net {
+namespace {
+
+class PrefixedConnection final : public Connection {
+ public:
+  PrefixedConnection(std::shared_ptr<Connection> inner, Message first)
+      : inner_(std::move(inner)), prefix_(std::move(first)) {}
+
+  bool send(const Message& message) override { return inner_->send(message); }
+
+  std::optional<Message> receive() override {
+    if (auto msg = take_prefix()) return msg;
+    return inner_->receive();
+  }
+
+  void set_receive_timeout(double seconds) override {
+    inner_->set_receive_timeout(seconds);
+  }
+
+  RecvStatus try_receive(Message* out) override {
+    if (auto msg = take_prefix()) {
+      *out = std::move(*msg);
+      return RecvStatus::Frame;
+    }
+    return inner_->try_receive(out);
+  }
+
+  void set_ready_hook(std::function<void()> hook) override {
+    inner_->set_ready_hook(std::move(hook));
+  }
+
+  int poll_fd() const override { return inner_->poll_fd(); }
+
+  void close() override { inner_->close(); }
+
+  std::uint64_t bytes_sent() const override { return inner_->bytes_sent(); }
+
+ private:
+  std::optional<Message> take_prefix() {
+    util::MutexLock lock(mutex_);
+    if (!has_prefix_) return std::nullopt;
+    has_prefix_ = false;
+    return std::move(prefix_);
+  }
+
+  std::shared_ptr<Connection> inner_;
+  // Leaf lock: held only over the local flag/message, never across inner_.
+  util::Mutex mutex_{"net.prefixed", 57};
+  Message prefix_ MENOS_GUARDED_BY(mutex_);
+  bool has_prefix_ MENOS_GUARDED_BY(mutex_) = true;
+};
+
+}  // namespace
+
+std::unique_ptr<Connection> make_prefixed(std::shared_ptr<Connection> inner,
+                                          Message first) {
+  MENOS_CHECK_MSG(inner != nullptr, "make_prefixed needs a live connection");
+  return std::make_unique<PrefixedConnection>(std::move(inner),
+                                              std::move(first));
+}
+
+}  // namespace menos::net

@@ -111,6 +111,24 @@ struct NetworkConditioner {
 std::pair<std::unique_ptr<Connection>, std::unique_ptr<Connection>>
 make_inproc_pair(const NetworkConditioner& conditioner = {});
 
+/// Asymmetric variant: `a_to_b` shapes the first endpoint's sends, `b_to_a`
+/// the second's. Lets a bench model an uplink-heavy WAN (client pays the
+/// latency in its own send) while the return path stays free, so a
+/// single-core server is never the one sleeping.
+std::pair<std::unique_ptr<Connection>, std::unique_ptr<Connection>>
+make_inproc_pair(const NetworkConditioner& a_to_b,
+                 const NetworkConditioner& b_to_a);
+
+/// Wrap `inner` so the already-consumed `first` message is re-delivered by
+/// the first receive()/try_receive() before delegating. Used by the fleet
+/// router, which must read a connection's opening frame to *place* it and
+/// then hand the intact stream to the chosen shard. The wrapper reports
+/// poll_fd()/set_ready_hook from `inner` unchanged; the Poller's latched
+/// initial signal guarantees the buffered frame is drained even if the
+/// transport never signals again.
+std::unique_ptr<Connection> make_prefixed(std::shared_ptr<Connection> inner,
+                                          Message first);
+
 /// Source of inbound connections for a server. accept() blocks; returns
 /// nullptr once closed.
 class Acceptor {
@@ -125,6 +143,10 @@ class Acceptor {
 class InprocAcceptor final : public Acceptor {
  public:
   explicit InprocAcceptor(const NetworkConditioner& conditioner = {});
+  /// Asymmetric links: `uplink` shapes client->server sends, `downlink`
+  /// server->client (see the two-conditioner make_inproc_pair).
+  InprocAcceptor(const NetworkConditioner& uplink,
+                 const NetworkConditioner& downlink);
   ~InprocAcceptor() override;
 
   std::unique_ptr<Connection> connect();

@@ -5,6 +5,7 @@
 // §2.3 memory accounting is metered by gpusim like everything else.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -37,6 +38,13 @@ class Optimizer {
 
   /// The state buffers themselves, for host<->GPU task-swap migration.
   virtual std::vector<tensor::Tensor> state_tensors() const = 0;
+
+  /// Steps applied so far, for optimizers whose update depends on time
+  /// (Adam's bias correction). Session migration carries this alongside
+  /// state_tensors() so a resumed run stays bit-identical; optimizers with
+  /// time-independent updates report 0 and ignore the setter.
+  virtual std::int64_t step_count() const { return 0; }
+  virtual void set_step_count(std::int64_t /*steps*/) {}
 
   const std::vector<nn::Parameter>& params() const noexcept { return params_; }
 
@@ -80,6 +88,8 @@ class Adam final : public Optimizer {
   std::vector<tensor::Tensor> state_tensors() const override;
   void set_lr(float lr) override { options_.lr = lr; }
   float lr() const override { return options_.lr; }
+  std::int64_t step_count() const override { return t_; }
+  void set_step_count(std::int64_t steps) override { t_ = steps; }
 
  private:
   AdamOptions options_;

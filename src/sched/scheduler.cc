@@ -30,11 +30,24 @@ void Scheduler::set_reclaim_callback(ReclaimCallback callback) {
   reclaim_callback_ = std::move(callback);
 }
 
-bool Scheduler::try_reclaim(std::size_t bytes, int partition) {
+void Scheduler::set_pressure_callback(PressureCallback callback) {
   util::MutexLock lock(mutex_);
-  MENOS_CHECK_MSG(partition >= 0 && partition < static_cast<int>(free_.size()),
-                  "partition " << partition << " out of range");
-  return try_reclaim_locked(partition, bytes);
+  pressure_callback_ = std::move(callback);
+}
+
+bool Scheduler::try_reclaim(std::size_t bytes, int partition) {
+  PendingDispatch out;
+  bool ok = false;
+  {
+    util::MutexLock lock(mutex_);
+    MENOS_CHECK_MSG(partition >= 0 &&
+                        partition < static_cast<int>(free_.size()),
+                    "partition " << partition << " out of range");
+    ok = try_reclaim_locked(partition, bytes);
+    out = take_pending_locked();
+  }
+  dispatch(out);
+  return ok;
 }
 
 bool Scheduler::try_reclaim_locked(int partition, std::size_t bytes) {
@@ -44,12 +57,18 @@ bool Scheduler::try_reclaim_locked(int partition, std::size_t bytes) {
   // Fires with mutex_ held under the grant callback's no-re-entry
   // contract; it returns bytes evicted to host, which re-expand the pool —
   // the exact inverse of reserve_persistent.
-  const std::size_t freed = reclaim_callback_(partition, bytes - free);
+  const std::size_t needed = bytes - free;
+  const std::size_t freed = reclaim_callback_(partition, needed);
   if (freed > 0) {
     free += freed;
     capacity_[static_cast<std::size_t>(partition)] += freed;
     ++stats_.reclaims;
     stats_.reclaimed_bytes += freed;
+  }
+  if (pressure_callback_) {
+    // One pressure event per reclaim pass, dispatched post-unlock: the
+    // shard ran hot enough to need eviction, whether or not it succeeded.
+    pending_pressure_.push_back(PressureEvent{partition, needed, freed, free});
   }
   return free >= bytes;
 }
@@ -70,7 +89,7 @@ void Scheduler::register_client(int client_id, const ClientDemands& demands) {
 }
 
 void Scheduler::unregister_client(int client_id) {
-  std::pair<std::vector<Grant>, std::function<void(const Grant&)>> out;
+  PendingDispatch out;
   {
     util::MutexLock lock(mutex_);
     if (allocations_.find(client_id) != allocations_.end()) {
@@ -88,11 +107,11 @@ void Scheduler::unregister_client(int client_id) {
     schedule_locked();
     out = take_pending_locked();
   }
-  for (const Grant& grant : out.first) out.second(grant);
+  dispatch(out);
 }
 
 void Scheduler::on_request(int client_id, OpKind kind) {
-  std::pair<std::vector<Grant>, std::function<void(const Grant&)>> out;
+  PendingDispatch out;
   {
     util::MutexLock lock(mutex_);
     MENOS_CHECK_MSG(demands_.find(client_id) != demands_.end(),
@@ -110,11 +129,11 @@ void Scheduler::on_request(int client_id, OpKind kind) {
     schedule_locked();
     out = take_pending_locked();
   }
-  for (const Grant& grant : out.first) out.second(grant);
+  dispatch(out);
 }
 
 void Scheduler::on_complete(int client_id) {
-  std::pair<std::vector<Grant>, std::function<void(const Grant&)>> out;
+  PendingDispatch out;
   {
     util::MutexLock lock(mutex_);
     auto it = allocations_.find(client_id);
@@ -126,28 +145,42 @@ void Scheduler::on_complete(int client_id) {
     schedule_locked();
     out = take_pending_locked();
   }
-  for (const Grant& grant : out.first) out.second(grant);
+  dispatch(out);
 }
 
 void Scheduler::reserve_persistent(int partition, std::size_t bytes) {
-  util::MutexLock lock(mutex_);
-  MENOS_CHECK_MSG(partition >= 0 && partition < static_cast<int>(free_.size()),
-                  "partition " << partition << " out of range");
-  auto& free = free_[static_cast<std::size_t>(partition)];
-  if (bytes > free && policy_ == Policy::SwapOnIdle) {
-    // A new client's A + O does not fit; evict idle clients' state first.
-    try_reclaim_locked(partition, bytes);
+  PendingDispatch out;
+  bool fits = false;
+  std::size_t free_now = 0;
+  {
+    util::MutexLock lock(mutex_);
+    MENOS_CHECK_MSG(partition >= 0 &&
+                        partition < static_cast<int>(free_.size()),
+                    "partition " << partition << " out of range");
+    auto& free = free_[static_cast<std::size_t>(partition)];
+    if (bytes > free && policy_ == Policy::SwapOnIdle) {
+      // A new client's A + O does not fit; evict idle clients' state first.
+      try_reclaim_locked(partition, bytes);
+    }
+    if (bytes <= free) {
+      free -= bytes;
+      capacity_[static_cast<std::size_t>(partition)] -= bytes;
+      fits = true;
+    }
+    free_now = free;
+    out = take_pending_locked();
   }
-  if (bytes > free) {
+  // Dispatch even on the failure path so the pressure event is not lost —
+  // the fleet reacts to exactly this kind of refusal.
+  dispatch(out);
+  if (!fits) {
     throw OutOfMemory("persistent reservation exceeds free partition memory",
-                      bytes, free);
+                      bytes, free_now);
   }
-  free -= bytes;
-  capacity_[static_cast<std::size_t>(partition)] -= bytes;
 }
 
 void Scheduler::release_persistent(int partition, std::size_t bytes) {
-  std::pair<std::vector<Grant>, std::function<void(const Grant&)>> out;
+  PendingDispatch out;
   {
     util::MutexLock lock(mutex_);
     MENOS_CHECK_MSG(partition >= 0 &&
@@ -158,16 +191,27 @@ void Scheduler::release_persistent(int partition, std::size_t bytes) {
     schedule_locked();
     out = take_pending_locked();
   }
-  for (const Grant& grant : out.first) out.second(grant);
+  dispatch(out);
 }
 
-std::pair<std::vector<Grant>, std::function<void(const Grant&)>>
-Scheduler::take_pending_locked() {
-  std::vector<Grant> grants;
-  grants.swap(pending_grants_);
+Scheduler::PendingDispatch Scheduler::take_pending_locked() {
+  PendingDispatch out;
+  out.grants.swap(pending_grants_);
   // A null callback can only coexist with zero grants (schedule_locked
   // bails out without one), so dispatching over an empty vector is safe.
-  return {std::move(grants), grant_callback_};
+  out.grant_callback = grant_callback_;
+  out.pressure.swap(pending_pressure_);
+  out.pressure_callback = pressure_callback_;
+  return out;
+}
+
+void Scheduler::dispatch(PendingDispatch& pending) {
+  for (const Grant& grant : pending.grants) pending.grant_callback(grant);
+  if (pending.pressure_callback) {
+    for (const PressureEvent& e : pending.pressure) {
+      pending.pressure_callback(e);
+    }
+  }
 }
 
 void Scheduler::schedule_locked() {

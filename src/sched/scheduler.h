@@ -80,6 +80,17 @@ struct Grant {
   int partition = 0;
 };
 
+/// A memory-pressure observation: a reclaim pass ran because `partition`
+/// could not cover `bytes_needed` from free memory. Emitted through the
+/// pressure callback AFTER the scheduler mutex drops, so subscribers (the
+/// fleet's rebalancer) may freely call back into the scheduler.
+struct PressureEvent {
+  int partition = 0;
+  std::size_t bytes_needed = 0;  ///< shortfall handed to the reclaim pass
+  std::size_t bytes_freed = 0;   ///< what eviction actually recovered
+  std::size_t free_after = 0;    ///< partition free bytes after the pass
+};
+
 struct SchedulerStats {
   std::uint64_t requests = 0;
   std::uint64_t grants = 0;
@@ -114,6 +125,14 @@ class Scheduler {
   using ReclaimCallback =
       std::function<std::size_t(int partition, std::size_t bytes_needed)>;
   void set_reclaim_callback(ReclaimCallback callback);
+
+  /// Pressure signal: invoked once per reclaim pass (SwapOnIdle), after
+  /// the scheduler mutex drops, from the thread that triggered the pass.
+  /// Unlike the reclaim callback this one may re-enter the scheduler; it
+  /// exists so an owner one level up (the fleet) can react to a shard
+  /// running hot — e.g. by migrating a session elsewhere — without polling.
+  using PressureCallback = std::function<void(const PressureEvent&)>;
+  void set_pressure_callback(PressureCallback callback);
 
   /// Try to bring `partition`'s free memory up to `bytes` by invoking the
   /// reclaim callback. Returns true if `bytes` are now free. Public so
@@ -173,9 +192,22 @@ class Scheduler {
   // after unlocking (see the class comment).
   void schedule_locked() MENOS_REQUIRES(mutex_);
 
-  /// Steal the buffered grants + a callback copy for post-unlock dispatch.
-  std::pair<std::vector<Grant>, std::function<void(const Grant&)>>
-  take_pending_locked() MENOS_REQUIRES(mutex_);
+  /// Everything buffered under the lock for post-unlock dispatch: grants
+  /// (in FCFS order) and pressure events, each with a callback copy.
+  struct PendingDispatch {
+    std::vector<Grant> grants;
+    std::function<void(const Grant&)> grant_callback;
+    std::vector<PressureEvent> pressure;
+    PressureCallback pressure_callback;
+  };
+
+  /// Steal the buffered grants/pressure + callback copies for post-unlock
+  /// dispatch (see the class comment).
+  PendingDispatch take_pending_locked() MENOS_REQUIRES(mutex_);
+
+  /// Invoke the callbacks over a stolen PendingDispatch. Must be called
+  /// WITHOUT mutex_ held.
+  static void dispatch(PendingDispatch& pending);
 
   /// Best-fit partition for `bytes`, or nullopt.
   std::optional<int> find_partition_locked(std::size_t bytes) const
@@ -192,6 +224,7 @@ class Scheduler {
   Policy policy_;  // immutable after construction
   std::function<void(const Grant&)> grant_callback_ MENOS_GUARDED_BY(mutex_);
   ReclaimCallback reclaim_callback_ MENOS_GUARDED_BY(mutex_);
+  PressureCallback pressure_callback_ MENOS_GUARDED_BY(mutex_);
   std::deque<Waiting> waiting_ MENOS_GUARDED_BY(mutex_);
   std::unordered_map<int, ClientDemands> demands_ MENOS_GUARDED_BY(mutex_);
   std::unordered_map<int, Allocation> allocations_
@@ -201,6 +234,8 @@ class Scheduler {
   /// Grants produced under the lock, dispatched after it drops. Always
   /// empty between public calls (every mutator drains it before returning).
   std::vector<Grant> pending_grants_ MENOS_GUARDED_BY(mutex_);
+  /// Pressure events buffered the same way (one per reclaim pass).
+  std::vector<PressureEvent> pending_pressure_ MENOS_GUARDED_BY(mutex_);
 };
 
 }  // namespace menos::sched

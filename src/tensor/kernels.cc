@@ -93,6 +93,24 @@ inline float madd(float acc, float a, float b) {
 #endif
 }
 
+// Vector-lane counterpart of madd() with the SAME pinning rationale. The
+// micro-kernel's update used to be written `acc += a * b`, leaving the
+// fuse-or-not decision to -ffp-contract: GCC contracts that into vfmaddps
+// only at -O2, not at -O0/-O1, so Debug builds rounded products separately
+// while madd() stayed fused and the bit-identity suite diverged (the
+// CHANGES.md PR 7 "Debug 30/31" failure). Spelling the fuse out per lane
+// makes every optimisation level agree; GCC -O2 re-vectorizes this loop
+// into the same packed vfmadd231ps the contracted form produced, so the
+// Release kernels are unchanged.
+inline Vec vmadd(Vec acc, float a, Vec b) {
+#if defined(__FMA__)
+  for (int l = 0; l < kVecLanes; ++l) acc[l] = __builtin_fmaf(a, b[l], acc[l]);
+  return acc;
+#else
+  return acc + a * b;  // no fma instruction on this target; never contracted
+#endif
+}
+
 #if defined(__GNUC__) && !defined(__clang__)
 #define MENOS_SCALAR_ONLY __attribute__((optimize("no-tree-vectorize")))
 #else
@@ -181,7 +199,7 @@ void micro(const float* __restrict__ ap, const float* __restrict__ bp,
     const float* acol = ap + p * kMR;
     for (int i = 0; i < kMR; ++i) {
       const float a = acol[i];
-      for (int v = 0; v < kNVecs; ++v) acc[i][v] += a * b[v];
+      for (int v = 0; v < kNVecs; ++v) acc[i][v] = vmadd(acc[i][v], a, b[v]);
     }
   }
   for (int i = 0; i < kMR; ++i) {

@@ -368,6 +368,63 @@ TEST(OffloadEngineTest, UnregisterReportsWhetherChargeIsStillHeld) {
   EXPECT_FALSE(engine.unregister_unit(2));  // unknown now
 }
 
+TEST(OffloadEngineTest, ReleaseUnitSwapsOutAndReportsHeldCharge) {
+  mem::OffloadEngine engine;
+  FakeWorld world;
+  engine.register_unit(1, 100, world.callbacks_for(1, 100));
+
+  // Resident at release: the unit is moved out and the charge reported as
+  // still held (the migration caller releases it on the source shard).
+  const mem::ExportedUnit out = engine.release_unit(1);
+  EXPECT_EQ(out.bytes, 100u);
+  EXPECT_TRUE(out.was_resident);
+  ASSERT_EQ(world.log.size(), 1u);
+  EXPECT_EQ(world.log[0], "out:1");
+  EXPECT_EQ(engine.stats().swap_outs, 1u);
+  EXPECT_EQ(engine.stats().bytes_out, 100u);
+  EXPECT_FALSE(engine.resident(1));  // unknown id -> not resident
+
+  // Already-evicted at release: no move, no charge to release.
+  engine.register_unit(2, 60, world.callbacks_for(2, 60));
+  ASSERT_EQ(engine.evict_idle(60), 60u);
+  world.log.clear();
+  const mem::ExportedUnit out2 = engine.release_unit(2);
+  EXPECT_EQ(out2.bytes, 60u);
+  EXPECT_FALSE(out2.was_resident);
+  EXPECT_TRUE(world.log.empty());
+}
+
+TEST(OffloadEngineTest, AdoptedUnitLandsOnHostAndChargesOnFirstUse) {
+  // Two engines standing in for two shards with separate pools.
+  mem::OffloadEngine src;
+  mem::OffloadEngine dst;
+  FakeWorld src_world;
+  FakeWorld dst_world;
+  src.register_unit(5, 128, src_world.callbacks_for(5, 128));
+
+  const mem::ExportedUnit moved = src.release_unit(5);
+  dst.adopt_unit(5, moved, dst_world.callbacks_for(5, 128));
+
+  // Adoption itself takes no charge and moves nothing.
+  EXPECT_EQ(dst.residency(5), mem::Residency::OnHost);
+  EXPECT_TRUE(dst_world.log.empty());
+  EXPECT_EQ(dst.resident_bytes(), 0u);
+
+  // First ensure_resident behaves exactly like a post-eviction return:
+  // charge the destination pool, then move in.
+  dst_world.free_bytes = 128;
+  dst.ensure_resident(5);
+  EXPECT_TRUE(dst.resident(5));
+  ASSERT_EQ(dst_world.log.size(), 2u);
+  EXPECT_EQ(dst_world.log[0], "charge:5");
+  EXPECT_EQ(dst_world.log[1], "in:5");
+  EXPECT_EQ(dst_world.free_bytes, 0u);
+
+  // The adopted unit is a full citizen: evictable, unregisterable.
+  EXPECT_EQ(dst.evict_idle(1), 128u);
+  EXPECT_FALSE(dst.unregister_unit(5));
+}
+
 TEST(OffloadEngineTest, TransferTimeIsPricedWithTheSharedModel) {
   const gpusim::TransferModel model{1.0e9, 1.0e-3};
   mem::OffloadEngine engine(model);

@@ -337,6 +337,48 @@ TEST(Scheduler, SwapOnIdleDryReclaimStopsAfterOneAttemptPerPass) {
   s.unregister_client(2);
 }
 
+TEST(Scheduler, PressureCallbackFiresOncePerReclaimPass) {
+  Scheduler s(100, Policy::SwapOnIdle);
+  s.reserve_persistent(0, 60);
+  s.set_reclaim_callback([](int, std::size_t) { return std::size_t{60}; });
+  std::vector<PressureEvent> events;
+  s.set_pressure_callback([&s, &events](const PressureEvent& e) {
+    // The callback fires after the scheduler mutex drops: re-entry is
+    // legal, and the triggering reservation has already been deducted.
+    EXPECT_LE(s.available(e.partition), e.free_after);
+    events.push_back(e);
+  });
+  s.reserve_persistent(0, 80);  // 40 free: reclaim pass covers the shortfall
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].partition, 0);
+  EXPECT_EQ(events[0].bytes_needed, 40u);
+  EXPECT_EQ(events[0].bytes_freed, 60u);
+  EXPECT_EQ(events[0].free_after, 100u);  // 40 + 60 reclaimed, pre-deduction
+}
+
+TEST(Scheduler, PressureCallbackFiresEvenWhenReclaimComesUpShort) {
+  Scheduler s(100, Policy::SwapOnIdle);
+  s.reserve_persistent(0, 60);
+  s.set_reclaim_callback([](int, std::size_t) { return std::size_t{0}; });
+  std::vector<PressureEvent> events;
+  s.set_pressure_callback(
+      [&events](const PressureEvent& e) { events.push_back(e); });
+  EXPECT_THROW(s.reserve_persistent(0, 80), OutOfMemory);
+  // The refusal is exactly what a fleet rebalancer needs to observe.
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].bytes_needed, 40u);
+  EXPECT_EQ(events[0].bytes_freed, 0u);
+  EXPECT_EQ(events[0].free_after, 40u);
+}
+
+TEST(Scheduler, NoPressureEventsWithoutSubscriber) {
+  Scheduler s(100, Policy::SwapOnIdle);
+  s.reserve_persistent(0, 60);
+  s.set_reclaim_callback([](int, std::size_t) { return std::size_t{60}; });
+  s.reserve_persistent(0, 80);  // succeeds; no subscriber, nothing buffered
+  EXPECT_EQ(s.stats().reclaims, 1u);
+}
+
 TEST(Scheduler, TryReclaimIsANoOpWhenBytesAlreadyFit) {
   Scheduler s(100, Policy::SwapOnIdle);
   int calls = 0;
