@@ -90,6 +90,11 @@ struct ServerConfig {
   /// and so MUST set distinct token seeds, or every shard would mint the
   /// same token sequence and resume routing could not tell them apart.
   std::uint64_t token_seed = 0;
+
+  /// Upper bound on how many compatible clients one CoalescedBatch group
+  /// grant may cover (docs/ARCHITECTURE.md "Cross-client batched trunk
+  /// compute"). Only consulted when sched_policy == Policy::CoalescedBatch.
+  std::size_t batch_max_group = 32;
 };
 
 /// Copy a device tensor into a wire carrier.

@@ -1,5 +1,8 @@
 #include "core/server.h"
 
+#include <algorithm>
+
+#include "core/batch.h"
 #include "util/logging.h"
 
 namespace menos::core {
@@ -42,6 +45,18 @@ Server::Server(const ServerConfig& config, gpusim::DeviceManager& devices,
           return offload_->evict_idle(bytes_needed);
         });
   }
+  if (config_.sched_policy == sched::Policy::CoalescedBatch &&
+      store_ != nullptr) {
+    // Cross-client fused trunk compute: the scheduler coalesces compatible
+    // requests into group grants; the coordinator stacks their activations
+    // and runs one pass over a shared frozen trunk. Vanilla mode has no
+    // shared trunk — every session's batch_key is 0 there and the policy
+    // degrades to plain FCFS + backfill.
+    scheduler_->set_max_group_size(
+        std::max<std::size_t>(1, config_.batch_max_group));
+    batching_ =
+        std::make_unique<BatchCoordinator>(config_, *store_, *scheduler_);
+  }
   if (config_.shared_executor != nullptr || config_.shared_poller != nullptr) {
     // Fleet mode: all shards multiplex onto one serving core. Both halves
     // come together — a shard with its own poller but a shared executor
@@ -61,6 +76,23 @@ Server::Server(const ServerConfig& config, gpusim::DeviceManager& devices,
     // Dispatched after the scheduler mutex drops (see sched::Scheduler).
     // Sessions never vanish while registered (cleanup unregisters before
     // the session leaves the table), so the lookup here is safe.
+    if (grant.group.size() > 1 && batching_ != nullptr) {
+      // Group grant: hand every member to the batch coordinator, which
+      // fuses their trunk passes into one computation. Members are looked
+      // up under the lock; the joins start after it drops.
+      std::vector<std::shared_ptr<ServingSession>> members(
+          grant.group.size());
+      {
+        util::MutexLock lock(sessions_mutex_);
+        for (auto& session : sessions_) {
+          for (std::size_t i = 0; i < grant.group.size(); ++i) {
+            if (session->id() == grant.group[i]) members[i] = session;
+          }
+        }
+      }
+      batching_->begin_group(grant, std::move(members));
+      return;
+    }
     util::MutexLock lock(sessions_mutex_);
     for (auto& session : sessions_) {
       if (session->id() == grant.client_id) {

@@ -21,6 +21,8 @@
 
 namespace menos::core {
 
+class BatchCoordinator;  // core/batch.h
+
 class Server {
  public:
   /// The server hosts exactly one base model (`model`) on
@@ -99,6 +101,10 @@ class Server {
   /// Non-null iff sched_policy == Policy::SwapOnIdle.
   mem::OffloadEngine* offload_engine() noexcept { return offload_.get(); }
 
+  /// Non-null iff sched_policy == Policy::CoalescedBatch in a shared mode
+  /// (docs/ARCHITECTURE.md "Cross-client batched trunk compute").
+  BatchCoordinator* batch_coordinator() noexcept { return batching_.get(); }
+
   /// The shared serving executor (width = ServerConfig::executor_threads).
   Executor& executor() noexcept { return *executor_; }
 
@@ -137,6 +143,11 @@ class Server {
   // the engine must be destroyed first) and before sessions_ (sessions hold
   // a raw pointer and unregister their units in cleanup()).
   std::unique_ptr<mem::OffloadEngine> offload_;  // SwapOnIdle only
+  // Fused cross-client trunk compute (CoalescedBatch only). Declared after
+  // scheduler_ (run_group releases group charges into it) and before the
+  // serving core + sessions_: in-flight groups transiently hold session
+  // pointers, and every group drains before stop() returns.
+  std::unique_ptr<BatchCoordinator> batching_;
   // The serving core. Declared before sessions_: a session's destructor
   // may still unwatch itself, so the poller must outlive every session.
   // When ServerConfig::shared_executor/shared_poller are set (fleet mode)

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/batch.h"
 #include "core/checkpoint.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
@@ -316,6 +317,122 @@ void ServingSession::grant_event() {
   // allocated_to() check reclaims the allocation.
 }
 
+// ----- fused-batch path (core/batch.h) ----------------------------------
+
+void ServingSession::batch_join(const std::shared_ptr<BatchGroup>& group,
+                                std::size_t slot) {
+  // Raw strand post, not post_event: the delivery countdown must reach
+  // zero even when this member finished between the grant and this post —
+  // otherwise the whole group (and every other member's memory) would
+  // stall forever on one dead session.
+  strand_.post([self = shared_from_this(), group, slot] {
+    try {
+      self->batch_join_event(*group, slot);
+    } catch (const Error& e) {
+      MENOS_LOG(Warn) << "session " << self->id_ << " failed: " << e.what();
+      if (self->state_ != State::Finished) {
+        self->send_reply(net::Message::error(e.what()));
+        self->finish_session();
+      }
+    }
+    if (group->outstanding.fetch_sub(1) == 1) {
+      // Last member to deliver runs the fused pass inline on its strand.
+      group->coordinator->finish_group(group);
+    }
+  });
+}
+
+void ServingSession::batch_join_event(BatchGroup& group, std::size_t slot) {
+  if (state_ == State::Finished) return;
+  BatchContribution& c = group.contributions[slot];
+  const bool forward = group.grant.kind == sched::OpKind::Forward;
+  // Join only from the matching grant-wait state; anything else is a stale
+  // group grant that raced a stop/expiry — contribute nothing, the
+  // coordinator's group release reclaims the member's charge.
+  if (forward && state_ != State::AwaitForwardGrant) return;
+  if (!forward && state_ != State::AwaitBackwardGrant) return;
+
+  holding_allocation_ = true;
+  state_ = forward ? State::Forward : State::Backward;
+  net::Message msg = std::move(pending_msg_);
+  pending_msg_ = net::Message();
+  c.batch_key = batch_key_;
+  c.config = client_config_;
+  c.iteration = msg.iteration;
+  c.wait_seconds = wait_sw_.elapsed_seconds();
+  if (forward) {
+    // Mirror finish_forward's re-forward modes: cache x_c for the later
+    // Backward before handing it to the fused pass.
+    if (!msg.eval_only) cached_activation_ = msg.tensor;
+    c.activation = std::move(msg.tensor);
+  } else {
+    if (cached_activation_.data.empty()) {
+      throw ProtocolError("Backward with no preceding Forward");
+    }
+    c.activation = cached_activation_;
+    c.grad = std::move(msg.tensor);
+  }
+  // Owned copies only from here: the fused pass runs on another member's
+  // strand and must not reach back into this session's state.
+  c.joined = true;
+}
+
+void ServingSession::batch_complete(BatchOutcome outcome) {
+  auto carried = std::make_shared<BatchOutcome>(std::move(outcome));
+  post_event([carried](ServingSession& s) {
+    s.batch_complete_event(*carried);
+  });
+}
+
+void ServingSession::batch_complete_event(BatchOutcome& outcome) {
+  const bool forward = outcome.kind == sched::OpKind::Forward;
+  if (forward && state_ != State::Forward) return;
+  if (!forward && state_ != State::Backward) return;
+  // The coordinator released the whole group's scheduler charge in one
+  // on_complete_group call — drop the local claim without a round trip.
+  holding_allocation_ = false;
+  offload_end_use();  // balances start_forward/start_backward's pin
+  if (!outcome.ok) {
+    throw StateError("fused batch failed: " + outcome.error);
+  }
+  {
+    util::MutexLock lock(stats_mutex_);
+    stats_.schedule_wait_s.add(outcome.wait_seconds);
+    stats_.compute_s.add(outcome.compute_seconds);
+    if (!forward) {
+      ++stats_.iterations;
+      ++stats_.reforwards;  // the fused Backward re-forwards the trunk
+    }
+  }
+  if (config_.trace != nullptr) {
+    config_.trace->record(
+        util::TraceCategory::Scheduler,
+        forward ? "forward.wait" : "backward.wait", id_,
+        static_cast<std::uint64_t>(outcome.wait_seconds * 1e6));
+    config_.trace->record(
+        util::TraceCategory::Session,
+        forward ? "forward.compute" : "backward.compute", id_,
+        static_cast<std::uint64_t>(outcome.compute_seconds * 1e6));
+  }
+  net::Message reply =
+      forward ? net::Message::forward_result(std::move(outcome.result),
+                                             outcome.iteration)
+              : net::Message::backward_result(std::move(outcome.result),
+                                              outcome.iteration);
+  reply.compute_seconds = outcome.compute_seconds;
+  reply.schedule_wait_seconds = outcome.wait_seconds;
+  if (!forward) {
+    // No optimizer step: a coalescible session's server section is fully
+    // frozen (checked at handshake), so the solo path's step/zero_grad
+    // would have been a no-op anyway.
+    backwards_applied_.store(outcome.iteration + 1);
+    if (lease_enabled()) last_backward_reply_ = reply;
+  }
+  send_reply(reply);
+  state_ = State::AwaitRequest;
+  pump();  // drain frames that buffered while the fused pass ran
+}
+
 void ServingSession::resume_event() {
   std::shared_ptr<net::Connection> conn;
   {
@@ -437,7 +554,15 @@ void ServingSession::handshake(const net::Message& hello) {
   }
 
   demands_ = profile();
-  scheduler_->register_client(id_, demands_);
+  batch_key_ = vanilla ? 0 : compute_batch_key(config_, client_config_);
+  // A coalescible session's trunk pass runs on the coordinator's shared
+  // frozen trunk — there must be no per-client server-side trainables for
+  // it to miss (compute_batch_key only admits None/Prefix adapters, which
+  // guarantee this by construction).
+  MENOS_CHECK_MSG(batch_key_ == 0 ||
+                      section_->trainable_parameters().empty(),
+                  "coalescible sessions require a frozen server section");
+  scheduler_->register_client(id_, demands_, batch_key_);
   if (!vanilla && offload_ != nullptr) register_residency_unit();
   if (config_.trace != nullptr) {
     config_.trace->record(util::TraceCategory::Session, "handshake", id_);
@@ -578,8 +703,17 @@ sched::ClientDemands ServingSession::profile() {
 
 void ServingSession::release() {
   if (!holding_allocation_) return;
-  scheduler_->on_complete(id_);
   holding_allocation_ = false;
+  // Under a group grant the BatchCoordinator releases the whole group's
+  // charge itself (on_complete_group); a member failing or tearing down
+  // mid-pass must only hand back what the scheduler still holds for it.
+  if (scheduler_->allocated_to(id_) == 0) return;
+  try {
+    scheduler_->on_complete(id_);
+  } catch (const Error&) {
+    // Lost the race to the group release between the check above and the
+    // call — the charge is already free.
+  }
 }
 
 void ServingSession::swap_to(gpusim::Device& device) {
@@ -1044,9 +1178,10 @@ void ServingSession::import_migrated(const MigrationTicket& ticket) {
                   "session migration requires session leases");
   client_config_ = ticket.client_config;
   demands_ = ticket.demands;
+  batch_key_ = compute_batch_key(config_, client_config_);
   // Cheapest-to-roll-back first: validate demands against this shard's
   // partitions before building anything on the GPU.
-  scheduler_->register_client(id_, demands_);
+  scheduler_->register_client(id_, demands_, batch_key_);
   try {
     // Same derivation as handshake(): the fresh adapters are overwritten
     // by the blob below, but building them identically keeps the section
@@ -1131,6 +1266,12 @@ void ServingSession::import_migrated(const MigrationTicket& ticket) {
 // ----- teardown ---------------------------------------------------------
 
 void ServingSession::cleanup() {
+  // Drop any still-queued request FIRST: with the waiting entry gone no
+  // fresh grant can land between the release below and the unregister.
+  // (Previously a grant landing in that window made unregister_client
+  // throw StateError — swallowed below — and the allocation leaked for
+  // the server's lifetime.)
+  scheduler_->cancel_pending(id_);
   // A grant may have raced the stop notification; reclaim it either way.
   if (!holding_allocation_ && scheduler_->allocated_to(id_) > 0) {
     holding_allocation_ = true;

@@ -44,6 +44,9 @@
 
 namespace menos::core {
 
+struct BatchGroup;    // core/batch.h
+struct BatchOutcome;  // core/batch.h
+
 /// Cached profiling results shared across sessions with identical
 /// fine-tuning configurations (the paper profiles each *configuration*
 /// once; identical clients reuse the measurement).
@@ -157,6 +160,20 @@ class ServingSession
   /// Scheduler grant arrived for this session (posted as a GrantEvent).
   void on_grant(const sched::Grant& grant);
 
+  /// Fused-batch path (Policy::CoalescedBatch, core/batch.h): the
+  /// BatchCoordinator asks this member to contribute slot `slot` of
+  /// `group`. Posted RAW onto the strand — it must run even for a session
+  /// that just finished, so the group's delivery countdown always reaches
+  /// zero and the fused pass can never stall on a dead member (the member
+  /// simply contributes nothing). The last member to deliver runs the
+  /// fused pass inline on its own strand.
+  void batch_join(const std::shared_ptr<BatchGroup>& group, std::size_t slot);
+
+  /// The fused pass finished: deliver this member's row slice (or the
+  /// group's failure). Posted with the normal event contract — a finished
+  /// member ignores it; its scheduler charge was released with the group.
+  void batch_complete(BatchOutcome outcome);
+
   /// Fleet migration, source side. Blocks until the strand runs the export
   /// event, so it must be called OFF the executor (the fleet's migrator
   /// thread) — a worker waiting on its own pool could deadlock. Returns
@@ -224,6 +241,10 @@ class ServingSession
   void resume_event();
   void stop_event();
   void expire_event();
+
+  /// Strand halves of the fused-batch hooks above.
+  void batch_join_event(BatchGroup& group, std::size_t slot);
+  void batch_complete_event(BatchOutcome& outcome);
 
   /// The watched connection died (Closed). Switch to a freshly attached
   /// link, park under a lease, or finish. Returns true when pumping may
@@ -305,6 +326,9 @@ class ServingSession
   mem::OffloadEngine* offload_;   // owned by the Server; null unless SwapOnIdle
 
   net::FinetuneConfig client_config_;
+  /// Coalescing compatibility key (0 = never coalesce), computed at
+  /// handshake/import and registered with the scheduler. Strand only.
+  std::uint64_t batch_key_ = 0;
   std::unique_ptr<nn::ServerSection> section_;
   std::unique_ptr<optim::Optimizer> optimizer_;
   sched::ClientDemands demands_;

@@ -1,9 +1,5 @@
 #include "nn/adapters.h"
 
-#include <cstring>
-
-#include "tensor/graph.h"
-
 namespace menos::nn {
 
 const char* adapter_type_name(AdapterType type) noexcept {
@@ -57,43 +53,11 @@ PrefixAdapter::PrefixAdapter(const std::string& name, int prefix_len,
   register_parameter(name + ".prefix", prefix_);
 }
 
-namespace {
-
-/// out[b, p, :] = prefix[p, :] for every batch row; gradient sums over the
-/// batch. Implemented as a bespoke tape node since the op library has no
-/// general broadcast-expand.
-tensor::Tensor tile_batch(const tensor::Tensor& prefix, tensor::Index batch) {
-  using namespace menos::tensor;
-  // Bespoke tape node the step graph cannot replay (tensor/graph.h).
-  graph::detail::note_unsupported("tile_batch");
-  const Index p = prefix.dim(0);
-  const Index c = prefix.dim(1);
-  Tensor out = Tensor::empty({batch, p, c}, prefix.device());
-  const float* src = prefix.data();
-  float* dst = out.data();
-  const std::size_t block = static_cast<std::size_t>(p * c) * sizeof(float);
-  for (Index b = 0; b < batch; ++b) std::memcpy(dst + b * p * c, src, block);
-  if (tensor::detail::should_record({prefix})) {
-    tensor::detail::attach_node(out, "tile_batch", {prefix},
-                        [batch, p, c](const Tensor& g) {
-                          Tensor dp = Tensor::zeros({p, c}, g.device());
-                          const float* pg = g.data();
-                          float* pd = dp.data();
-                          for (Index b = 0; b < batch; ++b) {
-                            const float* gb = pg + b * p * c;
-                            for (Index i = 0; i < p * c; ++i) pd[i] += gb[i];
-                          }
-                          return std::vector<Tensor>{dp};
-                        });
-  }
-  return out;
-}
-
-}  // namespace
-
 tensor::Tensor PrefixAdapter::forward(const tensor::Tensor& x) {
   MENOS_CHECK_MSG(x.ndim() == 3, "PrefixAdapter expects [B, T, C] input");
-  tensor::Tensor tiled = tile_batch(prefix_, x.dim(0));
+  // tensor::tile_batch is graph-replayable, so prefix-adapter sessions
+  // capture like every other model (tensor/graph.h).
+  tensor::Tensor tiled = tensor::tile_batch(prefix_, x.dim(0));
   return tensor::concat_dim1(tiled, x);
 }
 

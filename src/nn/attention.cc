@@ -1,9 +1,6 @@
 #include "nn/attention.h"
 
 #include <cmath>
-#include <cstring>
-
-#include "tensor/graph.h"
 
 namespace menos::nn {
 
@@ -58,55 +55,6 @@ std::unique_ptr<Linear> CausalSelfAttention::make_projection(
                                   /*trainable_bias=*/bitfit);
 }
 
-namespace {
-
-/// [B, Hkv, T, D] -> [B, Hkv*repeat, T, D], each kv head copied `repeat`
-/// times consecutively (the grouped-query expansion); gradients sum over
-/// the copies.
-tensor::Tensor repeat_heads(const tensor::Tensor& t, int repeat) {
-  using namespace menos::tensor;
-  if (repeat == 1) return t;
-  // Bespoke tape node the step graph cannot replay (tensor/graph.h).
-  graph::detail::note_unsupported("repeat_heads");
-  const Index b = t.dim(0), hkv = t.dim(1), seq = t.dim(2), d = t.dim(3);
-  Tensor out = Tensor::empty({b, hkv * repeat, seq, d}, t.device());
-  const float* src = t.data();
-  float* dst = out.data();
-  const Index block = seq * d;
-  for (Index bi = 0; bi < b; ++bi) {
-    for (Index h = 0; h < hkv; ++h) {
-      const float* head = src + (bi * hkv + h) * block;
-      for (int r = 0; r < repeat; ++r) {
-        std::memcpy(dst + ((bi * hkv + h) * repeat + r) * block, head,
-                    static_cast<std::size_t>(block) * sizeof(float));
-      }
-    }
-  }
-  if (tensor::detail::should_record({t})) {
-    tensor::detail::attach_node(
-        out, "repeat_heads", {t}, [b, hkv, seq, d, repeat](const Tensor& g) {
-          Tensor dt = Tensor::zeros({b, hkv, seq, d}, g.device());
-          const Index block = seq * d;
-          const float* pg = g.data();
-          float* pd = dt.data();
-          for (Index bi = 0; bi < b; ++bi) {
-            for (Index h = 0; h < hkv; ++h) {
-              float* head = pd + (bi * hkv + h) * block;
-              for (int r = 0; r < repeat; ++r) {
-                const float* grad =
-                    pg + ((bi * hkv + h) * repeat + r) * block;
-                for (Index i = 0; i < block; ++i) head[i] += grad[i];
-              }
-            }
-          }
-          return std::vector<Tensor>{dt};
-        });
-  }
-  return out;
-}
-
-}  // namespace
-
 tensor::Tensor CausalSelfAttention::forward(const tensor::Tensor& x) {
   using namespace menos::tensor;
   MENOS_CHECK_MSG(x.ndim() == 3 && x.dim(2) == dim_,
@@ -127,6 +75,9 @@ tensor::Tensor CausalSelfAttention::forward(const tensor::Tensor& x) {
   k = split_heads(k, n_kv_heads_);
   v = split_heads(v, n_kv_heads_);
   if (n_kv_heads_ != n_heads_) {
+    // Grouped-query expansion: each kv head serves repeat consecutive
+    // query heads. tensor::repeat_heads is graph-replayable, so GQA
+    // models capture like MHA ones.
     const int repeat = n_heads_ / n_kv_heads_;
     k = repeat_heads(k, repeat);
     v = repeat_heads(v, repeat);

@@ -73,7 +73,8 @@ bool Scheduler::try_reclaim_locked(int partition, std::size_t bytes) {
   return free >= bytes;
 }
 
-void Scheduler::register_client(int client_id, const ClientDemands& demands) {
+void Scheduler::register_client(int client_id, const ClientDemands& demands,
+                                std::uint64_t batch_key) {
   util::MutexLock lock(mutex_);
   const std::size_t largest =
       *std::max_element(capacity_.begin(), capacity_.end());
@@ -86,6 +87,13 @@ void Scheduler::register_client(int client_id, const ClientDemands& demands) {
   MENOS_CHECK_MSG(demands_.find(client_id) == demands_.end(),
                   "client " << client_id << " already registered");
   demands_[client_id] = demands;
+  if (batch_key != 0) batch_key_[client_id] = batch_key;
+}
+
+void Scheduler::set_max_group_size(std::size_t n) {
+  util::MutexLock lock(mutex_);
+  MENOS_CHECK_MSG(n >= 1, "max group size must be >= 1");
+  max_group_ = n;
 }
 
 void Scheduler::unregister_client(int client_id) {
@@ -102,8 +110,26 @@ void Scheduler::unregister_client(int client_id) {
                                   }),
                    waiting_.end());
     demands_.erase(client_id);
+    batch_key_.erase(client_id);
     // Departure frees nothing, but a slot may now be irrelevant to fairness
     // ordering; re-run scheduling for uniformity.
+    schedule_locked();
+    out = take_pending_locked();
+  }
+  dispatch(out);
+}
+
+void Scheduler::cancel_pending(int client_id) {
+  PendingDispatch out;
+  {
+    util::MutexLock lock(mutex_);
+    const auto it = std::remove_if(waiting_.begin(), waiting_.end(),
+                                   [client_id](const Waiting& w) {
+                                     return w.client_id == client_id;
+                                   });
+    if (it == waiting_.end()) return;
+    waiting_.erase(it, waiting_.end());
+    // Removing a (possibly head) entry may unblock everyone behind it.
     schedule_locked();
     out = take_pending_locked();
   }
@@ -142,6 +168,27 @@ void Scheduler::on_complete(int client_id) {
                                               << " with no allocation");
     free_[static_cast<std::size_t>(it->second.partition)] += it->second.bytes;
     allocations_.erase(it);
+    schedule_locked();
+    out = take_pending_locked();
+  }
+  dispatch(out);
+}
+
+void Scheduler::on_complete_group(const std::vector<int>& clients) {
+  PendingDispatch out;
+  {
+    util::MutexLock lock(mutex_);
+    for (int client_id : clients) {
+      auto it = allocations_.find(client_id);
+      // A member torn down mid-pass has already released its own charge
+      // through its cleanup path; skip it.
+      if (it == allocations_.end()) continue;
+      free_[static_cast<std::size_t>(it->second.partition)] +=
+          it->second.bytes;
+      allocations_.erase(it);
+    }
+    // One pass after the whole group frees: the next held group sees all
+    // the recovered memory at once and can form at full size.
     schedule_locked();
     out = take_pending_locked();
   }
@@ -219,18 +266,31 @@ void Scheduler::schedule_locked() {
   bool head_blocked = false;
   bool backward_blocked = false;  // an earlier backward is still waiting
   bool reclaim_dry = false;       // a reclaim this pass came up short
+  // (batch_key, kind) classes held back this pass for a fuller group: once
+  // a group leader holds, later same-class entries must not be granted
+  // solo behind it (a fragmented sub-group would defeat the coalescing and
+  // jump the leader).
+  std::vector<std::pair<std::uint64_t, OpKind>> held;
+  const auto is_held = [&held](std::uint64_t key, OpKind kind) {
+    for (const auto& h : held) {
+      if (h.first == key && h.second == kind) return true;
+    }
+    return false;
+  };
   // One pass in FCFS order; every grant frees no memory, so a single pass
   // is complete (grants only shrink availability).
-  for (auto it = waiting_.begin(); it != waiting_.end();) {
-    const Waiting w = *it;
+  for (std::size_t i = 0; i < waiting_.size();) {
+    const Waiting w = waiting_[i];
     const std::size_t bytes = demands_[w.client_id].bytes_for(w.kind);
+    const std::uint64_t key = batch_key_of_locked(w.client_id);
 
     // Fairness gate (see header): a backward may not overtake an earlier
     // still-waiting backward; under FcfsOnly nothing overtakes a blocked
-    // head at all.
+    // head at all; a held coalescing class stays held for the whole pass.
     const bool gated =
         (policy_ == Policy::FcfsOnly && head_blocked) ||
-        (w.kind == OpKind::Backward && backward_blocked);
+        (w.kind == OpKind::Backward && backward_blocked) ||
+        (key != 0 && is_held(key, w.kind));
     std::optional<int> partition;
     if (!gated) partition = find_partition_locked(bytes);
 
@@ -242,8 +302,8 @@ void Scheduler::schedule_locked() {
       // Target the partition with the most free bytes: it needs the least
       // eviction to cover the request.
       std::size_t target = 0;
-      for (std::size_t i = 1; i < free_.size(); ++i) {
-        if (free_[i] > free_[target]) target = i;
+      for (std::size_t p = 1; p < free_.size(); ++p) {
+        if (free_[p] > free_[target]) target = p;
       }
       if (try_reclaim_locked(static_cast<int>(target), bytes)) {
         partition = static_cast<int>(target);
@@ -253,24 +313,117 @@ void Scheduler::schedule_locked() {
     }
 
     if (partition.has_value()) {
+      if (policy_ == Policy::CoalescedBatch && key != 0) {
+        if (try_coalesce_locked(i, key, *partition,
+                                head_blocked || backward_blocked)) {
+          continue;  // members erased; i now indexes the next survivor
+        }
+        // More compatible requests wait than currently fit: hold the whole
+        // class back this pass so the group forms at full size once the
+        // memory frees (see the header's no-stall argument).
+        held.emplace_back(key, w.kind);
+        if (i == 0) head_blocked = true;
+        if (w.kind == OpKind::Backward) backward_blocked = true;
+        ++i;
+        continue;
+      }
       free_[static_cast<std::size_t>(*partition)] -= bytes;
       allocations_[w.client_id] = Allocation{bytes, *partition};
       ++stats_.grants;
       if (head_blocked || backward_blocked) ++stats_.backfill_grants;
-      pending_grants_.push_back(Grant{w.client_id, w.kind, *partition});
-      it = waiting_.erase(it);
+      pending_grants_.push_back(Grant{w.client_id, w.kind, *partition, {}});
+      waiting_.erase(waiting_.begin() + static_cast<std::ptrdiff_t>(i));
       continue;
     }
 
-    if (it == waiting_.begin()) head_blocked = true;
+    if (i == 0) head_blocked = true;
     if (policy_ == Policy::FcfsOnly) {
       ++stats_.blocked_cycles;
       return;  // strict FCFS: quit the scheduling cycle (Alg 2 line 18)
     }
     if (w.kind == OpKind::Backward) backward_blocked = true;
-    ++it;
+    ++i;
   }
   if (head_blocked) ++stats_.blocked_cycles;
+}
+
+std::uint64_t Scheduler::batch_key_of_locked(int client_id) const {
+  auto it = batch_key_.find(client_id);
+  return it == batch_key_.end() ? 0 : it->second;
+}
+
+bool Scheduler::try_coalesce_locked(std::size_t leader_idx, std::uint64_t key,
+                                    int partition, bool leader_backfill) {
+  const Waiting leader = waiting_[leader_idx];
+  // Collect members in FCFS order: the leader, then every later waiting
+  // entry of the same (kind, batch_key). The scan STOPS at the first
+  // non-joining Backward — granting members past it would overtake an
+  // earlier waiting backward, which the fairness contract forbids. A
+  // skipped non-joining Forward marks every member gathered after it as a
+  // backfill grant (they are granted ahead of an earlier request).
+  struct Member {
+    std::size_t idx;
+    bool overtakes;
+  };
+  std::vector<Member> members{{leader_idx, false}};
+  bool skipped = false;
+  for (std::size_t j = leader_idx + 1;
+       j < waiting_.size() && members.size() < max_group_; ++j) {
+    const Waiting& cand = waiting_[j];
+    const bool joins = cand.kind == leader.kind &&
+                       batch_key_of_locked(cand.client_id) == key;
+    if (!joins) {
+      if (cand.kind == OpKind::Backward) break;
+      skipped = true;
+      continue;
+    }
+    members.push_back(Member{j, skipped});
+  }
+
+  // fit: members (prefix, in order) whose summed demand fits the
+  // partition's free memory now. fit_cap: how many an EMPTY partition
+  // could ever hold — the group size worth waiting for. The leader alone
+  // is known to fit, so fit >= 1 and target >= 1.
+  const std::size_t cap = capacity_[static_cast<std::size_t>(partition)];
+  const std::size_t free = free_[static_cast<std::size_t>(partition)];
+  std::size_t fit = 0, fit_cap = 0, acc = 0;
+  for (const Member& m : members) {
+    acc += demands_[waiting_[m.idx].client_id].bytes_for(leader.kind);
+    if (acc <= free) ++fit;
+    if (acc <= cap) ++fit_cap;
+  }
+  const std::size_t target = std::min(members.size(), fit_cap);
+  if (fit < target) return false;  // hold for a fuller group
+
+  members.resize(target);
+  Grant grant;
+  grant.client_id = leader.client_id;
+  grant.kind = leader.kind;
+  grant.partition = partition;
+  if (target > 1) {
+    grant.group.reserve(target);
+    for (const Member& m : members) {
+      grant.group.push_back(waiting_[m.idx].client_id);
+    }
+  }
+  for (const Member& m : members) {
+    const int client_id = waiting_[m.idx].client_id;
+    const std::size_t bytes = demands_[client_id].bytes_for(leader.kind);
+    free_[static_cast<std::size_t>(partition)] -= bytes;
+    allocations_[client_id] = Allocation{bytes, partition};
+    ++stats_.grants;
+    if (leader_backfill || m.overtakes) ++stats_.backfill_grants;
+  }
+  if (target > 1) {
+    ++stats_.coalesced_groups;
+    stats_.coalesced_members += target;
+  }
+  pending_grants_.push_back(std::move(grant));
+  for (std::size_t k = members.size(); k-- > 0;) {
+    waiting_.erase(waiting_.begin() +
+                   static_cast<std::ptrdiff_t>(members[k].idx));
+  }
+  return true;
 }
 
 std::optional<int> Scheduler::find_partition_locked(std::size_t bytes) const {

@@ -18,6 +18,22 @@
 //    requests may backfill past a blocked backward head whenever they fit.
 // tests/sched_test.cc pins both properties down.
 //
+// Policy::CoalescedBatch extends backfilling with group grants: waiting
+// requests of the same kind whose clients registered the same nonzero
+// batch_key (same model spec + cut depth) may be granted together as ONE
+// Grant carrying a member list, so the serving core can run one fused
+// batched pass through the shared trunk. Fairness is preserved: the
+// member scan never crosses a non-member Backward (an earlier waiting
+// backward can never be overtaken by a newly coalesced group), each
+// member is charged its own bytes under its own allocation, and a member
+// granted past a skipped non-member forward counts as a backfill grant.
+// When more compatible requests are waiting than currently fit, the
+// scheduler HOLDS the group until the target size (what an empty
+// partition could hold, capped by max_group_size) fits — group releases
+// via on_complete_group free members' memory atomically, so held groups
+// always eventually form; a lone compatible request is still granted
+// solo immediately.
+//
 // Memory is tracked per partition (one partition per GPU): a request must
 // fit entirely inside one GPU, and the "GPU memory" of Fig 2 is the union
 // of partitions. Single-GPU setups use one partition.
@@ -59,6 +75,10 @@ enum class Policy : std::uint8_t {
   /// evict idle clients' persistent state to host memory (the
   /// mem::OffloadEngine) and hand the freed bytes back to the pool.
   SwapOnIdle,
+  /// FcfsBackfill, plus: compatible waiting requests (same kind, same
+  /// nonzero batch_key) coalesce into one group grant for a fused batched
+  /// pass through the shared trunk (see the class comment).
+  CoalescedBatch,
 };
 
 /// Per-client memory demands measured during profiling (§3.3): M_f for the
@@ -73,11 +93,16 @@ struct ClientDemands {
 };
 
 /// A grant: the request of `client_id` may run on partition (GPU)
-/// `partition`.
+/// `partition`. Under Policy::CoalescedBatch a grant may cover a whole
+/// group: `group` then lists every member client (leader == client_id
+/// first, in FCFS order), each charged its own bytes under its own
+/// allocation; the owner completes them together via on_complete_group.
+/// Empty `group` means an ordinary solo grant.
 struct Grant {
   int client_id = -1;
   OpKind kind = OpKind::Forward;
   int partition = 0;
+  std::vector<int> group;
 };
 
 /// A memory-pressure observation: a reclaim pass ran because `partition`
@@ -98,6 +123,8 @@ struct SchedulerStats {
   std::uint64_t blocked_cycles = 0;   ///< SCHEDULE passes that left the head waiting
   std::uint64_t reclaims = 0;         ///< reclaim callbacks that freed bytes
   std::size_t reclaimed_bytes = 0;    ///< persistent bytes evicted to host
+  std::uint64_t coalesced_groups = 0;   ///< group grants issued (size >= 2)
+  std::uint64_t coalesced_members = 0;  ///< members across all group grants
 };
 
 class Scheduler {
@@ -143,11 +170,24 @@ class Scheduler {
   /// Register a client and its profiled demands. Throws InvalidArgument if
   /// a demand cannot fit in ANY partition (the profiling phase rejects the
   /// client instead of OOMing at runtime — scheduler principle 1).
-  void register_client(int client_id, const ClientDemands& demands);
+  /// `batch_key` identifies the client's coalescing class under
+  /// Policy::CoalescedBatch (same model spec + cut depth => same key);
+  /// 0 (the default) means "never coalesce".
+  void register_client(int client_id, const ClientDemands& demands,
+                       std::uint64_t batch_key = 0);
+
+  /// Cap on group-grant size under Policy::CoalescedBatch (default 32).
+  void set_max_group_size(std::size_t n);
 
   /// Remove a waiting/idle client. A client with a live allocation must
   /// on_complete first (StateError otherwise).
   void unregister_client(int client_id);
+
+  /// Drop `client_id`'s queued request, if any (no-op otherwise). Teardown
+  /// calls this BEFORE releasing/unregistering so no fresh grant can land
+  /// in between — a grant in that window would make unregister_client
+  /// throw and leak the allocation.
+  void cancel_pending(int client_id);
 
   /// Event: data arrived from `client_id` — enqueue and run SCHEDULE.
   /// A client may have at most one outstanding request or allocation.
@@ -156,6 +196,13 @@ class Scheduler {
   /// Event: the client's computation finished; reclaim its memory and run
   /// SCHEDULE.
   void on_complete(int client_id);
+
+  /// Event: a whole group grant's fused computation finished. Frees every
+  /// listed member's allocation atomically, then runs ONE SCHEDULE pass —
+  /// so the next held group sees all the freed memory at once. Members
+  /// whose allocation is already gone (torn down mid-pass through their
+  /// own cleanup) are skipped.
+  void on_complete_group(const std::vector<int>& clients);
 
   /// Permanently shrink a partition's schedulable memory — used for the
   /// per-client persistent adapter + optimizer state (A + O), which lives
@@ -213,6 +260,20 @@ class Scheduler {
   std::optional<int> find_partition_locked(std::size_t bytes) const
       MENOS_REQUIRES(mutex_);
 
+  /// Coalescing class of `client_id` (0 if none / unregistered).
+  std::uint64_t batch_key_of_locked(int client_id) const
+      MENOS_REQUIRES(mutex_);
+
+  /// Try to commit a group grant led by waiting_[leader_idx] (whose solo
+  /// demand already fits `partition`). Returns true and erases the granted
+  /// members if the group committed (possibly as a solo grant when no
+  /// compatible request waits behind the leader); returns false when more
+  /// compatible requests are waiting than currently fit — the caller holds
+  /// the whole (key, kind) class back for this pass.
+  bool try_coalesce_locked(std::size_t leader_idx, std::uint64_t key,
+                           int partition, bool leader_backfill)
+      MENOS_REQUIRES(mutex_);
+
   /// Invoke the reclaim callback until `bytes` fit in `partition` (or the
   /// callback runs dry). Credits freed bytes to free_ and capacity_.
   bool try_reclaim_locked(int partition, std::size_t bytes)
@@ -227,6 +288,8 @@ class Scheduler {
   PressureCallback pressure_callback_ MENOS_GUARDED_BY(mutex_);
   std::deque<Waiting> waiting_ MENOS_GUARDED_BY(mutex_);
   std::unordered_map<int, ClientDemands> demands_ MENOS_GUARDED_BY(mutex_);
+  std::unordered_map<int, std::uint64_t> batch_key_ MENOS_GUARDED_BY(mutex_);
+  std::size_t max_group_ MENOS_GUARDED_BY(mutex_) = 32;
   std::unordered_map<int, Allocation> allocations_
       MENOS_GUARDED_BY(mutex_);  // live grants
   std::uint64_t next_seq_ MENOS_GUARDED_BY(mutex_) = 0;

@@ -26,6 +26,8 @@ const char* op_kind_name(OpKind kind) noexcept {
     case OpKind::Permute: return "permute";
     case OpKind::ConcatDim1: return "concat_dim1";
     case OpKind::SliceDim1: return "slice_dim1";
+    case OpKind::TileBatch: return "tile_batch";
+    case OpKind::RepeatHeads: return "repeat_heads";
     case OpKind::Matmul: return "matmul";
     case OpKind::Sum: return "sum";
     case OpKind::Softmax: return "softmax";
@@ -363,6 +365,10 @@ Tensor StepGraph::replay(const Feeds& feeds) {
         out = concat_dim1(in(n, 0), in(n, 1));
         break;
       case OpKind::SliceDim1: out = slice_dim1(in(n, 0), n.a, n.b); break;
+      case OpKind::TileBatch: out = tile_batch(in(n, 0), n.a); break;
+      case OpKind::RepeatHeads:
+        out = repeat_heads(in(n, 0), static_cast<int>(n.a));
+        break;
       case OpKind::Matmul: out = matmul(in(n, 0), in(n, 1)); break;
       case OpKind::Sum: out = sum(in(n, 0)); break;
       case OpKind::Softmax: out = softmax_lastdim(in(n, 0)); break;

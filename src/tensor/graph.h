@@ -26,10 +26,11 @@
 //     aggregates per op kind, feeding the sim's calibration tables.
 //
 // Capture is conservative: any op the graph cannot reproduce (dropout's
-// rng, custom nn-level autograd nodes like tile_batch / repeat_heads /
-// quantized matmul) calls note_unsupported and the graph simply refuses to
-// become ready() — callers fall back to eager execution, losing only the
-// optimization, never correctness.
+// rng with p > 0, quantized matmul) calls note_unsupported and the graph
+// simply refuses to become ready() — callers fall back to eager
+// execution, losing only the optimization, never correctness. tile_batch
+// and repeat_heads (prefix adapters, GQA) are public replayable ops, so
+// those models capture like any other.
 #pragma once
 
 #include <cstdint>
@@ -43,7 +44,7 @@ namespace menos::tensor::graph {
 
 enum class OpKind {
   Add, Sub, Mul, Scale, AddBias, Relu, Gelu, Silu,
-  Reshape, Permute, ConcatDim1, SliceDim1,
+  Reshape, Permute, ConcatDim1, SliceDim1, TileBatch, RepeatHeads,
   Matmul, Sum, Softmax, CausalSoftmax, LayerNorm, RmsNorm,
   Embedding, CrossEntropy, ToDevice,
   // Produced by the fusion pass only, never recorded directly.

@@ -410,6 +410,9 @@ Tensor dropout(const Tensor& a, float p, util::Rng& rng) {
   check_defined(a, "dropout");
   MENOS_CHECK_MSG(p >= 0.0f && p < 1.0f,
                   "dropout probability must be in [0, 1), got " << p);
+  // p == 0 is the identity and consumes no rng state: return before the
+  // note_unsupported below so disabled dropout never poisons a StepGraph
+  // capture (tests/graph_test.cc pins this).
   if (p == 0.0f) return a;
   const float keep_scale = 1.0f / (1.0f - p);
   Tensor out = Tensor::empty(a.shape(), a.device());
@@ -598,6 +601,83 @@ Tensor slice_dim1(const Tensor& a, Index start, Index len) {
     });
   }
   gd::note(OpKind::SliceDim1, {a}, out, {.a = start, .b = len});
+  return out;
+}
+
+Tensor tile_batch(const Tensor& prefix, Index batch) {
+  check_defined(prefix, "tile_batch");
+  MENOS_CHECK_MSG(prefix.ndim() == 2,
+                  "tile_batch expects a 2-D prefix, got ndim "
+                      << prefix.ndim());
+  MENOS_CHECK_MSG(batch > 0, "tile_batch: batch must be positive");
+  const Index p = prefix.dim(0);
+  const Index c = prefix.dim(1);
+  Tensor out = Tensor::empty({batch, p, c}, prefix.device());
+  const float* src = prefix.data();
+  float* dst = out.data();
+  const std::size_t block = static_cast<std::size_t>(p * c) * sizeof(float);
+  for (Index b = 0; b < batch; ++b) std::memcpy(dst + b * p * c, src, block);
+  if (should_record({prefix})) {
+    attach_node(out, "tile_batch", {prefix},
+                [batch, p, c](const Tensor& g) {
+                  Tensor dp = Tensor::zeros({p, c}, g.device());
+                  const float* pg = g.data();
+                  float* pd = dp.data();
+                  for (Index b = 0; b < batch; ++b) {
+                    const float* gb = pg + b * p * c;
+                    for (Index i = 0; i < p * c; ++i) pd[i] += gb[i];
+                  }
+                  return std::vector<Tensor>{dp};
+                });
+  }
+  gd::note(OpKind::TileBatch, {prefix}, out, {.a = batch});
+  return out;
+}
+
+Tensor repeat_heads(const Tensor& t, int repeat) {
+  check_defined(t, "repeat_heads");
+  MENOS_CHECK_MSG(t.ndim() == 4,
+                  "repeat_heads expects [B, H, T, D], got ndim " << t.ndim());
+  MENOS_CHECK_MSG(repeat >= 1, "repeat_heads: repeat must be >= 1");
+  if (repeat == 1) return t;
+  const Index batch = t.dim(0), heads = t.dim(1), seq = t.dim(2),
+              d = t.dim(3);
+  Tensor out = Tensor::empty({batch, heads * repeat, seq, d}, t.device());
+  const float* src = t.data();
+  float* dst = out.data();
+  const Index block = seq * d;
+  for (Index bi = 0; bi < batch; ++bi) {
+    for (Index h = 0; h < heads; ++h) {
+      const float* s = src + (bi * heads + h) * block;
+      for (Index r = 0; r < repeat; ++r) {
+        float* o = dst + ((bi * heads + h) * repeat + r) * block;
+        std::memcpy(o, s, static_cast<std::size_t>(block) * sizeof(float));
+      }
+    }
+  }
+  if (should_record({t})) {
+    attach_node(out, "repeat_heads", {t},
+                [batch, heads, seq, d, repeat](const Tensor& g) {
+                  Tensor dt = Tensor::zeros({batch, heads, seq, d},
+                                            g.device());
+                  const Index block = seq * d;
+                  const float* pg = g.data();
+                  float* pd = dt.data();
+                  for (Index bi = 0; bi < batch; ++bi) {
+                    for (Index h = 0; h < heads; ++h) {
+                      float* acc = pd + (bi * heads + h) * block;
+                      for (Index r = 0; r < repeat; ++r) {
+                        const float* gb =
+                            pg + ((bi * heads + h) * repeat + r) * block;
+                        for (Index i = 0; i < block; ++i) acc[i] += gb[i];
+                      }
+                    }
+                  }
+                  return std::vector<Tensor>{dt};
+                });
+  }
+  gd::note(OpKind::RepeatHeads, {t}, out,
+           {.a = static_cast<Index>(repeat)});
   return out;
 }
 

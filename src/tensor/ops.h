@@ -77,6 +77,19 @@ Tensor concat_dim1(const Tensor& a, const Tensor& b);
 /// Slice a 3-D tensor along axis 1: rows [start, start+len).
 Tensor slice_dim1(const Tensor& a, Index start, Index len);
 
+/// Broadcast a 2-D tensor [P, C] to [batch, P, C] by copying it per batch
+/// row; backward sums the per-row gradients back into [P, C]. Used by the
+/// prefix adapter to prepend one learned prefix to every sequence in a
+/// batch. Graph-replayable (OpKind::TileBatch).
+Tensor tile_batch(const Tensor& prefix, Index batch);
+
+/// Repeat the head axis of a [B, H, T, D] tensor `repeat` times:
+/// [B, H, T, D] -> [B, H*repeat, T, D], each source head copied into
+/// `repeat` consecutive output heads; backward sums the copies. The GQA
+/// key/value expansion. repeat == 1 returns the input unchanged.
+/// Graph-replayable (OpKind::RepeatHeads).
+Tensor repeat_heads(const Tensor& t, int repeat);
+
 // ----- contractions -----
 
 /// Matrix product with three accepted shape patterns:

@@ -117,17 +117,94 @@ TEST(StepGraph, ReplayReproducesEagerTrainingBitExactlyLlama) {
   expect_same_curve(eager.losses, stepped.losses);
 }
 
-TEST(StepGraph, UnsupportedOpsFallBackToEagerWithoutChangingResults) {
-  // The Prefix adapter uses a bespoke tape node (tile_batch) the graph
-  // cannot replay: capture must refuse, and loss_stepped must keep
-  // producing exactly the eager losses through the fallback.
+TEST(StepGraph, PrefixAdapterCapturesAndReplaysBitExactly) {
+  // tile_batch is a public replayable op (it used to be a bespoke tape
+  // node that poisoned capture): prefix-adapter models must capture like
+  // any other and replay the whole training run bit-for-bit.
   TrainRun eager = train(nn::ModelFamily::Opt, nn::AdapterType::Prefix, 5,
                          /*stepped=*/false);
   TrainRun stepped = train(nn::ModelFamily::Opt, nn::AdapterType::Prefix, 5,
                            /*stepped=*/true);
-  EXPECT_FALSE(stepped.model->step_graph().ready());
-  EXPECT_STREQ(stepped.model->step_graph().failure_reason(), "tile_batch");
+  ASSERT_TRUE(stepped.model->step_graph().ready())
+      << "capture failed: " << stepped.model->step_graph().failure_reason();
   expect_same_curve(eager.losses, stepped.losses);
+}
+
+TEST(StepGraph, GroupedQueryAttentionCapturesAndReplaysBitExactly) {
+  // Same story for repeat_heads: a GQA model (fewer kv heads than query
+  // heads) expands K/V through a replayable op now, so capture succeeds
+  // and the curve stays bit-identical to eager.
+  auto device = gpusim::make_host_device();
+  nn::TransformerConfig config = gtest_model(nn::ModelFamily::Llama);
+  config.n_kv_heads = 1;  // n_heads = 2 -> repeat factor 2
+  nn::AdapterSpec adapter;
+  adapter.type = nn::AdapterType::Lora;
+  adapter.rank = 4;
+  adapter.alpha = 8.0f;
+  nn::SplitSpec split;
+  const auto run_gqa = [&](bool stepped) {
+    TrainRun run;
+    nn::FreshInit init(42);
+    run.model = std::make_unique<nn::LocalModel>(config, split, adapter, init,
+                                                 *device, 9);
+    auto optimizer = optim::make_optimizer(
+        optim::OptimizerKind::Adam, run.model->trainable_parameters(), 3e-3f);
+    data::CharTokenizer tok;
+    auto tokens = tok.encode(data::make_shakespeare_like(3000, 17).text);
+    data::DataLoader loader(std::move(tokens), 2, 8, 5);
+    for (int i = 0; i < 6; ++i) {
+      data::Batch batch = loader.next();
+      Tensor loss = stepped ? run.model->loss_stepped(batch.inputs,
+                                                      batch.targets, 2, 8)
+                            : run.model->loss(batch.inputs, batch.targets,
+                                              2, 8);
+      run.losses.push_back(loss.item());
+      tensor::backward(loss);
+      optimizer->step();
+      optimizer->zero_grad();
+    }
+    return run;
+  };
+  TrainRun eager = run_gqa(/*stepped=*/false);
+  TrainRun stepped = run_gqa(/*stepped=*/true);
+  ASSERT_TRUE(stepped.model->step_graph().ready())
+      << "capture failed: " << stepped.model->step_graph().failure_reason();
+  expect_same_curve(eager.losses, stepped.losses);
+}
+
+TEST(StepGraph, DisabledDropoutDoesNotPoisonCapture) {
+  // p == 0 dropout is the identity and consumes no rng state; it must not
+  // call note_unsupported, or any model with a (disabled) dropout layer
+  // would permanently fall back to eager execution.
+  auto host = gpusim::make_host_device();
+  tensor::graph::StepGraph graph;
+  util::Rng rng(6);
+  Tensor a = menos::testing::random_leaf({4, 8}, rng, *host);
+  util::Rng drop_rng(7);
+  const tensor::graph::Feeds no_feeds;
+  Tensor out = graph.capture(no_feeds, [&] {
+    return tensor::sum(tensor::dropout(a, 0.0f, drop_rng));
+  });
+  ASSERT_TRUE(graph.ready()) << graph.failure_reason();
+  Tensor replayed = graph.replay(no_feeds);
+  EXPECT_EQ(replayed.item(), out.item());
+}
+
+TEST(StepGraph, ActiveDropoutStillFallsBackToEager) {
+  // p > 0 consumes rng state the graph cannot reproduce: capture must
+  // refuse (naming dropout), while the eager result is still returned.
+  auto host = gpusim::make_host_device();
+  tensor::graph::StepGraph graph;
+  util::Rng rng(8);
+  Tensor a = menos::testing::random_leaf({4, 8}, rng, *host);
+  util::Rng drop_rng(9);
+  const tensor::graph::Feeds no_feeds;
+  Tensor out = graph.capture(no_feeds, [&] {
+    return tensor::sum(tensor::dropout(a, 0.5f, drop_rng));
+  });
+  EXPECT_TRUE(out.defined());
+  EXPECT_FALSE(graph.ready());
+  EXPECT_STREQ(graph.failure_reason(), "dropout");
 }
 
 TEST(StepGraph, CaptureWithoutGradModeStaysEagerAndReportsWhy) {

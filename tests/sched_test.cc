@@ -409,6 +409,274 @@ TEST(Scheduler, FcfsBackfillNeverInvokesReclaim) {
   s.unregister_client(1);
 }
 
+// ----- CoalescedBatch: group grants (docs/ARCHITECTURE.md "Cross-client
+// batched trunk compute") -----
+
+TEST(Scheduler, CoalescesCompatibleWaitingForwardsIntoOneGroupGrant) {
+  Scheduler s(1000, Policy::CoalescedBatch);
+  GrantLog log;
+  log.attach(s);
+  s.register_client(0, {1000, 1000});  // blocker: queues everything behind it
+  s.register_client(1, {100, 400}, 7);
+  s.register_client(2, {100, 400}, 7);
+  s.register_client(3, {100, 400}, 7);
+  s.on_request(0, OpKind::Backward);
+  s.on_request(1, OpKind::Forward);
+  s.on_request(2, OpKind::Forward);
+  s.on_request(3, OpKind::Forward);
+  EXPECT_EQ(log.grants.size(), 1u);
+  s.on_complete(0);  // one pass sees all three compatible waiters at once
+  ASSERT_EQ(log.grants.size(), 2u);
+  const Grant& g = log.grants[1];
+  EXPECT_EQ(g.client_id, 1);  // leader = FCFS head of the group
+  EXPECT_EQ(g.kind, OpKind::Forward);
+  ASSERT_EQ(g.group, (std::vector<int>{1, 2, 3}));
+  // Each member is charged its own bytes under its own allocation.
+  EXPECT_EQ(s.allocated_to(1), 100u);
+  EXPECT_EQ(s.allocated_to(2), 100u);
+  EXPECT_EQ(s.allocated_to(3), 100u);
+  EXPECT_EQ(s.stats().coalesced_groups, 1u);
+  EXPECT_EQ(s.stats().coalesced_members, 3u);
+  // The whole group's fused pass completes with ONE atomic release.
+  s.on_complete_group(g.group);
+  EXPECT_EQ(s.available(), 1000u);
+}
+
+TEST(Scheduler, LoneCompatibleRequestIsGrantedSoloImmediately) {
+  // Coalescing must never delay a request that has no one to batch with.
+  Scheduler s(1000, Policy::CoalescedBatch);
+  GrantLog log;
+  log.attach(s);
+  s.register_client(0, {100, 400}, 7);
+  s.on_request(0, OpKind::Forward);
+  ASSERT_EQ(log.grants.size(), 1u);
+  EXPECT_TRUE(log.grants[0].group.empty());  // ordinary solo grant
+  EXPECT_EQ(s.stats().coalesced_groups, 0u);
+  s.on_complete(0);
+}
+
+TEST(Scheduler, CoalescedForwardsNeverOvertakeEarlierWaitingBackward) {
+  // The member scan stops at the first non-joining Backward: forwards that
+  // queued BEHIND a waiting backward may backfill as their own group, but
+  // they must not be pulled forward into a group led from in front of it
+  // (which would effectively jump the backward's place in line).
+  Scheduler s(1000, Policy::CoalescedBatch);
+  GrantLog log;
+  log.attach(s);
+  s.register_client(0, {1000, 1000});      // blocker
+  s.register_client(1, {100, 400}, 7);     // F_a: ahead of the backward
+  s.register_client(2, {100, 950});        // B: waiting backward
+  s.register_client(3, {100, 400}, 7);     // F_b: behind the backward
+  s.register_client(4, {100, 400}, 7);     // F_c: behind the backward
+  s.on_request(0, OpKind::Backward);
+  s.on_request(1, OpKind::Forward);
+  s.on_request(2, OpKind::Backward);
+  s.on_request(3, OpKind::Forward);
+  s.on_request(4, OpKind::Forward);
+  const std::uint64_t backfills_before = s.stats().backfill_grants;
+  s.on_complete(0);
+  // F_a's member scan stopped at B, so F_a went out SOLO...
+  ASSERT_EQ(log.grants.size(), 3u);
+  EXPECT_EQ(log.grants[1].client_id, 1);
+  EXPECT_TRUE(log.grants[1].group.empty());
+  // ...B stays blocked (950 > 900 free), and F_b+F_c coalesce as their own
+  // group BEHIND it — counted as backfill grants, one per member.
+  ASSERT_EQ(log.grants[2].group, (std::vector<int>{3, 4}));
+  EXPECT_EQ(s.allocated_to(2), 0u);
+  EXPECT_EQ(s.waiting_count(), 1u);
+  EXPECT_EQ(s.stats().backfill_grants, backfills_before + 2);
+  // Once the group releases atomically, the backward finally fits.
+  s.on_complete(1);
+  s.on_complete_group(log.grants[2].group);
+  ASSERT_EQ(log.grants.size(), 4u);
+  EXPECT_EQ(log.grants[3].client_id, 2);
+  EXPECT_EQ(log.grants[3].kind, OpKind::Backward);
+  s.on_complete(2);
+}
+
+TEST(Scheduler, HoldsGroupUntilFullTargetSizeFits) {
+  // When more compatible requests wait than currently fit, the class is
+  // held (one blocked cycle, no partial grants) until a group release
+  // frees enough memory for the full target size.
+  Scheduler s(400, Policy::CoalescedBatch);
+  GrantLog log;
+  log.attach(s);
+  s.register_client(0, {300, 300});
+  s.register_client(1, {100, 100});
+  for (int c = 2; c <= 5; ++c) s.register_client(c, {100, 100}, 7);
+  s.on_request(0, OpKind::Forward);
+  s.on_request(1, OpKind::Forward);  // pool now exhausted (300 + 100)
+  for (int c = 2; c <= 5; ++c) s.on_request(c, OpKind::Forward);
+  EXPECT_EQ(log.grants.size(), 2u);
+  EXPECT_EQ(s.waiting_count(), 4u);
+  const SchedulerStats before = s.stats();
+  s.on_complete(1);  // frees 100: ONE member would fit, target is 4 — hold
+  EXPECT_EQ(log.grants.size(), 2u);
+  EXPECT_EQ(s.waiting_count(), 4u);
+  EXPECT_EQ(s.stats().blocked_cycles, before.blocked_cycles + 1);
+  s.on_complete(0);  // frees the rest: the full group forms at once
+  ASSERT_EQ(log.grants.size(), 3u);
+  ASSERT_EQ(log.grants[2].group, (std::vector<int>{2, 3, 4, 5}));
+  // Every member counts as a grant of its own in the stats.
+  EXPECT_EQ(s.stats().grants, before.grants + 4);
+  EXPECT_EQ(s.stats().coalesced_groups, 1u);
+  EXPECT_EQ(s.stats().coalesced_members, 4u);
+  s.on_complete_group(log.grants[2].group);
+  EXPECT_EQ(s.available(), 400u);
+}
+
+TEST(Scheduler, MaxGroupSizeSplitsOversizedClasses) {
+  Scheduler s(400, Policy::CoalescedBatch);
+  s.set_max_group_size(2);
+  GrantLog log;
+  log.attach(s);
+  s.register_client(0, {400, 400});
+  for (int c = 1; c <= 4; ++c) s.register_client(c, {100, 100}, 7);
+  s.on_request(0, OpKind::Forward);
+  for (int c = 1; c <= 4; ++c) s.on_request(c, OpKind::Forward);
+  s.on_complete(0);
+  // Four compatible waiters under a cap of 2: two groups, FCFS order.
+  ASSERT_EQ(log.grants.size(), 3u);
+  EXPECT_EQ(log.grants[1].group, (std::vector<int>{1, 2}));
+  EXPECT_EQ(log.grants[2].group, (std::vector<int>{3, 4}));
+  EXPECT_EQ(s.stats().coalesced_groups, 2u);
+  EXPECT_EQ(s.stats().coalesced_members, 4u);
+  s.on_complete_group(log.grants[1].group);
+  s.on_complete_group(log.grants[2].group);
+  EXPECT_EQ(s.available(), 400u);
+}
+
+TEST(Scheduler, ZeroBatchKeyClientsNeverCoalesce) {
+  // batch_key 0 is the "never coalesce" sentinel (vanilla mode, Lora
+  // adapters, mismatched model specs): behavior degrades to FcfsBackfill.
+  Scheduler s(400, Policy::CoalescedBatch);
+  GrantLog log;
+  log.attach(s);
+  s.register_client(0, {400, 400});
+  s.register_client(1, {100, 100});  // default key = 0
+  s.register_client(2, {100, 100});
+  s.on_request(0, OpKind::Forward);
+  s.on_request(1, OpKind::Forward);
+  s.on_request(2, OpKind::Forward);
+  s.on_complete(0);
+  ASSERT_EQ(log.grants.size(), 3u);
+  EXPECT_TRUE(log.grants[1].group.empty());
+  EXPECT_TRUE(log.grants[2].group.empty());
+  EXPECT_EQ(s.stats().coalesced_groups, 0u);
+  s.on_complete(1);
+  s.on_complete(2);
+}
+
+TEST(Scheduler, OnCompleteGroupSkipsMembersAlreadyReleased) {
+  // A member torn down mid-pass (session cleanup) has already released its
+  // own charge; the group release must skip it instead of throwing.
+  Scheduler s(400, Policy::CoalescedBatch);
+  GrantLog log;
+  log.attach(s);
+  s.register_client(0, {400, 400});
+  s.register_client(1, {100, 100}, 7);
+  s.register_client(2, {100, 100}, 7);
+  s.on_request(0, OpKind::Forward);
+  s.on_request(1, OpKind::Forward);
+  s.on_request(2, OpKind::Forward);
+  s.on_complete(0);
+  ASSERT_EQ(log.grants.size(), 2u);
+  ASSERT_EQ(log.grants[1].group, (std::vector<int>{1, 2}));
+  s.on_complete(1);  // member 1 departs early and frees its own allocation
+  s.unregister_client(1);
+  EXPECT_NO_THROW(s.on_complete_group(log.grants[1].group));
+  EXPECT_EQ(s.available(), 400u);
+}
+
+TEST(Scheduler, CancelPendingDropsQueuedRequestAndReschedules) {
+  // Session teardown calls cancel_pending BEFORE release/unregister so no
+  // fresh grant can land in the gap. Cancelling the blocked head must also
+  // re-run SCHEDULE so requests gated behind it get their turn.
+  Scheduler s(100, Policy::FcfsOnly);
+  GrantLog log;
+  log.attach(s);
+  s.register_client(0, {60, 60});
+  s.register_client(1, {100, 100});
+  s.register_client(2, {40, 40});
+  s.on_request(0, OpKind::Forward);
+  s.on_request(1, OpKind::Forward);  // blocked head (100 > 40)
+  s.on_request(2, OpKind::Forward);  // gated behind the head under FcfsOnly
+  EXPECT_EQ(log.grants.size(), 1u);
+  s.cancel_pending(1);
+  ASSERT_EQ(log.grants.size(), 2u);
+  EXPECT_EQ(log.grants[1].client_id, 2);
+  EXPECT_EQ(s.waiting_count(), 0u);
+  s.cancel_pending(1);  // nothing queued: a no-op
+  s.unregister_client(1);
+  s.on_complete(0);
+  s.on_complete(2);
+}
+
+TEST(Scheduler, CoalescedBatchRandomTraceConservesMemoryAndDrains) {
+  // Randomized sweep over the group-grant path: memory is conserved every
+  // step, grants only reach waiting clients, and a full drain leaves no
+  // starved waiter. Mixed population: even clients share a batch key, odd
+  // clients never coalesce.
+  const std::size_t capacity = 1200;
+  Scheduler s(capacity, Policy::CoalescedBatch);
+  util::Rng rng(1234);
+  const int n = 10;
+
+  // State per client: 0 = idle, 1 = waiting, 2 = holding.
+  std::vector<int> state(static_cast<std::size_t>(n), 0);
+  std::vector<std::vector<int>> live;  // granted units (groups or solos)
+  s.set_grant_callback([&](const Grant& g) {
+    std::vector<int> members =
+        g.group.empty() ? std::vector<int>{g.client_id} : g.group;
+    for (int m : members) {
+      auto idx = static_cast<std::size_t>(m);
+      EXPECT_EQ(state[idx], 1) << "grant to non-waiting client";
+      state[idx] = 2;
+    }
+    live.push_back(std::move(members));
+  });
+  for (int i = 0; i < n; ++i) {
+    const std::size_t fwd = 50 + 25 * static_cast<std::size_t>(i % 3);
+    s.register_client(i, {fwd, fwd + 150 + 50 * static_cast<std::size_t>(i % 4)},
+                      i % 2 == 0 ? 7u : 0u);
+  }
+
+  const auto complete_unit = [&](std::size_t u) {
+    for (int m : live[u]) state[static_cast<std::size_t>(m)] = 0;
+    if (live[u].size() > 1) {
+      s.on_complete_group(live[u]);
+    } else {
+      s.on_complete(live[u][0]);
+    }
+    live.erase(live.begin() + static_cast<std::ptrdiff_t>(u));
+  };
+
+  for (int step = 0; step < 800; ++step) {
+    if (!live.empty() && rng.next_below(3) == 0) {
+      complete_unit(rng.next_below(live.size()));
+    } else {
+      const int c = static_cast<int>(rng.next_below(
+          static_cast<std::uint64_t>(n)));
+      if (state[static_cast<std::size_t>(c)] == 0) {
+        state[static_cast<std::size_t>(c)] = 1;
+        s.on_request(c, rng.next_below(2) == 0 ? OpKind::Forward
+                                               : OpKind::Backward);
+      }
+    }
+    // INVARIANT: allocations + free always account for the whole pool.
+    std::size_t held = 0;
+    for (int c = 0; c < n; ++c) held += s.allocated_to(c);
+    EXPECT_EQ(held + s.total_available(), capacity);
+  }
+
+  // Drain: completing units can only trigger more grants (the callback
+  // appends to `live`), so the loop terminates when everything is idle.
+  while (!live.empty()) complete_unit(0);
+  EXPECT_EQ(s.waiting_count(), 0u) << "a waiter starved after full drain";
+  EXPECT_GT(s.stats().coalesced_groups, 0u)
+      << "trace never exercised a group grant";
+}
+
 // ----- randomized invariant sweep -----
 
 struct TraceParams {
