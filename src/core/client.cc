@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <thread>
 
 #include "core/checkpoint.h"
@@ -29,17 +30,39 @@ Client::Client(const ClientOptions& options,
   if (connection_ != nullptr && options_.receive_timeout_s > 0.0) {
     connection_->set_receive_timeout(options_.receive_timeout_s);
   }
-  const net::FinetuneConfig& ft = options_.finetune;
+  net::FinetuneConfig& ft = options_.finetune;
+  const net::ClientProfile& profile = ft.profile;
+  if (profile.cut_depth != 0) {
+    // The profile's chosen cut overrides the split's default depth; the
+    // server re-derives its trunk from the same Hello config, so both
+    // sides agree by construction.
+    ft.split.front_blocks = profile.cut_depth;
+  }
   ft.model.validate();
   ft.split.validate(ft.model);
+  MENOS_CHECK_MSG(std::isfinite(profile.compute_scale) &&
+                      profile.compute_scale > 0.0,
+                  "client profile compute_scale must be finite > 0");
+  frozen_ = profile.frozen_client_half;
+  if (frozen_) {
+    // A frozen device half never trains the input section, and a Prefix
+    // adapter would change the cut-tensor geometry, so it cannot simply be
+    // dropped from one side.
+    MENOS_CHECK_MSG(ft.adapter.type != nn::AdapterType::Prefix,
+                    "frozen_client_half is incompatible with Prefix adapters");
+  }
   // Adapter stream derivation shared with nn::LocalModel and the serving
-  // session: #1 input, #2 server (skipped here), #3 output.
+  // session: #1 input, #2 server (skipped here), #3 output. A frozen input
+  // section takes AdapterType::None; its stream is still forked (and left
+  // unconsumed) so the output-section stream stays identical either way.
   util::Rng root(ft.adapter_seed);
   util::Rng rng_in = root.fork();
   (void)root.fork();
   util::Rng rng_out = root.fork();
+  nn::AdapterSpec input_adapter = ft.adapter;
+  if (frozen_) input_adapter.type = nn::AdapterType::None;
   nn::FreshInit init(options_.base_seed);
-  input_ = std::make_unique<nn::InputSection>(ft.model, ft.split, ft.adapter,
+  input_ = std::make_unique<nn::InputSection>(ft.model, ft.split, input_adapter,
                                               init, device, rng_in);
   output_ = std::make_unique<nn::OutputSection>(ft.model, ft.split, ft.adapter,
                                                 init, device, rng_out);
@@ -150,6 +173,14 @@ void Client::heartbeat() {
   rpc(net::Message::heartbeat(), net::MessageType::HeartbeatAck, "heartbeat");
 }
 
+double Client::emulate_compute(double measured_s) {
+  const double scale = options_.finetune.profile.compute_scale;
+  if (scale <= 1.0 || measured_s <= 0.0) return measured_s;
+  const double pad_s = (scale - 1.0) * measured_s;
+  std::this_thread::sleep_for(std::chrono::duration<double>(pad_s));
+  return measured_s + pad_s;
+}
+
 tensor::Tensor Client::input_forward(const data::Batch& batch) {
   MENOS_CHECK_MSG(batch.batch_size == options_.finetune.batch_size &&
                       batch.seq_len == options_.finetune.seq_len,
@@ -188,15 +219,23 @@ StepStats Client::run_round(const data::Batch& batch, bool defer_update,
   stats.iteration = iteration_;
   util::Stopwatch total_sw;
 
-  // Step 1: local input-section forward (grad-tracked for the adapters).
+  // Step 1: local input-section forward (grad-tracked for the adapters;
+  // a frozen device half skips the graph entirely).
   util::Stopwatch client_sw;
-  Tensor x_c = input_forward(batch);
+  Tensor x_c;
+  if (frozen_) {
+    tensor::NoGradGuard no_grad;
+    x_c = input_forward(batch);
+  } else {
+    x_c = input_forward(batch);
+  }
   net::WireTensor x_c_wire = to_wire(x_c);
-  stats.client_compute_s += client_sw.elapsed_seconds();
+  stats.client_compute_s += emulate_compute(client_sw.elapsed_seconds());
 
+  net::Message fwd_msg = net::Message::forward(std::move(x_c_wire), iteration_);
+  fwd_msg.tensor_codec = options_.finetune.profile.codec;
   const net::Message fwd_reply =
-      rpc(net::Message::forward(std::move(x_c_wire), iteration_),
-          net::MessageType::ForwardResult, "forward");
+      rpc(fwd_msg, net::MessageType::ForwardResult, "forward");
   stats.server_compute_s += fwd_reply.compute_seconds;
   stats.server_wait_s += fwd_reply.schedule_wait_seconds;
 
@@ -209,7 +248,7 @@ StepStats Client::run_round(const data::Batch& batch, bool defer_update,
   Tensor g_c = x_s.grad();
   MENOS_CHECK_MSG(g_c.defined(), "no gradient reached the cut point x_s");
   net::WireTensor g_c_wire = to_wire(g_c);
-  stats.client_compute_s += client_sw.elapsed_seconds();
+  stats.client_compute_s += emulate_compute(client_sw.elapsed_seconds());
 
   const float step_lr =
       options_.finetune.lr *
@@ -218,23 +257,31 @@ StepStats Client::run_round(const data::Batch& batch, bool defer_update,
       net::Message::backward(std::move(g_c_wire), iteration_);
   backward_msg.defer_update = defer_update;
   backward_msg.lr_override = step_lr;
+  backward_msg.tensor_codec = options_.finetune.profile.codec;
   const net::Message bwd_reply =
       rpc(backward_msg, net::MessageType::BackwardResult, "backward");
   stats.server_compute_s += bwd_reply.compute_seconds;
   stats.server_wait_s += bwd_reply.schedule_wait_seconds;
 
   // Step 4: finish back-propagation through the input section and update
-  // the client-side adapters.
+  // the client-side adapters. A frozen device half has nothing to
+  // back-propagate into: the server advertises this by replying with an
+  // explicitly empty tensor, which we hold it to.
   client_sw.reset();
-  Tensor g_s = from_wire(bwd_reply.tensor, *device_);
-  tensor::backward(x_c, g_s);
+  if (frozen_) {
+    MENOS_CHECK_MSG(bwd_reply.tensor.data.empty(),
+                    "server returned activation grads to a frozen client");
+  } else {
+    Tensor g_s = from_wire(bwd_reply.tensor, *device_);
+    tensor::backward(x_c, g_s);
+  }
   if (!defer_update) {
     optimizer_->set_lr(step_lr);
     optimizer_->step();
     optimizer_->zero_grad();
   }
   x_s.zero_grad();
-  stats.client_compute_s += client_sw.elapsed_seconds();
+  stats.client_compute_s += emulate_compute(client_sw.elapsed_seconds());
 
   stats.total_s = total_sw.elapsed_seconds();
   stats.comm_s = stats.total_s - stats.client_compute_s -
@@ -251,6 +298,7 @@ double Client::evaluate(const data::Batch& batch) {
   Tensor x_c = input_forward(batch);
   net::Message msg = net::Message::forward(to_wire(x_c), iteration_);
   msg.eval_only = true;
+  msg.tensor_codec = options_.finetune.profile.codec;
   const net::Message reply =
       rpc(msg, net::MessageType::ForwardResult, "evaluate");
   Tensor x_s = from_wire(reply.tensor, *device_);
@@ -273,6 +321,7 @@ std::vector<std::int32_t> Client::generate(std::vector<std::int32_t> prompt,
         input_->forward(context, 1, static_cast<tensor::Index>(window));
     net::Message msg = net::Message::forward(to_wire(x_c), iteration_);
     msg.eval_only = true;
+    msg.tensor_codec = options_.finetune.profile.codec;
     const net::Message reply =
         rpc(msg, net::MessageType::ForwardResult, "generate");
     Tensor x_s = from_wire(reply.tensor, *device_);

@@ -147,6 +147,10 @@ class Client {
   /// Dial a fresh connection and re-enter the session with ResumeSession.
   void reestablish();
 
+  /// Pad client_compute_s up to compute_scale x the measured value by
+  /// sleeping, emulating a slower device (heterogeneity experiments).
+  double emulate_compute(double measured_s);
+
   ClientOptions options_;
   std::unique_ptr<net::Connection> connection_;
   gpusim::Device* device_;
@@ -163,6 +167,8 @@ class Client {
   std::uint64_t retries_ = 0;
   std::uint64_t resumes_ = 0;
   bool connected_ = false;
+  /// Latched from options_.finetune.profile at construction.
+  bool frozen_ = false;
 };
 
 }  // namespace menos::core

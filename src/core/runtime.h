@@ -41,6 +41,11 @@ enum class ServingMode : std::uint8_t {
 
 const char* serving_mode_name(ServingMode mode) noexcept;
 
+/// The per-session heterogeneity profile rides the Hello frame, so its
+/// canonical definition lives with the protocol; core is its main consumer.
+using ClientProfile = net::ClientProfile;
+using ActivationCodec = net::ActivationCodec;
+
 /// True for modes that keep the shared base model (everything but vanilla).
 bool shares_base_model(ServingMode mode) noexcept;
 

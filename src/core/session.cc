@@ -506,6 +506,18 @@ void ServingSession::handshake(const net::Message& hello) {
                       client_config_.seq_len > 0 &&
                       client_config_.seq_len <= model_.max_seq,
                   "invalid batch/sequence configuration");
+  // Heterogeneity profile (net::ClientProfile): the declared cut depth must
+  // agree with the split actually sent — a disagreement means the client is
+  // confused about where its half ends, and serving the wrong trunk would
+  // corrupt training silently.
+  const net::ClientProfile& hello_profile = client_config_.profile;
+  if (hello_profile.cut_depth != 0 &&
+      hello_profile.cut_depth != client_config_.split.front_blocks) {
+    throw InvalidArgument(
+        "client profile cut_depth disagrees with split.front_blocks");
+  }
+  frozen_ = hello_profile.frozen_client_half;
+  codec_ = hello_profile.codec;
 
   // Adapter RNG derivation shared with nn::LocalModel: stream #1 is the
   // client's input section, #2 ours, #3 the client's output section.
@@ -554,7 +566,11 @@ void ServingSession::handshake(const net::Message& hello) {
   }
 
   demands_ = profile();
-  batch_key_ = vanilla ? 0 : compute_batch_key(config_, client_config_);
+  // Frozen-half sessions stay out of coalescing: the fused batched
+  // backward materializes per-member cut gradients, which a SplitFrozen
+  // session must never produce or ship.
+  batch_key_ =
+      (vanilla || frozen_) ? 0 : compute_batch_key(config_, client_config_);
   // A coalescible session's trunk pass runs on the coordinator's shared
   // frozen trunk — there must be no per-client server-side trainables for
   // it to miss (compute_batch_key only admits None/Prefix adapters, which
@@ -589,6 +605,10 @@ std::string ServingSession::profile_key() const {
      << c.adapter.prefix_len << '|'
      << optim::optimizer_kind_name(c.optimizer) << '|' << c.batch_size << 'x'
      << c.seq_len;
+  // Frozen sessions profile with a no-grad cut input, which changes the
+  // measured backward peak — they must not share cache entries with
+  // trainable-half sessions of the same config.
+  if (frozen_) os << "|frozen";
   return os.str();
 }
 
@@ -659,7 +679,9 @@ sched::ClientDemands ServingSession::profile() {
       Tensor x = make_input(false);
       Tensor y = section_->forward(x);
     } else {
-      Tensor x = make_input(true);
+      // SplitFrozen: the cut input never tracks gradients, shrinking the
+      // held graph — profile what the serving path will actually allocate.
+      Tensor x = make_input(!frozen_);
       Tensor y = section_->forward(x);
     }
     d.forward_bytes = measure();
@@ -667,7 +689,7 @@ sched::ClientDemands ServingSession::profile() {
   {
     mark();
     {
-      Tensor x = make_input(true);
+      Tensor x = make_input(!frozen_);
       Tensor y = section_->forward(x);
       Tensor seed;
       {
@@ -679,7 +701,7 @@ sched::ClientDemands ServingSession::profile() {
       // must not perturb the adapter.
       tensor::backward(y, seed);
       optimizer_->zero_grad();
-      x.zero_grad();
+      if (!frozen_) x.zero_grad();
     }
     d.backward_bytes = measure();
   }
@@ -888,14 +910,16 @@ void ServingSession::finish_forward(const net::Message& msg, double wait_s) {
     // iteration's graph; drop it now, at the last possible moment.
     held_input_ = tensor::Tensor();
     held_output_ = tensor::Tensor();
-    held_input_ = from_wire(msg.tensor, *gpu_, /*requires_grad=*/true);
+    // SplitFrozen: the frozen client half will never consume a cut
+    // gradient, so the cut input does not track one.
+    held_input_ = from_wire(msg.tensor, *gpu_, /*requires_grad=*/!frozen_);
     held_output_ = section_->forward(held_input_);
     result = to_wire(held_output_);
   } else if (!eval && config_.mode == ServingMode::MenosReleaseEarly) {
     // Fig 3(c): full forward, but the graph is dropped right away (scope
     // exit) and a re-forward happens at Backward.
     cached_activation_ = msg.tensor;
-    Tensor x = from_wire(msg.tensor, *gpu_, /*requires_grad=*/true);
+    Tensor x = from_wire(msg.tensor, *gpu_, /*requires_grad=*/!frozen_);
     Tensor y = section_->forward(x);
     result = to_wire(y);
   } else {
@@ -937,6 +961,7 @@ void ServingSession::finish_forward(const net::Message& msg, double wait_s) {
   }
   net::Message reply = net::Message::forward_result(std::move(result),
                                                     msg.iteration);
+  reply.tensor_codec = codec_;
   reply.compute_seconds = compute_s;
   reply.schedule_wait_seconds = wait_s;
   send_reply(reply);
@@ -989,7 +1014,7 @@ void ServingSession::finish_backward(const net::Message& msg, double wait_s) {
       throw ProtocolError("Backward with no preceding Forward");
     }
     // The on-demand re-forward (Algorithm 1 line 10).
-    x_in = from_wire(cached_activation_, *gpu_, /*requires_grad=*/true);
+    x_in = from_wire(cached_activation_, *gpu_, /*requires_grad=*/!frozen_);
     x_out = section_->forward(x_in);
     util::MutexLock lock(stats_mutex_);
     ++stats_.reforwards;
@@ -1008,16 +1033,25 @@ void ServingSession::finish_backward(const net::Message& msg, double wait_s) {
   if (msg.lr_override > 0.0f) optimizer_->set_lr(msg.lr_override);
   if (!msg.defer_update) optimizer_->step();
 
-  Tensor g_s = x_in.grad();
-  MENOS_CHECK_MSG(g_s.defined(), "no gradient reached the cut point");
-  net::WireTensor result = to_wire(g_s);
+  net::WireTensor result;
+  if (frozen_) {
+    // SplitFrozen: the backward stops at the server's first layer — the
+    // cut input tracked no gradient, and the client has nothing upstream
+    // to apply one to. The reply carries an explicitly empty tensor
+    // (shape {0}) so the client can assert the server honored the mode.
+    result.shape = {0};
+  } else {
+    Tensor g_s = x_in.grad();
+    MENOS_CHECK_MSG(g_s.defined(), "no gradient reached the cut point");
+    result = to_wire(g_s);
+  }
 
   // Release GPU memory (Algorithm 1 line 13): dropping every tensor and
   // graph reference frees the intermediate results I. PreserveAll is the
   // exception (Fig 3(a)): it keeps the graph allocated through the waiting
   // phases and only replaces it at the next forward.
   if (!msg.defer_update) optimizer_->zero_grad();
-  x_in.zero_grad();
+  if (!frozen_) x_in.zero_grad();
   if (config_.mode != ServingMode::MenosPreserveAll) {
     held_input_ = Tensor();
     held_output_ = Tensor();
@@ -1025,7 +1059,6 @@ void ServingSession::finish_backward(const net::Message& msg, double wait_s) {
   x_in = Tensor();
   x_out = Tensor();
   g_c = Tensor();
-  g_s = Tensor();
   const double compute_s = compute_sw.elapsed_seconds();
 
   if (config_.mode != ServingMode::MenosPreserveAll) {
@@ -1053,6 +1086,7 @@ void ServingSession::finish_backward(const net::Message& msg, double wait_s) {
   }
   net::Message reply = net::Message::backward_result(std::move(result),
                                                      msg.iteration);
+  reply.tensor_codec = codec_;
   reply.compute_seconds = compute_s;
   reply.schedule_wait_seconds = wait_s;
   backwards_applied_.store(msg.iteration + 1);
@@ -1177,8 +1211,10 @@ void ServingSession::import_migrated(const MigrationTicket& ticket) {
   MENOS_CHECK_MSG(lease_enabled(),
                   "session migration requires session leases");
   client_config_ = ticket.client_config;
+  frozen_ = client_config_.profile.frozen_client_half;
+  codec_ = client_config_.profile.codec;
   demands_ = ticket.demands;
-  batch_key_ = compute_batch_key(config_, client_config_);
+  batch_key_ = frozen_ ? 0 : compute_batch_key(config_, client_config_);
   // Cheapest-to-roll-back first: validate demands against this shard's
   // partitions before building anything on the GPU.
   scheduler_->register_client(id_, demands_, batch_key_);

@@ -326,6 +326,13 @@ class ServingSession
   mem::OffloadEngine* offload_;   // owned by the Server; null unless SwapOnIdle
 
   net::FinetuneConfig client_config_;
+  /// Heterogeneity profile shorthands, validated + latched at handshake /
+  /// import (strand only). frozen_: SplitFrozen — the client half is
+  /// frozen, so backward never materializes (or ships) an activation
+  /// gradient at the cut. codec_: wire encoding for this session's
+  /// activation payloads in both directions.
+  bool frozen_ = false;
+  ActivationCodec codec_ = ActivationCodec::None;
   /// Coalescing compatibility key (0 = never coalesce), computed at
   /// handshake/import and registered with the scheduler. Strand only.
   std::uint64_t batch_key_ = 0;

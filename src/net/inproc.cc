@@ -2,6 +2,7 @@
 #include <chrono>
 #include <thread>
 
+#include "net/link.h"
 #include "net/transport.h"
 #include "util/mutex.h"
 #include "util/queue.h"
@@ -144,6 +145,21 @@ std::unique_ptr<Connection> InprocAcceptor::connect() {
       make_inproc_pair(state_->uplink, state_->downlink);
   state_->pending.push(std::move(server_end));
   return std::move(client_end);
+}
+
+std::unique_ptr<Connection> InprocAcceptor::connect(
+    const LinkProfile& profile,
+    std::shared_ptr<LinkConditioner>* conditioner_out) {
+  // The pair is minted UNconditioned: per-connection shaping supersedes the
+  // acceptor-wide conditioners, and the delay is paid in the decorator so
+  // the same LinkConditioner would work over TCP.
+  auto [client_end, server_end] = make_inproc_pair();
+  auto conditioner = std::make_shared<LinkConditioner>(profile);
+  if (conditioner_out != nullptr) *conditioner_out = conditioner;
+  state_->pending.push(
+      condition_connection(std::move(server_end), conditioner, LinkDir::Down));
+  return condition_connection(std::move(client_end), std::move(conditioner),
+                              LinkDir::Up);
 }
 
 std::unique_ptr<Connection> InprocAcceptor::accept() {

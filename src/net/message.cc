@@ -1,6 +1,9 @@
 #include "net/message.h"
 
+#include <cmath>
+
 #include "net/wire.h"
+#include "quant/act_codec.h"
 #include "util/crc32.h"
 
 namespace menos::net {
@@ -23,6 +26,14 @@ const char* message_type_name(MessageType type) noexcept {
     case MessageType::HeartbeatAck:   return "HeartbeatAck";
     case MessageType::ResumeSession:  return "ResumeSession";
     case MessageType::ResumeAck:      return "ResumeAck";
+  }
+  return "?";
+}
+
+const char* activation_codec_name(ActivationCodec codec) noexcept {
+  switch (codec) {
+    case ActivationCodec::None: return "none";
+    case ActivationCodec::Int8: return "int8";
   }
   return "?";
 }
@@ -148,16 +159,36 @@ Message Message::resume_ack(std::uint64_t session_token,
 
 namespace {
 
-void put_tensor(Writer& w, const WireTensor& t) {
+void put_tensor(Writer& w, const WireTensor& t, ActivationCodec codec) {
   // Activation-sized payloads dominate the frame; size the buffer once so
   // the per-dimension and per-element appends never reallocate.
-  w.reserve(8 + t.shape.size() * 8 + 8 + t.data.size() * sizeof(float));
+  w.reserve(8 + t.shape.size() * 8 + 1 + 8 + t.data.size() * sizeof(float));
   w.put_u64(t.shape.size());
   for (std::int64_t d : t.shape) w.put_i64(d);
-  w.put_f32_array(t.data.data(), t.data.size());
+  w.put_u8(static_cast<std::uint8_t>(codec));
+  switch (codec) {
+    case ActivationCodec::None:
+      w.put_f32_array(t.data.data(), t.data.size());
+      break;
+    case ActivationCodec::Int8: {
+      // Rows of the last dimension, the same granularity as
+      // quant::Scheme::Int8Rowwise. numel is a product of the dims, so the
+      // division is exact whenever cols > 0; a zero-sized tensor encodes as
+      // zero rows.
+      const std::size_t cols =
+          t.shape.empty() ? 0 : static_cast<std::size_t>(t.shape.back());
+      const std::size_t rows = cols > 0 ? t.data.size() / cols : 0;
+      std::vector<float> scales;
+      std::vector<std::uint8_t> codes;
+      quant::int8_rowwise_encode(t.data.data(), rows, cols, scales, codes);
+      w.put_f32_array(scales.data(), scales.size());
+      w.put_bytes(codes);
+      break;
+    }
+  }
 }
 
-WireTensor get_tensor(Reader& r) {
+WireTensor get_tensor(Reader& r, ActivationCodec& codec_out) {
   WireTensor t;
   const std::uint64_t ndim = r.get_u64();
   if (ndim > 8) throw ProtocolError("wire tensor rank too large");
@@ -168,9 +199,32 @@ WireTensor get_tensor(Reader& r) {
     if (d < 0) throw ProtocolError("negative wire tensor dimension");
     numel *= d;
   }
-  t.data = r.get_f32_array();
-  if (static_cast<std::int64_t>(t.data.size()) != numel) {
-    throw ProtocolError("wire tensor payload does not match shape");
+  const std::uint8_t raw_codec = r.get_u8();
+  if (raw_codec > 1) throw ProtocolError("unknown activation codec on wire");
+  codec_out = static_cast<ActivationCodec>(raw_codec);
+  switch (static_cast<ActivationCodec>(raw_codec)) {
+    case ActivationCodec::None:
+      t.data = r.get_f32_array();
+      if (static_cast<std::int64_t>(t.data.size()) != numel) {
+        throw ProtocolError("wire tensor payload does not match shape");
+      }
+      break;
+    case ActivationCodec::Int8: {
+      const std::size_t cols =
+          t.shape.empty() ? 0 : static_cast<std::size_t>(t.shape.back());
+      const std::size_t rows =
+          cols > 0 ? static_cast<std::size_t>(numel) / cols : 0;
+      const std::vector<float> scales = r.get_f32_array();
+      const std::vector<std::uint8_t> codes = r.get_bytes();
+      if (scales.size() != rows || codes.size() != rows * cols ||
+          static_cast<std::int64_t>(rows * cols) != numel) {
+        throw ProtocolError("int8 wire tensor payload does not match shape");
+      }
+      t.data.resize(rows * cols);
+      quant::int8_rowwise_decode(scales.data(), codes.data(), rows, cols,
+                                 t.data.data());
+      break;
+    }
   }
   return t;
 }
@@ -199,6 +253,13 @@ void put_config(Writer& w, const FinetuneConfig& c) {
   w.put_i64(c.batch_size);
   w.put_i64(c.seq_len);
   w.put_u64(c.adapter_seed);
+  w.put_f64(c.profile.compute_scale);
+  w.put_i64(c.profile.cut_depth);
+  w.put_u8(c.profile.frozen_client_half ? 1 : 0);
+  w.put_u8(static_cast<std::uint8_t>(c.profile.codec));
+  w.put_f64(c.profile.uplink_bytes_per_s);
+  w.put_f64(c.profile.downlink_bytes_per_s);
+  w.put_f64(c.profile.link_latency_s);
 }
 
 FinetuneConfig get_config(Reader& r) {
@@ -232,6 +293,30 @@ FinetuneConfig get_config(Reader& r) {
   c.batch_size = r.get_i64();
   c.seq_len = r.get_i64();
   c.adapter_seed = r.get_u64();
+  c.profile.compute_scale = r.get_f64();
+  if (!std::isfinite(c.profile.compute_scale) ||
+      c.profile.compute_scale <= 0.0) {
+    throw ProtocolError("client profile compute_scale must be finite > 0");
+  }
+  c.profile.cut_depth = static_cast<int>(r.get_i64());
+  if (c.profile.cut_depth < 0) {
+    throw ProtocolError("client profile cut_depth must be >= 0");
+  }
+  c.profile.frozen_client_half = r.get_u8() != 0;
+  const std::uint8_t codec = r.get_u8();
+  if (codec > 1) throw ProtocolError("unknown activation codec on wire");
+  c.profile.codec = static_cast<ActivationCodec>(codec);
+  c.profile.uplink_bytes_per_s = r.get_f64();
+  c.profile.downlink_bytes_per_s = r.get_f64();
+  c.profile.link_latency_s = r.get_f64();
+  if (!std::isfinite(c.profile.uplink_bytes_per_s) ||
+      c.profile.uplink_bytes_per_s < 0.0 ||
+      !std::isfinite(c.profile.downlink_bytes_per_s) ||
+      c.profile.downlink_bytes_per_s < 0.0 ||
+      !std::isfinite(c.profile.link_latency_s) ||
+      c.profile.link_latency_s < 0.0) {
+    throw ProtocolError("client profile link hints must be finite >= 0");
+  }
   return c;
 }
 
@@ -255,7 +340,7 @@ std::vector<std::uint8_t> encode_message(const Message& message) {
     case MessageType::Backward:
     case MessageType::BackwardResult:
       w.put_u64(message.iteration);
-      put_tensor(w, message.tensor);
+      put_tensor(w, message.tensor, message.tensor_codec);
       w.put_f64(message.compute_seconds);
       w.put_f64(message.schedule_wait_seconds);
       w.put_u8(message.eval_only ? 1 : 0);
@@ -309,7 +394,7 @@ Message decode_message(const std::uint8_t* data, std::size_t size) {
     case MessageType::Backward:
     case MessageType::BackwardResult:
       m.iteration = r.get_u64();
-      m.tensor = get_tensor(r);
+      m.tensor = get_tensor(r, m.tensor_codec);
       m.compute_seconds = r.get_f64();
       m.schedule_wait_seconds = r.get_f64();
       m.eval_only = r.get_u8() != 0;

@@ -54,6 +54,60 @@ struct WireTensor {
   }
 };
 
+/// On-wire encoding of the activation payload in Forward / ForwardResult /
+/// Backward / BackwardResult. Values are wire bytes — never renumber.
+enum class ActivationCodec : std::uint8_t {
+  /// Raw f32; bit-exact, and byte-identical to the pre-codec frame layout
+  /// except for the one codec tag byte.
+  None = 0,
+  /// Per-row absmax int8 (quant::Scheme::Int8Rowwise): one f32 scale per
+  /// row plus one code byte per element — ~4x smaller for thin links.
+  /// Decoding yields exactly quantize-then-dequantize of the source.
+  Int8 = 1,
+};
+
+const char* activation_codec_name(ActivationCodec codec) noexcept;
+
+/// Per-session heterogeneity profile, declared by the client in its Hello.
+/// Every field defaults to "the homogeneous client the rest of the system
+/// always assumed", so a default profile is behaviour- and bit-identical to
+/// the pre-profile protocol.
+struct ClientProfile {
+  /// Relative device compute cost: 1.0 = baseline hardware, 4.0 = this
+  /// device runs its model halves 4x slower. The client emulates the
+  /// slowdown locally (core::Client); the server sees it as telemetry for
+  /// straggler-aware scheduling and sim calibration.
+  double compute_scale = 1.0;
+
+  /// Declared cut depth — must equal split.front_blocks when nonzero.
+  /// 0 = unspecified (server uses the split as sent). Carried explicitly so
+  /// the server can reject a Hello whose profile and split disagree instead
+  /// of silently serving the wrong trunk.
+  int cut_depth = 0;
+
+  /// SplitFrozen mode: the client's device-side input half is frozen (no
+  /// adapter, no local input-half optimizer state). The client only ships
+  /// activations forward; the server's BackwardResult carries no activation
+  /// gradient (empty tensor) because nothing on the device would consume it.
+  bool frozen_client_half = false;
+
+  /// Wire encoding for activation/gradient payloads in both directions.
+  ActivationCodec codec = ActivationCodec::None;
+
+  /// Advisory link characteristics (bytes/s and one-way seconds; 0 =
+  /// unknown). Not enforced by the server — used for diagnostics, bench
+  /// labeling, and sim calibration.
+  double uplink_bytes_per_s = 0.0;
+  double downlink_bytes_per_s = 0.0;
+  double link_latency_s = 0.0;
+
+  bool is_default() const noexcept {
+    return compute_scale == 1.0 && cut_depth == 0 && !frozen_client_half &&
+           codec == ActivationCodec::None && uplink_bytes_per_s == 0.0 &&
+           downlink_bytes_per_s == 0.0 && link_latency_s == 0.0;
+  }
+};
+
 /// Everything the server needs to build this client's serving session
 /// (§3.3: "the client sending the fine-tuning configurations to the server
 /// for profiling").
@@ -67,6 +121,7 @@ struct FinetuneConfig {
   std::int64_t batch_size = 4;
   std::int64_t seq_len = 32;
   std::uint64_t adapter_seed = 1;
+  ClientProfile profile;
 };
 
 struct Message {
@@ -78,6 +133,11 @@ struct Message {
   // Forward / ForwardResult / Backward / BackwardResult
   WireTensor tensor;
   std::uint64_t iteration = 0;
+
+  /// Encoding of `tensor` on the wire (never of the in-memory WireTensor,
+  /// which always holds floats). Both directions of a session use the codec
+  /// declared in the session's ClientProfile.
+  ActivationCodec tensor_codec = ActivationCodec::None;
 
   /// Forward only: this is an evaluation pass — the client will not send a
   /// matching Backward, so the session releases memory immediately in every

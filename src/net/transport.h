@@ -138,6 +138,12 @@ class Acceptor {
   virtual void close() = 0;
 };
 
+// Per-connection link conditioning (net/link.h). Declared here so the
+// acceptor can mint heterogeneous links without transport.h depending on
+// the full link machinery.
+struct LinkProfile;
+class LinkConditioner;
+
 /// In-process acceptor: connect() mints a connected pair, hands the server
 /// end to the accept loop and returns the client end.
 class InprocAcceptor final : public Acceptor {
@@ -150,6 +156,14 @@ class InprocAcceptor final : public Acceptor {
   ~InprocAcceptor() override;
 
   std::unique_ptr<Connection> connect();
+  /// Heterogeneous variant: mint an UNconditioned pair (the acceptor-wide
+  /// conditioners do not apply) and shape both ends with a fresh
+  /// LinkConditioner for `profile` — each connection gets its own link,
+  /// not the acceptor's. `conditioner_out`, when non-null, receives the
+  /// shared conditioner so callers can read delay logs / loss stats.
+  std::unique_ptr<Connection> connect(
+      const LinkProfile& profile,
+      std::shared_ptr<LinkConditioner>* conditioner_out = nullptr);
   std::unique_ptr<Connection> accept() override;
   void close() override;
 

@@ -1,0 +1,42 @@
+#include "quant/act_codec.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace menos::quant {
+
+void int8_rowwise_encode(const float* data, std::size_t rows,
+                         std::size_t cols, std::vector<float>& scales,
+                         std::vector<std::uint8_t>& codes) {
+  scales.resize(rows);
+  codes.resize(rows * cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* row = data + r * cols;
+    float absmax = 0.0f;
+    for (std::size_t c = 0; c < cols; ++c) {
+      absmax = std::max(absmax, std::fabs(row[c]));
+    }
+    const float scale = absmax > 0.0f ? absmax / 127.0f : 1.0f;
+    scales[r] = scale;
+    for (std::size_t c = 0; c < cols; ++c) {
+      const float q = std::round(row[c] / scale);
+      const auto code =
+          static_cast<std::int8_t>(std::max(-127.0f, std::min(127.0f, q)));
+      codes[r * cols + c] = static_cast<std::uint8_t>(code);
+    }
+  }
+}
+
+void int8_rowwise_decode(const float* scales, const std::uint8_t* codes,
+                         std::size_t rows, std::size_t cols, float* out) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float scale = scales[r];
+    for (std::size_t c = 0; c < cols; ++c) {
+      out[r * cols + c] =
+          static_cast<float>(static_cast<std::int8_t>(codes[r * cols + c])) *
+          scale;
+    }
+  }
+}
+
+}  // namespace menos::quant

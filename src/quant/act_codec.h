@@ -1,0 +1,37 @@
+// Row-wise int8 activation codec for the wire path (net/message.cc).
+//
+// The heterogeneous-client profile lets a thin-link session opt into int8
+// activation transport (ActivationCodec::Int8): Forward/Backward payloads
+// shrink ~4x at the cost of one quantize-dequantize round trip per hop.
+// The scheme is exactly quant::Scheme::Int8Rowwise — symmetric absmax per
+// row, scale = absmax / 127 (1.0 for an all-zero row), codes clamped to
+// [-127, 127] — so wire behaviour matches the §6 weight-quantization math
+// already pinned by quant_test, and decode(encode(x)) is bit-identical to
+// quantize-then-dequantize of x.
+//
+// This header deliberately avoids tensor/device types: it codes raw float
+// spans, so net can link it without pulling the metered-tensor machinery
+// into the wire layer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace menos::quant {
+
+/// Encode `rows * cols` floats (row-major) into one f32 scale per row and
+/// one code byte per element. `codes` holds the two's-complement bit
+/// pattern of each int8 code. Outputs are resized; existing contents are
+/// discarded.
+void int8_rowwise_encode(const float* data, std::size_t rows,
+                         std::size_t cols, std::vector<float>& scales,
+                         std::vector<std::uint8_t>& codes);
+
+/// Reconstruct `rows * cols` floats into `out` (caller-sized). Exact
+/// inverse of the quantize-dequantize round trip: out[r, c] =
+/// float(int8(codes[r * cols + c])) * scales[r].
+void int8_rowwise_decode(const float* scales, const std::uint8_t* codes,
+                         std::size_t rows, std::size_t cols, float* out);
+
+}  // namespace menos::quant

@@ -231,8 +231,6 @@ tensor::Tensor quantized_matmul(const tensor::Tensor& x,
   const Index m = x.numel() / in;
   Shape out_shape = x.shape();
   out_shape.back() = out_dim;
-  // Bespoke tape node the step graph cannot replay (tensor/graph.h).
-  tensor::graph::detail::note_unsupported("quantized_matmul");
   Tensor y = Tensor::zeros(out_shape, x.device());
 
   // Streaming: dequantize one weight row (out_dim floats) at a time.
@@ -272,6 +270,13 @@ tensor::Tensor quantized_matmul(const tensor::Tensor& x,
           return std::vector<Tensor>{dx};
         });
   }
+  // Step-graph capture: the bespoke tape node above is invisible to the
+  // generic replay switch, so record a custom node whose closure
+  // re-dispatches this function — replay re-runs the attach above and the
+  // result is bit-identical to eager (tests/graph_test.cc).
+  tensor::graph::detail::note_custom(
+      "quantized_matmul", {x}, y,
+      [w](const std::vector<Tensor>& ins) { return quantized_matmul(ins[0], w); });
   return y;
 }
 

@@ -1,9 +1,26 @@
 #include "sched/scheduler.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 
 namespace menos::sched {
+namespace {
+
+/// Monotonic wall time in seconds, for service-time estimates and
+/// anti-starvation waits. Only differences are ever used.
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// EWMA smoothing for service-time estimates: responsive enough to track a
+/// client whose link or load changes, sticky enough that one noisy round
+/// does not flip its class.
+constexpr double kServiceAlpha = 0.3;
+
+}  // namespace
 
 const char* op_kind_name(OpKind kind) noexcept {
   return kind == OpKind::Forward ? "forward" : "backward";
@@ -13,7 +30,8 @@ Scheduler::Scheduler(std::vector<std::size_t> partition_capacities,
                      Policy policy)
     : capacity_(std::move(partition_capacities)),
       free_(capacity_),
-      policy_(policy) {
+      policy_(policy),
+      clock_(&now_seconds) {
   MENOS_CHECK_MSG(!capacity_.empty(), "scheduler needs at least one partition");
 }
 
@@ -111,6 +129,7 @@ void Scheduler::unregister_client(int client_id) {
                    waiting_.end());
     demands_.erase(client_id);
     batch_key_.erase(client_id);
+    service_est_.erase(client_id);
     // Departure frees nothing, but a slot may now be irrelevant to fairness
     // ordering; re-run scheduling for uniformity.
     schedule_locked();
@@ -150,7 +169,7 @@ void Scheduler::on_request(int client_id, OpKind kind) {
                       "client " << client_id
                                 << " already has a pending request");
     }
-    waiting_.push_back(Waiting{client_id, kind, next_seq_++});
+    waiting_.push_back(Waiting{client_id, kind, next_seq_++, clock_()});
     ++stats_.requests;
     schedule_locked();
     out = take_pending_locked();
@@ -166,6 +185,9 @@ void Scheduler::on_complete(int client_id) {
     MENOS_CHECK_MSG(it != allocations_.end(),
                     "completion from client " << client_id
                                               << " with no allocation");
+    if (it->second.granted_at > 0.0) {
+      update_estimate_locked(client_id, clock_() - it->second.granted_at);
+    }
     free_[static_cast<std::size_t>(it->second.partition)] += it->second.bytes;
     allocations_.erase(it);
     schedule_locked();
@@ -183,6 +205,10 @@ void Scheduler::on_complete_group(const std::vector<int>& clients) {
       // A member torn down mid-pass has already released its own charge
       // through its cleanup path; skip it.
       if (it == allocations_.end()) continue;
+      if (it->second.granted_at > 0.0) {
+        update_estimate_locked(client_id,
+                               clock_() - it->second.granted_at);
+      }
       free_[static_cast<std::size_t>(it->second.partition)] +=
           it->second.bytes;
       allocations_.erase(it);
@@ -263,6 +289,10 @@ void Scheduler::dispatch(PendingDispatch& pending) {
 
 void Scheduler::schedule_locked() {
   if (!grant_callback_) return;
+  if (policy_ == Policy::StragglerAware) {
+    schedule_straggler_locked();
+    return;
+  }
   bool head_blocked = false;
   bool backward_blocked = false;  // an earlier backward is still waiting
   bool reclaim_dry = false;       // a reclaim this pass came up short
@@ -328,7 +358,7 @@ void Scheduler::schedule_locked() {
         continue;
       }
       free_[static_cast<std::size_t>(*partition)] -= bytes;
-      allocations_[w.client_id] = Allocation{bytes, *partition};
+      allocations_[w.client_id] = Allocation{bytes, *partition, clock_()};
       ++stats_.grants;
       if (head_blocked || backward_blocked) ++stats_.backfill_grants;
       pending_grants_.push_back(Grant{w.client_id, w.kind, *partition, {}});
@@ -345,6 +375,132 @@ void Scheduler::schedule_locked() {
     ++i;
   }
   if (head_blocked) ++stats_.blocked_cycles;
+}
+
+void Scheduler::schedule_straggler_locked() {
+  // Classify the waiting queue: fast clients first (FCFS), deferred
+  // stragglers after (FCFS). With nothing classified as a straggler,
+  // `order` IS the FCFS queue and the loop below replays the FcfsBackfill
+  // pass of schedule_locked exactly — grant sequence, backfill accounting
+  // and blocked_cycles included. That degeneration is the homogeneous
+  // fairness pin (sched_test / hetero_test).
+  const double median = estimate_median_locked();
+  const double now = clock_();
+  std::vector<std::size_t> order;
+  order.reserve(waiting_.size());
+  std::vector<std::size_t> deferred;
+  std::vector<bool> is_deferred(waiting_.size(), false);
+  for (std::size_t i = 0; i < waiting_.size(); ++i) {
+    const Waiting& w = waiting_[i];
+    double est = 0.0;
+    if (auto it = service_est_.find(w.client_id); it != service_est_.end()) {
+      est = it->second;
+    }
+    if (median > 0.0 && est > straggler_ratio_ * median) {
+      // Anti-starvation: a straggler that has already waited longer than
+      // promote_slack x its own service time rejoins the fast scan at its
+      // FCFS position instead of being deferred again.
+      if (now - w.enqueued_at > promote_slack_ * est) {
+        ++stats_.straggler_promotions;
+      } else {
+        deferred.push_back(i);
+        is_deferred[i] = true;
+        continue;
+      }
+    }
+    order.push_back(i);
+  }
+  order.insert(order.end(), deferred.begin(), deferred.end());
+
+  bool head_blocked = false;
+  bool backward_blocked = false;
+  // Mirrors schedule_locked's `i == 0` head test under deferred erasure:
+  // an entry is "at the head" when every earlier-traversed entry was
+  // granted (i.e. would already have been erased by the eager loop).
+  bool ungranted_before = false;
+  std::vector<std::size_t> granted;
+  for (std::size_t idx : order) {
+    const Waiting& w = waiting_[idx];
+    const std::size_t bytes = demands_[w.client_id].bytes_for(w.kind);
+    const bool gated = w.kind == OpKind::Backward && backward_blocked;
+    std::optional<int> partition;
+    if (!gated) partition = find_partition_locked(bytes);
+    if (!partition.has_value()) {
+      if (!ungranted_before) head_blocked = true;
+      ungranted_before = true;
+      if (w.kind == OpKind::Backward) backward_blocked = true;
+      continue;
+    }
+    free_[static_cast<std::size_t>(*partition)] -= bytes;
+    allocations_[w.client_id] = Allocation{bytes, *partition, clock_()};
+    ++stats_.grants;
+    if (head_blocked || backward_blocked) ++stats_.backfill_grants;
+    if (!is_deferred[idx]) {
+      // Did the reorder engage? Count grants that jumped an earlier-arrived
+      // request deferred as a straggler this pass.
+      for (std::size_t d : deferred) {
+        if (waiting_[d].seq < w.seq) {
+          ++stats_.straggler_reorders;
+          break;
+        }
+      }
+    }
+    pending_grants_.push_back(Grant{w.client_id, w.kind, *partition, {}});
+    granted.push_back(idx);
+  }
+  std::sort(granted.begin(), granted.end());
+  for (std::size_t k = granted.size(); k-- > 0;) {
+    waiting_.erase(waiting_.begin() + static_cast<std::ptrdiff_t>(granted[k]));
+  }
+  if (head_blocked) ++stats_.blocked_cycles;
+}
+
+void Scheduler::update_estimate_locked(int client_id, double seconds) {
+  if (seconds < 0.0) seconds = 0.0;
+  auto [it, inserted] = service_est_.emplace(client_id, seconds);
+  if (!inserted) {
+    it->second = kServiceAlpha * seconds + (1.0 - kServiceAlpha) * it->second;
+  }
+}
+
+double Scheduler::estimate_median_locked() const {
+  if (service_est_.empty()) return 0.0;
+  std::vector<double> vals;
+  vals.reserve(service_est_.size());
+  for (const auto& entry : service_est_) vals.push_back(entry.second);
+  const std::size_t mid = (vals.size() - 1) / 2;  // lower median
+  std::nth_element(vals.begin(), vals.begin() + static_cast<std::ptrdiff_t>(mid),
+                   vals.end());
+  return vals[mid];
+}
+
+void Scheduler::record_service_time(int client_id, double seconds) {
+  util::MutexLock lock(mutex_);
+  update_estimate_locked(client_id, seconds);
+}
+
+double Scheduler::service_estimate(int client_id) const {
+  util::MutexLock lock(mutex_);
+  auto it = service_est_.find(client_id);
+  return it == service_est_.end() ? 0.0 : it->second;
+}
+
+void Scheduler::set_straggler_ratio(double ratio) {
+  util::MutexLock lock(mutex_);
+  MENOS_CHECK_MSG(ratio > 1.0, "straggler ratio must be > 1");
+  straggler_ratio_ = ratio;
+}
+
+void Scheduler::set_straggler_promote_slack(double slack) {
+  util::MutexLock lock(mutex_);
+  MENOS_CHECK_MSG(slack > 0.0, "straggler promote slack must be > 0");
+  promote_slack_ = slack;
+}
+
+void Scheduler::set_clock(std::function<double()> clock) {
+  util::MutexLock lock(mutex_);
+  MENOS_CHECK_MSG(clock != nullptr, "scheduler clock must be callable");
+  clock_ = std::move(clock);
 }
 
 std::uint64_t Scheduler::batch_key_of_locked(int client_id) const {
@@ -410,7 +566,7 @@ bool Scheduler::try_coalesce_locked(std::size_t leader_idx, std::uint64_t key,
     const int client_id = waiting_[m.idx].client_id;
     const std::size_t bytes = demands_[client_id].bytes_for(leader.kind);
     free_[static_cast<std::size_t>(partition)] -= bytes;
-    allocations_[client_id] = Allocation{bytes, partition};
+    allocations_[client_id] = Allocation{bytes, partition, clock_()};
     ++stats_.grants;
     if (leader_backfill || m.overtakes) ++stats_.backfill_grants;
   }

@@ -79,6 +79,19 @@ enum class Policy : std::uint8_t {
   /// nonzero batch_key) coalesce into one group grant for a fused batched
   /// pass through the shared trunk (see the class comment).
   CoalescedBatch,
+  /// FcfsBackfill, plus: straggler-aware grant reordering. Per-client
+  /// service times (grant -> release wall time, EWMA) classify clients
+  /// whose estimate exceeds straggler_ratio x the population median as
+  /// stragglers; each SCHEDULE pass scans the non-straggler queue first
+  /// (in FCFS order) and the stragglers after (also FCFS), so a slow
+  /// client at the head cannot pin fast clients behind its long
+  /// memory-hold cycles. Anti-starvation: a straggler waiting longer than
+  /// promote_slack x its own estimate is scanned with the fast class
+  /// again. With no classified stragglers the pass degenerates to exactly
+  /// FcfsBackfill — grant order, stats and all — which is what keeps
+  /// homogeneous populations bit-identical under this policy (pinned in
+  /// sched_test/hetero_test).
+  StragglerAware,
 };
 
 /// Per-client memory demands measured during profiling (§3.3): M_f for the
@@ -125,6 +138,12 @@ struct SchedulerStats {
   std::size_t reclaimed_bytes = 0;    ///< persistent bytes evicted to host
   std::uint64_t coalesced_groups = 0;   ///< group grants issued (size >= 2)
   std::uint64_t coalesced_members = 0;  ///< members across all group grants
+  /// StragglerAware: grants issued ahead of an earlier-arrived request
+  /// that was deferred as a straggler.
+  std::uint64_t straggler_reorders = 0;
+  /// StragglerAware: passes in which a starving straggler was promoted
+  /// back into the fast scan.
+  std::uint64_t straggler_promotions = 0;
 };
 
 class Scheduler {
@@ -213,6 +232,33 @@ class Scheduler {
   /// Return memory taken by reserve_persistent (client departure).
   void release_persistent(int partition, std::size_t bytes);
 
+  // ----- straggler awareness (Policy::StragglerAware) -----
+
+  /// Fold an observed service time (seconds from grant to release) into
+  /// `client_id`'s EWMA estimate. The scheduler feeds this automatically
+  /// from every on_complete / on_complete_group; it is public so benches
+  /// and tests can seed estimates without waiting for the EWMA to warm up.
+  void record_service_time(int client_id, double seconds);
+
+  /// Current EWMA service-time estimate for `client_id` (0 until the first
+  /// observation).
+  double service_estimate(int client_id) const;
+
+  /// A client is a straggler when its estimate exceeds `ratio` x the
+  /// population median estimate (default 2.0; must be > 1).
+  void set_straggler_ratio(double ratio);
+
+  /// A deferred straggler rejoins the fast scan once it has waited longer
+  /// than `slack` x its own service estimate (default 4.0; must be > 0).
+  void set_straggler_promote_slack(double slack);
+
+  /// Replace the clock behind service estimates, enqueue stamps and
+  /// promotion waits (steady wall-clock seconds by default). The
+  /// discrete-event sim injects its virtual clock here so StragglerAware
+  /// classifies on simulated time, not host microseconds. Only differences
+  /// of consecutive readings are ever used; the clock must be monotone.
+  void set_clock(std::function<double()> clock);
+
   // ----- introspection -----
   std::size_t available(int partition = 0) const;
   std::size_t total_available() const;
@@ -226,11 +272,13 @@ class Scheduler {
     int client_id;
     OpKind kind;
     std::uint64_t seq;
+    double enqueued_at = 0.0;  ///< steady-clock seconds, for anti-starvation
   };
 
   struct Allocation {
     std::size_t bytes = 0;
     int partition = -1;
+    double granted_at = 0.0;  ///< steady-clock seconds, for service timing
   };
 
   // SCHEDULE procedure (Algorithm 2 lines 14-24). Runs with mutex_ held
@@ -238,6 +286,20 @@ class Scheduler {
   // inline; every public mutator drains pending_grants_ into the callback
   // after unlocking (see the class comment).
   void schedule_locked() MENOS_REQUIRES(mutex_);
+
+  /// The StragglerAware SCHEDULE pass: FcfsBackfill semantics over a
+  /// reordered scan (fast clients first, stragglers after, FCFS within
+  /// each class). Reduces to schedule_locked's FcfsBackfill behaviour —
+  /// identical grant sequence and stats — when no client classifies as a
+  /// straggler.
+  void schedule_straggler_locked() MENOS_REQUIRES(mutex_);
+
+  /// EWMA fold of one observed service time.
+  void update_estimate_locked(int client_id, double seconds)
+      MENOS_REQUIRES(mutex_);
+
+  /// Lower median of all current service estimates (0 when none exist).
+  double estimate_median_locked() const MENOS_REQUIRES(mutex_);
 
   /// Everything buffered under the lock for post-unlock dispatch: grants
   /// (in FCFS order) and pressure events, each with a callback copy.
@@ -294,6 +356,13 @@ class Scheduler {
       MENOS_GUARDED_BY(mutex_);  // live grants
   std::uint64_t next_seq_ MENOS_GUARDED_BY(mutex_) = 0;
   SchedulerStats stats_ MENOS_GUARDED_BY(mutex_);
+  /// Per-client EWMA of grant -> release seconds (StragglerAware inputs;
+  /// maintained under every policy, they are cheap telemetry).
+  std::unordered_map<int, double> service_est_ MENOS_GUARDED_BY(mutex_);
+  double straggler_ratio_ MENOS_GUARDED_BY(mutex_) = 2.0;
+  double promote_slack_ MENOS_GUARDED_BY(mutex_) = 4.0;
+  /// Seconds source for the timestamps above (defaults to steady clock).
+  std::function<double()> clock_ MENOS_GUARDED_BY(mutex_);
   /// Grants produced under the lock, dispatched after it drops. Always
   /// empty between public calls (every mutator drains it before returning).
   std::vector<Grant> pending_grants_ MENOS_GUARDED_BY(mutex_);

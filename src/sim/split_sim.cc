@@ -31,6 +31,14 @@ class Sim {
                         static_cast<int>(cfg_.client_scale.size()) ==
                             cfg_.num_clients,
                     "client_scale size must match num_clients");
+    MENOS_CHECK_MSG(cfg_.client_compute_scale.empty() ||
+                        static_cast<int>(cfg_.client_compute_scale.size()) ==
+                            cfg_.num_clients,
+                    "client_compute_scale size must match num_clients");
+    MENOS_CHECK_MSG(cfg_.client_net_scale.empty() ||
+                        static_cast<int>(cfg_.client_net_scale.size()) ==
+                            cfg_.num_clients,
+                    "client_net_scale size must match num_clients");
     if (!check_feasibility()) return out_;
     build_scheduler();
     clients_.resize(static_cast<std::size_t>(cfg_.num_clients));
@@ -64,15 +72,28 @@ class Sim {
   bool vanilla() const { return cfg_.mode == ServingMode::VanillaTaskSwap; }
   bool holds() const { return core::holds_across_iteration(cfg_.mode); }
 
-  double client_compute_s() const {
-    return cfg_.cpu_clients ? spec().client_cpu_seconds
-                            : spec().client_gpu_seconds;
+  double client_compute_s(int id) const {
+    const double base = cfg_.cpu_clients ? spec().client_cpu_seconds
+                                         : spec().client_gpu_seconds;
+    return base * (cfg_.client_compute_scale.empty()
+                       ? 1.0
+                       : cfg_.client_compute_scale[static_cast<std::size_t>(
+                             id)]);
   }
 
   double scale_of(int id) const {
     return cfg_.client_scale.empty()
                ? 1.0
                : cfg_.client_scale[static_cast<std::size_t>(id)];
+  }
+
+  /// WAN transfer time for `id`, after its link multiplier.
+  double wan_s(int id, std::size_t bytes) const {
+    const double scale =
+        cfg_.client_net_scale.empty()
+            ? 1.0
+            : cfg_.client_net_scale[static_cast<std::size_t>(id)];
+    return cfg_.env.wan_seconds(bytes) * scale;
   }
 
   double max_scale() const {
@@ -212,6 +233,10 @@ class Sim {
         static_cast<std::size_t>(cfg_.num_gpus), schedulable_per_gpu_);
     scheduler_ =
         std::make_unique<sched::Scheduler>(partitions, cfg_.sched_policy);
+    // StragglerAware classifies on grant -> release durations; feed it the
+    // loop's virtual clock so those durations are simulated seconds, not
+    // the host microseconds the events take to process.
+    scheduler_->set_clock([this] { return loop_.now(); });
     scheduler_->set_grant_callback(
         [this](const sched::Grant& grant) { on_grant(grant); });
   }
@@ -224,13 +249,13 @@ class Sim {
     ClientState& c = client(id);
     c.iter_start = loop_.now();
     c.comm = c.compute = c.schedule = 0.0;
-    loop_.schedule(client_compute_s() * 0.4,
+    loop_.schedule(client_compute_s(id) * 0.4,
                    [this, id] { send_activations(id); });
   }
 
   void send_activations(int id) {
     ClientState& c = client(id);
-    const double t = cfg_.env.wan_seconds(spec().activation_up_bytes);
+    const double t = wan_s(id, spec().activation_up_bytes);
     c.comm += t;
     loop_.schedule(t, [this, id] { arrive_forward(id); });
   }
@@ -295,7 +320,7 @@ class Sim {
         c.holding = false;
         scheduler_->on_complete(id);
       }
-      const double t = cfg_.env.wan_seconds(spec().activation_down_bytes);
+      const double t = wan_s(id, spec().activation_down_bytes);
       c.comm += t;
       loop_.schedule(t, [this, id] { client_midpoint(id); });
       return;
@@ -323,7 +348,7 @@ class Sim {
       }
       loop_.schedule(post_release, [this, id] {
         ClientState& ccc = client(id);
-        const double t = cfg_.env.wan_seconds(spec().gradient_down_bytes);
+        const double t = wan_s(id, spec().gradient_down_bytes);
         ccc.comm += t;
         loop_.schedule(t, [this, id] { client_finalize(id); });
       });
@@ -331,13 +356,13 @@ class Sim {
   }
 
   void client_midpoint(int id) {
-    loop_.schedule(client_compute_s() * 0.4,
+    loop_.schedule(client_compute_s(id) * 0.4,
                    [this, id] { send_gradients(id); });
   }
 
   void send_gradients(int id) {
     ClientState& c = client(id);
-    const double t = cfg_.env.wan_seconds(spec().gradient_up_bytes);
+    const double t = wan_s(id, spec().gradient_up_bytes);
     c.comm += t;
     loop_.schedule(t, [this, id] { arrive_backward(id); });
   }
@@ -354,7 +379,7 @@ class Sim {
   }
 
   void client_finalize(int id) {
-    loop_.schedule(client_compute_s() * 0.2,
+    loop_.schedule(client_compute_s(id) * 0.2,
                    [this, id] { finish_iteration(id); });
   }
 

@@ -32,11 +32,23 @@ struct SimConfig {
   double client_stagger_s = 0.05;  ///< arrival offset between clients
 
   /// Optional per-client scale factors modelling heterogeneous batch
-  /// sizes / sequence lengths (§3.1: clients choose their own fine-tuning
-  /// configurations). Scales the client's transient memory demands and
-  /// server compute durations. Empty = all clients at 1.0; otherwise the
-  /// size must equal num_clients.
+  /// sizes / sequence lengths / cut depths (§3.1: clients choose their own
+  /// fine-tuning configurations; a shallower cut leaves more trunk blocks
+  /// — more transient memory and compute — on the server). Scales the
+  /// client's transient memory demands and server compute durations. Empty
+  /// = all clients at 1.0; otherwise the size must equal num_clients.
   std::vector<double> client_scale;
+
+  /// Per-client compute-speed multipliers on the CLIENT-side think time (a
+  /// phone-class device runs its model halves slower). Empty = all 1.0.
+  /// In holds-across-iteration modes a slow client's think time holds its
+  /// server allocation — the contention StragglerAware reorders around.
+  std::vector<double> client_compute_scale;
+
+  /// Per-client multipliers on WAN transfer times: a lossy link
+  /// retransmits (~1/(1-p)), an Int8 activation codec moves ~1/4 the
+  /// bytes. Empty = all 1.0.
+  std::vector<double> client_net_scale;
 };
 
 struct ClientResult {

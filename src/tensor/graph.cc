@@ -39,6 +39,7 @@ const char* op_kind_name(OpKind kind) noexcept {
     case OpKind::ToDevice: return "to_device";
     case OpKind::BiasGelu: return "bias_gelu";
     case OpKind::FusedAddLayerNorm: return "fused_add_layer_norm";
+    case OpKind::Custom: return "custom";
   }
   return "?";
 }
@@ -66,6 +67,9 @@ struct GNode {
   std::vector<std::int32_t> ids;  // baked id vector when feed < 0
   int feed = -1;                  // index into the replay feeds
   gpusim::Device* device = nullptr;
+  // OpKind::Custom only: display name (string literal) + replay closure.
+  const char* custom_name = nullptr;
+  detail::CustomReplay custom;
   // Replay cost accounting.
   std::int64_t calls = 0;
   double millis = 0.0;
@@ -195,6 +199,22 @@ void note_unsupported(const char* what) {
   if (r == nullptr) return;
   r->broken = true;
   r->why = what;
+}
+
+void note_custom(const char* name, std::initializer_list<Tensor> inputs,
+                 const Tensor& out, CustomReplay replay) {
+  Recorder* r = t_recorder;
+  if (r == nullptr || r->broken) return;
+  GNode node;
+  node.kind = OpKind::Custom;
+  node.custom_name = name;
+  node.custom = std::move(replay);
+  for (const Tensor& t : inputs) {
+    node.in.push_back(value_for_input(*r, t));
+    if (r->broken) return;
+  }
+  node.out.push_back(value_for_output(*r, out));
+  r->impl->nodes.push_back(std::move(node));
 }
 
 }  // namespace detail
@@ -394,6 +414,15 @@ Tensor StepGraph::replay(const Feeds& feeds) {
         out = hy.second;
         break;
       }
+      case OpKind::Custom: {
+        std::vector<Tensor> ins;
+        ins.reserve(n.in.size());
+        for (std::size_t k = 0; k < n.in.size(); ++k) {
+          ins.push_back(in(n, static_cast<int>(k)));
+        }
+        out = n.custom(ins);
+        break;
+      }
     }
     slot[static_cast<std::size_t>(n.out.back())] = out;
     ++n.calls;
@@ -436,7 +465,9 @@ std::vector<OpCost> StepGraph::cost_report() const {
   std::vector<OpCost> report;
   for (const GNode& n : impl_->nodes) {
     if (n.calls == 0) continue;
-    const char* name = op_kind_name(n.kind);
+    const char* name = n.kind == OpKind::Custom && n.custom_name != nullptr
+                           ? n.custom_name
+                           : op_kind_name(n.kind);
     OpCost* entry = nullptr;
     for (OpCost& c : report) {
       if (c.name == name) {

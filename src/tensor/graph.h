@@ -26,11 +26,14 @@
 //     aggregates per op kind, feeding the sim's calibration tables.
 //
 // Capture is conservative: any op the graph cannot reproduce (dropout's
-// rng with p > 0, quantized matmul) calls note_unsupported and the graph
-// simply refuses to become ready() — callers fall back to eager
-// execution, losing only the optimization, never correctness. tile_batch
-// and repeat_heads (prefix adapters, GQA) are public replayable ops, so
-// those models capture like any other.
+// rng with p > 0) calls note_unsupported and the graph simply refuses to
+// become ready() — callers fall back to eager execution, losing only the
+// optimization, never correctness. tile_batch and repeat_heads (prefix
+// adapters, GQA) are public replayable ops, so those models capture like
+// any other. Ops with bespoke tape nodes (quantized matmul) record
+// themselves via note_custom: the node carries a replay closure that
+// re-dispatches the public op, so the closure's own autograd attachment
+// runs again on replay and the result is bit-identical to eager.
 #pragma once
 
 #include <cstdint>
@@ -49,6 +52,9 @@ enum class OpKind {
   Embedding, CrossEntropy, ToDevice,
   // Produced by the fusion pass only, never recorded directly.
   BiasGelu, FusedAddLayerNorm,
+  // An op replayed through a captured closure (detail::note_custom);
+  // opaque to the fusion pass.
+  Custom,
 };
 
 /// Stable display name ("add", "matmul", "bias_gelu", ...).
@@ -148,8 +154,20 @@ void note2(OpKind kind, std::initializer_list<Tensor> inputs,
            const NoteAttrs& attrs = {});
 
 /// Mark the active capture (if any) as non-replayable. Called by ops the
-/// graph cannot reproduce (dropout randomness, custom autograd nodes).
+/// graph cannot reproduce (dropout randomness).
 void note_unsupported(const char* what);
+
+/// Replay closure for a note_custom node: receives the replay-time input
+/// tensors (same order as the note's `inputs`) and must re-dispatch the
+/// public op so its autograd attachment happens again.
+using CustomReplay = std::function<Tensor(const std::vector<Tensor>&)>;
+
+/// Record an op with a bespoke tape node that the generic switch cannot
+/// re-dispatch (e.g. quantized_matmul, whose weight operand is not a plain
+/// Tensor). `name` must be a string literal (retained for cost_report);
+/// `replay` typically captures the non-tensor operands by value.
+void note_custom(const char* name, std::initializer_list<Tensor> inputs,
+                 const Tensor& out, CustomReplay replay);
 
 }  // namespace detail
 }  // namespace menos::tensor::graph

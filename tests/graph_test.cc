@@ -8,6 +8,7 @@
 #include <cmath>
 #include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "data/dataset.h"
@@ -15,6 +16,7 @@
 #include "mem/caching_allocator.h"
 #include "nn/transformer.h"
 #include "optim/optimizer.h"
+#include "quant/quantize.h"
 #include "tensor/graph.h"
 #include "tensor/ops.h"
 #include "test_helpers.h"
@@ -170,6 +172,60 @@ TEST(StepGraph, GroupedQueryAttentionCapturesAndReplaysBitExactly) {
   ASSERT_TRUE(stepped.model->step_graph().ready())
       << "capture failed: " << stepped.model->step_graph().failure_reason();
   expect_same_curve(eager.losses, stepped.losses);
+}
+
+TEST(StepGraph, QuantizedMatmulCapturesAndReplaysBitExactly) {
+  // quantized_matmul used to poison capture via note_unsupported; it now
+  // records itself through note_custom, and replay re-dispatches the op so
+  // its bespoke activation-gradient tape is rebuilt each step. Training
+  // with in-place weight updates feeding later steps pins replay (forward
+  // AND backward) to the eager run bit-for-bit.
+  auto host = gpusim::make_host_device();
+  util::Rng wrng(11);
+  Tensor w_f = menos::testing::random_leaf({8, 16}, wrng, *host);
+  w_f.set_requires_grad(false);
+  const quant::QuantizedTensor w =
+      quant::QuantizedTensor::quantize(w_f, quant::Scheme::Int8Rowwise, *host);
+
+  tensor::graph::StepGraph graph;
+  const auto run = [&](bool stepped) {
+    util::Rng rng(12);
+    Tensor a = menos::testing::random_leaf({4, 8}, rng, *host);
+    const tensor::graph::Feeds no_feeds;
+    std::vector<float> losses;
+    for (int i = 0; i < 6; ++i) {
+      const auto step = [&] {
+        return tensor::sum(quant::quantized_matmul(tensor::gelu(a), w));
+      };
+      Tensor loss;
+      if (!stepped) {
+        loss = step();
+      } else if (!graph.ready()) {
+        loss = graph.capture(no_feeds, step);
+        EXPECT_TRUE(graph.ready()) << graph.failure_reason();
+      } else {
+        loss = graph.replay(no_feeds);
+      }
+      losses.push_back(loss.item());
+      tensor::backward(loss);
+      Tensor g = a.grad();
+      EXPECT_TRUE(g.defined());
+      float* p = a.data();
+      const float* pg = g.data();
+      for (tensor::Index k = 0; k < a.numel(); ++k) p[k] -= 0.05f * pg[k];
+      a.zero_grad();
+    }
+    return losses;
+  };
+  const std::vector<float> eager = run(/*stepped=*/false);
+  const std::vector<float> stepped = run(/*stepped=*/true);
+  expect_same_curve(eager, stepped);
+  // The custom node shows up in cost attribution under its own name.
+  bool attributed = false;
+  for (const auto& cost : graph.cost_report()) {
+    if (std::string(cost.name) == "quantized_matmul") attributed = true;
+  }
+  EXPECT_TRUE(attributed);
 }
 
 TEST(StepGraph, DisabledDropoutDoesNotPoisonCapture) {

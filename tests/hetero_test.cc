@@ -1,0 +1,321 @@
+// Heterogeneous-client coverage (ISSUE S3): SplitFrozen float-for-float
+// against an independent frozen reference, scheduler ledger restoration at
+// teardown, homogeneous-population bit-identity across scheduling policies,
+// and mixed profiles (cut depths / codecs / compute scales) serving
+// concurrently.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+
+#include "core/client.h"
+#include "core/server.h"
+#include "net/transport.h"
+#include "nn/transformer.h"
+#include "optim/optimizer.h"
+
+namespace menos {
+namespace {
+
+nn::TransformerConfig htest_model() {
+  nn::TransformerConfig c = nn::TransformerConfig::tiny_opt();
+  c.dim = 32;
+  c.n_heads = 2;
+  c.ffn_hidden = 64;
+  c.n_layers = 3;
+  c.max_seq = 32;
+  return c;
+}
+
+net::FinetuneConfig htest_finetune(const std::string& name,
+                                   std::uint64_t adapter_seed) {
+  net::FinetuneConfig ft;
+  ft.client_name = name;
+  ft.model = htest_model();
+  ft.adapter.rank = 4;
+  ft.adapter.alpha = 8.0f;
+  ft.optimizer = optim::OptimizerKind::Adam;
+  ft.lr = 3e-3f;
+  ft.batch_size = 2;
+  ft.seq_len = 8;
+  ft.adapter_seed = adapter_seed;
+  return ft;
+}
+
+data::DataLoader htest_loader(std::uint64_t seed) {
+  data::CharTokenizer tok;
+  auto tokens = tok.encode(data::make_shakespeare_like(4000, 17).text);
+  return data::DataLoader(std::move(tokens), 2, 8, seed);
+}
+
+/// Independent SplitFrozen reference: the same three sections the split
+/// stack builds, constructed with the SAME adapter-stream derivation (#1
+/// input — forked but unconsumed, the input half is frozen with
+/// AdapterType::None; #2 server; #3 output), driven through the same wire
+/// crossings (to_wire/from_wire, codec None) so every float matches the
+/// client/server run exactly. The input section tracks no graph and no
+/// activation gradient ever crosses back — the defining SplitFrozen
+/// property.
+std::vector<double> frozen_reference_losses(int steps, std::uint64_t base_seed,
+                                            std::uint64_t adapter_seed,
+                                            std::uint64_t data_seed) {
+  const net::FinetuneConfig ft = htest_finetune("ref", adapter_seed);
+  gpusim::DeviceManager devices(1, 512u << 20);
+  gpusim::Device& dev = devices.gpu(0);
+
+  util::Rng root(adapter_seed);
+  util::Rng rng_in = root.fork();
+  util::Rng rng_srv = root.fork();
+  util::Rng rng_out = root.fork();
+  nn::AdapterSpec frozen_adapter = ft.adapter;
+  frozen_adapter.type = nn::AdapterType::None;
+  nn::FreshInit init(base_seed);
+  nn::InputSection input(ft.model, ft.split, frozen_adapter, init, dev,
+                         rng_in);
+  nn::ServerSection server(ft.model, ft.split, ft.adapter, init, dev,
+                           rng_srv);
+  nn::OutputSection output(ft.model, ft.split, ft.adapter, init, dev,
+                           rng_out);
+  EXPECT_TRUE(input.trainable_parameters().empty())
+      << "a frozen input half must have no trainables";
+  auto server_opt = optim::make_optimizer(
+      ft.optimizer, server.trainable_parameters(), ft.lr);
+  auto client_opt = optim::make_optimizer(
+      ft.optimizer, output.trainable_parameters(), ft.lr);
+
+  auto loader = htest_loader(data_seed);
+  std::vector<double> losses;
+  for (int i = 0; i < steps; ++i) {
+    data::Batch batch = loader.next();
+    tensor::Tensor x_c;
+    {
+      tensor::NoGradGuard no_grad;
+      x_c = input.forward(batch.inputs, 2, 8);
+    }
+    // Up crossing: the serving session leafs the cut tensor WITHOUT grad
+    // tracking for a frozen client.
+    tensor::Tensor x_in = core::from_wire(core::to_wire(x_c), dev,
+                                          /*requires_grad=*/false);
+    tensor::Tensor x_out = server.forward(x_in);
+    // Down crossing: the client leafs the server activations with grad.
+    tensor::Tensor x_s = core::from_wire(core::to_wire(x_out), dev,
+                                         /*requires_grad=*/true);
+    tensor::Tensor loss = output.loss(x_s, input.prefix_len(), batch.targets);
+    losses.push_back(loss.item());
+    tensor::backward(tensor::scale(loss, 1.0f));
+    tensor::Tensor g_c = x_s.grad();
+    // Up crossing of the cut gradient, then the server-side backward and
+    // adapter step. x_in tracked no grad: the backward STOPS at the trunk's
+    // first layer, exactly like the serving session.
+    tensor::backward(x_out, core::from_wire(core::to_wire(g_c), dev));
+    server_opt->step();
+    server_opt->zero_grad();
+    client_opt->set_lr(ft.lr);
+    client_opt->step();
+    client_opt->zero_grad();
+    x_s.zero_grad();
+  }
+  return losses;
+}
+
+TEST(SplitFrozen, LossCurveMatchesFrozenReferenceFloatForFloat) {
+  constexpr int kSteps = 6;
+  const std::uint64_t base_seed = 42, adapter_seed = 9, data_seed = 5;
+  const std::vector<double> reference =
+      frozen_reference_losses(kSteps, base_seed, adapter_seed, data_seed);
+
+  gpusim::DeviceManager devices(1, 512u << 20);
+  core::ServerConfig config;
+  config.mode = core::ServingMode::MenosOnDemand;
+  config.base_seed = base_seed;
+  core::Server server(config, devices, htest_model());
+  net::InprocAcceptor acceptor;
+  server.start(acceptor);
+  const std::size_t pool_before = server.scheduler().total_available();
+
+  gpusim::DeviceManager client_devices(1, 512u << 20);
+  core::ClientOptions options;
+  options.finetune = htest_finetune("frozen", adapter_seed);
+  options.finetune.profile.frozen_client_half = true;
+  options.base_seed = base_seed;
+  core::Client client(options, acceptor.connect(), client_devices.gpu(0));
+  client.connect();
+  // The frozen session reserved its persistent server-adapter state.
+  EXPECT_LT(server.scheduler().total_available(), pool_before);
+
+  auto loader = htest_loader(data_seed);
+  for (int i = 0; i < kSteps; ++i) {
+    const core::StepStats stats = client.train_step(loader.next());
+    EXPECT_EQ(stats.loss, reference[static_cast<std::size_t>(i)])
+        << "SplitFrozen diverged from the frozen reference at step " << i;
+  }
+  client.disconnect();
+
+  // Teardown ledger: the scheduler's transient pool AND the persistent
+  // reservation drain back to exactly the pre-connect level, with nothing
+  // left waiting.
+  for (int i = 0;
+       i < 400 && server.scheduler().total_available() != pool_before; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(server.scheduler().total_available(), pool_before);
+  EXPECT_EQ(server.scheduler().waiting_count(), 0u);
+  server.stop();
+}
+
+/// Runs `clients` concurrent homogeneous split fine-tuners under `policy`
+/// and returns each client's full loss sequence.
+std::vector<std::vector<double>> homogeneous_losses(sched::Policy policy,
+                                                    int clients, int steps) {
+  gpusim::DeviceManager devices(1, 24u << 20);  // tight: real interleaving
+  core::ServerConfig config;
+  config.mode = core::ServingMode::MenosOnDemand;
+  config.sched_policy = policy;
+  config.base_seed = 42;
+  core::Server server(config, devices, htest_model());
+  net::InprocAcceptor acceptor;
+  server.start(acceptor);
+
+  std::vector<std::vector<double>> losses(static_cast<std::size_t>(clients));
+  std::vector<std::thread> threads;
+  for (int i = 0; i < clients; ++i) {
+    threads.emplace_back([&, i] {
+      gpusim::DeviceManager client_devices(1, 512u << 20);
+      core::ClientOptions options;
+      std::string client_name = "h";
+      client_name += std::to_string(i);
+      options.finetune = htest_finetune(std::move(client_name),
+                                        100 + static_cast<std::uint64_t>(i));
+      options.base_seed = 42;
+      core::Client client(options, acceptor.connect(), client_devices.gpu(0));
+      client.connect();
+      auto loader = htest_loader(300 + static_cast<std::uint64_t>(i));
+      for (int s = 0; s < steps; ++s) {
+        losses[static_cast<std::size_t>(i)].push_back(
+            client.train_step(loader.next()).loss);
+      }
+      client.disconnect();
+    });
+  }
+  for (auto& t : threads) t.join();
+  server.stop();
+  return losses;
+}
+
+TEST(HeteroPolicy, HomogeneousLossCurvesBitIdenticalAcrossPolicies) {
+  // The acceptance pin: for a homogeneous population StragglerAware may
+  // reorder nothing that changes the math — every client's loss sequence
+  // is bit-identical to its FcfsBackfill run. Grant timing may differ;
+  // the fine-tuning trajectories may not.
+  const auto fcfs = homogeneous_losses(sched::Policy::FcfsBackfill, 3, 4);
+  const auto sa = homogeneous_losses(sched::Policy::StragglerAware, 3, 4);
+  EXPECT_EQ(sa, fcfs);
+  for (const auto& curve : fcfs) {
+    for (double loss : curve) EXPECT_TRUE(std::isfinite(loss));
+  }
+}
+
+TEST(Hetero, MixedProfilesServeConcurrently) {
+  // One server, three very different clients at once: a deep-cut client
+  // (front_blocks 2), a frozen thin-link client on the Int8 codec, and a
+  // slow device (compute_scale 4). All must train to finite losses and the
+  // scheduler pool must drain to its pre-connect level afterwards.
+  gpusim::DeviceManager devices(1, 64u << 20);
+  core::ServerConfig config;
+  config.mode = core::ServingMode::MenosOnDemand;
+  config.sched_policy = sched::Policy::StragglerAware;
+  config.base_seed = 42;
+  core::Server server(config, devices, htest_model());
+  net::InprocAcceptor acceptor;
+  server.start(acceptor);
+  const std::size_t pool_before = server.scheduler().total_available();
+
+  const auto make_options = [](int i) {
+    core::ClientOptions o;
+    std::string client_name = "m";
+    client_name += std::to_string(i);
+    o.finetune = htest_finetune(std::move(client_name),
+                                200 + static_cast<std::uint64_t>(i));
+    o.base_seed = 42;
+    switch (i) {
+      case 0:  // deep cut: two of the three blocks on the device
+        o.finetune.split.front_blocks = 2;
+        o.finetune.profile.cut_depth = 2;
+        break;
+      case 1:  // frozen half on a thin link
+        o.finetune.profile.frozen_client_half = true;
+        o.finetune.profile.codec = net::ActivationCodec::Int8;
+        o.finetune.profile.uplink_bytes_per_s = 2e6;
+        break;
+      default:  // slow device
+        o.finetune.profile.compute_scale = 4.0;
+        break;
+    }
+    return o;
+  };
+
+  constexpr int kClients = 3;
+  constexpr int kSteps = 3;
+  std::vector<std::thread> threads;
+  std::vector<double> final_losses(kClients, -1.0);
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      gpusim::DeviceManager client_devices(1, 512u << 20);
+      core::Client client(make_options(i), acceptor.connect(),
+                          client_devices.gpu(0));
+      client.connect();
+      auto loader = htest_loader(400 + static_cast<std::uint64_t>(i));
+      double loss = 0.0;
+      for (int s = 0; s < kSteps; ++s) {
+        loss = client.train_step(loader.next()).loss;
+        EXPECT_TRUE(std::isfinite(loss));
+      }
+      final_losses[static_cast<std::size_t>(i)] = loss;
+      client.disconnect();
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (double loss : final_losses) EXPECT_GT(loss, 0.0);
+
+  for (int i = 0;
+       i < 400 && server.scheduler().total_available() != pool_before; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(server.scheduler().total_available(), pool_before);
+  EXPECT_EQ(server.scheduler().waiting_count(), 0u);
+  server.stop();
+}
+
+TEST(Hetero, ComputeScaleChangesTimingNotMath) {
+  // compute_scale is pure think-time emulation: a 4x-slower device walks
+  // the identical loss trajectory.
+  const auto run = [](double scale) {
+    gpusim::DeviceManager devices(1, 512u << 20);
+    core::ServerConfig config;
+    config.mode = core::ServingMode::MenosOnDemand;
+    config.base_seed = 42;
+    core::Server server(config, devices, htest_model());
+    net::InprocAcceptor acceptor;
+    server.start(acceptor);
+
+    gpusim::DeviceManager client_devices(1, 512u << 20);
+    core::ClientOptions options;
+    options.finetune = htest_finetune("scale", 33);
+    options.finetune.profile.compute_scale = scale;
+    options.base_seed = 42;
+    core::Client client(options, acceptor.connect(), client_devices.gpu(0));
+    client.connect();
+    auto loader = htest_loader(44);
+    std::vector<double> losses;
+    for (int i = 0; i < 4; ++i) {
+      losses.push_back(client.train_step(loader.next()).loss);
+    }
+    client.disconnect();
+    server.stop();
+    return losses;
+  };
+  EXPECT_EQ(run(4.0), run(1.0));
+}
+
+}  // namespace
+}  // namespace menos

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "net/faulty.h"
+#include "net/link.h"
 #include "net/transport.h"
 #include "net/wire.h"
 
@@ -90,6 +91,34 @@ TEST(Message, HelloRoundTrip) {
   EXPECT_FLOAT_EQ(d.config.lr, 3e-4f);
   EXPECT_EQ(d.config.batch_size, 8);
   EXPECT_EQ(d.config.adapter_seed, 99u);
+}
+
+TEST(Message, ClientProfileRidesHello) {
+  FinetuneConfig c = sample_config();
+  c.profile.compute_scale = 4.0;
+  c.profile.cut_depth = 2;  // matches split.front_blocks above
+  c.profile.frozen_client_half = true;
+  c.profile.codec = ActivationCodec::Int8;
+  c.profile.uplink_bytes_per_s = 1.5e6;
+  c.profile.downlink_bytes_per_s = 12e6;
+  c.profile.link_latency_s = 0.03;
+  Message m = Message::hello(c);
+  auto payload = encode_message(m);
+  Message d = decode_message(payload.data(), payload.size());
+  EXPECT_FALSE(d.config.profile.is_default());
+  EXPECT_DOUBLE_EQ(d.config.profile.compute_scale, 4.0);
+  EXPECT_EQ(d.config.profile.cut_depth, 2);
+  EXPECT_TRUE(d.config.profile.frozen_client_half);
+  EXPECT_EQ(d.config.profile.codec, ActivationCodec::Int8);
+  EXPECT_DOUBLE_EQ(d.config.profile.uplink_bytes_per_s, 1.5e6);
+  EXPECT_DOUBLE_EQ(d.config.profile.downlink_bytes_per_s, 12e6);
+  EXPECT_DOUBLE_EQ(d.config.profile.link_latency_s, 0.03);
+
+  // A default profile stays default through the wire (the homogeneous
+  // protocol is unchanged).
+  Message plain = Message::hello(sample_config());
+  auto p2 = encode_message(plain);
+  EXPECT_TRUE(decode_message(p2.data(), p2.size()).config.profile.is_default());
 }
 
 TEST(Message, TensorMessagesRoundTrip) {
@@ -343,6 +372,99 @@ TEST(InprocAcceptor, ConnectAcceptPairs) {
   EXPECT_EQ(server->receive()->text, "hi");
   acceptor.close();
   EXPECT_EQ(acceptor.accept(), nullptr);
+}
+
+/// Drives one conditioned inproc connection with concurrent traffic in both
+/// directions and returns the per-direction delay logs. Frame sizes vary so
+/// the byte-dependent base delays vary too.
+std::pair<std::vector<double>, std::vector<double>> conditioned_exchange(
+    std::uint64_t seed) {
+  LinkProfile profile;
+  profile.up.latency_s = 0.002;               // thin, slow uplink...
+  profile.up.bandwidth_bytes_per_s = 2e6;
+  profile.up.time_scale = 0.0;                // log only, never sleep
+  profile.down.latency_s = 0.0005;            // ...fat, quick downlink
+  profile.down.bandwidth_bytes_per_s = 50e6;
+  profile.down.time_scale = 0.0;
+  profile.jitter_s = 0.01;
+  profile.seed = seed;
+
+  InprocAcceptor acceptor;
+  std::shared_ptr<LinkConditioner> conditioner;
+  auto client = acceptor.connect(profile, &conditioner);
+  auto server = acceptor.accept();
+  constexpr int kFrames = 40;
+
+  // Both endpoints send concurrently: per-direction draws must come out
+  // identical run-to-run no matter how the two threads interleave.
+  std::thread server_side([&server] {
+    for (int i = 0; i < kFrames; ++i) {
+      WireTensor t;
+      t.shape = {i % 5 + 1};
+      t.data.assign(static_cast<std::size_t>(i % 5 + 1), 1.0f);
+      server->send(Message::forward_result(t, static_cast<std::uint64_t>(i)));
+    }
+    for (int i = 0; i < kFrames; ++i) server->receive();
+  });
+  for (int i = 0; i < kFrames; ++i) {
+    WireTensor t;
+    t.shape = {(i * 7) % 9 + 1};
+    t.data.assign(static_cast<std::size_t>((i * 7) % 9 + 1), 2.0f);
+    client->send(Message::forward(t, static_cast<std::uint64_t>(i)));
+  }
+  for (int i = 0; i < kFrames; ++i) client->receive();
+  server_side.join();
+  return {conditioner->delays(LinkDir::Up), conditioner->delays(LinkDir::Down)};
+}
+
+TEST(Link, AsymmetricConditionerIsDeterministicUnderConcurrency) {
+  // The S2 regression surface: same seed => the same per-frame delay
+  // sequence in each direction, exactly, across runs with live concurrency
+  // between the two endpoints.
+  const auto [up_a, down_a] = conditioned_exchange(42);
+  const auto [up_b, down_b] = conditioned_exchange(42);
+  EXPECT_EQ(up_a, up_b);
+  EXPECT_EQ(down_a, down_b);
+  ASSERT_EQ(up_a.size(), 40u);
+  ASSERT_EQ(down_a.size(), 40u);
+
+  // The directions draw from independent forked streams (asymmetry is
+  // real, not a shared log), and the seed actually reaches the draws.
+  EXPECT_NE(up_a, down_a);
+  const auto [up_c, down_c] = conditioned_exchange(7);
+  EXPECT_NE(up_a, up_c);
+  EXPECT_NE(down_a, down_c);
+}
+
+TEST(Link, PerConnectionLinksAreIndependent) {
+  // Two sessions on one acceptor get their OWN conditioners: traffic on one
+  // link must not advance the other's jitter stream.
+  LinkProfile profile;
+  profile.up.time_scale = 0.0;
+  profile.down.time_scale = 0.0;
+  profile.jitter_s = 0.01;
+  profile.seed = 5;
+
+  InprocAcceptor acceptor;
+  std::shared_ptr<LinkConditioner> link_a;
+  std::shared_ptr<LinkConditioner> link_b;
+  auto client_a = acceptor.connect(profile, &link_a);
+  auto server_a = acceptor.accept();
+  auto client_b = acceptor.connect(profile, &link_b);
+  auto server_b = acceptor.accept();
+  ASSERT_NE(link_a, link_b);
+
+  // Interleave: a's stream sees only a's frames.
+  client_a->send(Message::heartbeat());
+  client_b->send(Message::heartbeat());
+  client_a->send(Message::heartbeat());
+  server_a->receive();
+  server_b->receive();
+  server_a->receive();
+  EXPECT_EQ(link_a->delays(LinkDir::Up).size(), 2u);
+  EXPECT_EQ(link_b->delays(LinkDir::Up).size(), 1u);
+  // Same seed, same frame sizes: the first draw of each link matches.
+  EXPECT_EQ(link_a->delays(LinkDir::Up)[0], link_b->delays(LinkDir::Up)[0]);
 }
 
 TEST(Tcp, EndToEndMessages) {

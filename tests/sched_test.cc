@@ -677,6 +677,160 @@ TEST(Scheduler, CoalescedBatchRandomTraceConservesMemoryAndDrains) {
       << "trace never exercised a group grant";
 }
 
+// ----- straggler-aware scheduling -----
+
+TEST(Scheduler, StragglerAwareDefersClassifiedStragglerBehindFastClients) {
+  // A client whose service estimate exceeds straggler_ratio x the
+  // population median is scanned AFTER the fast clients: later-arrived fast
+  // requests take the freed memory first and the straggler's reorder is
+  // counted.
+  Scheduler s(1000, Policy::StragglerAware);
+  double now = 0.0;
+  s.set_clock([&now] { return now; });
+  GrantLog log;
+  log.attach(s);
+  s.register_client(0, {600, 600});    // the straggler
+  s.register_client(1, {300, 300});
+  s.register_client(2, {300, 300});
+  s.register_client(9, {1000, 1000});  // blocker: queues everyone up
+  s.record_service_time(0, 10.0);      // estimate >> 2x median (0.1)
+  s.record_service_time(1, 0.1);
+  s.record_service_time(2, 0.1);
+  s.record_service_time(9, 0.1);
+
+  s.on_request(9, OpKind::Forward);  // granted; pool now full
+  s.on_request(0, OpKind::Forward);  // FCFS head, but a straggler
+  s.on_request(1, OpKind::Forward);
+  s.on_request(2, OpKind::Forward);
+  ASSERT_EQ(log.grants.size(), 1u);
+
+  // One pass on release: the fast scan grants 1 and 2 (600 bytes), after
+  // which the deferred straggler (600) no longer fits.
+  s.on_complete(9);
+  ASSERT_EQ(log.grants.size(), 3u);
+  EXPECT_EQ(log.grants[1].client_id, 1);
+  EXPECT_EQ(log.grants[2].client_id, 2);
+  EXPECT_EQ(s.allocated_to(0), 0u);
+  EXPECT_GE(s.stats().straggler_reorders, 1u);
+
+  // Deferral is a scan order, not a ban: once memory fits, the straggler
+  // is granted.
+  s.on_complete(1);
+  ASSERT_EQ(log.grants.size(), 4u);
+  EXPECT_EQ(log.grants[3].client_id, 0);
+  s.on_complete(2);
+  s.on_complete(0);
+  EXPECT_EQ(s.total_available(), 1000u);
+}
+
+TEST(Scheduler, StragglerPromotedAfterWaitingPastSlack) {
+  Scheduler s(500, Policy::StragglerAware);
+  double now = 0.0;
+  s.set_clock([&now] { return now; });
+  GrantLog log;
+  log.attach(s);
+  s.register_client(0, {400, 400});  // the straggler
+  s.register_client(1, {300, 300});
+  s.register_client(2, {300, 300});
+  s.record_service_time(0, 1.0);
+  s.record_service_time(1, 0.1);
+  s.record_service_time(2, 0.1);
+
+  s.on_request(1, OpKind::Forward);  // granted; 200 free
+  s.on_request(0, OpKind::Forward);  // waits (straggler)
+  s.on_request(2, OpKind::Forward);  // waits
+  ASSERT_EQ(log.grants.size(), 1u);
+
+  // Fast-first pass grants the later-arrived 2 ahead of the deferred 0.
+  s.on_complete(1);
+  ASSERT_EQ(log.grants.size(), 2u);
+  EXPECT_EQ(log.grants[1].client_id, 2);
+  EXPECT_GE(s.stats().straggler_reorders, 1u);
+
+  s.on_request(1, OpKind::Forward);  // queues behind 0 again
+  // 0 has now waited far past promote_slack x its own estimate: it rejoins
+  // the fast scan at its FCFS position and is granted ahead of 1.
+  now = 10.0;
+  s.on_complete(2);
+  ASSERT_EQ(log.grants.size(), 3u);
+  EXPECT_EQ(log.grants[2].client_id, 0);
+  EXPECT_GE(s.stats().straggler_promotions, 1u);
+
+  s.on_complete(0);
+  ASSERT_EQ(log.grants.size(), 4u);
+  EXPECT_EQ(log.grants[3].client_id, 1);
+  s.on_complete(1);
+  EXPECT_EQ(s.total_available(), 500u);
+}
+
+TEST(Scheduler, StragglerAwareDegeneratesToFcfsBackfillWhenHomogeneous) {
+  // The homogeneous fairness pin: with every service estimate equal nothing
+  // classifies as a straggler, and the StragglerAware pass must replay
+  // FcfsBackfill EXACTLY — grant sequence, backfill accounting and blocked
+  // cycles included. This is what keeps homogeneous-population runs
+  // bit-identical across the two policies (see hetero_test).
+  const std::size_t capacity = 1000;
+  const int n = 8;
+  struct Outcome {
+    std::vector<std::pair<int, OpKind>> grants;
+    SchedulerStats stats;
+  };
+  const auto run = [&](Policy policy) {
+    Scheduler s(capacity, policy);
+    double now = 0.0;  // pinned clock: on_complete never perturbs estimates
+    s.set_clock([&now] { return now; });
+    Outcome out;
+    std::vector<int> state(static_cast<std::size_t>(n), 0);
+    std::vector<int> holders;
+    s.set_grant_callback([&](const Grant& g) {
+      out.grants.emplace_back(g.client_id, g.kind);
+      state[static_cast<std::size_t>(g.client_id)] = 2;
+      holders.push_back(g.client_id);
+    });
+    for (int i = 0; i < n; ++i) {
+      s.register_client(i, {60 + 40 * static_cast<std::size_t>(i % 3),
+                            260 + 90 * static_cast<std::size_t>(i % 4)});
+      s.record_service_time(i, 1.0);  // homogeneous: est == median for all
+    }
+    util::Rng rng(99);
+    for (int step = 0; step < 500; ++step) {
+      if (!holders.empty() && rng.next_below(3) == 0) {
+        const int c = holders.front();
+        holders.erase(holders.begin());
+        state[static_cast<std::size_t>(c)] = 0;
+        s.on_complete(c);
+      } else {
+        const int c =
+            static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n)));
+        if (state[static_cast<std::size_t>(c)] == 0) {
+          state[static_cast<std::size_t>(c)] = 1;
+          s.on_request(c, rng.next_below(2) == 0 ? OpKind::Forward
+                                                 : OpKind::Backward);
+        }
+      }
+    }
+    while (!holders.empty()) {
+      const int c = holders.front();
+      holders.erase(holders.begin());
+      state[static_cast<std::size_t>(c)] = 0;
+      s.on_complete(c);
+    }
+    out.stats = s.stats();
+    return out;
+  };
+
+  const Outcome fcfs = run(Policy::FcfsBackfill);
+  const Outcome sa = run(Policy::StragglerAware);
+  EXPECT_EQ(sa.grants, fcfs.grants);
+  EXPECT_EQ(sa.stats.grants, fcfs.stats.grants);
+  EXPECT_EQ(sa.stats.backfill_grants, fcfs.stats.backfill_grants);
+  EXPECT_EQ(sa.stats.blocked_cycles, fcfs.stats.blocked_cycles);
+  EXPECT_EQ(sa.stats.straggler_reorders, 0u);
+  EXPECT_EQ(sa.stats.straggler_promotions, 0u);
+  // The trace is not degenerate: backfilling actually engaged.
+  EXPECT_GT(fcfs.stats.backfill_grants, 0u);
+}
+
 // ----- randomized invariant sweep -----
 
 struct TraceParams {
@@ -762,7 +916,9 @@ INSTANTIATE_TEST_SUITE_P(
                       TraceParams{3, 800, Policy::FcfsOnly, 5},
                       TraceParams{6, 1500, Policy::FcfsOnly, 6},
                       TraceParams{12, 3000, Policy::FcfsBackfill, 7},
-                      TraceParams{16, 1200, Policy::FcfsBackfill, 8}));
+                      TraceParams{16, 1200, Policy::FcfsBackfill, 8},
+                      TraceParams{8, 2000, Policy::StragglerAware, 9},
+                      TraceParams{16, 1200, Policy::StragglerAware, 10}));
 
 }  // namespace
 }  // namespace menos::sched
